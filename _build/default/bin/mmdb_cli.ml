@@ -1,0 +1,497 @@
+(* mmdb command-line tool: run the paper's analyses and simulations with
+   your own parameters.
+
+     mmdb_cli crossover --tuples 1000000 --z 20 --y 0.8
+     mmdb_cli join --r-pages 10000 --s-pages 10000 --ratio 0.3
+     mmdb_cli tps --strategy group-commit --txns 5000
+     mmdb_cli recover --strategy partitioned-2 --txns 2000 --checkpoint 500
+     mmdb_cli plan --mem 512 [--no-hash]
+*)
+
+module U = Mmdb_util
+module S = Mmdb_storage
+module AM = Mmdb_model.Access_model
+module JM = Mmdb_model.Join_model
+module R = Mmdb_recovery
+module P = Mmdb_planner
+module A = P.Algebra
+module E = Mmdb_exec
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* crossover                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let crossover tuples tuple_width key_width page_size z y =
+  let p =
+    {
+      AM.r_tuples = tuples;
+      AM.tuple_width;
+      AM.key_width;
+      AM.page_size;
+      AM.pointer_width = 4;
+      AM.z;
+      AM.y;
+    }
+  in
+  Printf.printf "relation: %s\n" (Format.asprintf "%a" AM.pp p);
+  let h = AM.crossover_h p in
+  Printf.printf
+    "AVL beats B+-tree once %.1f%% of the AVL structure (%d pages; %d MB at \
+     %d-byte pages) is memory-resident.\n"
+    (100.0 *. h) (AM.avl_pages p)
+    (AM.avl_pages p * page_size / 1_000_000)
+    page_size;
+  let hseq = AM.crossover_h_seq p ~n:1000 in
+  Printf.printf "sequential access (1000 records): crossover at %.1f%%.\n"
+    (100.0 *. hseq);
+  0
+
+let crossover_cmd =
+  let tuples =
+    Arg.(value & opt int 1_000_000 & info [ "tuples" ] ~doc:"Relation cardinality ||R||.")
+  in
+  let width =
+    Arg.(value & opt int 40 & info [ "tuple-width" ] ~doc:"Tuple width t in bytes.")
+  in
+  let key = Arg.(value & opt int 8 & info [ "key-width" ] ~doc:"Key width K in bytes.") in
+  let page = Arg.(value & opt int 4096 & info [ "page-size" ] ~doc:"Page size P in bytes.") in
+  let z = Arg.(value & opt float 20.0 & info [ "z" ] ~doc:"Page-read cost in comparisons (10-30).") in
+  let y = Arg.(value & opt float 1.0 & info [ "y" ] ~doc:"AVL comparison cost relative to B+-tree (<= 1).") in
+  Cmd.v
+    (Cmd.info "crossover" ~doc:"Section 2: AVL vs B+-tree memory-residency crossover.")
+    Term.(const crossover $ tuples $ width $ key $ page $ z $ y)
+
+(* ------------------------------------------------------------------ *)
+(* join                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let join r_pages s_pages tpp ratio =
+  let w =
+    {
+      JM.r_pages = min r_pages s_pages;
+      JM.s_pages = max r_pages s_pages;
+      JM.r_tuples_per_page = tpp;
+      JM.s_tuples_per_page = tpp;
+      JM.cost = S.Cost.table2;
+    }
+  in
+  let m =
+    max (JM.min_memory w)
+      (int_of_float (ratio *. float_of_int w.JM.r_pages *. 1.2))
+  in
+  Printf.printf
+    "|R| = %d pages, |S| = %d pages, |M| = %d pages (ratio %.3f)\n\n"
+    w.JM.r_pages w.JM.s_pages m ratio;
+  let t = U.Tablefmt.create [ "algorithm"; "predicted seconds" ] in
+  List.iter
+    (fun (name, cost) ->
+      U.Tablefmt.add_row t [ name; U.Tablefmt.cell_float ~decimals:1 cost ])
+    (JM.all_four w ~m);
+  U.Tablefmt.print t;
+  Printf.printf "\nhybrid: B = %d partitions, q = %.2f in memory; simple: %d passes.\n"
+    (JM.hybrid_partitions w ~m) (JM.hybrid_q w ~m)
+    (JM.simple_hash_passes w ~m);
+  0
+
+let join_cmd =
+  let r = Arg.(value & opt int 10_000 & info [ "r-pages" ] ~doc:"Pages in R.") in
+  let s = Arg.(value & opt int 10_000 & info [ "s-pages" ] ~doc:"Pages in S.") in
+  let tpp = Arg.(value & opt int 40 & info [ "tuples-per-page" ] ~doc:"Tuples per page.") in
+  let ratio =
+    Arg.(value & opt float 0.3 & info [ "ratio" ] ~doc:"|M| / (|R| * F).")
+  in
+  Cmd.v
+    (Cmd.info "join" ~doc:"Section 3: predicted cost of the four join algorithms.")
+    Term.(const join $ r $ s $ tpp $ ratio)
+
+(* ------------------------------------------------------------------ *)
+(* tps                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_of_string = function
+  | "conventional" -> Ok R.Wal.Conventional
+  | "group-commit" -> Ok R.Wal.Group_commit
+  | s when String.length s > 12 && String.sub s 0 12 = "partitioned-" -> (
+    match int_of_string_opt (String.sub s 12 (String.length s - 12)) with
+    | Some n when n > 0 -> Ok (R.Wal.Partitioned { devices = n })
+    | _ -> Error (`Msg "bad device count"))
+  | "stable" ->
+    Ok (R.Wal.Stable { devices = 1; capacity_bytes = 65536; compressed = true })
+  | s -> Error (`Msg ("unknown strategy " ^ s))
+
+let strategy_conv =
+  Arg.conv
+    ( strategy_of_string,
+      fun ppf s -> Format.fprintf ppf "%s" (R.Tps_sim.strategy_label s) )
+
+let tps strategy txns accounts =
+  let r = R.Tps_sim.run ~nrecords:accounts ~n_txns:txns strategy in
+  Printf.printf "strategy:    %s\n" r.R.Tps_sim.strategy_label;
+  Printf.printf "committed:   %d transactions in %.3f simulated s\n"
+    r.R.Tps_sim.committed r.R.Tps_sim.makespan;
+  Printf.printf "throughput:  %.0f tps\n" r.R.Tps_sim.tps;
+  Printf.printf "latency:     %s\n"
+    (Format.asprintf "%a" U.Stats.pp_summary r.R.Tps_sim.latency);
+  Printf.printf "log written: %d pages, %d bytes\n" r.R.Tps_sim.log_pages
+    r.R.Tps_sim.log_disk_bytes;
+  0
+
+let tps_cmd =
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv R.Wal.Group_commit
+      & info [ "strategy" ]
+          ~doc:
+            "conventional | group-commit | partitioned-N | stable.")
+  in
+  let txns = Arg.(value & opt int 3000 & info [ "txns" ] ~doc:"Transactions to run.") in
+  let accounts =
+    Arg.(value & opt int 100_000 & info [ "accounts" ] ~doc:"Account-table size.")
+  in
+  Cmd.v
+    (Cmd.info "tps" ~doc:"Section 5.2: simulated transaction throughput.")
+    Term.(const tps $ strategy $ txns $ accounts)
+
+(* ------------------------------------------------------------------ *)
+(* recover                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let recover strategy txns checkpoint crash_after =
+  let cfg =
+    {
+      R.Recovery_manager.default_config with
+      R.Recovery_manager.strategy;
+      R.Recovery_manager.n_txns = txns;
+      R.Recovery_manager.checkpoint_every = checkpoint;
+      R.Recovery_manager.crash_after;
+    }
+  in
+  let o = R.Recovery_manager.run cfg in
+  Printf.printf "submitted:           %d\n" o.R.Recovery_manager.submitted;
+  Printf.printf "durably committed:   %d\n" o.R.Recovery_manager.durably_committed;
+  Printf.printf "checkpoints:         %d (%d pages)\n"
+    o.R.Recovery_manager.checkpoints_taken o.R.Recovery_manager.checkpoint_pages;
+  Printf.printf "log:                 %d pages, %d bytes\n"
+    o.R.Recovery_manager.log_pages o.R.Recovery_manager.log_disk_bytes;
+  let rs = o.R.Recovery_manager.recover_stats in
+  Printf.printf "recovery:            redo %d, undo %d, %d records scanned, %.3f s\n"
+    rs.R.Kv_store.redo_applied rs.R.Kv_store.undo_applied
+    rs.R.Kv_store.records_scanned rs.R.Kv_store.recovery_time;
+  Printf.printf "consistent:          %b\nmoney conserved:     %b\n"
+    o.R.Recovery_manager.consistent o.R.Recovery_manager.money_conserved;
+  if o.R.Recovery_manager.consistent then 0 else 1
+
+let recover_cmd =
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv R.Wal.Group_commit
+      & info [ "strategy" ] ~doc:"Commit strategy (see tps).")
+  in
+  let txns = Arg.(value & opt int 2000 & info [ "txns" ] ~doc:"Transactions.") in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some int) (Some 500)
+      & info [ "checkpoint" ] ~doc:"Checkpoint interval in transactions.")
+  in
+  let crash =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~doc:"Crash after N submissions (default: clean run).")
+  in
+  Cmd.v
+    (Cmd.info "recover" ~doc:"Sections 5.3-5.5: crash, recover, verify.")
+    Term.(const recover $ strategy $ txns $ checkpoint $ crash)
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let plan mem no_hash =
+  let db = Mmdb.Db.create ~mem_pages:mem () in
+  let emp =
+    S.Schema.create ~key:"id"
+      [
+        S.Schema.column "id" S.Schema.Int;
+        S.Schema.column "dept" S.Schema.Int;
+        S.Schema.column "salary" S.Schema.Int;
+      ]
+  in
+  let dept =
+    S.Schema.create ~key:"dept_id"
+      [
+        S.Schema.column "dept_id" S.Schema.Int;
+        S.Schema.column "region" S.Schema.Int;
+      ]
+  in
+  Mmdb.Db.create_table db ~name:"emp" ~schema:emp;
+  Mmdb.Db.create_table db ~name:"dept" ~schema:dept;
+  let rng = U.Xorshift.create 5 in
+  Mmdb.Db.insert_many db ~table:"emp"
+    (List.init 10_000 (fun i ->
+         [
+           S.Tuple.VInt i;
+           S.Tuple.VInt (U.Xorshift.int rng 50);
+           S.Tuple.VInt (30_000 + U.Xorshift.int rng 70_000);
+         ]));
+  Mmdb.Db.insert_many db ~table:"dept"
+    (List.init 50 (fun i -> [ S.Tuple.VInt i; S.Tuple.VInt (i mod 4) ]));
+  let q =
+    A.aggregate ~group_by:"r_dept" ~aggs:[ E.Aggregate.Count ]
+      (A.select ~column:"r_salary" ~op:A.Gt ~value:(S.Tuple.VInt 80_000)
+         (A.join ~left_key:"dept" ~right_key:"dept_id" (A.scan "emp")
+            (A.scan "dept")))
+  in
+  let cfg =
+    {
+      P.Optimizer.mem_pages = mem;
+      P.Optimizer.fudge = 1.2;
+      P.Optimizer.allow_hash = not no_hash;
+    }
+  in
+  let plan = P.Optimizer.plan (Mmdb.Db.catalog db) cfg q in
+  Printf.printf "query: %s\n\nplan (|M| = %d pages%s):\n%s\n"
+    (Format.asprintf "%a" A.pp q)
+    mem
+    (if no_hash then ", hash disabled" else "")
+    (P.Optimizer.explain plan);
+  Printf.printf "estimated join cost: %.4f s\n" (P.Optimizer.estimated_cost plan);
+  let out = P.Executor.run (Mmdb.Db.catalog db) cfg plan in
+  Printf.printf "executed: %d result rows\n" (S.Relation.ntuples out);
+  0
+
+let plan_cmd =
+  let mem = Arg.(value & opt int 512 & info [ "mem" ] ~doc:"Memory pages |M|.") in
+  let no_hash =
+    Arg.(value & flag & info [ "no-hash" ] ~doc:"Restrict the optimizer to sort-merge.")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Section 4: optimize and run a demo star query.")
+    Term.(const plan $ mem $ no_hash)
+
+(* ------------------------------------------------------------------ *)
+(* sql                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let demo_db () =
+  let db = Mmdb.Db.create ~mem_pages:256 () in
+  let emp =
+    S.Schema.create ~key:"id"
+      [
+        S.Schema.column "id" S.Schema.Int;
+        S.Schema.column "dept" S.Schema.Int;
+        S.Schema.column "salary" S.Schema.Int;
+        S.Schema.column ~width:16 "name" S.Schema.Fixed_string;
+      ]
+  in
+  let dept =
+    S.Schema.create ~key:"dept_id"
+      [
+        S.Schema.column "dept_id" S.Schema.Int;
+        S.Schema.column "budget" S.Schema.Int;
+        S.Schema.column ~width:16 "dname" S.Schema.Fixed_string;
+      ]
+  in
+  Mmdb.Db.create_table db ~name:"emp" ~schema:emp;
+  Mmdb.Db.create_table db ~name:"dept" ~schema:dept;
+  let rng = U.Xorshift.create 1984 in
+  Mmdb.Db.insert_many db ~table:"emp"
+    (List.init 5000 (fun i ->
+         [
+           S.Tuple.VInt i;
+           S.Tuple.VInt (U.Xorshift.int rng 20);
+           S.Tuple.VInt (30_000 + U.Xorshift.int rng 90_000);
+           S.Tuple.VStr (Printf.sprintf "emp%04d" i);
+         ]));
+  Mmdb.Db.insert_many db ~table:"dept"
+    (List.init 20 (fun i ->
+         [
+           S.Tuple.VInt i;
+           S.Tuple.VInt ((i + 1) * 50_000);
+           S.Tuple.VStr (Printf.sprintf "dept%02d" i);
+         ]));
+  db
+
+let run_sql text explain_only limit =
+  let db = demo_db () in
+  Printf.printf
+    "demo database: emp(id, dept, salary, name) x 5000, dept(dept_id, \
+     budget, dname) x 20\n\n";
+  match P.Sql.parse text with
+  | Error m ->
+    Printf.printf "parse error: %s\n" m;
+    1
+  | Ok expr ->
+    Printf.printf "plan:\n%s\n" (Mmdb.Db.explain db expr);
+    if explain_only then 0
+    else begin
+      let rows = Mmdb.Db.query_rows db expr in
+      let total = List.length rows in
+      List.iteri
+        (fun i row ->
+          if i < limit then begin
+            let cells =
+              List.map
+                (function
+                  | S.Tuple.VInt v -> string_of_int v
+                  | S.Tuple.VStr s -> s)
+                row
+            in
+            print_endline (String.concat " | " cells)
+          end)
+        rows;
+      if total > limit then Printf.printf "... (%d rows total)\n" total
+      else Printf.printf "(%d rows)\n" total;
+      0
+    end
+
+let sql_cmd =
+  let text =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"The SQL text.")
+  in
+  let explain_only =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Show the plan only.")
+  in
+  let limit =
+    Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Max rows to print.")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Run a SQL query against a built-in demo database.")
+    Term.(const run_sql $ text $ explain_only $ limit)
+
+(* ------------------------------------------------------------------ *)
+(* repl                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let print_rows rows limit =
+  List.iteri
+    (fun i row ->
+      if i < limit then
+        print_endline
+          (String.concat " | "
+             (List.map
+                (function
+                  | S.Tuple.VInt v -> string_of_int v
+                  | S.Tuple.VStr s -> s)
+                row)))
+    rows;
+  let total = List.length rows in
+  if total > limit then Printf.printf "... (%d rows total)\n" total
+  else Printf.printf "(%d rows)\n" total
+
+let repl_help () =
+  print_endline
+    "statements: SELECT/INSERT/DELETE/UPDATE/CREATE TABLE/DROP TABLE\n\
+     dot commands:\n\
+    \  .tables            list tables\n\
+    \  .schema TABLE      show a table's schema\n\
+    \  .explain QUERY     show the plan without running\n\
+    \  .save PATH         write the database to a file\n\
+    \  .load PATH         replace the database from a file\n\
+    \  .demo              load the built-in demo tables\n\
+    \  .help              this text\n\
+    \  .quit              exit"
+
+let repl initial_db =
+  let db = ref (match initial_db with Some d -> d | None -> Mmdb.Db.create ()) in
+  print_endline
+    "mmdb repl - type SQL statements, .help for commands, .quit to exit";
+  let continue = ref true in
+  while !continue do
+    print_string "mmdb> ";
+    match In_channel.input_line stdin with
+    | None -> continue := false
+    | Some line -> (
+      let line = String.trim line in
+      if line = "" then ()
+      else if line = ".quit" || line = ".exit" then continue := false
+      else if line = ".help" then repl_help ()
+      else if line = ".tables" then
+        List.iter print_endline (List.sort compare (Mmdb.Db.table_names !db))
+      else if line = ".demo" then begin
+        db := demo_db ();
+        print_endline "demo tables loaded: emp, dept"
+      end
+      else if String.length line > 8 && String.sub line 0 8 = ".schema " then begin
+        let table = String.trim (String.sub line 8 (String.length line - 8)) in
+        match Mmdb.Db.catalog !db |> fun c -> P.Catalog.find c table with
+        | rel ->
+          Format.printf "%a@." S.Schema.pp (S.Relation.schema rel)
+        | exception Not_found -> Printf.printf "no such table: %s\n" table
+      end
+      else if String.length line > 9 && String.sub line 0 9 = ".explain " then begin
+        let q = String.sub line 9 (String.length line - 9) in
+        match P.Sql.parse q with
+        | Ok expr -> print_string (Mmdb.Db.explain !db expr)
+        | Error m -> Printf.printf "parse error: %s\n" m
+      end
+      else if String.length line > 6 && String.sub line 0 6 = ".save " then begin
+        let path = String.trim (String.sub line 6 (String.length line - 6)) in
+        try
+          Mmdb.Db.save !db path;
+          Printf.printf "saved to %s\n" path
+        with Sys_error m -> Printf.printf "error: %s\n" m
+      end
+      else if String.length line > 6 && String.sub line 0 6 = ".load " then begin
+        let path = String.trim (String.sub line 6 (String.length line - 6)) in
+        try
+          db := Mmdb.Db.load path;
+          Printf.printf "loaded %s\n" path
+        with
+        | Sys_error m -> Printf.printf "error: %s\n" m
+        | Invalid_argument m -> Printf.printf "error: %s\n" m
+      end
+      else if line.[0] = '.' then
+        Printf.printf "unknown command %s (.help for help)\n" line
+      else
+        try
+          match Mmdb.Db.execute !db line with
+          | Mmdb.Db.Rows rows -> print_rows rows 40
+          | Mmdb.Db.Affected n -> Printf.printf "ok (%d rows affected)\n" n
+        with
+        | Invalid_argument m -> Printf.printf "error: %s\n" m
+        | Not_found -> print_endline "error: unknown table")
+  done;
+  0
+
+let repl_cmd =
+  let db_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~doc:"Database file to load at startup.")
+  in
+  let with_demo =
+    Arg.(value & flag & info [ "demo" ] ~doc:"Start with the demo tables.")
+  in
+  let run db_file with_demo =
+    let initial =
+      match db_file with
+      | Some path -> Some (Mmdb.Db.load path)
+      | None -> if with_demo then Some (demo_db ()) else None
+    in
+    repl initial
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive SQL shell over an mmdb database.")
+    Term.(const run $ db_file $ with_demo)
+
+let () =
+  let doc = "Main-memory DBMS techniques (DeWitt et al., SIGMOD 1984)" in
+  let info = Cmd.info "mmdb_cli" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            crossover_cmd; join_cmd; tps_cmd; recover_cmd; plan_cmd; sql_cmd;
+            repl_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/banking_tps.ml: List Mmdb Mmdb_recovery Mmdb_util Printf

@@ -1,0 +1,1 @@
+examples/index_advisor.ml: Array Format List Mmdb_index Mmdb_model Mmdb_storage Mmdb_util Printf

@@ -1,0 +1,1 @@
+examples/join_showdown.ml: List Mmdb_exec Mmdb_storage Mmdb_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mmdb Mmdb_exec Mmdb_planner Mmdb_storage Printf

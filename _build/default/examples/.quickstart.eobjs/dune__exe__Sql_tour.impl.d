@@ -1,0 +1,1 @@
+examples/sql_tour.ml: List Mmdb Mmdb_storage Mmdb_util Printf String

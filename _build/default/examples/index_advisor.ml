@@ -1,0 +1,121 @@
+(* Index advisor: the Section 2 decision.  Given a relation's shape and a
+   machine's memory, should the keyed access path be an AVL tree or a
+   B+-tree?  Uses the paper's analytic model, then validates the
+   recommendation empirically on the real structures with a buffer pool.
+
+   Run with: dune exec examples/index_advisor.exe *)
+
+module U = Mmdb_util
+module S = Mmdb_storage
+module I = Mmdb_index
+module AM = Mmdb_model.Access_model
+
+let () =
+  let base = { AM.default with AM.r_tuples = 2_000_000; AM.z = 20.0; AM.y = 0.8 } in
+  Printf.printf "relation: %s\n\n" (Format.asprintf "%a" AM.pp base);
+  let s = AM.avl_pages base in
+  let table =
+    U.Tablefmt.create
+      [ "memory pages"; "fraction of AVL"; "cost(AVL)"; "cost(B+)"; "advice" ]
+  in
+  List.iter
+    (fun frac ->
+      let m = int_of_float (frac *. float_of_int s) in
+      let avl = AM.avl_random_cost base ~m in
+      let bt = AM.btree_random_cost base ~m in
+      U.Tablefmt.add_row table
+        [
+          U.Tablefmt.cell_int m;
+          U.Tablefmt.cell_float frac;
+          U.Tablefmt.cell_float ~decimals:1 avl;
+          U.Tablefmt.cell_float ~decimals:1 bt;
+          (if avl < bt then "AVL tree" else "B+-tree");
+        ])
+    [ 0.1; 0.3; 0.5; 0.7; 0.9; 0.95; 0.99; 1.0 ];
+  U.Tablefmt.print table;
+  Printf.printf
+    "\ncrossover: the AVL tree wins only once %.1f%% of its structure is \
+     memory-resident (Table 1's conclusion: B+-trees stay preferred below \
+     80-90%% residency).\n\n"
+    (100.0 *. AM.crossover_h base);
+
+  (* Empirical validation on a smaller instance: measure simulated lookup
+     cost with each structure behind a buffer pool. *)
+  print_endline "-- empirical check (50,000 tuples, random replacement) --\n";
+  let schema =
+    S.Schema.create ~key:"k"
+      [
+        S.Schema.column "k" S.Schema.Int;
+        S.Schema.column ~width:32 "pad" S.Schema.Fixed_string;
+      ]
+  in
+  let n = 50_000 in
+  let keys = Array.init n (fun i -> i) in
+  U.Xorshift.shuffle (U.Xorshift.create 31) keys;
+  let table = U.Tablefmt.create [ "residency"; "AVL faults/lkp"; "B+ faults/lkp"; "advice" ] in
+  List.iter
+    (fun h ->
+      (* Build AVL. *)
+      let env_a = S.Env.create () in
+      let avl = I.Avl.create ~env:env_a ~schema () in
+      Array.iter
+        (fun k -> I.Avl.insert avl (S.Tuple.encode schema [ S.Tuple.VInt k; S.Tuple.VStr "" ]))
+        keys;
+      let npp = 4096 / 48 in
+      let avl_pages = (I.Avl.node_count avl + npp - 1) / npp in
+      let disk_a = S.Disk.create ~env:env_a ~page_size:4096 in
+      let pager_a =
+        I.Pager.create ~disk:disk_a
+          ~pool_capacity:(max 1 (int_of_float (h *. float_of_int avl_pages)))
+          ~policy:(S.Buffer_pool.Random_replacement (U.Xorshift.create 7))
+          ~nodes_per_page:npp
+      in
+      I.Pager.attach_avl pager_a avl;
+      let rng = U.Xorshift.create 19 in
+      for _ = 1 to 1000 do
+        ignore (I.Avl.search avl (S.Tuple.encode_int_key schema (U.Xorshift.int rng n)))
+      done;
+      let before = env_a.S.Env.counters.S.Counters.faults in
+      for _ = 1 to 2000 do
+        ignore (I.Avl.search avl (S.Tuple.encode_int_key schema (U.Xorshift.int rng n)))
+      done;
+      let avl_faults =
+        float_of_int (env_a.S.Env.counters.S.Counters.faults - before) /. 2000.0
+      in
+      (* Build B+-tree. *)
+      let env_b = S.Env.create () in
+      let bt = I.Btree.create ~env:env_b ~schema ~page_size:4096 () in
+      Array.iter
+        (fun k -> I.Btree.insert bt (S.Tuple.encode schema [ S.Tuple.VInt k; S.Tuple.VStr "" ]))
+        keys;
+      let disk_b = S.Disk.create ~env:env_b ~page_size:4096 in
+      let pager_b =
+        I.Pager.create ~disk:disk_b
+          ~pool_capacity:
+            (max 1 (int_of_float (h *. float_of_int (I.Btree.node_count bt))))
+          ~policy:(S.Buffer_pool.Random_replacement (U.Xorshift.create 7))
+          ~nodes_per_page:1
+      in
+      I.Pager.attach_btree pager_b bt;
+      for _ = 1 to 1000 do
+        ignore (I.Btree.search bt (S.Tuple.encode_int_key schema (U.Xorshift.int rng n)))
+      done;
+      let before = env_b.S.Env.counters.S.Counters.faults in
+      for _ = 1 to 2000 do
+        ignore (I.Btree.search bt (S.Tuple.encode_int_key schema (U.Xorshift.int rng n)))
+      done;
+      let bt_faults =
+        float_of_int (env_b.S.Env.counters.S.Counters.faults - before) /. 2000.0
+      in
+      U.Tablefmt.add_row table
+        [
+          Printf.sprintf "%.0f%%" (h *. 100.0);
+          U.Tablefmt.cell_float avl_faults;
+          U.Tablefmt.cell_float bt_faults;
+          (if avl_faults < bt_faults then "AVL tree" else "B+-tree");
+        ])
+    [ 0.3; 0.6; 0.9; 1.0 ];
+  U.Tablefmt.print table;
+  print_endline
+    "\nfaults dominate cost at Z=10-30; the B+-tree's advice holds until \
+     the AVL structure is (nearly) fully resident.";

@@ -1,0 +1,113 @@
+(* Join showdown: the Section 3 scenario.  An orders fact table joins a
+   customers dimension under different memory budgets; all four of the
+   paper's algorithms run on the simulated storage engine and report
+   simulated time and I/O — reproducing Figure 1's shape on a workload
+   you can edit.
+
+   Run with: dune exec examples/join_showdown.exe *)
+
+module U = Mmdb_util
+module S = Mmdb_storage
+module E = Mmdb_exec
+
+let customers_schema =
+  S.Schema.create ~key:"cust_id"
+    [
+      S.Schema.column "cust_id" S.Schema.Int;
+      S.Schema.column "segment" S.Schema.Int;
+      S.Schema.column ~width:48 "name" S.Schema.Fixed_string;
+    ]
+
+let orders_schema =
+  S.Schema.create ~key:"cust_id"
+    [
+      S.Schema.column "cust_id" S.Schema.Int;
+      S.Schema.column "order_id" S.Schema.Int;
+      S.Schema.column "amount" S.Schema.Int;
+      S.Schema.column ~width:40 "note" S.Schema.Fixed_string;
+    ]
+
+let build_workload () =
+  let env = S.Env.create () in
+  let disk = S.Disk.create ~env ~page_size:4096 in
+  let rng = U.Xorshift.create 2024 in
+  let n_customers = 4000 and n_orders = 12_000 in
+  let customers =
+    S.Relation.of_tuples ~disk ~name:"customers" ~schema:customers_schema
+      (List.init n_customers (fun i ->
+           S.Tuple.encode customers_schema
+             [
+               S.Tuple.VInt i;
+               S.Tuple.VInt (U.Xorshift.int rng 5);
+               S.Tuple.VStr (Printf.sprintf "cust-%d" i);
+             ]))
+  in
+  let orders =
+    S.Relation.of_tuples ~disk ~name:"orders" ~schema:orders_schema
+      (List.init n_orders (fun i ->
+           S.Tuple.encode orders_schema
+             [
+               S.Tuple.VInt (U.Xorshift.int rng n_customers);
+               S.Tuple.VInt i;
+               S.Tuple.VInt (U.Xorshift.int rng 10_000);
+               S.Tuple.VStr "";
+             ]))
+  in
+  (env, customers, orders)
+
+let () =
+  let _, customers, orders = build_workload () in
+  Printf.printf
+    "customers: %d tuples / %d pages; orders: %d tuples / %d pages\n\n"
+    (S.Relation.ntuples customers)
+    (S.Relation.npages customers)
+    (S.Relation.ntuples orders)
+    (S.Relation.npages orders);
+  let table =
+    U.Tablefmt.create
+      [ "|M| pages"; "algorithm"; "matches"; "sim time"; "seq I/O"; "rand I/O";
+        "comparisons"; "hashes" ]
+  in
+  List.iter
+    (fun mem_pages ->
+      List.iter
+        (fun algo ->
+          (* Fresh relations per run so counters do not interfere. *)
+          let _, customers, orders = build_workload () in
+          let stats =
+            E.Joiner.run_measured algo ~mem_pages ~fudge:1.2 customers orders
+          in
+          let c = stats.E.Op_stats.counters in
+          U.Tablefmt.add_row table
+            [
+              U.Tablefmt.cell_int mem_pages;
+              E.Joiner.name algo;
+              U.Tablefmt.cell_int stats.E.Op_stats.output_tuples;
+              Printf.sprintf "%.2f s" stats.E.Op_stats.seconds;
+              U.Tablefmt.cell_int (c.S.Counters.seq_reads + c.S.Counters.seq_writes);
+              U.Tablefmt.cell_int (c.S.Counters.rand_reads + c.S.Counters.rand_writes);
+              U.Tablefmt.cell_int c.S.Counters.comparisons;
+              U.Tablefmt.cell_int c.S.Counters.hashes;
+            ])
+        E.Joiner.all;
+      U.Tablefmt.add_rule table)
+    [ 16; 64; 256 ];
+  U.Tablefmt.print table;
+  print_endline
+    "\nAs in Figure 1: hybrid hash leads at every budget, simple hash \
+     converges to it once the build side fits, GRACE pays its full \
+     partition pass regardless, and sort-merge trails until memory \
+     swallows both relations.";
+  (* Cross-check: every algorithm returns the same join. *)
+  let _, customers, orders = build_workload () in
+  let baseline = E.Nested_loop.join_uncharged customers orders (fun _ _ -> ()) in
+  List.iter
+    (fun algo ->
+      let n =
+        E.Joiner.run algo ~mem_pages:64 ~fudge:1.2 customers orders
+          (fun _ _ -> ())
+      in
+      assert (n = baseline))
+    E.Joiner.all;
+  Printf.printf "\nall algorithms agree with nested-loop: %d matches.\n"
+    baseline

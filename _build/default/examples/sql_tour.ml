@@ -1,0 +1,80 @@
+(* SQL tour: the whole query stack through the SQL front-end — filters,
+   joins, aggregation, set operations and ordering, each showing the plan
+   the Section 4 optimizer produced.
+
+   Run with: dune exec examples/sql_tour.exe *)
+
+module S = Mmdb_storage
+module U = Mmdb_util
+
+let db =
+  let db = Mmdb.Db.create ~mem_pages:256 () in
+  let orders =
+    S.Schema.create ~key:"order_id"
+      [
+        S.Schema.column "order_id" S.Schema.Int;
+        S.Schema.column "customer" S.Schema.Int;
+        S.Schema.column "product" S.Schema.Int;
+        S.Schema.column "amount" S.Schema.Int;
+      ]
+  in
+  let products =
+    S.Schema.create ~key:"product_id"
+      [
+        S.Schema.column "product_id" S.Schema.Int;
+        S.Schema.column "price" S.Schema.Int;
+        S.Schema.column ~width:16 "pname" S.Schema.Fixed_string;
+      ]
+  in
+  Mmdb.Db.create_table db ~name:"orders" ~schema:orders;
+  Mmdb.Db.create_table db ~name:"products" ~schema:products;
+  let rng = U.Xorshift.create 7 in
+  Mmdb.Db.insert_many db ~table:"orders"
+    (List.init 2000 (fun i ->
+         [
+           S.Tuple.VInt i;
+           S.Tuple.VInt (U.Xorshift.int rng 300);
+           S.Tuple.VInt (U.Xorshift.int rng 25);
+           S.Tuple.VInt (1 + U.Xorshift.int rng 9);
+         ]));
+  Mmdb.Db.insert_many db ~table:"products"
+    (List.init 25 (fun i ->
+         [
+           S.Tuple.VInt i;
+           S.Tuple.VInt (500 + (137 * i mod 4000));
+           S.Tuple.VStr (Printf.sprintf "product-%02d" i);
+         ]));
+  db
+
+let show ?(limit = 8) sql =
+  Printf.printf "\nsql> %s\n" sql;
+  print_string (Mmdb.Db.sql_explain db sql);
+  let rows = Mmdb.Db.sql db sql in
+  List.iteri
+    (fun i row ->
+      if i < limit then
+        print_endline
+          ("  "
+          ^ String.concat " | "
+              (List.map
+                 (function
+                   | S.Tuple.VInt v -> string_of_int v
+                   | S.Tuple.VStr s -> s)
+                 row)))
+    rows;
+  if List.length rows > limit then
+    Printf.printf "  ... (%d rows)\n" (List.length rows)
+
+let () =
+  show "SELECT order_id, amount FROM orders WHERE amount >= 9";
+  show
+    "SELECT r_product, COUNT(*), SUM(r_amount) FROM orders JOIN products ON \
+     product = product_id WHERE s_price > 3000 GROUP BY r_product ORDER BY \
+     sum_r_amount DESC";
+  show
+    "SELECT DISTINCT customer FROM orders WHERE amount = 9 INTERSECT SELECT \
+     DISTINCT customer FROM orders WHERE amount = 1";
+  show
+    "SELECT DISTINCT product FROM orders EXCEPT SELECT DISTINCT product FROM \
+     orders WHERE amount > 2";
+  print_newline ()

@@ -1,0 +1,1 @@
+lib/core/db.ml: Array Buffer Bytes Char Format Hashtbl List Mmdb_index Mmdb_planner Mmdb_storage Option Printf String

@@ -1,0 +1,1 @@
+lib/core/db.mli: Mmdb_planner Mmdb_storage

@@ -1,0 +1,1 @@
+lib/core/txn_db.ml: Float List Mmdb_recovery Mmdb_storage

@@ -1,0 +1,1 @@
+lib/core/txn_db.mli: Mmdb_recovery

@@ -1,0 +1,382 @@
+module S = Mmdb_storage
+module I = Mmdb_index
+module P = Mmdb_planner
+
+type index_kind = Avl_index | Btree_index
+
+type table = {
+  mutable rel : S.Relation.t;
+  mutable avl : I.Avl.t option;
+  mutable btree : I.Btree.t option;
+}
+
+type t = {
+  env : S.Env.t;
+  disk : S.Disk.t;
+  mem_pages : int;
+  cat : P.Catalog.t;
+  tables : (string, table) Hashtbl.t;
+  planner_cfg : P.Optimizer.config;
+}
+
+let create ?(page_size = 4096) ?(mem_pages = 256) ?(cost = S.Cost.table2) () =
+  let env = S.Env.create ~cost () in
+  {
+    env;
+    disk = S.Disk.create ~env ~page_size;
+    mem_pages;
+    cat = P.Catalog.create ();
+    tables = Hashtbl.create 16;
+    planner_cfg =
+      {
+        P.Optimizer.mem_pages;
+        P.Optimizer.fudge = cost.S.Cost.fudge;
+        P.Optimizer.allow_hash = true;
+      };
+  }
+
+let env t = t.env
+let mem_pages t = t.mem_pages
+let catalog t = t.cat
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None -> raise Not_found
+
+let create_table t ~name ~schema =
+  if Hashtbl.mem t.tables name then
+    invalid_arg ("Db.create_table: table exists: " ^ name);
+  let rel = S.Relation.create ~disk:t.disk ~name ~schema in
+  Hashtbl.replace t.tables name { rel; avl = None; btree = None };
+  P.Catalog.register t.cat rel
+
+let table_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+
+let insert_encoded tbl tuple =
+  S.Relation.append_nocharge tbl.rel tuple;
+  (match tbl.avl with Some ix -> I.Avl.insert ix tuple | None -> ());
+  match tbl.btree with Some ix -> I.Btree.insert ix tuple | None -> ()
+
+let insert t ~table values =
+  let tbl = find_table t table in
+  let tuple = S.Tuple.encode (S.Relation.schema tbl.rel) values in
+  insert_encoded tbl tuple
+
+let analyze t =
+  Hashtbl.iter
+    (fun name tbl ->
+      S.Relation.seal tbl.rel;
+      ignore name;
+      P.Catalog.register t.cat tbl.rel)
+    t.tables
+
+let insert_many t ~table rows =
+  let tbl = find_table t table in
+  let schema = S.Relation.schema tbl.rel in
+  List.iter (fun values -> insert_encoded tbl (S.Tuple.encode schema values)) rows;
+  S.Relation.seal tbl.rel;
+  P.Catalog.register t.cat tbl.rel
+
+let create_index t ~table kind =
+  let tbl = find_table t table in
+  let schema = S.Relation.schema tbl.rel in
+  match kind with
+  | Avl_index ->
+    if tbl.avl <> None then invalid_arg "Db.create_index: AVL index exists";
+    let ix = I.Avl.create ~env:t.env ~schema () in
+    S.Relation.iter_tuples_nocharge tbl.rel (I.Avl.insert ix);
+    tbl.avl <- Some ix
+  | Btree_index ->
+    if tbl.btree <> None then invalid_arg "Db.create_index: B+-tree index exists";
+    let ix =
+      I.Btree.create ~env:t.env ~schema
+        ~page_size:(S.Disk.page_size t.disk) ()
+    in
+    S.Relation.iter_tuples_nocharge tbl.rel (I.Btree.insert ix);
+    tbl.btree <- Some ix
+
+let encode_key schema value =
+  match value with
+  | S.Tuple.VInt v -> S.Tuple.encode_int_key schema v
+  | S.Tuple.VStr s ->
+    let w = S.Schema.key_width schema in
+    if String.length s > w then invalid_arg "Db: key string too wide";
+    let b = Bytes.make w '\000' in
+    Bytes.blit_string s 0 b 0 (String.length s);
+    b
+
+let lookup t ~table ~key =
+  let tbl = find_table t table in
+  let schema = S.Relation.schema tbl.rel in
+  let kb = encode_key schema key in
+  let found =
+    match (tbl.avl, tbl.btree) with
+    | Some ix, _ -> I.Avl.search ix kb
+    | None, Some ix -> I.Btree.search ix kb
+    | None, None ->
+      (* Scan fallback: charged comparisons, as an unindexed scan would. *)
+      let hit = ref None in
+      S.Relation.iter_tuples_nocharge tbl.rel (fun tuple ->
+          S.Env.charge_comp t.env;
+          if !hit = None && S.Tuple.compare_key_to schema tuple kb = 0 then
+            hit := Some tuple);
+      !hit
+  in
+  Option.map (S.Tuple.decode schema) found
+
+let range t ~table ~lo ~hi =
+  let tbl = find_table t table in
+  let schema = S.Relation.schema tbl.rel in
+  let lob = encode_key schema lo and hib = encode_key schema hi in
+  let acc = ref [] in
+  let collect tuple = acc := S.Tuple.decode schema tuple :: !acc in
+  (match (tbl.btree, tbl.avl) with
+  | Some ix, _ -> I.Btree.range_scan ix ~lo:lob ~hi:hib collect
+  | None, Some ix -> I.Avl.range_scan ix ~lo:lob ~hi:hib collect
+  | None, None ->
+    let matches = ref [] in
+    S.Relation.iter_tuples_nocharge tbl.rel (fun tuple ->
+        S.Env.charge_comps t.env 2;
+        if
+          S.Tuple.compare_key_to schema tuple lob >= 0
+          && S.Tuple.compare_key_to schema tuple hib <= 0
+        then matches := tuple :: !matches);
+    List.iter collect
+      (List.sort (S.Tuple.compare_keys schema) (List.rev !matches)));
+  List.rev !acc
+
+let query t expr = P.Executor.query t.cat t.planner_cfg expr
+let query_rows t expr = P.Executor.rows (query t expr)
+
+let explain t expr =
+  P.Optimizer.explain (P.Optimizer.plan t.cat t.planner_cfg expr)
+
+let sql t text = query_rows t (P.Sql.parse_exn text)
+let sql_explain t text = explain t (P.Sql.parse_exn text)
+
+type exec_result = Rows of S.Tuple.value list list | Affected of int
+
+(* Rebuild a table's relation with [keep]-filtered, [transform]-mapped
+   tuples; refresh its indexes and statistics. *)
+let rebuild_table t name tbl ~keep ~transform =
+  let schema = S.Relation.schema tbl.rel in
+  let affected = ref 0 in
+  let fresh = S.Relation.create ~disk:t.disk ~name ~schema in
+  S.Relation.iter_tuples_nocharge tbl.rel (fun tuple ->
+      if keep tuple then S.Relation.append_nocharge fresh tuple
+      else begin
+        incr affected;
+        match transform tuple with
+        | Some tuple' -> S.Relation.append_nocharge fresh tuple'
+        | None -> ()
+      end);
+  S.Relation.seal fresh;
+  S.Relation.free_pages tbl.rel;
+  tbl.rel <- fresh;
+  (* Rebuild indexes from scratch. *)
+  if tbl.avl <> None then begin
+    let ix = I.Avl.create ~env:t.env ~schema () in
+    S.Relation.iter_tuples_nocharge fresh (I.Avl.insert ix);
+    tbl.avl <- Some ix
+  end;
+  if tbl.btree <> None then begin
+    let ix =
+      I.Btree.create ~env:t.env ~schema ~page_size:(S.Disk.page_size t.disk) ()
+    in
+    S.Relation.iter_tuples_nocharge fresh (I.Btree.insert ix);
+    tbl.btree <- Some ix
+  end;
+  P.Catalog.register t.cat fresh;
+  !affected
+
+let matches_all schema preds tuple =
+  List.for_all (fun pred -> P.Algebra.eval_predicate schema pred tuple) preds
+
+let execute t text =
+  match P.Sql.parse_statement_exn text with
+  | P.Sql.Query expr -> Rows (query_rows t expr)
+  | P.Sql.Insert { table; rows } ->
+    let tbl = find_table t table in
+    let schema = S.Relation.schema tbl.rel in
+    List.iter
+      (fun values -> insert_encoded tbl (S.Tuple.encode schema values))
+      rows;
+    S.Relation.seal tbl.rel;
+    P.Catalog.register t.cat tbl.rel;
+    Affected (List.length rows)
+  | P.Sql.Delete { table; preds } ->
+    let tbl = find_table t table in
+    let schema = S.Relation.schema tbl.rel in
+    Affected
+      (rebuild_table t table tbl
+         ~keep:(fun tuple -> not (matches_all schema preds tuple))
+         ~transform:(fun _ -> None))
+  | P.Sql.Update { table; sets; preds } ->
+    let tbl = find_table t table in
+    let schema = S.Relation.schema tbl.rel in
+    let set_indices =
+      List.map (fun (col, v) -> (S.Schema.column_index schema col, v)) sets
+    in
+    Affected
+      (rebuild_table t table tbl
+         ~keep:(fun tuple -> not (matches_all schema preds tuple))
+         ~transform:(fun tuple ->
+           let values = Array.of_list (S.Tuple.decode schema tuple) in
+           List.iter (fun (i, v) -> values.(i) <- v) set_indices;
+           Some (S.Tuple.encode schema (Array.to_list values))))
+  | P.Sql.Create_table { table; schema } ->
+    create_table t ~name:table ~schema;
+    Affected 0
+  | P.Sql.Drop_table table ->
+    let tbl = find_table t table in
+    S.Relation.free_pages tbl.rel;
+    Hashtbl.remove t.tables table;
+    P.Catalog.remove t.cat table;
+    Affected 0
+
+let stats t =
+  Format.asprintf "simulated %.3fs; %a" (S.Env.elapsed t.env) S.Counters.pp
+    t.env.S.Env.counters
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "MMDB0001"
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u16 buf v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Db.save: u16 overflow";
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Db.save: u32 overflow";
+  put_u16 buf (v lsr 16);
+  put_u16 buf (v land 0xFFFF)
+
+let put_string buf s =
+  put_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let save t path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  let names = List.sort compare (table_names t) in
+  put_u32 buf (List.length names);
+  List.iter
+    (fun name ->
+      let tbl = find_table t name in
+      S.Relation.seal tbl.rel;
+      let schema = S.Relation.schema tbl.rel in
+      put_string buf name;
+      let cols = S.Schema.columns schema in
+      put_u16 buf (List.length cols);
+      List.iter
+        (fun (c : S.Schema.column) ->
+          put_string buf c.S.Schema.name;
+          put_u8 buf
+            (match c.S.Schema.ty with S.Schema.Int -> 0 | S.Schema.Fixed_string -> 1);
+          put_u16 buf c.S.Schema.width)
+        cols;
+      put_u16 buf (S.Schema.key_index schema);
+      put_u8 buf (if tbl.avl <> None then 1 else 0);
+      put_u8 buf (if tbl.btree <> None then 1 else 0);
+      put_u32 buf (S.Relation.ntuples tbl.rel);
+      S.Relation.iter_tuples_nocharge tbl.rel (fun tuple ->
+          Buffer.add_bytes buf tuple))
+    names;
+  let oc = open_out_bin path in
+  (try Buffer.output_buffer oc buf
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let load ?page_size ?mem_pages ?cost path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > len then invalid_arg "Db.load: truncated file"
+  in
+  let get_u8 () =
+    need 1;
+    let v = Char.code data.[!pos] in
+    incr pos;
+    v
+  in
+  let get_u16 () =
+    let hi = get_u8 () in
+    let lo = get_u8 () in
+    (hi lsl 8) lor lo
+  in
+  let get_u32 () =
+    let hi = get_u16 () in
+    let lo = get_u16 () in
+    (hi lsl 16) lor lo
+  in
+  let get_string () =
+    let n = get_u16 () in
+    need n;
+    let s = String.sub data !pos n in
+    pos := !pos + n;
+    s
+  in
+  need (String.length magic);
+  if String.sub data 0 (String.length magic) <> magic then
+    invalid_arg "Db.load: bad magic (not an mmdb file or wrong version)";
+  pos := String.length magic;
+  let db =
+    create
+      ?page_size
+      ?mem_pages
+      ?cost
+      ()
+  in
+  let ntables = get_u32 () in
+  for _ = 1 to ntables do
+    let name = get_string () in
+    let ncols = get_u16 () in
+    let cols =
+      List.init ncols (fun _ ->
+          let cname = get_string () in
+          let ty =
+            match get_u8 () with
+            | 0 -> S.Schema.Int
+            | 1 -> S.Schema.Fixed_string
+            | b -> invalid_arg (Printf.sprintf "Db.load: bad column type %d" b)
+          in
+          let width = get_u16 () in
+          S.Schema.column ~width cname ty)
+    in
+    let key_index = get_u16 () in
+    if key_index >= ncols then invalid_arg "Db.load: bad key index";
+    let key =
+      (List.nth (List.map (fun (c : S.Schema.column) -> c.S.Schema.name) cols)
+         key_index)
+    in
+    let schema = S.Schema.create ~key cols in
+    let has_avl = get_u8 () = 1 in
+    let has_btree = get_u8 () = 1 in
+    let ntuples = get_u32 () in
+    let width = S.Schema.tuple_width schema in
+    create_table db ~name ~schema;
+    let tbl = find_table db name in
+    for _ = 1 to ntuples do
+      need width;
+      let tuple = Bytes.of_string (String.sub data !pos width) in
+      pos := !pos + width;
+      insert_encoded tbl tuple
+    done;
+    S.Relation.seal tbl.rel;
+    P.Catalog.register db.cat tbl.rel;
+    if has_avl then create_index db ~table:name Avl_index;
+    if has_btree then create_index db ~table:name Btree_index
+  done;
+  if !pos <> len then invalid_arg "Db.load: trailing bytes";
+  db

@@ -1,0 +1,99 @@
+(** The main-memory database facade: tables, indexes, declarative queries
+    through the Section 4 planner, and instrumentation.
+
+    A database owns one simulated disk, one instrumentation environment,
+    and a memory budget [|M|] in pages that every operator respects.  The
+    query path exercises the whole stack the paper describes: storage
+    pages, AVL/B+-tree indexes (Section 2), hash-based operators
+    (Section 3), and selectivity-ordered planning (Section 4).  For the
+    transactional/recovery side (Section 5) see {!Txn_db}. *)
+
+type t
+
+type index_kind = Avl_index | Btree_index
+
+val create : ?page_size:int -> ?mem_pages:int -> ?cost:Mmdb_storage.Cost.t ->
+  unit -> t
+(** Defaults: 4096-byte pages, 256 memory pages, Table 2 costs. *)
+
+val env : t -> Mmdb_storage.Env.t
+val mem_pages : t -> int
+val catalog : t -> Mmdb_planner.Catalog.t
+
+val create_table : t -> name:string -> schema:Mmdb_storage.Schema.t -> unit
+(** @raise Invalid_argument if the name is taken. *)
+
+val table_names : t -> string list
+
+val insert : t -> table:string -> Mmdb_storage.Tuple.value list -> unit
+(** Append a row (uncharged, as workload setup); maintains any indexes.
+    @raise Not_found on unknown table. *)
+
+val insert_many : t -> table:string -> Mmdb_storage.Tuple.value list list ->
+  unit
+(** Bulk insert; refreshes catalog statistics once at the end. *)
+
+val analyze : t -> unit
+(** Refresh optimizer statistics for every table (automatic after
+    [insert_many]; call manually after many single [insert]s). *)
+
+val create_index : t -> table:string -> index_kind -> unit
+(** Index the table on its schema key.  Existing rows are loaded.
+    @raise Invalid_argument if an index of that kind already exists. *)
+
+val lookup : t -> table:string -> key:Mmdb_storage.Tuple.value ->
+  Mmdb_storage.Tuple.value list option
+(** Point lookup by key via the best available index (AVL preferred when
+    both exist, per Section 2 fully-resident results); falls back to a
+    scan.  @raise Invalid_argument on key type mismatch. *)
+
+val range : t -> table:string -> lo:Mmdb_storage.Tuple.value ->
+  hi:Mmdb_storage.Tuple.value -> Mmdb_storage.Tuple.value list list
+(** Inclusive key-range query via an index (or scan fallback), ascending. *)
+
+val query : t -> Mmdb_planner.Algebra.expr -> Mmdb_storage.Relation.t
+(** Optimize and execute. *)
+
+val sql : t -> string -> Mmdb_storage.Tuple.value list list
+(** [sql db "SELECT dept, COUNT( * ) FROM emp GROUP BY dept"] — parse
+    ({!Mmdb_planner.Sql}), plan, execute, decode.
+    @raise Invalid_argument on parse errors. *)
+
+val sql_explain : t -> string -> string
+(** The plan for a SQL query. *)
+
+type exec_result =
+  | Rows of Mmdb_storage.Tuple.value list list
+  | Affected of int
+
+val execute : t -> string -> exec_result
+(** [execute db stmt] runs a query {e or} DML statement:
+    [INSERT INTO t VALUES (..)], [DELETE FROM t WHERE ..],
+    [UPDATE t SET c = lit WHERE ..].  DML maintains indexes and refreshes
+    optimizer statistics; DELETE/UPDATE rebuild the table (the
+    memory-resident analogue of compaction).
+    @raise Invalid_argument on parse/arity errors, [Not_found] on unknown
+    tables. *)
+
+val query_rows : t -> Mmdb_planner.Algebra.expr ->
+  Mmdb_storage.Tuple.value list list
+(** {!query} decoded. *)
+
+val explain : t -> Mmdb_planner.Algebra.expr -> string
+(** The optimizer's plan for the expression. *)
+
+val stats : t -> string
+(** One-line simulated-time / counter summary since creation. *)
+
+val save : t -> string -> unit
+(** [save db path] writes every table (schema, rows, index kinds) to a
+    single binary file.  The format is versioned and
+    architecture-independent (fixed-width big-endian fields; tuple bytes
+    are stored verbatim — they are already order-preserving encodings). *)
+
+val load : ?page_size:int -> ?mem_pages:int -> ?cost:Mmdb_storage.Cost.t ->
+  string -> t
+(** [load path] reconstructs a database saved with {!save}: tables are
+    bulk-loaded, declared indexes rebuilt, statistics recomputed.
+    @raise Invalid_argument on a bad magic number, version, or truncated
+    file. *)

@@ -1,0 +1,184 @@
+module R = Mmdb_recovery
+module S = Mmdb_storage
+
+type commit_outcome = {
+  txn_id : int;
+  submitted_at : float;
+  durable_at : float option;
+}
+
+type t = {
+  clock : S.Sim_clock.t;
+  wal : R.Wal.t;
+  locks : R.Lock_manager.t;
+  stable : R.Stable_memory.t;
+  kv : R.Kv_store.t;
+  mutable next_txn : int;
+  mutable next_lsn : int;
+  mutable crashed : bool;
+  mutable open_tickets : R.Wal.ticket list;
+}
+
+let create ?(strategy = R.Wal.Group_commit) ?(nrecords = 1000)
+    ?(records_per_page = 20) ?(stable_bytes = 1 lsl 20) () =
+  let clock = S.Sim_clock.create () in
+  let stable = R.Stable_memory.create ~capacity_bytes:stable_bytes in
+  {
+    clock;
+    wal = R.Wal.create ~clock strategy;
+    locks = R.Lock_manager.create ();
+    stable;
+    kv = R.Kv_store.create ~nrecords ~records_per_page ~stable ();
+    next_txn = 0;
+    next_lsn = 0;
+    crashed = false;
+    open_tickets = [];
+  }
+
+let nrecords t = R.Kv_store.nrecords t.kv
+let balance t slot = R.Kv_store.get t.kv slot
+let now t = S.Sim_clock.now t.clock
+let advance t dt = S.Sim_clock.advance t.clock dt
+
+let check_alive t =
+  if t.crashed then invalid_arg "Txn_db: crashed; recover first"
+
+let fresh_lsn t =
+  t.next_lsn <- t.next_lsn + 1;
+  t.next_lsn
+
+(* Finalize lock-manager state for transactions whose commits became
+   durable by [at]. *)
+let retire t ~at =
+  let still_open =
+    List.filter
+      (fun tkt ->
+        match R.Wal.ticket_completion tkt with
+        | Some c when c <= at ->
+          R.Lock_manager.finalize t.locks ~txn:(R.Wal.ticket_txn tkt);
+          false
+        | Some _ | None -> true)
+      t.open_tickets
+  in
+  t.open_tickets <- still_open
+
+let transact t updates =
+  check_alive t;
+  if updates = [] then invalid_arg "Txn_db.transact: no updates";
+  let at = now t in
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  let deps =
+    List.concat_map
+      (fun (slot, _) ->
+        match R.Lock_manager.acquire t.locks ~txn ~key:slot with
+        | Some g -> g.R.Lock_manager.dependencies
+        | None -> assert false)
+      updates
+  in
+  let begin_lsn = fresh_lsn t in
+  let body =
+    List.map
+      (fun (slot, delta) ->
+        let old_value = R.Kv_store.get t.kv slot in
+        let new_value = old_value + delta in
+        let lsn = fresh_lsn t in
+        R.Kv_store.apply_update t.kv ~lsn ~slot ~value:new_value;
+        R.Log_record.Update { txn; lsn; slot; old_value; new_value })
+      updates
+  in
+  let records =
+    (R.Log_record.Begin { txn; lsn = begin_lsn } :: body)
+    @ [ R.Log_record.Commit { txn; lsn = fresh_lsn t } ]
+  in
+  ignore (R.Lock_manager.precommit t.locks ~txn);
+  let ticket = R.Wal.commit_txn t.wal ~at ~txn ~deps records in
+  t.open_tickets <- ticket :: t.open_tickets;
+  retire t ~at;
+  { txn_id = txn; submitted_at = at; durable_at = R.Wal.ticket_completion ticket }
+
+let transact_abort t updates =
+  check_alive t;
+  if updates = [] then invalid_arg "Txn_db.transact_abort: no updates";
+  let at = now t in
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  List.iter
+    (fun (slot, _) ->
+      match R.Lock_manager.acquire t.locks ~txn ~key:slot with
+      | Some _ -> ()
+      | None -> assert false)
+    updates;
+  (* Apply, remembering old values for the rollback. *)
+  let begin_lsn = fresh_lsn t in
+  let body =
+    List.map
+      (fun (slot, delta) ->
+        let old_value = R.Kv_store.get t.kv slot in
+        let new_value = old_value + delta in
+        let lsn = fresh_lsn t in
+        R.Kv_store.apply_update t.kv ~lsn ~slot ~value:new_value;
+        R.Log_record.Update { txn; lsn; slot; old_value; new_value })
+      updates
+  in
+  (* Roll back in memory, newest first, logging compensating updates so
+     redo replays the rollback too (otherwise a later committed write to
+     the same slot would be clobbered by recovery's undo). *)
+  let compensation =
+    List.map
+      (fun r ->
+        match r with
+        | R.Log_record.Update { slot; old_value; new_value; _ } ->
+          let lsn = fresh_lsn t in
+          R.Kv_store.apply_update t.kv ~lsn ~slot ~value:old_value;
+          R.Log_record.Update
+            { txn; lsn; slot; old_value = new_value; new_value = old_value }
+        | R.Log_record.Begin _ | R.Log_record.Commit _ | R.Log_record.Abort _
+          -> assert false)
+      (List.rev body)
+  in
+  ignore (R.Lock_manager.release_abort t.locks ~txn);
+  let records =
+    (R.Log_record.Begin { txn; lsn = begin_lsn } :: body)
+    @ compensation
+    @ [ R.Log_record.Abort { txn; lsn = fresh_lsn t } ]
+  in
+  ignore (R.Wal.commit_txn t.wal ~at ~txn ~deps:[] records);
+  txn
+
+let flush t =
+  check_alive t;
+  let done_at = R.Wal.flush t.wal ~at:(now t) in
+  S.Sim_clock.advance_to t.clock (Float.max done_at (R.Wal.quiesce_time t.wal));
+  retire t ~at:(now t)
+
+let checkpoint t =
+  check_alive t;
+  flush t;
+  R.Kv_store.checkpoint t.kv
+
+let crash t =
+  check_alive t;
+  R.Kv_store.crash t.kv;
+  t.crashed <- true;
+  t.open_tickets <- []
+
+let recover t =
+  if not t.crashed then invalid_arg "Txn_db.recover: not crashed";
+  let log = R.Wal.durable_records t.wal ~at:(now t) in
+  let stats = R.Kv_store.recover t.kv ~log in
+  t.crashed <- false;
+  stats
+
+let committed_txns t =
+  let log = R.Wal.durable_records t.wal ~at:(now t) in
+  List.filter_map
+    (fun r ->
+      match r with
+      | R.Log_record.Commit { txn; _ } -> Some txn
+      | R.Log_record.Begin _ | R.Log_record.Update _ | R.Log_record.Abort _ ->
+        None)
+    log
+
+let log_pages t = R.Wal.pages_written t.wal
+let log_disk_bytes t = R.Wal.disk_bytes_written t.wal

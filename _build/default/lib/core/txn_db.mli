@@ -1,0 +1,66 @@
+(** Transactional facade over the Section 5 recovery stack: a
+    memory-resident account store with write-ahead logging, a pluggable
+    commit strategy, pre-commit locking, fuzzy checkpoints, crash, and
+    recovery — driven incrementally (one transaction at a time) rather
+    than by the batch {!Mmdb_recovery.Recovery_manager}. *)
+
+type t
+
+val create : ?strategy:Mmdb_recovery.Wal.strategy -> ?nrecords:int ->
+  ?records_per_page:int -> ?stable_bytes:int -> unit -> t
+(** Defaults: group commit, 1000 accounts, 20 per page, 1 MiB stable
+    memory. *)
+
+val nrecords : t -> int
+
+val balance : t -> int -> int
+(** Current in-memory balance.
+    @raise Invalid_argument after a crash (recover first). *)
+
+val now : t -> float
+(** Current simulated time. *)
+
+val advance : t -> float -> unit
+(** Move simulated time forward (models think time between
+    transactions). *)
+
+type commit_outcome = {
+  txn_id : int;
+  submitted_at : float;
+  durable_at : float option;
+      (** [None] while the commit record waits in a group-commit buffer *)
+}
+
+val transact : t -> (int * int) list -> commit_outcome
+(** [transact db updates] runs one transaction applying [(slot, delta)]
+    pairs at the current simulated time: locks, in-memory update, log
+    append, pre-commit.  @raise Invalid_argument on bad slots or an empty
+    update list. *)
+
+val transact_abort : t -> (int * int) list -> int
+(** Run a transaction that aborts {e before} pre-commit (the paper's
+    invariant: pre-committed transactions never abort): updates are
+    applied then rolled back in memory, locks release immediately, and the
+    log records end with an Abort.  Returns the transaction id. *)
+
+val flush : t -> unit
+(** Force the log out (resolves pending group commits) and advance the
+    clock to durability. *)
+
+val checkpoint : t -> Mmdb_recovery.Kv_store.checkpoint_stats
+(** Flush the log, then fuzzy-checkpoint dirty pages. *)
+
+val crash : t -> unit
+(** Lose volatile state at the current instant (pending group-commit
+    buffers are lost; completed and scheduled log writes survive, as does
+    stable memory). *)
+
+val recover : t -> Mmdb_recovery.Kv_store.recover_stats
+(** Rebuild memory from the snapshot and the durable log.
+    @raise Invalid_argument unless crashed. *)
+
+val committed_txns : t -> int list
+(** Transaction ids whose commit records are currently durable. *)
+
+val log_pages : t -> int
+val log_disk_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/exec/aggregate.ml: Array Bytes External_sort Hash_fn Hashtbl Hybrid_hash List Mmdb_storage Partition String

@@ -1,0 +1,1 @@
+lib/exec/division.ml: Array Bytes Hashtbl Hybrid_hash List Mmdb_storage Printf Projection

@@ -1,0 +1,1 @@
+lib/exec/division.mli: Mmdb_storage

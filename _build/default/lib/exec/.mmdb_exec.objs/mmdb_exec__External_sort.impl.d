@@ -1,0 +1,1 @@
+lib/exec/external_sort.ml: Array List Mmdb_storage Mmdb_util Printf Run_gen

@@ -1,0 +1,1 @@
+lib/exec/external_sort.mli: Mmdb_storage

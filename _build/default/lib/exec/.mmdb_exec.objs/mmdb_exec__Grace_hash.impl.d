@@ -1,0 +1,1 @@
+lib/exec/grace_hash.ml: Array Float Hash_fn Hash_table Join_common Mmdb_storage Partition

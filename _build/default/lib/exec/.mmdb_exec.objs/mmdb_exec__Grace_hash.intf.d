@@ -1,0 +1,1 @@
+lib/exec/grace_hash.mli: Join_common Mmdb_storage

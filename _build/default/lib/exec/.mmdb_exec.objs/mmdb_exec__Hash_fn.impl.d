@@ -1,0 +1,1 @@
+lib/exec/hash_fn.ml: Int64 Mmdb_storage

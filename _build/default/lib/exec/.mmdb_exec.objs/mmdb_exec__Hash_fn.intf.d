@@ -1,0 +1,1 @@
+lib/exec/hash_fn.mli: Mmdb_storage

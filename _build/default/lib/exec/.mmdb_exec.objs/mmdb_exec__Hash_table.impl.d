@@ -1,0 +1,1 @@
+lib/exec/hash_table.ml: Bytes Float Hashtbl List Mmdb_storage

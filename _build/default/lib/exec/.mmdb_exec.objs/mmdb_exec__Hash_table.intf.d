@@ -1,0 +1,1 @@
+lib/exec/hash_table.mli: Mmdb_storage

@@ -1,0 +1,1 @@
+lib/exec/hybrid_hash.ml: Array Float Hash_fn Hash_table Join_common List Mmdb_storage Partition

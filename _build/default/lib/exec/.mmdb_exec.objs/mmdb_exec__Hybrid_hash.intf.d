@@ -1,0 +1,1 @@
+lib/exec/hybrid_hash.mli: Join_common Mmdb_storage

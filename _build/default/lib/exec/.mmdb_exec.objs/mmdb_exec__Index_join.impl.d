@@ -1,0 +1,1 @@
+lib/exec/index_join.ml: Mmdb_index Mmdb_storage

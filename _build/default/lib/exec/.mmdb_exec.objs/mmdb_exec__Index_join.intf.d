@@ -1,0 +1,1 @@
+lib/exec/index_join.mli: Join_common Mmdb_index Mmdb_storage

@@ -1,0 +1,1 @@
+lib/exec/join_common.ml: Bytes Int List Mmdb_storage

@@ -1,0 +1,1 @@
+lib/exec/join_common.mli: Mmdb_storage

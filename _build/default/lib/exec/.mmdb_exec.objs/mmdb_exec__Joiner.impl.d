@@ -1,0 +1,1 @@
+lib/exec/joiner.ml: Grace_hash Hybrid_hash Mmdb_storage Nested_loop Op_stats Simple_hash Sort_merge

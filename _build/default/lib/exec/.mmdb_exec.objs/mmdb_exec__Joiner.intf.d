@@ -1,0 +1,1 @@
+lib/exec/joiner.mli: Join_common Mmdb_storage Op_stats

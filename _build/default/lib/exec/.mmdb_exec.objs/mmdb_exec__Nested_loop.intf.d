@@ -1,0 +1,1 @@
+lib/exec/nested_loop.mli: Join_common Mmdb_storage

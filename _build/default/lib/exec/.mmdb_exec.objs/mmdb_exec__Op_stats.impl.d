@@ -1,0 +1,1 @@
+lib/exec/op_stats.ml: Format Mmdb_storage

@@ -1,0 +1,1 @@
+lib/exec/op_stats.mli: Format Mmdb_storage

@@ -1,0 +1,1 @@
+lib/exec/partition.ml: Array Float Hash_fn List Mmdb_storage Printf

@@ -1,0 +1,1 @@
+lib/exec/partition.mli: Hash_fn Mmdb_storage

@@ -1,0 +1,1 @@
+lib/exec/projection.ml: Array Bytes External_sort Float Hashtbl Hybrid_hash List Mmdb_storage Printf

@@ -1,0 +1,1 @@
+lib/exec/projection.mli: Mmdb_storage

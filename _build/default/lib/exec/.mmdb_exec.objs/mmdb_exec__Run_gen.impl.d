@@ -1,0 +1,1 @@
+lib/exec/run_gen.ml: Int List Mmdb_storage Mmdb_util Printf

@@ -1,0 +1,1 @@
+lib/exec/run_gen.mli: Mmdb_storage

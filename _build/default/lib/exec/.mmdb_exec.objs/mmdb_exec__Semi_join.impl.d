@@ -1,0 +1,1 @@
+lib/exec/semi_join.ml: Bytes Hashtbl Join_common Mmdb_storage

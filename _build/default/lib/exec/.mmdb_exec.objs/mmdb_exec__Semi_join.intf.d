@@ -1,0 +1,1 @@
+lib/exec/semi_join.mli: Mmdb_storage

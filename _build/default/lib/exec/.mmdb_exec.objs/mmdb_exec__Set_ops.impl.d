@@ -1,0 +1,1 @@
+lib/exec/set_ops.ml: Array Bytes Hashtbl Hybrid_hash List Mmdb_storage Printf

@@ -1,0 +1,1 @@
+lib/exec/set_ops.mli: Mmdb_storage

@@ -1,0 +1,1 @@
+lib/exec/simple_hash.ml: Float Hash_fn Hash_table Join_common Mmdb_storage Printf

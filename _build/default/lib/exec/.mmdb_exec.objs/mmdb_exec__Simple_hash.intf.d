@@ -1,0 +1,1 @@
+lib/exec/simple_hash.mli: Join_common Mmdb_storage

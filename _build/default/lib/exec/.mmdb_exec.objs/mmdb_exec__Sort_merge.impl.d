@@ -1,0 +1,1 @@
+lib/exec/sort_merge.ml: Array External_sort Join_common List Mmdb_storage Run_gen

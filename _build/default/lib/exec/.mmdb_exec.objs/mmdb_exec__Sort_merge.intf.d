@@ -1,0 +1,1 @@
+lib/exec/sort_merge.mli: Join_common Mmdb_storage

@@ -1,0 +1,1 @@
+lib/exec/vm_hash.ml: Hash_fn Hash_table Join_common Mmdb_storage Mmdb_util

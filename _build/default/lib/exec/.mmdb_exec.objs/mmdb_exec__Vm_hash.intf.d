@@ -1,0 +1,1 @@
+lib/exec/vm_hash.mli: Join_common Mmdb_storage

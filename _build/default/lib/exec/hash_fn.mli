@@ -1,0 +1,20 @@
+(** Seeded, charged key hashing.
+
+    All hash algorithms of Section 3 share one hash function [h] between R
+    and S so their partitions are compatible (Section 3.3); recursive
+    overflow handling needs a {e different} function per level, hence the
+    seed.  Every evaluation charges one [hash] to the environment. *)
+
+type t
+
+val create : env:Mmdb_storage.Env.t -> schema:Mmdb_storage.Schema.t ->
+  seed:int -> t
+(** A hash function over the schema's key field. *)
+
+val hash : t -> bytes -> int
+(** [hash t tuple] is a non-negative hash of [tuple]'s key field; charges
+    one [hash] operation. *)
+
+val uniform : t -> bytes -> float
+(** [uniform t tuple] maps the hash to [\[0, 1)] — used for proportional
+    partition splitting (hybrid's [q] split).  Charges one [hash]. *)

@@ -1,0 +1,28 @@
+module S = Mmdb_storage
+module I = Mmdb_index
+
+type index = Btree_ix of I.Btree.t | Avl_ix of I.Avl.t
+
+let index_schema = function
+  | Btree_ix ix -> I.Btree.schema ix
+  | Avl_ix ix -> I.Avl.schema ix
+
+let search ix key =
+  match ix with
+  | Btree_ix t -> I.Btree.search t key
+  | Avl_ix t -> I.Avl.search t key
+
+let join ix outer emit =
+  let inner_schema = index_schema ix in
+  let outer_schema = S.Relation.schema outer in
+  if S.Schema.key_width inner_schema <> S.Schema.key_width outer_schema then
+    invalid_arg "Index_join: key widths differ";
+  let count = ref 0 in
+  S.Relation.iter_tuples_nocharge outer (fun o_tup ->
+      let key = S.Tuple.key_bytes outer_schema o_tup in
+      match search ix key with
+      | Some i_tup ->
+        incr count;
+        emit i_tup o_tup
+      | None -> ());
+  !count

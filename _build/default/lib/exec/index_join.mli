@@ -1,0 +1,21 @@
+(** Index nested-loop join: probe a B+-tree or AVL index with each outer
+    tuple.
+
+    The paper's two threads meet here: a keyed relation stored in a
+    Section 2 access method can answer a join without any Section 3
+    machinery — each outer tuple costs one [O(log n)] descent.  That wins
+    when the outer is far smaller than the indexed inner (the per-probe
+    [C'·comp] beats re-reading the inner); the hash algorithms win
+    otherwise, which is why Section 3 never bothers with it for
+    [|R| ~ |S|].
+
+    The indexed side must have unique keys (both tree indexes replace on
+    duplicate insert). *)
+
+type index = Btree_ix of Mmdb_index.Btree.t | Avl_ix of Mmdb_index.Avl.t
+
+val join : index -> Mmdb_storage.Relation.t -> Join_common.emit -> int
+(** [join ix outer emit] emits [(indexed_tuple, outer_tuple)] for every
+    outer tuple whose key hits the index.  The outer scan is free (first
+    read); each probe charges the index's descent comparisons.
+    @raise Invalid_argument on key-width mismatch. *)

@@ -1,0 +1,31 @@
+module S = Mmdb_storage
+
+type emit = bytes -> bytes -> unit
+
+let check_joinable r_schema s_schema =
+  if S.Schema.key_width r_schema <> S.Schema.key_width s_schema then
+    invalid_arg "join: key widths differ between relations"
+
+let compare_rs env ~r_schema ~s_schema r_tup s_tup =
+  S.Env.charge_comp env;
+  let r_key = S.Tuple.key_bytes r_schema r_tup in
+  S.Tuple.compare_key_to s_schema s_tup r_key |> Int.neg
+
+let prefixed prefix (c : S.Schema.column) =
+  { c with S.Schema.name = prefix ^ c.S.Schema.name }
+
+let result_schema ~r_schema ~s_schema =
+  let r_cols = List.map (prefixed "r_") (S.Schema.columns r_schema) in
+  let s_cols = List.map (prefixed "s_") (S.Schema.columns s_schema) in
+  let key =
+    "r_" ^ (S.Schema.column_at r_schema (S.Schema.key_index r_schema)).S.Schema.name
+  in
+  S.Schema.create ~key (r_cols @ s_cols)
+
+let concat_tuples ~r_schema ~s_schema r_tup s_tup =
+  let rw = S.Schema.tuple_width r_schema in
+  let sw = S.Schema.tuple_width s_schema in
+  let out = Bytes.create (rw + sw) in
+  Bytes.blit r_tup 0 out 0 rw;
+  Bytes.blit s_tup 0 out rw sw;
+  out

@@ -1,0 +1,25 @@
+(** Shared pieces of the join operators: key compatibility, cross-schema
+    key comparison, result schema construction. *)
+
+val check_joinable : Mmdb_storage.Schema.t -> Mmdb_storage.Schema.t -> unit
+(** @raise Invalid_argument unless the two schemas' key columns have equal
+    widths (keys are compared byte-wise). *)
+
+val compare_rs : Mmdb_storage.Env.t -> r_schema:Mmdb_storage.Schema.t ->
+  s_schema:Mmdb_storage.Schema.t -> bytes -> bytes -> int
+(** [compare_rs env ~r_schema ~s_schema r_tup s_tup] compares the key
+    fields across schemas, charging one [comp]. *)
+
+val result_schema : r_schema:Mmdb_storage.Schema.t ->
+  s_schema:Mmdb_storage.Schema.t -> Mmdb_storage.Schema.t
+(** Schema of the concatenated join result: R's columns then S's, column
+    names prefixed ["r_"] / ["s_"], keyed on R's key. *)
+
+val concat_tuples : r_schema:Mmdb_storage.Schema.t ->
+  s_schema:Mmdb_storage.Schema.t -> bytes -> bytes -> bytes
+(** Byte-level concatenation matching {!result_schema}. *)
+
+type emit = bytes -> bytes -> unit
+(** Join output callback [f r_tuple s_tuple].  The paper excludes the cost
+    of writing the result, so emission is uncharged; callers may count or
+    materialise as they wish. *)

@@ -1,0 +1,23 @@
+module S = Mmdb_storage
+
+let run ~charged r s emit =
+  let r_schema = S.Relation.schema r and s_schema = S.Relation.schema s in
+  Join_common.check_joinable r_schema s_schema;
+  let env = S.Relation.env r in
+  let count = ref 0 in
+  S.Relation.iter_tuples_nocharge r (fun r_tup ->
+      let r_key = S.Tuple.key_bytes r_schema r_tup in
+      let scan =
+        if charged then S.Relation.iter_tuples ~mode:S.Disk.Seq s
+        else S.Relation.iter_tuples_nocharge s
+      in
+      scan (fun s_tup ->
+          if charged then S.Env.charge_comp env;
+          if S.Tuple.compare_key_to s_schema s_tup r_key = 0 then begin
+            incr count;
+            emit r_tup s_tup
+          end));
+  !count
+
+let join r s emit = run ~charged:true r s emit
+let join_uncharged r s emit = run ~charged:false r s emit

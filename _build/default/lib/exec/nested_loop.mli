@@ -1,0 +1,16 @@
+(** Naive nested-loop join — the correctness oracle for the four Section 3
+    algorithms and the planner's fallback for tiny inputs.
+
+    Charges one [comp] per tuple pair examined and sequential I/O for each
+    rescan of the inner relation (the outer's initial read is free, as
+    everywhere). *)
+
+val join : Mmdb_storage.Relation.t -> Mmdb_storage.Relation.t ->
+  Join_common.emit -> int
+(** [join r s emit] emits every matching pair and returns the match
+    count. *)
+
+val join_uncharged : Mmdb_storage.Relation.t -> Mmdb_storage.Relation.t ->
+  Join_common.emit -> int
+(** Same result, no charges — for use as a test oracle without polluting
+    an experiment's counters. *)

@@ -1,0 +1,32 @@
+module S = Mmdb_storage
+
+let run keep_matches r s =
+  let r_schema = S.Relation.schema r and s_schema = S.Relation.schema s in
+  Join_common.check_joinable r_schema s_schema;
+  let env = S.Relation.env r in
+  (* Key set of S: |S| keys of K bytes each — the "TID-key pair" size
+     argument makes this the in-memory side. *)
+  let keys = Hashtbl.create 256 in
+  S.Relation.iter_tuples_nocharge s (fun tuple ->
+      S.Env.charge_hash env;
+      Hashtbl.replace keys
+        (Bytes.unsafe_to_string (S.Tuple.key_bytes s_schema tuple))
+        ());
+  let out =
+    S.Relation.create ~disk:(S.Relation.disk r)
+      ~name:(S.Relation.name r ^ if keep_matches then ".semi" else ".anti")
+      ~schema:r_schema
+  in
+  S.Relation.iter_tuples_nocharge r (fun tuple ->
+      S.Env.charge_hash env;
+      S.Env.charge_comp env;
+      let hit =
+        Hashtbl.mem keys
+          (Bytes.unsafe_to_string (S.Tuple.key_bytes r_schema tuple))
+      in
+      if hit = keep_matches then S.Relation.append out tuple);
+  S.Relation.seal out;
+  out
+
+let semi r s = run true r s
+let anti r s = run false r s

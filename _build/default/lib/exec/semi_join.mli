@@ -1,0 +1,15 @@
+(** Semi-join and anti-join by hashing.
+
+    [semi r s] keeps the tuples of R with at least one key match in S
+    ("employees whose department exists"); [anti r s] keeps those with
+    none.  S contributes only its key set — the TID-key-pair economy of
+    Section 3.2 — so the build side is tiny and one pass over R suffices
+    regardless of memory.  Results preserve R's schema and duplicates
+    (bag semantics, matching what a join-then-project would keep of R). *)
+
+val semi : Mmdb_storage.Relation.t -> Mmdb_storage.Relation.t ->
+  Mmdb_storage.Relation.t
+(** @raise Invalid_argument on key-width mismatch. *)
+
+val anti : Mmdb_storage.Relation.t -> Mmdb_storage.Relation.t ->
+  Mmdb_storage.Relation.t

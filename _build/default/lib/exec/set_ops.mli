@@ -1,0 +1,25 @@
+(** Set-semantics union, intersection and difference by hashing.
+
+    Section 3.9 argues hash algorithms carry over to "other relational
+    operations"; these operators follow the same pattern as the
+    hybrid-hash projection: tuples are partitioned by a hash of the whole
+    tuple when memory is short, then each compatible partition pair is
+    resolved with an in-memory table.  Results are duplicate-free.
+
+    Inputs must be byte-compatible: equal tuple widths (column names may
+    differ; the left schema names the result). *)
+
+val union : mem_pages:int -> fudge:float -> ?seed:int ->
+  Mmdb_storage.Relation.t -> Mmdb_storage.Relation.t ->
+  Mmdb_storage.Relation.t
+(** Distinct tuples present in either input. *)
+
+val intersection : mem_pages:int -> fudge:float -> ?seed:int ->
+  Mmdb_storage.Relation.t -> Mmdb_storage.Relation.t ->
+  Mmdb_storage.Relation.t
+(** Distinct tuples present in both inputs. *)
+
+val difference : mem_pages:int -> fudge:float -> ?seed:int ->
+  Mmdb_storage.Relation.t -> Mmdb_storage.Relation.t ->
+  Mmdb_storage.Relation.t
+(** Distinct tuples of the left input absent from the right. *)

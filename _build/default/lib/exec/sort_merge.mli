@@ -1,0 +1,16 @@
+(** Sort-merge join (Section 3.4).
+
+    Step 1 produces runs of both relations by replacement selection; the
+    paper's assumption [√(|S|·F) <= |M|] guarantees all runs of both
+    relations merge at once (one buffer page per run).  Step 2 merges the
+    two run sets concurrently, emitting matching pairs; equal-key groups
+    are buffered in memory (the paper's formula "holds only if a tuple
+    from R does not join with more than a page of tuples from S" — we
+    handle arbitrary groups but charge nothing extra for the buffering). *)
+
+val join : mem_pages:int -> fudge:float -> Mmdb_storage.Relation.t ->
+  Mmdb_storage.Relation.t -> Join_common.emit -> int
+(** [join ~mem_pages ~fudge r s emit] — returns the number of emitted
+    pairs.  Temporary run pages are freed before returning.
+    @raise Invalid_argument if the combined run count exceeds [mem_pages]
+    or key widths differ. *)

@@ -1,0 +1,1 @@
+lib/index/avl.ml: Array Bytes List Mmdb_storage

@@ -1,0 +1,1 @@
+lib/index/avl.mli: Mmdb_storage

@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array Bytes Float List Mmdb_storage

@@ -1,0 +1,1 @@
+lib/index/paged_bst.ml: Array Bytes Mmdb_storage

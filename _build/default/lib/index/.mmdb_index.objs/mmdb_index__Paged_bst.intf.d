@@ -1,0 +1,1 @@
+lib/index/paged_bst.mli: Mmdb_storage

@@ -1,0 +1,1 @@
+lib/index/pager.ml: Avl Btree Hashtbl Mmdb_storage Paged_bst

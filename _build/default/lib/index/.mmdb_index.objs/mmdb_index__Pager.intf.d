@@ -1,0 +1,1 @@
+lib/index/pager.mli: Avl Btree Mmdb_storage Paged_bst

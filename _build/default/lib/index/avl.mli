@@ -1,0 +1,67 @@
+(** AVL tree holding whole tuples — the main-memory access method of
+    Section 2.
+
+    The paper's AVL stores the tuples themselves with two child pointers
+    per node, so the structure occupies [|R|·(t + 2s) / P] pages.  Nodes
+    here live in a growable array; a node's array index determines which
+    simulated page it lands on (see {!Paged_avl}), reproducing the paper's
+    observation that without special precautions each of the [C] nodes on a
+    root-to-leaf path sits on a different page.
+
+    Keys are the schema's key field; key comparisons are charged to the
+    environment ([comp], scaled by the [y_factor] — the paper's [Y ≤ 1]
+    allowing an AVL comparison to be cheaper than a B+-tree's
+    within-page search).  Duplicate-key inserts replace the stored tuple. *)
+
+type t
+
+val create : ?y_factor:float -> env:Mmdb_storage.Env.t ->
+  schema:Mmdb_storage.Schema.t -> unit -> t
+(** [y_factor] defaults to 1.0. *)
+
+val env : t -> Mmdb_storage.Env.t
+val schema : t -> Mmdb_storage.Schema.t
+
+val length : t -> int
+(** Number of tuples stored. *)
+
+val height : t -> int
+(** Height in nodes (0 for empty). *)
+
+val node_count : t -> int
+(** Allocated node slots, including freed ones (drives page placement). *)
+
+val insert : t -> bytes -> unit
+(** [insert t tuple] adds (or replaces, on equal key) a tuple. *)
+
+val search : t -> bytes -> bytes option
+(** [search t key] finds the tuple whose key field equals the encoded
+    [key] (standalone key bytes, as from
+    {!Mmdb_storage.Tuple.encode_int_key}). *)
+
+val delete : t -> bytes -> bool
+(** [delete t key] removes the tuple with that key; [false] if absent. *)
+
+val min_tuple : t -> bytes option
+val max_tuple : t -> bytes option
+
+val iter_in_order : t -> (bytes -> unit) -> unit
+(** Visit every tuple in ascending key order (no comparison charges; used
+    for verification). *)
+
+val scan_from : t -> bytes -> int -> bytes list
+(** [scan_from t key n] locates the smallest key [>= key] and returns up to
+    [n] tuples in ascending order — the paper's sequential-access case 2.
+    Charges comparisons for the descent; successor steps charge pointer
+    chases via the visit hook but no comparisons. *)
+
+val range_scan : t -> lo:bytes -> hi:bytes -> (bytes -> unit) -> unit
+(** All tuples with [lo <= key <= hi], ascending. *)
+
+val set_visit_hook : t -> (int -> unit) option -> unit
+(** [set_visit_hook t (Some f)] makes every node touch during subsequent
+    operations call [f node_id] — {!Paged_avl} uses this to route touches
+    through a buffer pool. *)
+
+val check_invariants : t -> bool
+(** AVL balance (|bf| <= 1), correct heights, and in-order key sorting. *)

@@ -1,0 +1,1 @@
+lib/model/access_model.ml: Float Format

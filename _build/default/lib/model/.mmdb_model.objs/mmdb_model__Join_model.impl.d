@@ -1,0 +1,1 @@
+lib/model/join_model.ml: Float Mmdb_storage Printf

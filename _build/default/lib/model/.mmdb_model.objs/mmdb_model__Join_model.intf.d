@@ -1,0 +1,1 @@
+lib/model/join_model.mli: Mmdb_storage

@@ -1,0 +1,1 @@
+lib/model/recovery_model.mli:

@@ -1,0 +1,150 @@
+module C = Mmdb_storage.Cost
+
+type workload = {
+  r_pages : int;
+  s_pages : int;
+  r_tuples_per_page : int;
+  s_tuples_per_page : int;
+  cost : C.t;
+}
+
+let table2_workload =
+  {
+    r_pages = 10_000;
+    s_pages = 10_000;
+    r_tuples_per_page = 40;
+    s_tuples_per_page = 40;
+    cost = C.table2;
+  }
+
+let r_tuples w = w.r_pages * w.r_tuples_per_page
+let s_tuples w = w.s_pages * w.s_tuples_per_page
+
+let min_memory w =
+  int_of_float (Float.ceil (sqrt (float_of_int w.s_pages *. w.cost.C.fudge)))
+
+let validate w ~m =
+  if w.r_pages > w.s_pages then
+    invalid_arg "Join_model: requires |R| <= |S|";
+  if m < min_memory w then
+    invalid_arg
+      (Printf.sprintf "Join_model: |M| = %d below sqrt(|S|*F) = %d" m
+         (min_memory w))
+
+let fi = float_of_int
+
+(* log2 clamped below at 0 (a priority queue of <= 1 element is free). *)
+let log2_pos x = if x <= 1.0 then 0.0 else Float.log2 x
+
+let sort_merge w ~m =
+  validate w ~m;
+  let c = w.cost in
+  let rr = fi (r_tuples w) and ss = fi (s_tuples w) in
+  let mf = fi m in
+  (* Tuples resident while forming runs with a priority queue (never more
+     than the relation itself). *)
+  let mr = Float.min (mf *. fi w.r_tuples_per_page) rr
+  and ms = Float.min (mf *. fi w.s_tuples_per_page) ss in
+  let run_formation =
+    ((rr *. log2_pos mr) +. (ss *. log2_pos ms)) *. (c.C.comp +. c.C.swap)
+  in
+  let join_pass = (rr +. ss) *. c.C.comp in
+  if mf >= fi w.s_pages *. c.C.fudge then
+    (* Everything sorts in memory: no run I/O, no merge queue. *)
+    run_formation +. join_pass
+  else begin
+    let io =
+      (fi (w.r_pages + w.s_pages) *. c.C.io_seq)
+      +. (fi (w.r_pages + w.s_pages) *. c.C.io_rand)
+    in
+    (* Runs average 2|M| pages; the final merge drives a selection tree
+       over all runs of both relations. *)
+    let nruns_r = fi w.r_pages *. c.C.fudge /. (2.0 *. mf) in
+    let nruns_s = fi w.s_pages *. c.C.fudge /. (2.0 *. mf) in
+    let merge_queue =
+      ((rr *. log2_pos (nruns_r +. nruns_s))
+      +. (ss *. log2_pos (nruns_r +. nruns_s)))
+      *. (c.C.comp +. c.C.swap)
+    in
+    run_formation +. io +. merge_queue +. join_pass
+  end
+
+let simple_hash_passes w ~m =
+  let a = Float.ceil (fi w.r_pages *. w.cost.C.fudge /. fi m) in
+  max 1 (int_of_float a)
+
+let simple_hash w ~m =
+  validate w ~m;
+  let c = w.cost in
+  let rr = fi (r_tuples w) and ss = fi (s_tuples w) in
+  let a = fi (simple_hash_passes w ~m) in
+  let base = (rr *. (c.C.hash +. c.C.move)) +. (ss *. (c.C.hash +. (c.C.fudge *. c.C.comp))) in
+  if a <= 1.0 then base
+  else begin
+    (* Pages of R absorbed per pass: |M|/F. *)
+    let absorbed = fi m /. c.C.fudge in
+    let tri = a *. (a -. 1.0) /. 2.0 in
+    let passed_r_pages =
+      Float.max 0.0 (((a -. 1.0) *. fi w.r_pages) -. (tri *. absorbed))
+    in
+    let passed_s_pages =
+      Float.max 0.0
+        (((a -. 1.0) *. fi w.s_pages)
+        -. (tri *. absorbed *. (fi w.s_pages /. fi w.r_pages)))
+    in
+    let passed_r_tuples = passed_r_pages *. fi w.r_tuples_per_page in
+    let passed_s_tuples = passed_s_pages *. fi w.s_tuples_per_page in
+    base
+    +. ((passed_r_tuples +. passed_s_tuples) *. (c.C.hash +. c.C.move))
+    +. ((passed_r_pages +. passed_s_pages) *. 2.0 *. c.C.io_seq)
+  end
+
+(* Shared second-phase + partition-phase structure of GRACE and hybrid;
+   [q] is the fraction of R (and S) joined without touching disk and
+   [write_seq] selects IOseq for the partition-write when there is at most
+   one output buffer. *)
+let partitioned_hash_cost w ~q ~write_seq =
+  let c = w.cost in
+  let rr = fi (r_tuples w) and ss = fi (s_tuples w) in
+  let pages = fi (w.r_pages + w.s_pages) in
+  let write_io = if write_seq then c.C.io_seq else c.C.io_rand in
+  (rr +. ss) *. c.C.hash (* partition both relations *)
+  +. ((rr +. ss) *. (1.0 -. q) *. c.C.move) (* to output buffers *)
+  +. (pages *. (1.0 -. q) *. write_io) (* write partitions *)
+  +. ((rr +. ss) *. (1.0 -. q) *. c.C.hash) (* phase-2 build/probe hash *)
+  +. (ss *. c.C.fudge *. c.C.comp) (* probe for each S tuple *)
+  +. (rr *. c.C.move) (* move R tuples into hash tables *)
+  +. (pages *. (1.0 -. q) *. c.C.io_seq) (* read partitions back *)
+
+let grace_hash w ~m =
+  validate w ~m;
+  (* GRACE partitions everything regardless of memory size, with |M|
+     output buffers -> random writes. *)
+  partitioned_hash_cost w ~q:0.0 ~write_seq:false
+
+let hybrid_partitions w ~m =
+  let rf = fi w.r_pages *. w.cost.C.fudge in
+  if rf <= fi m then 0
+  else max 1 (int_of_float (Float.ceil ((rf -. fi m) /. (fi m -. 1.0))))
+
+let hybrid_q w ~m =
+  let b = hybrid_partitions w ~m in
+  if b = 0 then 1.0
+  else begin
+    let r0_pages = fi (m - b) /. w.cost.C.fudge in
+    Float.min 1.0 (Float.max 0.0 (r0_pages /. fi w.r_pages))
+  end
+
+let hybrid_hash w ~m =
+  validate w ~m;
+  let b = hybrid_partitions w ~m in
+  let q = hybrid_q w ~m in
+  partitioned_hash_cost w ~q ~write_seq:(b <= 1)
+
+let all_four w ~m =
+  [
+    ("sort-merge", sort_merge w ~m);
+    ("simple", simple_hash w ~m);
+    ("grace", grace_hash w ~m);
+    ("hybrid", hybrid_hash w ~m);
+  ]

@@ -1,0 +1,40 @@
+type t = {
+  begin_end_bytes : int;
+  old_values_bytes : int;
+  new_values_bytes : int;
+  log_page_bytes : int;
+  page_write_time : float;
+}
+
+let gray_banking =
+  {
+    begin_end_bytes = 40;
+    old_values_bytes = 180;
+    new_values_bytes = 180;
+    log_page_bytes = 4096;
+    page_write_time = 10e-3;
+  }
+
+let log_bytes_per_txn t ~compressed =
+  if compressed then t.begin_end_bytes + t.new_values_bytes
+  else t.begin_end_bytes + t.old_values_bytes + t.new_values_bytes
+
+let txns_per_page t ~compressed =
+  max 1 (t.log_page_bytes / log_bytes_per_txn t ~compressed)
+
+let conventional_tps t = 1.0 /. t.page_write_time
+
+let group_commit_tps t =
+  float_of_int (txns_per_page t ~compressed:false) /. t.page_write_time
+
+let partitioned_tps t ~devices =
+  if devices <= 0 then invalid_arg "Recovery_model.partitioned_tps: devices";
+  float_of_int devices *. group_commit_tps t
+
+let stable_memory_tps t ~devices ~compressed =
+  if devices <= 0 then invalid_arg "Recovery_model.stable_memory_tps: devices";
+  float_of_int (devices * txns_per_page t ~compressed) /. t.page_write_time
+
+let log_compression_ratio t =
+  float_of_int (log_bytes_per_txn t ~compressed:true)
+  /. float_of_int (log_bytes_per_txn t ~compressed:false)

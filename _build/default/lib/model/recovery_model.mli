@@ -1,0 +1,45 @@
+(** Analytic throughput model for Section 5: recovery in memory-resident
+    databases.
+
+    The paper's arithmetic: a "typical" transaction writes 400 bytes of log
+    (40 begin/end + 360 old/new values); one 4096-byte log page writes in
+    10 ms.  Conventional commit needs a log I/O per transaction (100 tps);
+    group commit packs ~10 transactions per page (1000 tps); partitioning
+    the log over [n] devices multiplies further; stable memory permits
+    compressing to new-values-only (§5.4), roughly halving log volume. *)
+
+type t = {
+  begin_end_bytes : int;  (** per-transaction begin/end records *)
+  old_values_bytes : int;  (** undo half of the update records *)
+  new_values_bytes : int;  (** redo half *)
+  log_page_bytes : int;
+  page_write_time : float;  (** seconds per log-page write, no seek *)
+}
+
+val gray_banking : t
+(** The paper's figures: 40 + 180 + 180 bytes, 4096-byte pages, 10 ms. *)
+
+val log_bytes_per_txn : t -> compressed:bool -> int
+(** 400 bytes uncompressed; begin/end + new values only when
+    [compressed] (§5.4 stable-memory compression). *)
+
+val txns_per_page : t -> compressed:bool -> int
+(** Transactions whose log records fit in one log page. *)
+
+val conventional_tps : t -> float
+(** One log I/O per commit: [1 / page_write_time] — the paper's 100. *)
+
+val group_commit_tps : t -> float
+(** [txns_per_page / page_write_time] — the paper's 1000. *)
+
+val partitioned_tps : t -> devices:int -> float
+(** Group commit with the log striped over [devices] drives. *)
+
+val stable_memory_tps : t -> devices:int -> compressed:bool -> float
+(** Stable memory: commits are instant, but steady-state throughput is
+    still bounded by draining log pages to disk; compression raises the
+    bound by packing more transactions per page. *)
+
+val log_compression_ratio : t -> float
+(** Disk-log bytes with compression / without — ~0.55 for the paper's
+    figures ("approximately half"). *)

@@ -1,0 +1,1 @@
+lib/planner/algebra.ml: Format Int List Mmdb_exec Mmdb_storage Printf String

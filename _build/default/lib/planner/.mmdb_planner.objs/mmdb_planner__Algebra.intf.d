@@ -1,0 +1,1 @@
+lib/planner/algebra.mli: Format Mmdb_exec Mmdb_storage

@@ -1,0 +1,1 @@
+lib/planner/catalog.ml: Array Hashtbl List Mmdb_storage

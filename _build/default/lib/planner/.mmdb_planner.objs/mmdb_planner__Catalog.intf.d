@@ -1,0 +1,1 @@
+lib/planner/catalog.mli: Mmdb_storage

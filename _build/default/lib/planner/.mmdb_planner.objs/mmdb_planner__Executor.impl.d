@@ -1,0 +1,1 @@
+lib/planner/executor.ml: Algebra Bytes Catalog List Mmdb_exec Mmdb_storage Optimizer Printf

@@ -1,0 +1,1 @@
+lib/planner/executor.mli: Algebra Catalog Mmdb_storage Optimizer

@@ -1,0 +1,1 @@
+lib/planner/optimizer.ml: Algebra Buffer Catalog List Mmdb_exec Mmdb_model Mmdb_storage Printf Selectivity String

@@ -1,0 +1,1 @@
+lib/planner/optimizer.mli: Algebra Catalog Mmdb_exec Mmdb_storage

@@ -1,0 +1,1 @@
+lib/planner/selectivity.ml: Algebra Array Catalog Float List Mmdb_storage

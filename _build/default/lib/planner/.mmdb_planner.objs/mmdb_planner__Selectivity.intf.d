@@ -1,0 +1,1 @@
+lib/planner/selectivity.mli: Algebra Catalog

@@ -1,0 +1,1 @@
+lib/planner/sql.ml: Algebra List Mmdb_exec Mmdb_storage Printf String

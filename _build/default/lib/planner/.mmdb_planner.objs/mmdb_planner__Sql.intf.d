@@ -1,0 +1,1 @@
+lib/planner/sql.mli: Algebra Mmdb_storage

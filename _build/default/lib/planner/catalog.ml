@@ -1,0 +1,105 @@
+module S = Mmdb_storage
+
+type column_stats = {
+  ndistinct : int;
+  min_int : int option;
+  max_int : int option;
+  quantiles : int array option;
+}
+
+let n_quantiles = 15
+
+(* Equi-depth cut points of a (non-empty) unsorted value list. *)
+let compute_quantiles values =
+  let arr = Array.of_list values in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n = 0 then None
+  else
+    Some
+      (Array.init n_quantiles (fun i ->
+           let rank = (i + 1) * n / (n_quantiles + 1) in
+           arr.(min (n - 1) rank)))
+
+type table_stats = {
+  ntuples : int;
+  npages : int;
+  columns : (string * column_stats) list;
+}
+
+type entry = { rel : S.Relation.t; mutable tstats : table_stats }
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let compute_stats rel =
+  let schema = S.Relation.schema rel in
+  let cols = Array.of_list (S.Schema.columns schema) in
+  let distinct = Array.map (fun _ -> Hashtbl.create 64) cols in
+  let mins = Array.make (Array.length cols) None in
+  let maxs = Array.make (Array.length cols) None in
+  let values = Array.make (Array.length cols) [] in
+  S.Relation.iter_tuples_nocharge rel (fun tuple ->
+      Array.iteri
+        (fun i (c : S.Schema.column) ->
+          match c.S.Schema.ty with
+          | S.Schema.Int ->
+            let v = S.Tuple.get_int schema tuple i in
+            Hashtbl.replace distinct.(i) (string_of_int v) ();
+            mins.(i) <-
+              (match mins.(i) with Some m -> Some (min m v) | None -> Some v);
+            maxs.(i) <-
+              (match maxs.(i) with Some m -> Some (max m v) | None -> Some v);
+            values.(i) <- v :: values.(i)
+          | S.Schema.Fixed_string ->
+            Hashtbl.replace distinct.(i) (S.Tuple.get_str schema tuple i) ())
+        cols);
+  {
+    ntuples = S.Relation.ntuples rel;
+    npages = S.Relation.npages rel;
+    columns =
+      Array.to_list
+        (Array.mapi
+           (fun i (c : S.Schema.column) ->
+             ( c.S.Schema.name,
+               {
+                 ndistinct = Hashtbl.length distinct.(i);
+                 min_int = mins.(i);
+                 max_int = maxs.(i);
+                 quantiles =
+                   (match values.(i) with
+                   | [] -> None
+                   | vs -> compute_quantiles vs);
+               } ))
+           cols);
+  }
+
+let register t rel =
+  Hashtbl.replace t (S.Relation.name rel) { rel; tstats = compute_stats rel }
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some e -> e.rel
+  | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t name
+let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t []
+
+let stats t name =
+  match Hashtbl.find_opt t name with
+  | Some e -> e.tstats
+  | None -> raise Not_found
+
+let column_stats t ~table ~column =
+  let ts = stats t table in
+  match List.assoc_opt column ts.columns with
+  | Some cs -> cs
+  | None -> raise Not_found
+
+let refresh t name =
+  match Hashtbl.find_opt t name with
+  | Some e -> e.tstats <- compute_stats e.rel
+  | None -> raise Not_found
+
+let remove t name = Hashtbl.remove t name

@@ -1,0 +1,43 @@
+(** Table catalog with per-column statistics for selectivity estimation. *)
+
+type column_stats = {
+  ndistinct : int;
+  min_int : int option;  (** populated for integer columns *)
+  max_int : int option;
+  quantiles : int array option;
+      (** equi-depth histogram cut points for integer columns: [k] sorted
+          values splitting the column into [k+1] equal-count buckets;
+          sharpens range selectivity on skewed data *)
+}
+
+type table_stats = {
+  ntuples : int;
+  npages : int;
+  columns : (string * column_stats) list;
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> Mmdb_storage.Relation.t -> unit
+(** Add (or replace) a table under its relation name, computing stats with
+    one uncharged scan. *)
+
+val find : t -> string -> Mmdb_storage.Relation.t
+(** @raise Not_found on unknown table names. *)
+
+val mem : t -> string -> bool
+val names : t -> string list
+
+val stats : t -> string -> table_stats
+(** @raise Not_found on unknown table names. *)
+
+val column_stats : t -> table:string -> column:string -> column_stats
+(** @raise Not_found if either is unknown. *)
+
+val refresh : t -> string -> unit
+(** Recompute statistics after the relation changed. *)
+
+val remove : t -> string -> unit
+(** Forget a table (no-op when absent). *)

@@ -1,0 +1,142 @@
+module S = Mmdb_storage
+module E = Mmdb_exec
+
+let temp_counter = ref 0
+
+let temp_name prefix =
+  incr temp_counter;
+  Printf.sprintf "%s#%d" prefix !temp_counter
+
+let disk_of catalog plan =
+  let rec first_scan = function
+    | Optimizer.P_scan name -> Some name
+    | Optimizer.P_filter { input; _ }
+    | Optimizer.P_project { input; _ }
+    | Optimizer.P_aggregate { input; _ } -> first_scan input
+    | Optimizer.P_order_by { input; _ } -> first_scan input
+    | Optimizer.P_set_op { left; right; _ } -> (
+      match first_scan left with Some n -> Some n | None -> first_scan right)
+    | Optimizer.P_join { left; right; _ } -> (
+      match first_scan left with Some n -> Some n | None -> first_scan right)
+  in
+  match first_scan plan with
+  | Some name -> S.Relation.disk (Catalog.find catalog name)
+  | None -> invalid_arg "Executor: plan references no base relation"
+
+let rekey rel key =
+  let schema = S.Relation.schema rel in
+  if S.Schema.key_index schema = S.Schema.column_index schema key then rel
+  else S.Relation.with_schema rel (S.Schema.with_key schema key)
+
+let rec run catalog cfg plan =
+  let disk = disk_of catalog plan in
+  match plan with
+  | Optimizer.P_scan name -> Catalog.find catalog name
+  | Optimizer.P_filter { input; pred } ->
+    let src = run catalog cfg input in
+    let schema = S.Relation.schema src in
+    let out =
+      S.Relation.create ~disk ~name:(temp_name "filter") ~schema
+    in
+    S.Relation.iter_tuples_nocharge src (fun tuple ->
+        if Algebra.eval_predicate schema pred tuple then
+          S.Relation.append_nocharge out tuple);
+    S.Relation.seal out;
+    out
+  | Optimizer.P_project { input; columns; distinct } ->
+    let src = run catalog cfg input in
+    if distinct then
+      E.Projection.distinct ~mem_pages:cfg.Optimizer.mem_pages
+        ~fudge:cfg.Optimizer.fudge ~cols:columns src
+    else begin
+      let schema = S.Relation.schema src in
+      let out_schema = E.Projection.project_schema schema ~cols:columns in
+      let out =
+        S.Relation.create ~disk ~name:(temp_name "project") ~schema:out_schema
+      in
+      let widths =
+        List.map
+          (fun c ->
+            let i = S.Schema.column_index schema c in
+            (S.Schema.offset schema i, (S.Schema.column_at schema i).S.Schema.width))
+          columns
+      in
+      let total = S.Schema.tuple_width out_schema in
+      S.Relation.iter_tuples_nocharge src (fun tuple ->
+          let row = Bytes.make total '\000' in
+          let dst = ref 0 in
+          List.iter
+            (fun (off, w) ->
+              Bytes.blit tuple off row !dst w;
+              dst := !dst + w)
+            widths;
+          S.Relation.append_nocharge out row);
+      S.Relation.seal out;
+      out
+    end
+  | Optimizer.P_join { left; right; left_key; right_key; choice } ->
+    let lrel = rekey (run catalog cfg left) left_key in
+    let rrel = rekey (run catalog cfg right) right_key in
+    let build, probe, build_is_left =
+      if choice.Optimizer.swapped then (rrel, lrel, false)
+      else (lrel, rrel, true)
+    in
+    let l_schema = S.Relation.schema lrel in
+    let r_schema = S.Relation.schema rrel in
+    let out_schema =
+      E.Join_common.result_schema ~r_schema:l_schema ~s_schema:r_schema
+    in
+    let out = S.Relation.create ~disk ~name:(temp_name "join") ~schema:out_schema in
+    let emit build_tup probe_tup =
+      let left_tup, right_tup =
+        if build_is_left then (build_tup, probe_tup) else (probe_tup, build_tup)
+      in
+      S.Relation.append_nocharge out
+        (E.Join_common.concat_tuples ~r_schema:l_schema ~s_schema:r_schema
+           left_tup right_tup)
+    in
+    ignore
+      (E.Joiner.run choice.Optimizer.algorithm
+         ~mem_pages:cfg.Optimizer.mem_pages ~fudge:cfg.Optimizer.fudge build
+         probe emit);
+    S.Relation.seal out;
+    out
+  | Optimizer.P_aggregate { input; group_by; aggs } ->
+    let src = rekey (run catalog cfg input) group_by in
+    E.Aggregate.hybrid ~mem_pages:cfg.Optimizer.mem_pages
+      ~fudge:cfg.Optimizer.fudge src aggs
+  | Optimizer.P_set_op { op; left; right } ->
+    let l = run catalog cfg left and r = run catalog cfg right in
+    let f =
+      match op with
+      | Algebra.Union -> E.Set_ops.union ?seed:None
+      | Algebra.Intersect -> E.Set_ops.intersection ?seed:None
+      | Algebra.Except -> E.Set_ops.difference ?seed:None
+    in
+    f ~mem_pages:cfg.Optimizer.mem_pages ~fudge:cfg.Optimizer.fudge l r
+  | Optimizer.P_order_by { input; column; descending } ->
+    let src = rekey (run catalog cfg input) column in
+    let sorted = E.External_sort.sort ~mem_pages:cfg.Optimizer.mem_pages src in
+    if not descending then sorted
+    else begin
+      (* Reverse scan materialised back-to-front. *)
+      let acc = ref [] in
+      S.Relation.iter_tuples_nocharge sorted (fun t -> acc := t :: !acc);
+      let out =
+        S.Relation.create ~disk ~name:(temp_name "order_desc")
+          ~schema:(S.Relation.schema sorted)
+      in
+      List.iter (S.Relation.append_nocharge out) !acc;
+      S.Relation.free_pages sorted;
+      S.Relation.seal out;
+      out
+    end
+
+let query catalog cfg expr = run catalog cfg (Optimizer.plan catalog cfg expr)
+
+let rows rel =
+  let schema = S.Relation.schema rel in
+  let acc = ref [] in
+  S.Relation.iter_tuples_nocharge rel (fun tuple ->
+      acc := S.Tuple.decode schema tuple :: !acc);
+  List.rev !acc

@@ -1,0 +1,19 @@
+(** Plan execution over the storage and operator layers.
+
+    Intermediate results materialise as temporary relations on the same
+    simulated disk as the base tables.  Join inputs are re-keyed views
+    ({!Mmdb_storage.Relation.with_schema}) so any column can serve as the
+    join key; join outputs concatenate left-then-right regardless of which
+    side the optimizer chose to build on. *)
+
+val run : Catalog.t -> Optimizer.config -> Optimizer.plan ->
+  Mmdb_storage.Relation.t
+(** Execute a plan, returning the (sealed) result relation.  Its schema
+    matches {!Optimizer.output_schema} of the planned expression. *)
+
+val query : Catalog.t -> Optimizer.config -> Algebra.expr ->
+  Mmdb_storage.Relation.t
+(** [query catalog cfg expr] = plan + run. *)
+
+val rows : Mmdb_storage.Relation.t -> Mmdb_storage.Tuple.value list list
+(** Decode every tuple (convenience for examples and tests). *)

@@ -1,0 +1,64 @@
+(** Access planning for large memories (Section 4).
+
+    Selinger-style planning collapses once hash algorithms win: "since the
+    performance of these algorithms is not affected by the input order of
+    the tuples and since there is only one algorithm to choose from, query
+    optimization is reduced to simply ordering the operators so that the
+    most selective operations are pushed towards the bottom of the query
+    tree."  The optimizer therefore: (1) pushes selections below joins;
+    (2) orients each join so the smaller estimated input is the build
+    side; (3) prices the four Section 3 algorithms with the analytic model
+    and keeps the cheapest — hybrid hash whenever [|M| >= √(|S|·F)].
+
+    The [allow_hash = false] mode restricts the choice to sort-merge — the
+    disk-era optimizer used as the baseline in experiment E8. *)
+
+type config = {
+  mem_pages : int;
+  fudge : float;
+  allow_hash : bool;
+}
+
+val default_config : config
+(** 256 pages, F = 1.2, hashing allowed. *)
+
+type join_choice = {
+  algorithm : Mmdb_exec.Joiner.algorithm;
+  swapped : bool;  (** true when the right input becomes the build side *)
+  est_build_pages : int;
+  est_probe_pages : int;
+  est_seconds : float;  (** analytic cost under Table 2 constants *)
+}
+
+type plan =
+  | P_scan of string
+  | P_filter of { input : plan; pred : Algebra.predicate }
+  | P_project of { input : plan; columns : string list; distinct : bool }
+  | P_join of {
+      left : plan;
+      right : plan;
+      left_key : string;
+      right_key : string;
+      choice : join_choice;
+    }
+  | P_aggregate of {
+      input : plan;
+      group_by : string;
+      aggs : Mmdb_exec.Aggregate.spec list;
+    }
+  | P_order_by of { input : plan; column : string; descending : bool }
+  | P_set_op of { op : Algebra.set_op; left : plan; right : plan }
+
+val output_schema : Catalog.t -> Algebra.expr -> Mmdb_storage.Schema.t
+(** Schema of an expression's result.  Join results carry columns prefixed
+    [r_]/[s_] (left/right).  @raise Not_found on unknown tables,
+    [Invalid_argument] on unknown columns. *)
+
+val plan : Catalog.t -> config -> Algebra.expr -> plan
+(** Optimize an expression. *)
+
+val estimated_cost : plan -> float
+(** Sum of the join choices' analytic costs (seconds). *)
+
+val explain : plan -> string
+(** Human-readable plan tree with algorithm choices and estimates. *)

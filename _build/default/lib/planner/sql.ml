@@ -1,0 +1,519 @@
+module S = Mmdb_storage
+module E = Mmdb_exec
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Star
+  | Comma
+  | Lparen
+  | Rparen
+  | Op of Algebra.cmp_op
+  | Eof
+
+let keyword s = String.uppercase_ascii s
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let error fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec go i =
+    if i >= n then Ok (List.rev (Eof :: !tokens))
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '*' ->
+        tokens := Star :: !tokens;
+        go (i + 1)
+      | ',' ->
+        tokens := Comma :: !tokens;
+        go (i + 1)
+      | '(' ->
+        tokens := Lparen :: !tokens;
+        go (i + 1)
+      | ')' ->
+        tokens := Rparen :: !tokens;
+        go (i + 1)
+      | '=' ->
+        tokens := Op Algebra.Eq :: !tokens;
+        go (i + 1)
+      | '!' when i + 1 < n && input.[i + 1] = '=' ->
+        tokens := Op Algebra.Ne :: !tokens;
+        go (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '>' ->
+        tokens := Op Algebra.Ne :: !tokens;
+        go (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '=' ->
+        tokens := Op Algebra.Le :: !tokens;
+        go (i + 2)
+      | '<' ->
+        tokens := Op Algebra.Lt :: !tokens;
+        go (i + 1)
+      | '>' when i + 1 < n && input.[i + 1] = '=' ->
+        tokens := Op Algebra.Ge :: !tokens;
+        go (i + 2)
+      | '>' ->
+        tokens := Op Algebra.Gt :: !tokens;
+        go (i + 1)
+      | '\'' ->
+        let rec find j =
+          if j >= n then error "unterminated string literal"
+          else if input.[j] = '\'' then begin
+            tokens := Str (String.sub input (i + 1) (j - i - 1)) :: !tokens;
+            go (j + 1)
+          end
+          else find (j + 1)
+        in
+        find (i + 1)
+      | '0' .. '9' | '-' ->
+        let j = ref i in
+        if input.[!j] = '-' then incr j;
+        let start_digits = !j in
+        while !j < n && input.[!j] >= '0' && input.[!j] <= '9' do
+          incr j
+        done;
+        if !j = start_digits then error "bad number at %S" (String.sub input i 1)
+        else begin
+          tokens := Int (int_of_string (String.sub input i (!j - i))) :: !tokens;
+          go !j
+        end
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let j = ref i in
+        while
+          !j < n
+          && (match input.[!j] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        tokens := Ident (String.sub input i (!j - i)) :: !tokens;
+        go !j
+      | c -> error "unexpected character %C" c
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type select_item = Col of string | Agg of E.Aggregate.spec
+
+type statement =
+  | Query of Algebra.expr
+  | Insert of { table : string; rows : S.Tuple.value list list }
+  | Delete of { table : string; preds : Algebra.predicate list }
+  | Update of {
+      table : string;
+      sets : (string * S.Tuple.value) list;
+      preds : Algebra.predicate list;
+    }
+  | Create_table of { table : string; schema : S.Schema.t }
+  | Drop_table of string
+
+exception Parse_error of string
+
+let parse_statement input =
+  match tokenize input with
+  | Error e -> Error e
+  | Ok tokens -> (
+    let stream = ref tokens in
+    let peek () = match !stream with t :: _ -> t | [] -> Eof in
+    let advance () =
+      match !stream with _ :: rest -> stream := rest | [] -> ()
+    in
+    let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+    let describe = function
+      | Ident s -> Printf.sprintf "identifier %S" s
+      | Int v -> Printf.sprintf "integer %d" v
+      | Str s -> Printf.sprintf "string %S" s
+      | Star -> "'*'"
+      | Comma -> "','"
+      | Lparen -> "'('"
+      | Rparen -> "')'"
+      | Op _ -> "comparison operator"
+      | Eof -> "end of input"
+    in
+    let expect_ident what =
+      match peek () with
+      | Ident s ->
+        advance ();
+        s
+      | t -> fail "expected %s, found %s" what (describe t)
+    in
+    let expect_keyword kw =
+      match peek () with
+      | Ident s when keyword s = kw -> advance ()
+      | t -> fail "expected %s, found %s" kw (describe t)
+    in
+    let accept_keyword kw =
+      match peek () with
+      | Ident s when keyword s = kw ->
+        advance ();
+        true
+      | _ -> false
+    in
+    let parse_item () =
+      match peek () with
+      | Ident s when
+          List.mem (keyword s) [ "COUNT"; "SUM"; "MIN"; "MAX"; "AVG" ]
+          && List.length !stream > 1
+          && (match !stream with _ :: Lparen :: _ -> true | _ -> false) ->
+        advance ();
+        advance ();
+        (* '(' *)
+        let agg =
+          match keyword s with
+          | "COUNT" -> (
+            match peek () with
+            | Star ->
+              advance ();
+              E.Aggregate.Count
+            | _ ->
+              (* COUNT(col) counts group members too *)
+              let _ = expect_ident "column" in
+              E.Aggregate.Count)
+          | "SUM" -> E.Aggregate.Sum (expect_ident "column")
+          | "MIN" -> E.Aggregate.Min (expect_ident "column")
+          | "MAX" -> E.Aggregate.Max (expect_ident "column")
+          | "AVG" -> E.Aggregate.Avg (expect_ident "column")
+          | _ -> assert false
+        in
+        (match peek () with
+        | Rparen -> advance ()
+        | t -> fail "expected ')', found %s" (describe t));
+        Agg agg
+      | Ident s ->
+        advance ();
+        Col s
+      | t -> fail "expected a column or aggregate, found %s" (describe t)
+    in
+    let parse_items () =
+      match peek () with
+      | Star ->
+        advance ();
+        None
+      | _ ->
+        let rec more acc =
+          let item = parse_item () in
+          match peek () with
+          | Comma ->
+            advance ();
+            more (item :: acc)
+          | _ -> List.rev (item :: acc)
+        in
+        Some (more [])
+    in
+    let parse_predicate () =
+      let column = expect_ident "column" in
+      let op =
+        match peek () with
+        | Op o ->
+          advance ();
+          o
+        | t -> fail "expected a comparison operator, found %s" (describe t)
+      in
+      let value =
+        match peek () with
+        | Int v ->
+          advance ();
+          S.Tuple.VInt v
+        | Str s ->
+          advance ();
+          S.Tuple.VStr s
+        | t -> fail "expected a literal, found %s" (describe t)
+      in
+      { Algebra.column; Algebra.op; Algebra.value }
+    in
+    try
+      let parse_literal () =
+        match peek () with
+        | Int v ->
+          advance ();
+          S.Tuple.VInt v
+        | Str str ->
+          advance ();
+          S.Tuple.VStr str
+        | t -> fail "expected a literal, found %s" (describe t)
+      in
+      let parse_where_clause () =
+        if accept_keyword "WHERE" then begin
+          let rec preds acc =
+            let p = parse_predicate () in
+            if accept_keyword "AND" then preds (p :: acc)
+            else List.rev (p :: acc)
+          in
+          preds []
+        end
+        else []
+      in
+      let expect_eof () =
+        match peek () with
+        | Eof -> ()
+        | t -> fail "unexpected %s after the end of the statement" (describe t)
+      in
+      let parse_insert () =
+        (* INSERT INTO t VALUES (..), (..) *)
+        expect_keyword "INTO";
+        let table = expect_ident "table name" in
+        expect_keyword "VALUES";
+        let parse_row () =
+          (match peek () with
+          | Lparen -> advance ()
+          | t -> fail "expected '(', found %s" (describe t));
+          let rec vals acc =
+            let v = parse_literal () in
+            match peek () with
+            | Comma ->
+              advance ();
+              vals (v :: acc)
+            | Rparen ->
+              advance ();
+              List.rev (v :: acc)
+            | t -> fail "expected ',' or ')', found %s" (describe t)
+          in
+          vals []
+        in
+        let rec rows acc =
+          let row = parse_row () in
+          if peek () = Comma then begin
+            advance ();
+            rows (row :: acc)
+          end
+          else List.rev (row :: acc)
+        in
+        let all = rows [] in
+        expect_eof ();
+        Insert { table; rows = all }
+      in
+      let parse_delete () =
+        expect_keyword "FROM";
+        let table = expect_ident "table name" in
+        let preds = parse_where_clause () in
+        expect_eof ();
+        Delete { table; preds }
+      in
+      let parse_update () =
+        let table = expect_ident "table name" in
+        expect_keyword "SET";
+        let rec sets acc =
+          let col = expect_ident "column" in
+          (match peek () with
+          | Op Algebra.Eq -> advance ()
+          | t -> fail "expected '=', found %s" (describe t));
+          let v = parse_literal () in
+          if peek () = Comma then begin
+            advance ();
+            sets ((col, v) :: acc)
+          end
+          else List.rev ((col, v) :: acc)
+        in
+        let sets = sets [] in
+        let preds = parse_where_clause () in
+        expect_eof ();
+        Update { table; sets; preds }
+      in
+      let parse_create () =
+        expect_keyword "TABLE";
+        let table = expect_ident "table name" in
+        (match peek () with
+        | Lparen -> advance ()
+        | t -> fail "expected '(', found %s" (describe t));
+        let key = ref None in
+        let rec cols acc =
+          let cname = expect_ident "column name" in
+          let col =
+            match peek () with
+            | Ident s when keyword s = "INT" ->
+              advance ();
+              S.Schema.column cname S.Schema.Int
+            | Ident s when keyword s = "STRING" ->
+              advance ();
+              (match peek () with
+              | Lparen -> advance ()
+              | t -> fail "expected '(', found %s" (describe t));
+              let width =
+                match peek () with
+                | Int w when w > 0 ->
+                  advance ();
+                  w
+                | t -> fail "expected a positive width, found %s" (describe t)
+              in
+              (match peek () with
+              | Rparen -> advance ()
+              | t -> fail "expected ')', found %s" (describe t));
+              S.Schema.column ~width cname S.Schema.Fixed_string
+            | t -> fail "expected INT or STRING(n), found %s" (describe t)
+          in
+          if accept_keyword "PRIMARY" then begin
+            expect_keyword "KEY";
+            match !key with
+            | None -> key := Some cname
+            | Some _ -> fail "multiple PRIMARY KEY columns"
+          end;
+          match peek () with
+          | Comma ->
+            advance ();
+            cols (col :: acc)
+          | Rparen ->
+            advance ();
+            List.rev (col :: acc)
+          | t -> fail "expected ',' or ')', found %s" (describe t)
+        in
+        let columns = cols [] in
+        expect_eof ();
+        let key =
+          match !key with
+          | Some k -> k
+          | None -> (
+            match columns with
+            | (c : S.Schema.column) :: _ -> c.S.Schema.name
+            | [] -> fail "empty column list")
+        in
+        Create_table { table; schema = S.Schema.create ~key columns }
+      in
+      let parse_drop () =
+        expect_keyword "TABLE";
+        let table = expect_ident "table name" in
+        expect_eof ();
+        Drop_table table
+      in
+      match peek () with
+      | Ident s when keyword s = "CREATE" ->
+        advance ();
+        Ok (parse_create ())
+      | Ident s when keyword s = "DROP" ->
+        advance ();
+        Ok (parse_drop ())
+      | Ident s when keyword s = "INSERT" ->
+        advance ();
+        Ok (parse_insert ())
+      | Ident s when keyword s = "DELETE" ->
+        advance ();
+        Ok (parse_delete ())
+      | Ident s when keyword s = "UPDATE" ->
+        advance ();
+        Ok (parse_update ())
+      | _ ->
+      let parse_select () =
+      expect_keyword "SELECT";
+      let distinct = accept_keyword "DISTINCT" in
+      let items = parse_items () in
+      expect_keyword "FROM";
+      let base = expect_ident "table name" in
+      let from = ref (Algebra.scan base) in
+      while accept_keyword "JOIN" do
+        let table = expect_ident "table name" in
+        expect_keyword "ON";
+        let left_key = expect_ident "column" in
+        (match peek () with
+        | Op Algebra.Eq -> advance ()
+        | t -> fail "expected '=', found %s" (describe t));
+        let right_key = expect_ident "column" in
+        from := Algebra.join ~left_key ~right_key !from (Algebra.scan table)
+      done;
+      let with_where = ref !from in
+      if accept_keyword "WHERE" then begin
+        let rec preds () =
+          let p = parse_predicate () in
+          with_where := Algebra.Select { input = !with_where; pred = p };
+          if accept_keyword "AND" then preds ()
+        in
+        preds ()
+      end;
+      let result =
+        if accept_keyword "GROUP" then begin
+          expect_keyword "BY";
+          let group_by = expect_ident "column" in
+          let aggs =
+            match items with
+            | None -> fail "GROUP BY requires an explicit select list"
+            | Some items -> (
+              match items with
+              | Col g :: rest when g = group_by ->
+                List.map
+                  (function
+                    | Agg a -> a
+                    | Col c ->
+                      fail
+                        "non-aggregated column %S in a GROUP BY select list" c)
+                  rest
+              | _ ->
+                fail
+                  "the select list must start with the GROUP BY column %S"
+                  group_by)
+          in
+          if aggs = [] then fail "GROUP BY needs at least one aggregate";
+          Algebra.aggregate ~group_by ~aggs !with_where
+        end
+        else
+          match items with
+          | None -> !with_where
+          | Some items ->
+            let columns =
+              List.map
+                (function
+                  | Col c -> c
+                  | Agg _ -> fail "aggregates require GROUP BY")
+                items
+            in
+            Algebra.project ~distinct ~columns !with_where
+      in
+      result
+      in
+      let result = parse_select () in
+      let rec set_ops acc =
+        let combine op =
+          advance ();
+          let rhs = parse_select () in
+          set_ops (Algebra.set_op op acc rhs)
+        in
+        match peek () with
+        | Ident s when keyword s = "UNION" -> combine Algebra.Union
+        | Ident s when keyword s = "INTERSECT" -> combine Algebra.Intersect
+        | Ident s when keyword s = "EXCEPT" -> combine Algebra.Except
+        | _ -> acc
+      in
+      let result = set_ops result in
+      let result =
+        if accept_keyword "ORDER" then begin
+          expect_keyword "BY";
+          let column = expect_ident "column" in
+          let descending =
+            if accept_keyword "DESC" then true
+            else begin
+              ignore (accept_keyword "ASC");
+              false
+            end
+          in
+          Algebra.order_by ~descending ~column result
+        end
+        else result
+      in
+      (match peek () with
+      | Eof -> ()
+      | t -> fail "unexpected %s after the end of the query" (describe t));
+      Ok (Query result)
+    with Parse_error m -> Error m)
+
+let parse input =
+  match parse_statement input with
+  | Ok (Query e) -> Ok e
+  | Ok (Insert _ | Delete _ | Update _ | Create_table _ | Drop_table _) ->
+    Error "expected a query, found a DML/DDL statement"
+  | Error m -> Error m
+
+let parse_exn input =
+  match parse input with
+  | Ok e -> e
+  | Error m -> invalid_arg ("Sql.parse: " ^ m)
+
+let parse_statement_exn input =
+  match parse_statement input with
+  | Ok st -> st
+  | Error m -> invalid_arg ("Sql.parse_statement: " ^ m)

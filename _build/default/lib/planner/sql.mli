@@ -1,0 +1,48 @@
+(** A small SQL front-end over the Section 4 planner.
+
+    Grammar (keywords case-insensitive):
+    {v
+    query   ::= select ((UNION | INTERSECT | EXCEPT) select)*
+                [ORDER BY col [ASC|DESC]]
+    select  ::= SELECT [DISTINCT] items FROM table
+                (JOIN table ON col = col)*
+                [WHERE pred (AND pred)*] [GROUP BY col]
+    items   ::= '*' | item (',' item)*
+    item    ::= column | COUNT("*") | SUM(col) | MIN(col) | MAX(col) | AVG(col)
+    pred    ::= column op literal      op ::= = | <> | != | < | <= | > | >=
+    literal ::= integer | 'string'
+    v}
+
+    Joins are left-deep; after a join, columns of the left input are
+    prefixed [r_] and of the right [s_], per
+    {!Optimizer.output_schema}.  With GROUP BY, the select list must be
+    the group column followed by aggregate items. *)
+
+type statement =
+  | Query of Algebra.expr
+  | Insert of { table : string; rows : Mmdb_storage.Tuple.value list list }
+      (** [INSERT INTO t VALUES (..), (..)] *)
+  | Delete of { table : string; preds : Algebra.predicate list }
+      (** [DELETE FROM t [WHERE ...]]; empty [preds] = delete all *)
+  | Update of {
+      table : string;
+      sets : (string * Mmdb_storage.Tuple.value) list;
+      preds : Algebra.predicate list;
+    }  (** [UPDATE t SET c = lit [, ...] [WHERE ...]] *)
+  | Create_table of { table : string; schema : Mmdb_storage.Schema.t }
+      (** [CREATE TABLE t (c INT [PRIMARY KEY], c STRING(w), ...)] — the
+          key defaults to the first column *)
+  | Drop_table of string  (** [DROP TABLE t] *)
+
+val parse : string -> (Algebra.expr, string) result
+(** Parse a query into the algebra; [Error msg] pinpoints the offending
+    token. *)
+
+val parse_exn : string -> Algebra.expr
+(** @raise Invalid_argument on parse errors. *)
+
+val parse_statement : string -> (statement, string) result
+(** Parse a query {e or} DML statement. *)
+
+val parse_statement_exn : string -> statement
+(** @raise Invalid_argument on parse errors. *)

@@ -1,0 +1,1 @@
+lib/recovery/kv_store.ml: Array Hashtbl List Log_record Printf Stable_memory

@@ -1,0 +1,1 @@
+lib/recovery/kv_store.mli: Log_record Stable_memory

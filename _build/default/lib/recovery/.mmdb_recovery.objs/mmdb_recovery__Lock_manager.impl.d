@@ -1,0 +1,1 @@
+lib/recovery/lock_manager.ml: Hashtbl List Printf Queue

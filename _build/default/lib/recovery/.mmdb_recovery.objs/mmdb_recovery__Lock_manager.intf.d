@@ -1,0 +1,1 @@
+lib/recovery/lock_manager.mli:

@@ -1,0 +1,1 @@
+lib/recovery/log_device.ml: Float List Log_record Mmdb_storage Printf

@@ -1,0 +1,1 @@
+lib/recovery/log_device.mli: Log_record Mmdb_storage

@@ -1,0 +1,1 @@
+lib/recovery/log_merge.ml: List Log_record Mmdb_util

@@ -1,0 +1,1 @@
+lib/recovery/log_merge.mli: Log_record

@@ -1,0 +1,1 @@
+lib/recovery/log_record.ml: Format

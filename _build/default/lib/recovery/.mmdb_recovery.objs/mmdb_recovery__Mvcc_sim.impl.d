@@ -1,0 +1,1 @@
+lib/recovery/mvcc_sim.ml: Array Float List Log_record Mmdb_storage Mmdb_util Version_store Wal Workload

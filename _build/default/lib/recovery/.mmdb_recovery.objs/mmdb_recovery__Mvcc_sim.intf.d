@@ -1,0 +1,1 @@
+lib/recovery/mvcc_sim.mli:

@@ -1,0 +1,1 @@
+lib/recovery/recovery_manager.ml: Array Float Hashtbl Kv_store List Lock_manager Log_record Mmdb_storage Mmdb_util Stable_memory Wal Workload

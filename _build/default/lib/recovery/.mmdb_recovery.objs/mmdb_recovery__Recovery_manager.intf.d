@@ -1,0 +1,1 @@
+lib/recovery/recovery_manager.mli: Kv_store Wal

@@ -1,0 +1,1 @@
+lib/recovery/stable_memory.ml: Hashtbl List Log_record Queue

@@ -1,0 +1,1 @@
+lib/recovery/stable_memory.mli: Log_record

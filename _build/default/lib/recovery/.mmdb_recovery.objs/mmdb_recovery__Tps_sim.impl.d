@@ -1,0 +1,1 @@
+lib/recovery/tps_sim.ml: Array Float List Lock_manager Log_record Mmdb_model Mmdb_storage Mmdb_util Printf Queue Wal Workload

@@ -1,0 +1,1 @@
+lib/recovery/tps_sim.mli: Mmdb_util Wal

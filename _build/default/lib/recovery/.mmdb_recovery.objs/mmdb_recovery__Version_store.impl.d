@@ -1,0 +1,1 @@
+lib/recovery/version_store.ml: Array Float List

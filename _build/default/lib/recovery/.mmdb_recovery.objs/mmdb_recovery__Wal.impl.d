@@ -1,0 +1,1 @@
+lib/recovery/wal.ml: Array Float Hashtbl List Log_device Log_merge Log_record Mmdb_storage Stable_memory

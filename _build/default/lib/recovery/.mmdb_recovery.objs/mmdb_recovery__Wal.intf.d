@@ -1,0 +1,1 @@
+lib/recovery/wal.mli: Log_record Mmdb_storage

@@ -1,0 +1,1 @@
+lib/recovery/workload.ml: Array List Mmdb_util

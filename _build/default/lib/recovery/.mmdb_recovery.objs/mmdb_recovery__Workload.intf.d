@@ -1,0 +1,1 @@
+lib/recovery/workload.mli: Mmdb_util

@@ -1,0 +1,170 @@
+type t = {
+  page_io_time : float;
+  records_per_page : int;
+  mem : int array; (* volatile *)
+  snapshot : int array; (* "disk": survives crash *)
+  stable : Stable_memory.t; (* dirty-page table host *)
+  mutable scrambled : bool;
+}
+
+let create ?(page_io_time = 10e-3) ~nrecords ~records_per_page ~stable () =
+  if nrecords <= 0 then invalid_arg "Kv_store.create: nrecords <= 0";
+  if records_per_page <= 0 then
+    invalid_arg "Kv_store.create: records_per_page <= 0";
+  {
+    page_io_time;
+    records_per_page;
+    mem = Array.make nrecords 0;
+    snapshot = Array.make nrecords 0;
+    stable;
+    scrambled = false;
+  }
+
+let nrecords t = Array.length t.mem
+
+let npages t =
+  (Array.length t.mem + t.records_per_page - 1) / t.records_per_page
+
+let check_slot t slot =
+  if slot < 0 || slot >= Array.length t.mem then
+    invalid_arg (Printf.sprintf "Kv_store: slot %d out of range" slot)
+
+let get t slot =
+  check_slot t slot;
+  if t.scrambled then
+    invalid_arg "Kv_store.get: memory lost in crash (recover first)";
+  t.mem.(slot)
+
+let page_of t slot = slot / t.records_per_page
+
+let apply_update t ~lsn ~slot ~value =
+  check_slot t slot;
+  t.mem.(slot) <- value;
+  let page = page_of t slot in
+  match Stable_memory.table_get t.stable ~key:page with
+  | Some _ -> () (* already dirty; first-LSN already recorded *)
+  | None -> Stable_memory.table_put t.stable ~key:page ~value:lsn
+
+type checkpoint_stats = { pages_flushed : int; duration : float }
+
+let checkpoint t =
+  let dirty =
+    Stable_memory.table_fold t.stable ~init:[] ~f:(fun acc ~key ~value ->
+        ignore value;
+        key :: acc)
+  in
+  List.iter
+    (fun page ->
+      let lo = page * t.records_per_page in
+      let hi = min (Array.length t.mem) (lo + t.records_per_page) in
+      Array.blit t.mem lo t.snapshot lo (hi - lo);
+      Stable_memory.table_remove t.stable ~key:page)
+    dirty;
+  let n = List.length dirty in
+  { pages_flushed = n; duration = float_of_int n *. t.page_io_time }
+
+let dirty_pages t =
+  Stable_memory.table_fold t.stable ~init:0 ~f:(fun acc ~key:_ ~value:_ ->
+      acc + 1)
+
+let recovery_start_lsn t =
+  Stable_memory.table_fold t.stable ~init:None ~f:(fun acc ~key:_ ~value ->
+      match acc with
+      | None -> Some value
+      | Some m -> Some (min m value))
+
+let crash t =
+  (* Volatile contents are gone; make any premature read fail loudly. *)
+  Array.fill t.mem 0 (Array.length t.mem) min_int;
+  t.scrambled <- true
+
+type recover_stats = {
+  start_lsn : int;
+  records_scanned : int;
+  redo_applied : int;
+  undo_applied : int;
+  snapshot_pages_read : int;
+  recovery_time : float;
+}
+
+let recover t ~log =
+  (* Load the snapshot. *)
+  Array.blit t.snapshot 0 t.mem 0 (Array.length t.mem);
+  t.scrambled <- false;
+  let committed = Hashtbl.create 64 in
+  (* Aborted transactions logged their own compensating updates before the
+     Abort record (ARIES-style), so like committed transactions they are
+     "terminated": redo replays them forward and undo must skip them. *)
+  let terminated = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match r with
+      | Log_record.Commit { txn; _ } ->
+        Hashtbl.replace committed txn ();
+        Hashtbl.replace terminated txn ()
+      | Log_record.Abort { txn; _ } -> Hashtbl.replace terminated txn ()
+      | Log_record.Begin _ | Log_record.Update _ -> ())
+    log;
+  (* The scan starts at the oldest of (a) the dirty-page table's minimum
+     first-update LSN (§5.5: "the oldest entry in the table determines the
+     point in the log from which recovery should commence") and (b) the
+     first record of any transaction that never terminated (the
+     active-transaction low-water mark, needed for undo). *)
+  let table_start =
+    match recovery_start_lsn t with Some l -> l | None -> max_int
+  in
+  let undo_start =
+    List.fold_left
+      (fun acc r ->
+        if Hashtbl.mem terminated (Log_record.txn r) then acc
+        else min acc (Log_record.lsn r))
+      max_int log
+  in
+  let scan_start = min table_start undo_start in
+  let scanned = ref 0 in
+  let redo = ref 0 in
+  let scan_bytes = ref 0 in
+  (* Redo phase: reapply every update from the recovery start point. *)
+  List.iter
+    (fun r ->
+      if Log_record.lsn r >= scan_start then begin
+        incr scanned;
+        scan_bytes :=
+          !scan_bytes + Log_record.size_bytes ~compressed:false r;
+        match r with
+        | Log_record.Update { slot; new_value; _ } ->
+          t.mem.(slot) <- new_value;
+          incr redo
+        | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _ -> ()
+      end)
+    log;
+  (* Undo phase: reverse updates of transactions that never terminated,
+     newest first (all such records are >= scan_start by construction). *)
+  let undo = ref 0 in
+  List.iter
+    (fun r ->
+      match r with
+      | Log_record.Update { txn; slot; old_value; _ }
+        when not (Hashtbl.mem terminated txn) ->
+        t.mem.(slot) <- old_value;
+        incr undo
+      | Log_record.Update _ | Log_record.Begin _ | Log_record.Commit _
+      | Log_record.Abort _ -> ())
+    (List.rev log);
+  Stable_memory.table_clear t.stable;
+  (* Log reading cost: sequential pages of ~10 ms over the scanned
+     suffix. *)
+  let log_pages = (!scan_bytes + 4095) / 4096 in
+  {
+    start_lsn = (if scan_start = max_int then 0 else scan_start);
+    records_scanned = !scanned;
+    redo_applied = !redo;
+    undo_applied = !undo;
+    snapshot_pages_read = npages t;
+    recovery_time = float_of_int (npages t + log_pages) *. t.page_io_time;
+  }
+
+let balances t =
+  if t.scrambled then
+    invalid_arg "Kv_store.balances: memory lost in crash (recover first)";
+  Array.copy t.mem

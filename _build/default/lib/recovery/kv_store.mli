@@ -1,0 +1,67 @@
+(** The memory-resident database of Section 5: a fixed array of integer
+    records (account balances), entirely in volatile main memory, with a
+    page-structured snapshot on disk, fuzzy checkpointing (§5.3), a
+    dirty-page table in stable memory (§5.5), crash, and log-driven
+    recovery.
+
+    WAL rule: the caller must flush the log before {!checkpoint} (the
+    {!Db} facade and {!Recovery_manager} do), so a snapshot never holds an
+    update whose log record is volatile. *)
+
+type t
+
+val create : ?page_io_time:float -> nrecords:int -> records_per_page:int ->
+  stable:Stable_memory.t -> unit -> t
+(** All balances start at 0; the disk snapshot starts clean.  The
+    dirty-page table lives in [stable] (it survives crashes).
+    [page_io_time] (default 10 ms) prices checkpoint writes and recovery
+    reads. *)
+
+val nrecords : t -> int
+val npages : t -> int
+
+val get : t -> int -> int
+(** Current in-memory balance.  @raise Invalid_argument on bad slot. *)
+
+val apply_update : t -> lsn:int -> slot:int -> value:int -> unit
+(** In-memory write; marks the slot's page dirty, recording [lsn] in the
+    stable dirty-page table if it is the first update since the page's
+    last checkpoint. *)
+
+type checkpoint_stats = { pages_flushed : int; duration : float }
+
+val checkpoint : t -> checkpoint_stats
+(** Fuzzy checkpoint: "data pages are periodically written to disk by a
+    background process that sweeps through data buffers to find dirty
+    pages."  Writes every dirty page to the snapshot, clears its
+    dirty-table entry, and reports cost (serial page writes). *)
+
+val dirty_pages : t -> int
+
+val recovery_start_lsn : t -> int option
+(** Minimum LSN in the stable dirty-page table — "the oldest entry in the
+    table determines the point in the log from which recovery should
+    commence."  [None] when no page has been dirtied since its last
+    checkpoint (redo can be skipped entirely). *)
+
+val crash : t -> unit
+(** Lose volatile memory: balances are scrambled; the disk snapshot and
+    the stable dirty-page table survive. *)
+
+type recover_stats = {
+  start_lsn : int;
+  records_scanned : int;
+  redo_applied : int;
+  undo_applied : int;
+  snapshot_pages_read : int;
+  recovery_time : float;
+}
+
+val recover : t -> log:Log_record.t list -> recover_stats
+(** Rebuild memory from the snapshot plus the durable [log] (LSN order):
+    redo every update from {!recovery_start_lsn} onward, then undo, in
+    reverse order, updates of transactions with no commit record in
+    [log].  Resets the dirty-page table. *)
+
+val balances : t -> int array
+(** Copy of the in-memory state (test oracle). *)

@@ -1,0 +1,156 @@
+type lock = {
+  mutable lock_holder : int option;
+  lock_waiters : int Queue.t;
+  mutable lock_precommitted : int list; (* newest first *)
+}
+
+type txn_state = {
+  mutable held : int list; (* keys *)
+  mutable waiting_for : int option;
+  mutable phase : [ `Active | `Precommitted | `Done ];
+}
+
+type grant = { granted_txn : int; dependencies : int list }
+
+type t = {
+  locks : (int, lock) Hashtbl.t;
+  txns : (int, txn_state) Hashtbl.t;
+}
+
+let create () = { locks = Hashtbl.create 64; txns = Hashtbl.create 64 }
+
+let get_lock t key =
+  match Hashtbl.find_opt t.locks key with
+  | Some l -> l
+  | None ->
+    let l =
+      {
+        lock_holder = None;
+        lock_waiters = Queue.create ();
+        lock_precommitted = [];
+      }
+    in
+    Hashtbl.replace t.locks key l;
+    l
+
+let get_txn t txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some s -> s
+  | None ->
+    let s = { held = []; waiting_for = None; phase = `Active } in
+    Hashtbl.replace t.txns txn s;
+    s
+
+let grant_to t lock key txn =
+  let st = get_txn t txn in
+  lock.lock_holder <- Some txn;
+  st.held <- key :: st.held;
+  st.waiting_for <- None;
+  { granted_txn = txn; dependencies = lock.lock_precommitted }
+
+let acquire t ~txn ~key =
+  let st = get_txn t txn in
+  (match st.waiting_for with
+  | Some k ->
+    invalid_arg
+      (Printf.sprintf "Lock_manager.acquire: txn %d already waits for %d" txn
+         k)
+  | None -> ());
+  let lock = get_lock t key in
+  match lock.lock_holder with
+  | Some h when h = txn -> Some { granted_txn = txn; dependencies = [] }
+  | Some _ ->
+    Queue.push txn lock.lock_waiters;
+    st.waiting_for <- Some key;
+    None
+  | None -> Some (grant_to t lock key txn)
+
+(* Wake the next waiter of a now-free lock, if any. *)
+let wake_next t key lock =
+  match Queue.pop lock.lock_waiters with
+  | exception Queue.Empty -> []
+  | next -> [ grant_to t lock key next ]
+
+let precommit t ~txn =
+  let st = get_txn t txn in
+  (match st.phase with
+  | `Active -> ()
+  | `Precommitted | `Done ->
+    invalid_arg "Lock_manager.precommit: transaction not active");
+  st.phase <- `Precommitted;
+  let grants =
+    List.concat_map
+      (fun key ->
+        let lock = get_lock t key in
+        assert (lock.lock_holder = Some txn);
+        lock.lock_holder <- None;
+        lock.lock_precommitted <- txn :: lock.lock_precommitted;
+        wake_next t key lock)
+      st.held
+  in
+  grants
+
+let release_abort t ~txn =
+  let st = get_txn t txn in
+  (match st.phase with
+  | `Active -> ()
+  | `Precommitted | `Done ->
+    invalid_arg
+      "Lock_manager.release_abort: pre-committed transactions never abort");
+  (* Remove any wait registration. *)
+  (match st.waiting_for with
+  | Some key ->
+    let lock = get_lock t key in
+    let remaining = Queue.create () in
+    Queue.iter (fun w -> if w <> txn then Queue.push w remaining) lock.lock_waiters;
+    Queue.clear lock.lock_waiters;
+    Queue.transfer remaining lock.lock_waiters;
+    st.waiting_for <- None
+  | None -> ());
+  let grants =
+    List.concat_map
+      (fun key ->
+        let lock = get_lock t key in
+        assert (lock.lock_holder = Some txn);
+        lock.lock_holder <- None;
+        wake_next t key lock)
+      st.held
+  in
+  st.held <- [];
+  st.phase <- `Done;
+  grants
+
+let finalize t ~txn =
+  let st = get_txn t txn in
+  (match st.phase with
+  | `Precommitted -> ()
+  | `Active | `Done ->
+    invalid_arg "Lock_manager.finalize: transaction not pre-committed");
+  List.iter
+    (fun key ->
+      let lock = get_lock t key in
+      lock.lock_precommitted <-
+        List.filter (fun x -> x <> txn) lock.lock_precommitted)
+    st.held;
+  st.held <- [];
+  st.phase <- `Done
+
+let holder t ~key =
+  match Hashtbl.find_opt t.locks key with
+  | Some l -> l.lock_holder
+  | None -> None
+
+let waiters t ~key =
+  match Hashtbl.find_opt t.locks key with
+  | Some l -> List.of_seq (Queue.to_seq l.lock_waiters)
+  | None -> []
+
+let precommitted t ~key =
+  match Hashtbl.find_opt t.locks key with
+  | Some l -> List.rev l.lock_precommitted
+  | None -> []
+
+let locks_held t ~txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some st -> List.rev st.held
+  | None -> []

@@ -1,0 +1,57 @@
+type page = { completion : float; records : Log_record.t list }
+
+type t = {
+  page_write_time : float;
+  page_size : int;
+  clock : Mmdb_storage.Sim_clock.t;
+  mutable busy : float;
+  mutable pages : page list; (* reversed *)
+  mutable npages : int;
+  mutable nbytes : int;
+}
+
+let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ~clock () =
+  if page_write_time <= 0.0 then invalid_arg "Log_device: write time <= 0";
+  if page_bytes <= 0 then invalid_arg "Log_device: page_bytes <= 0";
+  {
+    page_write_time;
+    page_size = page_bytes;
+    clock;
+    busy = 0.0;
+    pages = [];
+    npages = 0;
+    nbytes = 0;
+  }
+
+let page_bytes t = t.page_size
+
+let write_page t ~at records ~bytes =
+  if bytes > t.page_size then
+    invalid_arg
+      (Printf.sprintf "Log_device.write_page: %d bytes exceed page size %d"
+         bytes t.page_size);
+  let start = Float.max at t.busy in
+  let completion = start +. t.page_write_time in
+  t.busy <- completion;
+  t.pages <- { completion; records } :: t.pages;
+  t.npages <- t.npages + 1;
+  t.nbytes <- t.nbytes + bytes;
+  (* Keep the shared clock monotone with device activity. *)
+  Mmdb_storage.Sim_clock.advance_to t.clock at;
+  completion
+
+let busy_until t = t.busy
+let pages_written t = t.npages
+let bytes_written t = t.nbytes
+
+let durable_records t ~at =
+  List.concat_map
+    (fun p -> if p.completion <= at then p.records else [])
+    (List.rev t.pages)
+
+let durable_pages t ~at =
+  List.filter_map
+    (fun p -> if p.completion <= at then Some (p.completion, p.records) else None)
+    (List.rev t.pages)
+
+let all_records t = List.concat_map (fun p -> p.records) (List.rev t.pages)

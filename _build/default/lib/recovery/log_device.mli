@@ -1,0 +1,38 @@
+(** One sequential log device.
+
+    A log page write occupies the device for [page_write_time] (the
+    paper's 10 ms for a 4096-byte page with no seek).  Writes queue:
+    a write issued at time [t] starts at [max t busy_until] and the device
+    is busy until it completes.  Completed pages are durable; a crash at
+    time [T] preserves exactly the pages whose write completed by [T]. *)
+
+type t
+
+val create : ?page_write_time:float -> ?page_bytes:int ->
+  clock:Mmdb_storage.Sim_clock.t -> unit -> t
+(** Defaults: 10 ms, 4096 bytes. *)
+
+val page_bytes : t -> int
+
+val write_page : t -> at:float -> Log_record.t list -> bytes:int -> float
+(** [write_page d ~at records ~bytes] schedules a page write issued at
+    simulated time [at]; returns the completion time.  [bytes] is the
+    payload size (tracked for the log-size experiments; must not exceed
+    the page size). *)
+
+val busy_until : t -> float
+(** Completion time of the last scheduled write (0 if idle since start). *)
+
+val pages_written : t -> int
+val bytes_written : t -> int
+
+val durable_records : t -> at:float -> Log_record.t list
+(** All records on pages whose writes completed by [at], in write order —
+    what a crash at [at] leaves on this device. *)
+
+val durable_pages : t -> at:float -> (float * Log_record.t list) list
+(** Durable pages with their completion timestamps, oldest first — the
+    fragments that {!Log_merge} recombines per Section 5.2. *)
+
+val all_records : t -> Log_record.t list
+(** Every record ever scheduled (test helper). *)

@@ -1,0 +1,41 @@
+module U = Mmdb_util
+
+type stream = {
+  mutable pages : (float * Log_record.t list) list; (* ascending *)
+}
+
+let page_key (completion, records) =
+  let min_lsn =
+    List.fold_left (fun acc r -> min acc (Log_record.lsn r)) max_int records
+  in
+  (completion, min_lsn)
+
+let merge fragments =
+  let streams = List.map (fun pages -> { pages }) fragments in
+  let cmp (ka, _) (kb, _) = compare ka kb in
+  let heap = U.Heap.create ~cmp in
+  List.iter
+    (fun s ->
+      match s.pages with
+      | page :: rest ->
+        s.pages <- rest;
+        U.Heap.push heap (page_key page, (page, s))
+      | [] -> ())
+    streams;
+  let out = ref [] in
+  let rec drain () =
+    match U.Heap.pop heap with
+    | None -> ()
+    | Some (_, ((_, records), s)) ->
+      out := List.rev_append records !out;
+      (match s.pages with
+      | page :: rest ->
+        s.pages <- rest;
+        U.Heap.push heap (page_key page, (page, s))
+      | [] -> ());
+      drain ()
+  in
+  drain ();
+  List.rev !out
+
+let backward fragments = List.rev (merge fragments)

@@ -1,0 +1,41 @@
+type t =
+  | Begin of { txn : int; lsn : int }
+  | Update of {
+      txn : int;
+      lsn : int;
+      slot : int;
+      old_value : int;
+      new_value : int;
+    }
+  | Commit of { txn : int; lsn : int }
+  | Abort of { txn : int; lsn : int }
+
+let lsn = function
+  | Begin { lsn; _ } | Update { lsn; _ } | Commit { lsn; _ } | Abort { lsn; _ }
+    -> lsn
+
+let txn = function
+  | Begin { txn; _ } | Update { txn; _ } | Commit { txn; _ } | Abort { txn; _ }
+    -> txn
+
+(* Sizes chosen so the paper's "typical" banking transaction (begin + 6
+   updates + commit) writes 40 + 360 = 400 bytes uncompressed: 20 + 20
+   header bytes and 6 * 60 update bytes, of which half of each update is
+   the old value ("approximately half of the size of the log stores the
+   old values"), so a compressed update is 30 bytes and the compressed
+   transaction 220 — matching Recovery_model. *)
+let size_bytes ~compressed = function
+  | Begin _ | Commit _ | Abort _ -> 20
+  | Update _ -> if compressed then 30 else 60
+
+let is_update = function
+  | Update _ -> true
+  | Begin _ | Commit _ | Abort _ -> false
+
+let pp ppf = function
+  | Begin { txn; lsn } -> Format.fprintf ppf "[%d] BEGIN t%d" lsn txn
+  | Commit { txn; lsn } -> Format.fprintf ppf "[%d] COMMIT t%d" lsn txn
+  | Abort { txn; lsn } -> Format.fprintf ppf "[%d] ABORT t%d" lsn txn
+  | Update { txn; lsn; slot; old_value; new_value } ->
+    Format.fprintf ppf "[%d] UPDATE t%d slot=%d %d->%d" lsn txn slot old_value
+      new_value

@@ -1,0 +1,33 @@
+(** Write-ahead-log records (Section 5).
+
+    The paper's "typical" transaction writes 400 bytes of log: 40 bytes of
+    begin/end records plus 360 bytes of old/new values.  Records here are
+    structured values with explicit byte-size accounting (the experiments
+    depend on byte volumes, not on a particular wire encoding); §5.4's
+    compression — dropping old values once a transaction is known
+    committed — is a size mode. *)
+
+type t =
+  | Begin of { txn : int; lsn : int }
+  | Update of {
+      txn : int;
+      lsn : int;
+      slot : int;  (** which database record was changed *)
+      old_value : int;
+      new_value : int;
+    }
+  | Commit of { txn : int; lsn : int }
+  | Abort of { txn : int; lsn : int }
+
+val lsn : t -> int
+val txn : t -> int
+
+val size_bytes : compressed:bool -> t -> int
+(** Begin/Commit/Abort: 20 bytes each (the paper's 40 for begin+end).
+    Update: 60 bytes full (30 old value + 30 new value), 30 compressed
+    (old value dropped — §5.4: "approximately half of the size of the log
+    stores the old values"). *)
+
+val is_update : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** End-to-end crash/recovery driver (Sections 5.3-5.5).
+
+    Runs a banking workload through the full stack — lock manager,
+    memory-resident store, WAL strategy, optional periodic fuzzy
+    checkpoints — crashes at a chosen point, recovers from the disk
+    snapshot plus the durable log, and verifies the recovered state
+    against a golden replay of exactly the durably-committed
+    transactions. *)
+
+type config = {
+  nrecords : int;
+  records_per_page : int;
+  updates_per_txn : int;
+  n_txns : int;
+  checkpoint_every : int option;  (** transactions between checkpoints *)
+  strategy : Wal.strategy;
+  crash_after : int option;
+      (** crash right after this many submissions (the open log buffer is
+          lost); [None] = run to completion, flush, then crash *)
+  seed : int;
+}
+
+val default_config : config
+(** 500 accounts, 20 records/page, 6 updates/txn, 2000 transactions,
+    checkpoint every 500, group commit, crash at the end, seed 7. *)
+
+type outcome = {
+  durably_committed : int;
+      (** transactions whose commit records survived the crash *)
+  submitted : int;
+  consistent : bool;
+      (** recovered state equals the golden replay of committed txns *)
+  money_conserved : bool;  (** balances still sum to zero *)
+  recover_stats : Kv_store.recover_stats;
+  checkpoints_taken : int;
+  checkpoint_pages : int;
+  log_pages : int;
+  log_disk_bytes : int;
+}
+
+val run : config -> outcome

@@ -1,0 +1,34 @@
+(** Discrete-event transaction-throughput simulation (Section 5.2).
+
+    Transactions execute instantaneously in the memory-resident database
+    (the paper: "transactions no longer need to read or write data pages
+    ... they still need to perform at least one log I/O"); throughput is
+    therefore bounded by the commit strategy's log behaviour.  Each
+    transaction takes its account locks, applies its updates, pre-commits
+    (releasing locks into the pre-committed sets), and submits its log;
+    it reports committed when its commit record is durable. *)
+
+type result = {
+  strategy_label : string;
+  committed : int;
+  makespan : float;  (** first arrival to last commit, seconds *)
+  tps : float;
+  latency : Mmdb_util.Stats.summary;  (** arrival-to-durable-commit *)
+  log_pages : int;
+  log_disk_bytes : int;
+}
+
+val strategy_label : Wal.strategy -> string
+
+val run : ?seed:int -> ?nrecords:int -> ?updates_per_txn:int ->
+  ?arrival_interval:float -> n_txns:int -> Wal.strategy -> result
+(** [run ~n_txns strategy] pushes [n_txns] banking transactions through
+    the strategy.  [arrival_interval] (default 0 = saturation: all work
+    available immediately) spaces arrivals for open-loop runs;
+    [nrecords] (default 1000) is the account-table size;
+    [updates_per_txn] defaults to the paper's 6 (400-byte logs). *)
+
+val paper_ladder : ?n_txns:int -> unit -> (string * float * float) list
+(** The Section 5.2 ladder: measured vs predicted tps for conventional,
+    group commit, partitioned x{2,4}, and stable memory
+    (compressed) — [(label, measured_tps, model_tps)]. *)

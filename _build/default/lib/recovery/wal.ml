@@ -1,0 +1,228 @@
+type strategy =
+  | Conventional
+  | Group_commit
+  | Partitioned of { devices : int }
+  | Stable of { devices : int; capacity_bytes : int; compressed : bool }
+
+type ticket = { tkt_txn : int; mutable completion : float option }
+
+type open_page = {
+  mutable op_records : Log_record.t list; (* reversed *)
+  mutable op_bytes : int;
+  mutable op_tickets : (ticket * int list) list; (* ticket, txn deps *)
+}
+
+type t = {
+  strat : strategy;
+  page_size : int;
+  clock : Mmdb_storage.Sim_clock.t;
+  devices : Log_device.t array;
+  mutable next_device : int;
+  mutable page : open_page;
+  stable : Stable_memory.t option;
+  compressed : bool;
+  txn_durable : (int, float) Hashtbl.t;
+  mutable buffered : Log_record.t list; (* reversed: never-flushed oracle *)
+  mutable last_at : float;
+  mutable stable_last_commit : float; (* monotone stable commit stamps *)
+}
+
+let fresh_page () = { op_records = []; op_bytes = 0; op_tickets = [] }
+
+let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ~clock strat =
+  let ndev, stable, compressed =
+    match strat with
+    | Conventional | Group_commit -> (1, None, false)
+    | Partitioned { devices } ->
+      if devices <= 0 then invalid_arg "Wal: devices <= 0";
+      (devices, None, false)
+    | Stable { devices; capacity_bytes; compressed } ->
+      if devices <= 0 then invalid_arg "Wal: devices <= 0";
+      (devices, Some (Stable_memory.create ~capacity_bytes), compressed)
+  in
+  {
+    strat;
+    page_size = page_bytes;
+    clock;
+    devices =
+      Array.init ndev (fun _ -> Log_device.create ~page_write_time ~page_bytes ~clock ());
+    next_device = 0;
+    page = fresh_page ();
+    stable;
+    compressed;
+    txn_durable = Hashtbl.create 256;
+    buffered = [];
+    last_at = 0.0;
+    stable_last_commit = 0.0;
+  }
+
+let strategy t = t.strat
+let page_bytes t = t.page_size
+
+let record_size t r = Log_record.size_bytes ~compressed:t.compressed r
+
+let pick_device t =
+  let d = t.devices.(t.next_device) in
+  t.next_device <- (t.next_device + 1) mod Array.length t.devices;
+  d
+
+(* Flush the open buffer page to a device, honouring commit-group
+   dependencies: the write is issued no earlier than the durability time
+   of every group the page's transactions depend on. *)
+let flush_page t ~at =
+  if t.page.op_records = [] && t.page.op_tickets = [] then at
+  else begin
+    let dep_time =
+      List.fold_left
+        (fun acc (_, deps) ->
+          List.fold_left
+            (fun acc dep ->
+              match Hashtbl.find_opt t.txn_durable dep with
+              | Some c -> Float.max acc c
+              | None -> acc (* same page: shares this completion *))
+            acc deps)
+        0.0 t.page.op_tickets
+    in
+    let issue = Float.max at dep_time in
+    let dev = pick_device t in
+    let completion =
+      Log_device.write_page dev ~at:issue
+        (List.rev t.page.op_records)
+        ~bytes:t.page.op_bytes
+    in
+    List.iter
+      (fun (tkt, _) ->
+        tkt.completion <- Some completion;
+        Hashtbl.replace t.txn_durable tkt.tkt_txn completion)
+      t.page.op_tickets;
+    t.page <- fresh_page ();
+    completion
+  end
+
+let append_record t ~at r =
+  let sz = record_size t r in
+  if t.page.op_bytes + sz > t.page_size then ignore (flush_page t ~at);
+  t.page.op_records <- r :: t.page.op_records;
+  t.page.op_bytes <- t.page.op_bytes + sz
+
+(* Stable strategy: drain whole pages from stable memory to the devices
+   until [need] bytes fit (or the backlog is empty).  Drains are issued at
+   [at]; each device queues its own writes, so multiple devices drain in
+   parallel.  Returns the completion time of the last drain issued. *)
+let stable_drain t sm ~at ~need =
+  (* Disk pages carry the compressed form (new values only, §5.4), so a
+     page is packed until its *compressed* size is full — this is where
+     compression buys throughput: more transactions per page write. *)
+  let batch_disk_bytes records =
+    List.fold_left
+      (fun acc r -> acc + Log_record.size_bytes ~compressed:t.compressed r)
+      0 records
+  in
+  let last = ref at in
+  let continue = ref true in
+  while !continue && Stable_memory.available sm < need do
+    (* Pack one disk page. *)
+    let page_records = ref [] in
+    let page_fill = ref 0 in
+    let packing = ref true in
+    while !packing do
+      match Stable_memory.peek_batch sm with
+      | Some (records, _stable_bytes) ->
+        let sz = batch_disk_bytes records in
+        if !page_fill + sz <= t.page_size || !page_fill = 0 then begin
+          Stable_memory.drop_batch sm;
+          page_records := List.rev_append records !page_records;
+          page_fill := !page_fill + sz
+        end
+        else packing := false
+      | None -> packing := false
+    done;
+    if !page_fill = 0 then continue := false
+    else begin
+      let dev = pick_device t in
+      let completion =
+        Log_device.write_page dev ~at
+          (List.rev !page_records)
+          ~bytes:(min !page_fill t.page_size)
+      in
+      last := Float.max !last completion
+    end
+  done;
+  !last
+
+let commit_txn t ~at ~txn ~deps records =
+  if at < t.last_at -. 1e-12 then
+    invalid_arg "Wal.commit_txn: submissions must be in time order";
+  t.last_at <- Float.max t.last_at at;
+  t.buffered <- List.rev_append records t.buffered;
+  let tkt = { tkt_txn = txn; completion = None } in
+  (match t.strat with
+  | Stable _ ->
+    let sm = match t.stable with Some sm -> sm | None -> assert false in
+    (* Stable memory always stores the full (uncompressed) records. *)
+    let bytes =
+      List.fold_left
+        (fun acc r -> acc + Log_record.size_bytes ~compressed:false r)
+        0 records
+    in
+    let needed_drain = Stable_memory.available sm < bytes in
+    let drained_until =
+      if needed_drain then stable_drain t sm ~at ~need:bytes else at
+    in
+    let ok = Stable_memory.put_records sm records ~bytes in
+    if not ok then
+      invalid_arg "Wal: transaction log larger than stable memory";
+    (* Commit point: records are in stable memory.  If draining had to
+       run to make room, the transaction waited for it to finish.  Commit
+       stamps are monotone in submission order — a transaction entering
+       stable memory behind a drain-delayed predecessor cannot claim an
+       earlier commit point (its dependencies were submitted first). *)
+    let committed_at = Float.max drained_until t.stable_last_commit in
+    t.stable_last_commit <- committed_at;
+    tkt.completion <- Some committed_at;
+    Hashtbl.replace t.txn_durable txn committed_at
+  | Conventional | Group_commit | Partitioned _ ->
+    List.iter (append_record t ~at) records;
+    t.page.op_tickets <- (tkt, deps) :: t.page.op_tickets;
+    (match t.strat with
+    | Conventional -> ignore (flush_page t ~at)
+    | Group_commit | Partitioned _ ->
+      if t.page.op_bytes >= t.page_size then ignore (flush_page t ~at)
+    | Stable _ -> assert false));
+  tkt
+
+let ticket_txn tkt = tkt.tkt_txn
+let ticket_completion tkt = tkt.completion
+
+let flush t ~at =
+  match t.strat with
+  | Stable _ ->
+    let sm = match t.stable with Some sm -> sm | None -> assert false in
+    stable_drain t sm ~at ~need:(Stable_memory.capacity sm + 1)
+  | Conventional | Group_commit | Partitioned _ -> flush_page t ~at
+
+let quiesce_time t =
+  Array.fold_left (fun acc d -> Float.max acc (Log_device.busy_until d)) 0.0
+    t.devices
+
+let pages_written t =
+  Array.fold_left (fun acc d -> acc + Log_device.pages_written d) 0 t.devices
+
+let disk_bytes_written t =
+  Array.fold_left (fun acc d -> acc + Log_device.bytes_written d) 0 t.devices
+
+let durable_records t ~at =
+  (* Section 5.2's recovery-time merge of the per-device log fragments by
+     page timestamp.  Stable-memory contents are the newest suffix (drains
+     are FIFO), so they append after the merged disk log. *)
+  let on_disk =
+    Log_merge.merge
+      (Array.to_list t.devices
+      |> List.map (fun d -> Log_device.durable_pages d ~at))
+  in
+  let in_stable =
+    match t.stable with Some sm -> Stable_memory.records sm | None -> []
+  in
+  on_disk @ in_stable
+
+let all_records t = List.rev t.buffered

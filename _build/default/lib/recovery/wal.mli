@@ -1,0 +1,72 @@
+(** Write-ahead log manager implementing Section 5.2's commit strategies.
+
+    - {b Conventional}: every transaction's commit forces its own log-page
+      write — at most [1 / page_write_time] = 100 commits/s.
+    - {b Group commit}: commit records accumulate in the log buffer; one
+      page write commits the whole group (~10 transactions/page → 1000
+      commits/s).  "As long as records are sequentially added to the log,
+      a pre-committed transaction will have its commit record on disk
+      before its dependent transactions."
+    - {b Partitioned}: the log is striped over several devices; a commit
+      group's write is held until every group it depends on (via the lock
+      manager's pre-commit dependencies) is durable — the paper's
+      topological ordering of log pages.
+    - {b Stable}: commit is instant once the transaction's records are in
+      battery-backed stable memory; a background drain writes
+      new-values-only pages to disk (Section 5.4's compression).
+
+    Simplification (documented in DESIGN.md): a drained stable-memory page
+    is treated as durable from the moment the drain is issued — a
+    battery-backed controller finishes in-flight writes across a crash. *)
+
+type strategy =
+  | Conventional
+  | Group_commit
+  | Partitioned of { devices : int }
+  | Stable of { devices : int; capacity_bytes : int; compressed : bool }
+
+type t
+
+type ticket
+(** A pending commit: resolved once the commit record is durable. *)
+
+val create : ?page_write_time:float -> ?page_bytes:int ->
+  clock:Mmdb_storage.Sim_clock.t -> strategy -> t
+
+val strategy : t -> strategy
+val page_bytes : t -> int
+
+val commit_txn : t -> at:float -> txn:int -> deps:int list ->
+  Log_record.t list -> ticket
+(** [commit_txn wal ~at ~txn ~deps records] logs a finished transaction
+    (its whole record list, commit/abort record last) at simulated time
+    [at].  [deps] are the pre-committed transactions it read from (lock
+    manager grants); their commit groups must be durable first.
+    Transactions must be submitted in nondecreasing [at] order. *)
+
+val ticket_txn : ticket -> int
+
+val ticket_completion : ticket -> float option
+(** [None] while the commit record sits in a volatile buffer page that has
+    not been written (group commit waiting to fill). *)
+
+val flush : t -> at:float -> float
+(** Force the open buffer page (and, for [Stable], the stable-memory
+    backlog) to disk; returns the time everything issued so far is
+    durable.  Resolves outstanding tickets. *)
+
+val quiesce_time : t -> float
+(** Completion time of every write scheduled so far (max over devices).
+    A crash at or after this time loses only the never-scheduled buffer
+    tail — the canonical group-commit loss scenario. *)
+
+val pages_written : t -> int
+val disk_bytes_written : t -> int
+(** Log bytes that reached disk (post-compression for [Stable]). *)
+
+val durable_records : t -> at:float -> Log_record.t list
+(** What a crash at [at] leaves readable: completed device pages, plus
+    stable-memory contents for [Stable]. *)
+
+val all_records : t -> Log_record.t list
+(** Everything submitted, including still-buffered records (test oracle). *)

@@ -1,0 +1,44 @@
+module U = Mmdb_util
+
+type txn = { txn_id : int; updates : (int * int) list }
+
+let generate ~rng ~nrecords ?(updates_per_txn = 6) ~n () =
+  if updates_per_txn <= 0 then
+    invalid_arg "Workload.generate: updates_per_txn <= 0";
+  if updates_per_txn > nrecords then
+    invalid_arg "Workload.generate: more updates than accounts";
+  List.init n (fun i ->
+      let slots =
+        U.Xorshift.sample_without_replacement rng ~n:nrecords
+          ~k:updates_per_txn
+      in
+      (* Zero-sum deltas: pair up accounts; odd leftover gets 0. *)
+      let updates =
+        Array.to_list
+          (Array.mapi
+             (fun j slot ->
+               let amount = 1 + U.Xorshift.int rng 100 in
+               let delta =
+                 if j = updates_per_txn - 1 && updates_per_txn mod 2 = 1 then 0
+                 else if j mod 2 = 0 then amount
+                 else -amount
+               in
+               (slot, delta))
+             slots)
+      in
+      (* Re-balance: make the sum exactly zero by adjusting the last
+         slot. *)
+      let sum = List.fold_left (fun a (_, d) -> a + d) 0 updates in
+      let updates =
+        match List.rev updates with
+        | (slot, d) :: rest -> List.rev ((slot, d - sum) :: rest)
+        | [] -> []
+      in
+      { txn_id = i; updates })
+
+let log_bytes ~updates_per_txn = 40 + (updates_per_txn * 60)
+
+let apply ~balances txn =
+  List.iter
+    (fun (slot, delta) -> balances.(slot) <- balances.(slot) + delta)
+    txn.updates

@@ -1,0 +1,26 @@
+(** Synthetic banking workload (the paper's footnote: ballpark figures
+    from Jim Gray's "Notes on Database Operating Systems" example banking
+    database).
+
+    Each transaction debits and credits a handful of accounts: with the
+    default 6 updates its log is 20 + 6·60 + 20 = 400 bytes — exactly the
+    paper's "typical" transaction. *)
+
+type txn = {
+  txn_id : int;
+  updates : (int * int) list;  (** (account slot, delta) — zero-sum *)
+}
+
+val generate : rng:Mmdb_util.Xorshift.t -> nrecords:int ->
+  ?updates_per_txn:int -> n:int -> unit -> txn list
+(** [generate ~rng ~nrecords ~n ()] makes [n] transactions over accounts
+    [0..nrecords), each touching [updates_per_txn] (default 6) {e distinct}
+    accounts with deltas that sum to zero (money conservation — the
+    test invariant).  @raise Invalid_argument if [updates_per_txn >
+    nrecords] or not positive. *)
+
+val log_bytes : updates_per_txn:int -> int
+(** Uncompressed log bytes such a transaction writes (400 for 6). *)
+
+val apply : balances:int array -> txn -> unit
+(** Apply the deltas to an array (golden-state oracle). *)

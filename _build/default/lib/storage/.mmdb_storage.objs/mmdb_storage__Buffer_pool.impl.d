@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Array Counters Disk Env Hashtbl Mmdb_util

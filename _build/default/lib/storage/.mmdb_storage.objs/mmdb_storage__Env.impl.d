@@ -1,0 +1,1 @@
+lib/storage/env.ml: Cost Counters Sim_clock

@@ -1,0 +1,1 @@
+lib/storage/env.mli: Cost Counters Sim_clock

@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Array Bytes Disk List Page Schema Tid

@@ -1,0 +1,1 @@
+lib/storage/relation.mli: Disk Env Schema Tid

@@ -1,0 +1,1 @@
+lib/storage/sim_clock.mli:

@@ -1,0 +1,1 @@
+lib/storage/tid.ml: Bytes Char Format Int

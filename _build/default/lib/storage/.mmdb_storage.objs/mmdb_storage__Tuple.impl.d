@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Bytes Char Format Int64 List Printf Schema String

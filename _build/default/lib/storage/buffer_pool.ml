@@ -1,0 +1,167 @@
+type policy =
+  | Random_replacement of Mmdb_util.Xorshift.t
+  | Lru
+  | Clock
+  | Fifo
+  | Lru_2
+
+type frame = {
+  pid : int;
+  data : bytes;
+  mutable dirty : bool;
+  mutable last_use : int; (* LRU timestamp *)
+  mutable prev_use : int; (* second-most-recent access (LRU-2); 0 = none *)
+  mutable arrival : int; (* FIFO order *)
+  mutable referenced : bool; (* Clock bit *)
+}
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  policy : policy;
+  frames : (int, frame) Hashtbl.t; (* pid -> frame *)
+  mutable tick : int;
+  mutable clock_hand : int list; (* pids in arrival order for Clock sweep *)
+}
+
+let create ~disk ~capacity policy =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity <= 0";
+  {
+    disk;
+    capacity;
+    policy;
+    frames = Hashtbl.create (2 * capacity);
+    tick = 0;
+    clock_hand = [];
+  }
+
+let capacity t = t.capacity
+let resident t = Hashtbl.length t.frames
+let is_resident t pid = Hashtbl.mem t.frames pid
+
+let env t = Disk.env t.disk
+
+let write_back t frame =
+  if frame.dirty then begin
+    (* Bypass Disk.write's copy-in charge duplication: the pool is the one
+       charging, via a normal charged random write. *)
+    Disk.write t.disk ~mode:Disk.Rand frame.pid frame.data;
+    frame.dirty <- false
+  end
+
+let evict_one t =
+  let victim_pid =
+    match t.policy with
+    | Random_replacement rng ->
+      let pids =
+        Hashtbl.fold (fun pid _ acc -> pid :: acc) t.frames []
+      in
+      let arr = Array.of_list pids in
+      arr.(Mmdb_util.Xorshift.int rng (Array.length arr))
+    | Lru ->
+      let best = ref None in
+      Hashtbl.iter
+        (fun pid f ->
+          match !best with
+          | None -> best := Some (pid, f.last_use)
+          | Some (_, lu) -> if f.last_use < lu then best := Some (pid, f.last_use))
+        t.frames;
+      (match !best with Some (pid, _) -> pid | None -> assert false)
+    | Fifo ->
+      let best = ref None in
+      Hashtbl.iter
+        (fun pid f ->
+          match !best with
+          | None -> best := Some (pid, f.arrival)
+          | Some (_, a) -> if f.arrival < a then best := Some (pid, f.arrival))
+        t.frames;
+      (match !best with Some (pid, _) -> pid | None -> assert false)
+    | Lru_2 ->
+      (* Rank by second-most-recent access; once-touched pages (prev_use
+         = 0) sort below everything, ties broken by last_use. *)
+      let best = ref None in
+      Hashtbl.iter
+        (fun pid f ->
+          let key = (f.prev_use, f.last_use) in
+          match !best with
+          | None -> best := Some (pid, key)
+          | Some (_, k) -> if key < k then best := Some (pid, key))
+        t.frames;
+      (match !best with Some (pid, _) -> pid | None -> assert false)
+    | Clock ->
+      (* Sweep the arrival list, clearing reference bits, until an
+         unreferenced resident page is found. *)
+      let rec sweep order =
+        match order with
+        | [] -> sweep t.clock_hand
+        | pid :: rest -> (
+          match Hashtbl.find_opt t.frames pid with
+          | None -> sweep rest
+          | Some f ->
+            if f.referenced then begin
+              f.referenced <- false;
+              sweep rest
+            end
+            else begin
+              t.clock_hand <- rest;
+              pid
+            end)
+      in
+      sweep t.clock_hand
+  in
+  let frame = Hashtbl.find t.frames victim_pid in
+  write_back t frame;
+  Hashtbl.remove t.frames victim_pid
+
+let touch t frame =
+  t.tick <- t.tick + 1;
+  frame.prev_use <- frame.last_use;
+  frame.last_use <- t.tick;
+  frame.referenced <- true
+
+let get t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | Some frame ->
+    (env t).Env.counters.Counters.pool_hits <-
+      (env t).Env.counters.Counters.pool_hits + 1;
+    touch t frame;
+    frame.data
+  | None ->
+    (env t).Env.counters.Counters.faults <-
+      (env t).Env.counters.Counters.faults + 1;
+    if Hashtbl.length t.frames >= t.capacity then evict_one t;
+    let data = Disk.read t.disk ~mode:Disk.Rand pid in
+    t.tick <- t.tick + 1;
+    let frame =
+      {
+        pid;
+        data;
+        dirty = false;
+        last_use = 0;
+        prev_use = 0;
+        arrival = t.tick;
+        referenced = false;
+      }
+    in
+    touch t frame;
+    Hashtbl.replace t.frames pid frame;
+    t.clock_hand <- t.clock_hand @ [ pid ];
+    data
+
+let mark_dirty t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | Some frame -> frame.dirty <- true
+  | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+
+let flush t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | Some frame -> write_back t frame
+  | None -> ()
+
+let flush_all t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
+
+let drop_all t =
+  Hashtbl.reset t.frames;
+  t.clock_hand <- []
+
+let iter_resident t f = Hashtbl.iter (fun pid _ -> f pid) t.frames

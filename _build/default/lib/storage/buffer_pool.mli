@@ -1,0 +1,59 @@
+(** Buffer pool over a {!Disk} with pluggable replacement.
+
+    Section 2 of the paper derives page-fault rates for tree traversals
+    under the assumption of a *random* replacement policy with [|M|] resident
+    pages; this module implements that policy (plus LRU and Clock for the
+    ablation in DESIGN.md) and counts hits and faults in the environment's
+    counters.  A miss charges one random I/O; a dirty eviction charges a
+    random write. *)
+
+type policy =
+  | Random_replacement of Mmdb_util.Xorshift.t
+      (** Evict a uniformly random resident frame — the paper's §2 model. *)
+  | Lru
+  | Clock
+  | Fifo  (** evict the longest-resident page regardless of use *)
+  | Lru_2
+      (** evict the page with the oldest {e second}-most-recent access
+          (LRU-K with K = 2); pages touched only once rank below all
+          twice-touched pages — §6's "buffer management strategies" *)
+
+type t
+
+val create : disk:Disk.t -> capacity:int -> policy -> t
+(** [create ~disk ~capacity policy] is an empty pool of [capacity] frames
+    ([|M|] pages).  @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val resident : t -> int
+(** Number of frames currently holding a page. *)
+
+val is_resident : t -> int -> bool
+(** [is_resident t pid] is true when [pid] occupies a frame (no charge,
+    no recency update). *)
+
+val get : t -> int -> bytes
+(** [get t pid] returns the page, faulting it in (one random read, one
+    fault counted) if absent; a hit counts [pool_hits] and costs nothing.
+    The returned bytes are the live frame: callers that mutate it must call
+    {!mark_dirty}.  Eviction of a dirty frame writes it back (one random
+    write). *)
+
+val mark_dirty : t -> int -> unit
+(** Flag a resident page as modified.  @raise Invalid_argument if the page
+    is not resident. *)
+
+val flush : t -> int -> unit
+(** Write one resident dirty page back (random write); no-op when clean or
+    absent. *)
+
+val flush_all : t -> unit
+(** Write back every dirty frame; pages stay resident. *)
+
+val drop_all : t -> unit
+(** Discard every frame {e without} write-back — simulates losing volatile
+    memory in a crash. *)
+
+val iter_resident : t -> (int -> unit) -> unit
+(** Apply to every resident page id (used by the checkpoint sweeper). *)

@@ -1,0 +1,61 @@
+type io_mode = Seq | Rand
+
+type t = {
+  env : Env.t;
+  page_size : int;
+  pages : (int, bytes) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create ~env ~page_size =
+  if page_size <= Page.header_size then
+    invalid_arg "Disk.create: page_size too small";
+  { env; page_size; pages = Hashtbl.create 1024; next_id = 0 }
+
+let env t = t.env
+let page_size t = t.page_size
+let page_count t = Hashtbl.length t.pages
+
+let alloc t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.pages id (Page.create t.page_size);
+  id
+
+let find t pid =
+  match Hashtbl.find_opt t.pages pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Disk: unknown page %d" pid)
+
+let charge_read t mode =
+  match mode with
+  | Seq -> Env.charge_io_seq_read t.env
+  | Rand -> Env.charge_io_rand_read t.env
+
+let charge_write t mode =
+  match mode with
+  | Seq -> Env.charge_io_seq_write t.env
+  | Rand -> Env.charge_io_rand_write t.env
+
+let read t ~mode pid =
+  charge_read t mode;
+  Bytes.copy (find t pid)
+
+let write t ~mode pid page =
+  if Bytes.length page <> t.page_size then
+    invalid_arg "Disk.write: page size mismatch";
+  ignore (find t pid);
+  charge_write t mode;
+  Hashtbl.replace t.pages pid (Bytes.copy page)
+
+let free t pid =
+  ignore (find t pid);
+  Hashtbl.remove t.pages pid
+
+let read_nocharge t pid = Bytes.copy (find t pid)
+
+let write_nocharge t pid page =
+  if Bytes.length page <> t.page_size then
+    invalid_arg "Disk.write_nocharge: page size mismatch";
+  ignore (find t pid);
+  Hashtbl.replace t.pages pid (Bytes.copy page)

@@ -1,0 +1,47 @@
+(** Simulated disk: a page store with charged, counted I/O.
+
+    The paper's evaluation charges 10 ms per sequential and 25 ms per random
+    page I/O (Table 2) and counts page accesses; this module reproduces that
+    cost structure over an in-memory page table.  Operators declare whether
+    each access is sequential or random — exactly how the paper's formulas
+    assign [IOseq] vs [IOrand] — because the 1984 distinction is about arm
+    movement that a simulator cannot infer from page numbers alone.
+
+    Pages survive simulated crashes: a crash discards volatile state (buffer
+    pools, in-memory indexes), never disk contents. *)
+
+type t
+
+type io_mode = Seq | Rand
+(** How an access is charged: [Seq] = IOseq, [Rand] = IOrand. *)
+
+val create : env:Env.t -> page_size:int -> t
+(** A disk with no allocated pages. *)
+
+val env : t -> Env.t
+val page_size : t -> int
+
+val page_count : t -> int
+(** Number of currently allocated pages. *)
+
+val alloc : t -> int
+(** [alloc d] allocates a zeroed page and returns its id.  Allocation
+    itself charges no I/O (the write that follows does). *)
+
+val read : t -> mode:io_mode -> int -> bytes
+(** [read d ~mode pid] charges one I/O and returns a copy of the page.
+    @raise Invalid_argument if [pid] was never allocated or was freed. *)
+
+val write : t -> mode:io_mode -> int -> bytes -> unit
+(** [write d ~mode pid page] charges one I/O and stores a copy.
+    @raise Invalid_argument on unknown page or size mismatch. *)
+
+val free : t -> int -> unit
+(** Release a page (e.g. temporary partition files after a join). *)
+
+val read_nocharge : t -> int -> bytes
+(** Uninstrumented read for tests and recovery-inspection code paths. *)
+
+val write_nocharge : t -> int -> bytes -> unit
+(** Uninstrumented write, used when pre-loading workloads so that setup
+    cost does not pollute an experiment's counters. *)

@@ -1,0 +1,149 @@
+type t = {
+  rel_name : string;
+  rel_schema : Schema.t;
+  rel_disk : Disk.t;
+  mutable pages : int list; (* reversed page ids *)
+  mutable npages : int;
+  mutable ntuples : int;
+  mutable tail : bytes option; (* partial page being filled *)
+  mutable charged : bool; (* whether any charged append happened *)
+  mutable write_mode : Disk.io_mode; (* pricing of charged spills *)
+}
+
+let create ~disk ~name ~schema =
+  (* Validate the schema fits the page size up front. *)
+  ignore
+    (Page.capacity ~page_size:(Disk.page_size disk)
+       ~tuple_width:(Schema.tuple_width schema));
+  {
+    rel_name = name;
+    rel_schema = schema;
+    rel_disk = disk;
+    pages = [];
+    npages = 0;
+    ntuples = 0;
+    tail = None;
+    charged = false;
+    write_mode = Disk.Seq;
+  }
+
+let name t = t.rel_name
+let schema t = t.rel_schema
+let disk t = t.rel_disk
+let env t = Disk.env t.rel_disk
+let ntuples t = t.ntuples
+
+let tuples_per_page t =
+  Page.capacity ~page_size:(Disk.page_size t.rel_disk)
+    ~tuple_width:(Schema.tuple_width t.rel_schema)
+
+let npages t = t.npages + (match t.tail with Some _ -> 1 | None -> 0)
+
+let set_write_mode t mode = t.write_mode <- mode
+
+let spill t page ~charge =
+  let pid = Disk.alloc t.rel_disk in
+  if charge then Disk.write t.rel_disk ~mode:t.write_mode pid page
+  else Disk.write_nocharge t.rel_disk pid page;
+  t.pages <- pid :: t.pages;
+  t.npages <- t.npages + 1
+
+let tail_page t =
+  match t.tail with
+  | Some p -> p
+  | None ->
+    let p = Page.create (Disk.page_size t.rel_disk) in
+    t.tail <- Some p;
+    p
+
+let append_common t tuple ~charge =
+  let tw = Schema.tuple_width t.rel_schema in
+  if Bytes.length tuple <> tw then
+    invalid_arg "Relation.append: tuple width mismatch";
+  if charge then t.charged <- true;
+  let page = tail_page t in
+  if not (Page.append page ~tuple_width:tw tuple) then begin
+    spill t page ~charge;
+    let fresh = Page.create (Disk.page_size t.rel_disk) in
+    let ok = Page.append fresh ~tuple_width:tw tuple in
+    assert ok;
+    t.tail <- Some fresh
+  end;
+  t.ntuples <- t.ntuples + 1
+
+let append t tuple = append_common t tuple ~charge:true
+let append_nocharge t tuple = append_common t tuple ~charge:false
+
+let seal t =
+  match t.tail with
+  | None -> ()
+  | Some page ->
+    if Page.count page > 0 then spill t page ~charge:t.charged
+    else ();
+    t.tail <- None
+
+let page_ids t = Array.of_list (List.rev t.pages)
+
+let iter_pages ?(mode = Disk.Seq) t f =
+  seal t;
+  Array.iter (fun pid -> f (Disk.read t.rel_disk ~mode pid)) (page_ids t)
+
+let iter_tuples ?(mode = Disk.Seq) t f =
+  let tw = Schema.tuple_width t.rel_schema in
+  iter_pages ~mode t (fun page -> Page.iter page ~tuple_width:tw (fun _ tup -> f tup))
+
+let iter_tuples_nocharge t f =
+  seal t;
+  let tw = Schema.tuple_width t.rel_schema in
+  Array.iter
+    (fun pid ->
+      let page = Disk.read_nocharge t.rel_disk pid in
+      Page.iter page ~tuple_width:tw (fun _ tup -> f tup))
+    (page_ids t)
+
+let iter_tids_nocharge t f =
+  seal t;
+  let tw = Schema.tuple_width t.rel_schema in
+  Array.iteri
+    (fun pidx pid ->
+      let page = Disk.read_nocharge t.rel_disk pid in
+      Page.iter page ~tuple_width:tw (fun slot tup ->
+          f (Tid.make ~page:pidx ~slot) tup))
+    (page_ids t)
+
+let fetch ?(mode = Disk.Rand) t tid =
+  seal t;
+  let ids = page_ids t in
+  if tid.Tid.page < 0 || tid.Tid.page >= Array.length ids then
+    invalid_arg "Relation.fetch: page out of range";
+  let page = Disk.read t.rel_disk ~mode ids.(tid.Tid.page) in
+  let tw = Schema.tuple_width t.rel_schema in
+  if tid.Tid.slot < 0 || tid.Tid.slot >= Page.count page then
+    invalid_arg "Relation.fetch: slot out of range";
+  Page.get page ~tuple_width:tw tid.Tid.slot
+
+let of_tuples ~disk ~name ~schema tuples =
+  let t = create ~disk ~name ~schema in
+  List.iter (append_nocharge t) tuples;
+  seal t;
+  t
+
+let with_schema t schema =
+  if Schema.tuple_width schema <> Schema.tuple_width t.rel_schema then
+    invalid_arg "Relation.with_schema: tuple width mismatch";
+  seal t;
+  { t with rel_schema = schema }
+
+let to_list t =
+  let acc = ref [] in
+  iter_tuples_nocharge t (fun tup -> acc := tup :: !acc);
+  List.rev !acc
+
+let free_pages t =
+  seal t;
+  List.iter (Disk.free t.rel_disk) t.pages;
+  t.pages <- [];
+  t.npages <- 0;
+  t.ntuples <- 0;
+  t.charged <- false;
+  t.tail <- None

@@ -1,0 +1,79 @@
+(** Relations: named sequences of tuple pages on a simulated disk.
+
+    A relation owns an ordered list of disk pages plus an in-memory tail
+    page being filled.  Appends that fill a page spill it to disk; whether
+    that spill is charged depends on the append function used, so workload
+    setup can be free while operator output is charged — mirroring the
+    paper's convention of "ignoring the cost of reading the relations
+    initially and writing the result of the join". *)
+
+type t
+
+val create : disk:Disk.t -> name:string -> schema:Schema.t -> t
+
+val name : t -> string
+val schema : t -> Schema.t
+val disk : t -> Disk.t
+val env : t -> Env.t
+
+val ntuples : t -> int
+(** [||R||] — total tuples appended (sealed or not). *)
+
+val npages : t -> int
+(** [|R|] — pages on disk after {!seal} (includes a partial tail page). *)
+
+val tuples_per_page : t -> int
+
+val append : t -> bytes -> unit
+(** Charged append: a page spill costs one write in the relation's write
+    mode (sequential unless changed with {!set_write_mode}). *)
+
+val set_write_mode : t -> Disk.io_mode -> unit
+(** How charged spills are priced.  Partitioning with many output buffers
+    writes randomly (Section 3's [IOrand] terms); the default is [Seq]. *)
+
+val append_nocharge : t -> bytes -> unit
+(** Free append for workload setup. *)
+
+val seal : t -> unit
+(** Flush the partial tail page (charged variant if any charged append has
+    occurred, free otherwise).  Idempotent; appends may resume after. *)
+
+val page_ids : t -> int array
+(** Disk page ids in relation order.  Call {!seal} first if a partial tail
+    page must be included. *)
+
+val iter_pages : ?mode:Disk.io_mode -> t -> (bytes -> unit) -> unit
+(** [iter_pages t f] seals then reads each page in order, charging one I/O
+    per page ([mode] defaults to [Seq]). *)
+
+val iter_tuples : ?mode:Disk.io_mode -> t -> (bytes -> unit) -> unit
+(** Page-wise scan delivering tuple copies; charges I/O per page only. *)
+
+val iter_tuples_nocharge : t -> (bytes -> unit) -> unit
+
+val iter_tids_nocharge : t -> (Tid.t -> bytes -> unit) -> unit
+(** Uncharged scan that also reports each tuple's TID. *)
+
+val fetch : ?mode:Disk.io_mode -> t -> Tid.t -> bytes
+(** [fetch t tid] reads the tuple's page ([mode] defaults to [Rand], the
+    paper's cost for TID-to-tuple resolution) and returns the tuple.
+    @raise Invalid_argument on a bad TID. *)
+
+val of_tuples : disk:Disk.t -> name:string -> schema:Schema.t ->
+  bytes list -> t
+(** Bulk, uncharged load. *)
+
+val with_schema : t -> Schema.t -> t
+(** [with_schema t schema] is a read-only view of [t]'s pages under a
+    different schema of the same tuple width (e.g. re-keyed with
+    {!Schema.with_key} so a join can target another column).  The view
+    shares pages with [t]; appending through either afterwards is
+    unsupported.  Seals [t] first.
+    @raise Invalid_argument on a tuple-width mismatch. *)
+
+val to_list : t -> bytes list
+(** Uncharged full materialisation (test helper). *)
+
+val free_pages : t -> unit
+(** Release all disk pages (temporary relations: runs, partitions). *)

@@ -1,0 +1,79 @@
+type col_type = Int | Fixed_string
+
+type column = { name : string; ty : col_type; width : int }
+
+type t = {
+  cols : column array;
+  offsets : int array;
+  width : int;
+  key : int;
+}
+
+let column ?width name ty =
+  let width =
+    match (ty, width) with
+    | Int, None -> 8
+    | Int, Some w ->
+      if w < 1 || w > 8 then
+        invalid_arg "Schema.column: Int width must be in [1..8]";
+      w
+    | Fixed_string, None ->
+      invalid_arg "Schema.column: Fixed_string requires an explicit width"
+    | Fixed_string, Some w ->
+      if w <= 0 then invalid_arg "Schema.column: nonpositive width";
+      w
+  in
+  { name; ty; width }
+
+let create ~key columns =
+  if columns = [] then invalid_arg "Schema.create: no columns";
+  let cols = Array.of_list columns in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun (c : column) ->
+      if Hashtbl.mem seen c.name then
+        invalid_arg ("Schema.create: duplicate column " ^ c.name);
+      Hashtbl.add seen c.name ())
+    cols;
+  let offsets = Array.make (Array.length cols) 0 in
+  let width = ref 0 in
+  Array.iteri
+    (fun i (c : column) ->
+      offsets.(i) <- !width;
+      width := !width + c.width)
+    cols;
+  let key_idx =
+    let found = ref (-1) in
+    Array.iteri (fun i (c : column) -> if c.name = key then found := i) cols;
+    if !found < 0 then invalid_arg ("Schema.create: no key column " ^ key);
+    !found
+  in
+  { cols; offsets; width = !width; key = key_idx }
+
+let columns t = Array.to_list t.cols
+let tuple_width t = t.width
+let key_index t = t.key
+let key_offset t = t.offsets.(t.key)
+let key_width t = t.cols.(t.key).width
+
+let column_index t name =
+  let found = ref (-1) in
+  Array.iteri (fun i (c : column) -> if c.name = name then found := i) t.cols;
+  if !found < 0 then raise Not_found;
+  !found
+
+let offset t i = t.offsets.(i)
+let column_at t i = t.cols.(i)
+
+let with_key t name = { t with key = column_index t name }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{";
+  Array.iteri
+    (fun i (c : column) ->
+      if i > 0 then Format.fprintf ppf "; ";
+      let marker = if i = t.key then "*" else "" in
+      let ty = match c.ty with Int -> "int" | Fixed_string -> "str" in
+      Format.fprintf ppf "%s%s:%s(%d)" marker c.name ty c.width)
+    t.cols;
+  Format.fprintf ppf "}@]"

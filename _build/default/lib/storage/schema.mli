@@ -1,0 +1,48 @@
+(** Relation schemas with fixed-width columns.
+
+    The paper's analysis is parameterised by tuple width [t] and key width
+    [K] in bytes; schemas here make both explicit.  Integer columns are
+    encoded order-preservingly (big-endian, sign-biased) so that the
+    byte-wise comparisons counted by the cost model are also semantically
+    correct comparisons. *)
+
+type col_type =
+  | Int  (** order-preserving encoded integer *)
+  | Fixed_string  (** right-padded with NULs *)
+
+type column = { name : string; ty : col_type; width : int }
+
+type t
+
+val column : ?width:int -> string -> col_type -> column
+(** [column ?width name ty] — [width] defaults to 8 for [Int] and is
+    required for [Fixed_string].
+    @raise Invalid_argument for nonpositive widths, or [Int] width not in
+    [\[1..8\]]. *)
+
+val create : key:string -> column list -> t
+(** [create ~key columns] builds a schema whose join/sort/index key is
+    column [key].  @raise Invalid_argument on duplicate or missing names,
+    or an empty column list. *)
+
+val columns : t -> column list
+val tuple_width : t -> int
+(** Total width [t] in bytes. *)
+
+val key_index : t -> int
+val key_offset : t -> int
+val key_width : t -> int
+(** Width [K] of the key column in bytes. *)
+
+val column_index : t -> string -> int
+(** @raise Not_found if no column has that name. *)
+
+val offset : t -> int -> int
+(** Byte offset of column [i] within a tuple. *)
+
+val column_at : t -> int -> column
+
+val with_key : t -> string -> t
+(** Same columns, different key column. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Binary min-heap with a caller-supplied ordering.
+
+    Used by the replacement-selection run generator and the n-way merge of
+    the external sort (Section 3.4 of the paper calls for "a selection tree
+    or some other priority queue structure"). *)
+
+type 'a t
+(** A mutable heap of ['a]. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+(** Number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x].  O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element.  O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}.  @raise Invalid_argument if the heap is empty. *)
+
+val replace_min : 'a t -> 'a -> 'a
+(** [replace_min h x] atomically pops the minimum and pushes [x], returning
+    the old minimum.  One sift instead of two — the hot operation of
+    replacement selection.  @raise Invalid_argument if empty. *)
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** [of_array ~cmp a] heapifies a copy of [a] in O(n). *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the heap, returning elements in ascending order.  Destructive. *)
+
+val check_invariant : 'a t -> bool
+(** [check_invariant h] verifies the heap property (test helper). *)

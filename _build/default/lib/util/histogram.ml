@@ -1,0 +1,54 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~buckets =
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  if buckets <= 0 then invalid_arg "Histogram.create: buckets <= 0";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int buckets;
+    counts = Array.make buckets 0;
+    under = 0;
+    over = 0;
+    total = 0;
+  }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = min i (Array.length t.counts - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+let bucket_counts t = Array.copy t.counts
+let underflow t = t.under
+let overflow t = t.over
+
+let bucket_bounds t i =
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let pp ppf t =
+  let maxc = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let lo, hi = bucket_bounds t i in
+        let bar = String.make (max 1 (c * 40 / maxc)) '#' in
+        Format.fprintf ppf "[%8.4g, %8.4g) %8d %s@." lo hi c bar
+      end)
+    t.counts;
+  if t.under > 0 then Format.fprintf ppf "underflow %d@." t.under;
+  if t.over > 0 then Format.fprintf ppf "overflow  %d@." t.over

@@ -1,0 +1,84 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | None -> List.map (fun _ -> Right) headers
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Tablefmt.create: aligns arity mismatch";
+      a
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row ->
+        match row with
+        | Rule -> ws
+        | Cells cells -> List.map2 (fun w c -> max w (String.length c)) ws cells)
+      (List.map String.length t.headers)
+      rows
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  let emit_cells cells =
+    let parts =
+      List.map2
+        (fun (w, a) c -> pad a w c)
+        (List.combine widths t.aligns)
+        cells
+    in
+    Buffer.add_string buf (String.concat "  " parts);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total =
+      List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1))
+    in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf

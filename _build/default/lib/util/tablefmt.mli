@@ -1,0 +1,37 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The bench executable must print rows formatted like the paper's tables
+    (Table 1, Table 2, ...); this module handles column sizing and
+    alignment so every experiment printer stays tiny. *)
+
+type align = Left | Right
+(** Column alignment. *)
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create ?aligns headers] starts a table.  [aligns] defaults to [Right]
+    for every column.  @raise Invalid_argument if [aligns] is given with a
+    length different from [headers]. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  @raise Invalid_argument if the arity
+    differs from the header. *)
+
+val add_rule : t -> unit
+(** [add_rule t] appends a horizontal separator line. *)
+
+val render : t -> string
+(** [render t] is the formatted table, newline-terminated. *)
+
+val print : t -> unit
+(** [print t] writes {!render} to standard output. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** [cell_float ?decimals x] formats a float for a cell (default 2
+    decimals). *)
+
+val cell_int : int -> string
+(** [cell_int n] formats an int with thousands separators (e.g.
+    ["1,234,567"]). *)

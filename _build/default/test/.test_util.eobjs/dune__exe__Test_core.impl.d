@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Fun List Mmdb Mmdb_exec Mmdb_planner Mmdb_recovery Mmdb_storage Printf String Sys

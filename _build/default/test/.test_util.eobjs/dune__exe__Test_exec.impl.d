@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Float Gen Hashtbl List Mmdb_exec Mmdb_index Mmdb_storage Mmdb_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Gen List Mmdb Mmdb_exec Mmdb_index Mmdb_recovery Mmdb_storage Mmdb_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Float Int List Map Mmdb_index Mmdb_storage Mmdb_util Printf QCheck QCheck_alcotest

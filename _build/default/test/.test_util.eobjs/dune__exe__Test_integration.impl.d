@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Fun Hashtbl List Mmdb Mmdb_storage Mmdb_util Printf String Sys

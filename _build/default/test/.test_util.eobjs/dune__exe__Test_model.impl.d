@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Float List Mmdb_model Mmdb_storage Printf

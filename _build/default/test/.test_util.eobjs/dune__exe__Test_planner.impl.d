@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Float Format Hashtbl List Mmdb_exec Mmdb_planner Mmdb_storage Mmdb_util Printf QCheck QCheck_alcotest String

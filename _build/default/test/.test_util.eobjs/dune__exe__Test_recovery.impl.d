@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Float Gen Hashtbl List Mmdb_recovery Mmdb_storage Mmdb_util Option Printf QCheck QCheck_alcotest

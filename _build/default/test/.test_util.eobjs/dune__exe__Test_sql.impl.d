@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Format List Mmdb Mmdb_exec Mmdb_planner Mmdb_storage Printf String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Float Gen List Mmdb_storage Mmdb_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Hashtbl Int Int64 List Mmdb_util Printf QCheck QCheck_alcotest String

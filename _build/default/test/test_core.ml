@@ -1,0 +1,373 @@
+(* Tests for the Mmdb facade: Db (tables, indexes, queries) and Txn_db
+   (incremental transactions, group commit, crash, recovery). *)
+
+module M = Mmdb
+module S = Mmdb_storage
+module E = Mmdb_exec
+module A = Mmdb_planner.Algebra
+module R = Mmdb_recovery
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let emp_schema () =
+  S.Schema.create ~key:"id"
+    [
+      S.Schema.column "id" S.Schema.Int;
+      S.Schema.column "dept" S.Schema.Int;
+      S.Schema.column "salary" S.Schema.Int;
+    ]
+
+let setup_db () =
+  let db = M.Db.create () in
+  M.Db.create_table db ~name:"emp" ~schema:(emp_schema ());
+  M.Db.insert_many db ~table:"emp"
+    (List.init 100 (fun i ->
+         [
+           S.Tuple.VInt i;
+           S.Tuple.VInt (i mod 7);
+           S.Tuple.VInt (30_000 + (i * 500));
+         ]));
+  db
+
+(* ------------------------------------------------------------------ *)
+(* Db                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_db_create_and_insert () =
+  let db = setup_db () in
+  Alcotest.(check (list string)) "tables" [ "emp" ] (M.Db.table_names db);
+  checkb "duplicate table rejected" true
+    (try
+       M.Db.create_table db ~name:"emp" ~schema:(emp_schema ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_db_lookup_scan_fallback () =
+  let db = setup_db () in
+  match M.Db.lookup db ~table:"emp" ~key:(S.Tuple.VInt 42) with
+  | Some [ S.Tuple.VInt 42; S.Tuple.VInt 0; S.Tuple.VInt 51_000 ] -> ()
+  | Some _ -> Alcotest.fail "wrong row"
+  | None -> Alcotest.fail "missing row"
+
+let test_db_lookup_with_indexes () =
+  List.iter
+    (fun kind ->
+      let db = setup_db () in
+      M.Db.create_index db ~table:"emp" kind;
+      (match M.Db.lookup db ~table:"emp" ~key:(S.Tuple.VInt 99) with
+      | Some (S.Tuple.VInt 99 :: _) -> ()
+      | Some _ | None -> Alcotest.fail "indexed lookup failed");
+      checkb "miss is None" true
+        (M.Db.lookup db ~table:"emp" ~key:(S.Tuple.VInt 1000) = None);
+      (* Index stays consistent under post-build inserts. *)
+      M.Db.insert db ~table:"emp"
+        [ S.Tuple.VInt 500; S.Tuple.VInt 1; S.Tuple.VInt 1 ];
+      match M.Db.lookup db ~table:"emp" ~key:(S.Tuple.VInt 500) with
+      | Some (S.Tuple.VInt 500 :: _) -> ()
+      | Some _ | None -> Alcotest.fail "index not maintained")
+    [ M.Db.Avl_index; M.Db.Btree_index ]
+
+let test_db_duplicate_index_rejected () =
+  let db = setup_db () in
+  M.Db.create_index db ~table:"emp" M.Db.Avl_index;
+  checkb "second AVL rejected" true
+    (try
+       M.Db.create_index db ~table:"emp" M.Db.Avl_index;
+       false
+     with Invalid_argument _ -> true)
+
+let test_db_range () =
+  let db = setup_db () in
+  M.Db.create_index db ~table:"emp" M.Db.Btree_index;
+  let rows =
+    M.Db.range db ~table:"emp" ~lo:(S.Tuple.VInt 10) ~hi:(S.Tuple.VInt 14)
+  in
+  checki "5 rows" 5 (List.length rows);
+  let ids =
+    List.map
+      (fun row ->
+        match row with
+        | S.Tuple.VInt id :: _ -> id
+        | _ -> Alcotest.fail "bad row")
+      rows
+  in
+  Alcotest.(check (list int)) "ascending ids" [ 10; 11; 12; 13; 14 ] ids
+
+let test_db_range_scan_fallback_sorted () =
+  let db = setup_db () in
+  let rows =
+    M.Db.range db ~table:"emp" ~lo:(S.Tuple.VInt 97) ~hi:(S.Tuple.VInt 99)
+  in
+  checki "3 rows" 3 (List.length rows)
+
+let test_db_query_pipeline () =
+  let db = setup_db () in
+  let rows =
+    M.Db.query_rows db
+      (A.aggregate ~group_by:"dept" ~aggs:[ E.Aggregate.Count ]
+         (A.scan "emp"))
+  in
+  checki "7 groups" 7 (List.length rows);
+  let total =
+    List.fold_left
+      (fun acc row ->
+        match row with
+        | [ _; S.Tuple.VInt c ] -> acc + c
+        | _ -> Alcotest.fail "bad agg row")
+      0 rows
+  in
+  checki "all rows counted" 100 total
+
+let test_db_explain () =
+  let db = setup_db () in
+  let text =
+    M.Db.explain db
+      (A.select ~column:"salary" ~op:A.Gt ~value:(S.Tuple.VInt 50_000)
+         (A.scan "emp"))
+  in
+  checkb "nonempty" true (String.length text > 0)
+
+let test_db_stats_string () =
+  let db = setup_db () in
+  ignore (M.Db.lookup db ~table:"emp" ~key:(S.Tuple.VInt 1));
+  checkb "stats nonempty" true (String.length (M.Db.stats db) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "mmdb_test" ".db" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let mixed_schema () =
+  S.Schema.create ~key:"id"
+    [
+      S.Schema.column "id" S.Schema.Int;
+      S.Schema.column ~width:12 "name" S.Schema.Fixed_string;
+      S.Schema.column ~width:4 "score" S.Schema.Int;
+    ]
+
+let test_save_load_roundtrip () =
+  with_temp_file (fun path ->
+      let db = setup_db () in
+      M.Db.create_table db ~name:"people" ~schema:(mixed_schema ());
+      M.Db.insert_many db ~table:"people"
+        (List.init 25 (fun i ->
+             [
+               S.Tuple.VInt i;
+               S.Tuple.VStr (Printf.sprintf "p%d" i);
+               S.Tuple.VInt (i * 7);
+             ]));
+      M.Db.create_index db ~table:"emp" M.Db.Btree_index;
+      M.Db.save db path;
+      let db2 = M.Db.load path in
+      Alcotest.(check (list string))
+        "tables"
+        (List.sort compare (M.Db.table_names db))
+        (List.sort compare (M.Db.table_names db2));
+      (* All rows identical. *)
+      List.iter
+        (fun table ->
+          let dump d =
+            List.sort compare (M.Db.sql d ("SELECT * FROM " ^ table))
+          in
+          checkb (table ^ " identical") true (dump db = dump db2))
+        [ "emp"; "people" ];
+      (* Mixed-type rows decode correctly. *)
+      (match M.Db.lookup db2 ~table:"people" ~key:(S.Tuple.VInt 7) with
+      | Some [ S.Tuple.VInt 7; S.Tuple.VStr "p7"; S.Tuple.VInt 49 ] -> ()
+      | _ -> Alcotest.fail "people row corrupted");
+      (* The saved index kind was rebuilt and works. *)
+      match M.Db.lookup db2 ~table:"emp" ~key:(S.Tuple.VInt 42) with
+      | Some (S.Tuple.VInt 42 :: _) -> ()
+      | _ -> Alcotest.fail "index lost in roundtrip")
+
+let test_save_load_queries_work () =
+  with_temp_file (fun path ->
+      let db = setup_db () in
+      M.Db.save db path;
+      let db2 = M.Db.load path in
+      (* Statistics were recomputed: the planner runs fine. *)
+      let rows =
+        M.Db.sql db2 "SELECT dept, COUNT(*) FROM emp GROUP BY dept"
+      in
+      checki "7 groups" 7 (List.length rows);
+      (* DML after load works too. *)
+      (match M.Db.execute db2 "DELETE FROM emp WHERE dept = 0" with
+      | M.Db.Affected n -> checkb "some deleted" true (n > 0)
+      | M.Db.Rows _ -> Alcotest.fail "expected Affected"))
+
+let test_load_bad_magic () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "NOTADB!!";
+      close_out oc;
+      checkb "bad magic rejected" true
+        (try
+           ignore (M.Db.load path);
+           false
+         with Invalid_argument _ -> true))
+
+let test_load_truncated () =
+  with_temp_file (fun path ->
+      let db = setup_db () in
+      M.Db.save db path;
+      let ic = open_in_bin path in
+      let full = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (String.length full - 10));
+      close_out oc;
+      checkb "truncation rejected" true
+        (try
+           ignore (M.Db.load path);
+           false
+         with Invalid_argument _ -> true))
+
+let test_save_empty_db () =
+  with_temp_file (fun path ->
+      let db = M.Db.create () in
+      M.Db.save db path;
+      let db2 = M.Db.load path in
+      Alcotest.(check (list string)) "no tables" [] (M.Db.table_names db2))
+
+(* ------------------------------------------------------------------ *)
+(* Txn_db                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_txn_basic_commit () =
+  let db = M.Txn_db.create ~strategy:R.Wal.Conventional () in
+  let o = M.Txn_db.transact db [ (0, 100); (1, -100) ] in
+  checkb "durable (conventional)" true (o.M.Txn_db.durable_at <> None);
+  checki "balance 0" 100 (M.Txn_db.balance db 0);
+  checki "balance 1" (-100) (M.Txn_db.balance db 1)
+
+let test_txn_group_commit_pending () =
+  let db = M.Txn_db.create ~strategy:R.Wal.Group_commit () in
+  let o = M.Txn_db.transact db [ (0, 5); (1, -5) ] in
+  checkb "pending in open group" true (o.M.Txn_db.durable_at = None);
+  checkb "not yet committed" true
+    (not (List.mem o.M.Txn_db.txn_id (M.Txn_db.committed_txns db)));
+  M.Txn_db.flush db;
+  checkb "committed after flush" true
+    (List.mem o.M.Txn_db.txn_id (M.Txn_db.committed_txns db))
+
+let test_txn_crash_recover_durable () =
+  let db = M.Txn_db.create ~strategy:R.Wal.Group_commit ~nrecords:50 () in
+  for _ = 1 to 30 do
+    ignore (M.Txn_db.transact db [ (2, 10); (3, -10) ]);
+    M.Txn_db.advance db 1e-3
+  done;
+  M.Txn_db.flush db;
+  let before = Array.init 50 (M.Txn_db.balance db) in
+  M.Txn_db.crash db;
+  checkb "reads blocked after crash" true
+    (try
+       ignore (M.Txn_db.balance db 0);
+       false
+     with Invalid_argument _ -> true);
+  ignore (M.Txn_db.recover db);
+  let after = Array.init 50 (M.Txn_db.balance db) in
+  checkb "state restored" true (before = after)
+
+let test_txn_crash_loses_unflushed_group () =
+  let db = M.Txn_db.create ~strategy:R.Wal.Group_commit ~nrecords:50 () in
+  ignore (M.Txn_db.transact db [ (0, 7); (1, -7) ]);
+  (* No flush: the group never left the volatile buffer. *)
+  M.Txn_db.crash db;
+  ignore (M.Txn_db.recover db);
+  checki "update rolled away" 0 (M.Txn_db.balance db 0);
+  checki "partner rolled away" 0 (M.Txn_db.balance db 1)
+
+let test_txn_checkpoint_and_recover () =
+  let db = M.Txn_db.create ~strategy:R.Wal.Group_commit ~nrecords:50 () in
+  for _ = 1 to 20 do
+    ignore (M.Txn_db.transact db [ (4, 1); (5, -1) ]);
+    M.Txn_db.advance db 1e-3
+  done;
+  let st = M.Txn_db.checkpoint db in
+  checkb "checkpoint flushed pages" true (st.R.Kv_store.pages_flushed > 0);
+  for _ = 1 to 5 do
+    ignore (M.Txn_db.transact db [ (4, 1); (5, -1) ]);
+    M.Txn_db.advance db 1e-3
+  done;
+  M.Txn_db.flush db;
+  M.Txn_db.crash db;
+  let rs = M.Txn_db.recover db in
+  checki "balance correct" 25 (M.Txn_db.balance db 4);
+  checkb "redo bounded by checkpoint" true (rs.R.Kv_store.redo_applied <= 2 * 5 + 2)
+
+let test_txn_stable_strategy_immediate () =
+  let db =
+    M.Txn_db.create
+      ~strategy:
+        (R.Wal.Stable { devices = 1; capacity_bytes = 8192; compressed = true })
+      ()
+  in
+  let o = M.Txn_db.transact db [ (0, 3); (1, -3) ] in
+  checkb "instant durability" true (o.M.Txn_db.durable_at = Some 0.0);
+  M.Txn_db.crash db;
+  ignore (M.Txn_db.recover db);
+  checki "survives crash without flush" 3 (M.Txn_db.balance db 0)
+
+let test_txn_validation () =
+  let db = M.Txn_db.create () in
+  checkb "empty updates rejected" true
+    (try
+       ignore (M.Txn_db.transact db []);
+       false
+     with Invalid_argument _ -> true);
+  checkb "recover when alive rejected" true
+    (try
+       ignore (M.Txn_db.recover db);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mmdb_core"
+    [
+      ( "db",
+        [
+          Alcotest.test_case "create/insert" `Quick test_db_create_and_insert;
+          Alcotest.test_case "lookup scan fallback" `Quick
+            test_db_lookup_scan_fallback;
+          Alcotest.test_case "lookup with indexes" `Quick
+            test_db_lookup_with_indexes;
+          Alcotest.test_case "duplicate index rejected" `Quick
+            test_db_duplicate_index_rejected;
+          Alcotest.test_case "range via btree" `Quick test_db_range;
+          Alcotest.test_case "range scan fallback" `Quick
+            test_db_range_scan_fallback_sorted;
+          Alcotest.test_case "query pipeline" `Quick test_db_query_pipeline;
+          Alcotest.test_case "explain" `Quick test_db_explain;
+          Alcotest.test_case "stats" `Quick test_db_stats_string;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_save_load_roundtrip;
+          Alcotest.test_case "queries after load" `Quick
+            test_save_load_queries_work;
+          Alcotest.test_case "bad magic" `Quick test_load_bad_magic;
+          Alcotest.test_case "truncated" `Quick test_load_truncated;
+          Alcotest.test_case "empty db" `Quick test_save_empty_db;
+        ] );
+      ( "txn_db",
+        [
+          Alcotest.test_case "basic commit" `Quick test_txn_basic_commit;
+          Alcotest.test_case "group commit pending" `Quick
+            test_txn_group_commit_pending;
+          Alcotest.test_case "crash/recover durable" `Quick
+            test_txn_crash_recover_durable;
+          Alcotest.test_case "crash loses unflushed group" `Quick
+            test_txn_crash_loses_unflushed_group;
+          Alcotest.test_case "checkpoint + recover" `Quick
+            test_txn_checkpoint_and_recover;
+          Alcotest.test_case "stable immediate" `Quick
+            test_txn_stable_strategy_immediate;
+          Alcotest.test_case "validation" `Quick test_txn_validation;
+        ] );
+    ]

@@ -1,0 +1,938 @@
+(* Tests for Mmdb_exec: run generation, external sort, the four join
+   algorithms (checked against a nested-loop oracle), hash tables,
+   partitioning, aggregation and projection. *)
+
+module S = Mmdb_storage
+module U = Mmdb_util
+module E = Mmdb_exec
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* R(k, v) and S(k, w): 16-byte tuples. *)
+let r_schema () =
+  S.Schema.create ~key:"k"
+    [ S.Schema.column "k" S.Schema.Int; S.Schema.column "v" S.Schema.Int ]
+
+let s_schema () =
+  S.Schema.create ~key:"k"
+    [ S.Schema.column "k" S.Schema.Int; S.Schema.column "w" S.Schema.Int ]
+
+let fresh_disk ?(page_size = 128) () =
+  let env = S.Env.create () in
+  (env, S.Disk.create ~env ~page_size)
+
+let mk sch k v = S.Tuple.encode sch [ S.Tuple.VInt k; S.Tuple.VInt v ]
+
+let load disk name sch pairs =
+  S.Relation.of_tuples ~disk ~name ~schema:sch
+    (List.map (fun (k, v) -> mk sch k v) pairs)
+
+let key_of sch t = S.Tuple.get_int sch t 0
+let snd_of sch t = S.Tuple.get_int sch t 1
+
+(* Random workload: keys in [0, key_range) so duplicates occur. *)
+let random_pairs rng n key_range =
+  List.init n (fun i -> (U.Xorshift.int rng key_range, i))
+
+(* The canonical multiset representation of a join result. *)
+let join_triples rs ss emit_impl =
+  let rsch = S.Relation.schema rs and ssch = S.Relation.schema ss in
+  let acc = ref [] in
+  let n =
+    emit_impl (fun r_tup s_tup ->
+        acc :=
+          (key_of rsch r_tup, snd_of rsch r_tup, snd_of ssch s_tup) :: !acc)
+  in
+  checki "emit count matches return" n (List.length !acc);
+  List.sort compare !acc
+
+let oracle rs ss =
+  join_triples rs ss (fun emit -> E.Nested_loop.join_uncharged rs ss emit)
+
+let check_algo_matches_oracle ?(mem_pages = 8) algo r_pairs s_pairs () =
+  let _, disk = fresh_disk () in
+  let rs = load disk "R" (r_schema ()) r_pairs in
+  let ss = load disk "S" (s_schema ()) s_pairs in
+  let expected = oracle rs ss in
+  let got =
+    join_triples rs ss (fun emit ->
+        E.Joiner.run algo ~mem_pages ~fudge:1.2 rs ss emit)
+  in
+  Alcotest.(check (list (triple int int int)))
+    (E.Joiner.name algo ^ " matches oracle")
+    expected got
+
+(* ------------------------------------------------------------------ *)
+(* Run generation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_sorted sch run =
+  let prev = ref None in
+  let ok = ref true in
+  S.Relation.iter_tuples_nocharge run (fun t ->
+      (match !prev with
+      | Some p -> if S.Tuple.compare_keys sch p t > 0 then ok := false
+      | None -> ());
+      prev := Some t);
+  !ok
+
+let test_run_gen_sorted_and_complete () =
+  let _, disk = fresh_disk () in
+  let sch = r_schema () in
+  let rng = U.Xorshift.create 5 in
+  let pairs = random_pairs rng 500 1000 in
+  let rel = load disk "R" sch pairs in
+  let runs = E.Run_gen.runs ~mem_pages:2 rel in
+  checkb "several runs" true (List.length runs > 1);
+  List.iter (fun run -> checkb "run sorted" true (run_sorted sch run)) runs;
+  let total = List.fold_left (fun a r -> a + S.Relation.ntuples r) 0 runs in
+  checki "no tuples lost" 500 total;
+  (* Multiset equality with the input. *)
+  let input = List.sort compare (List.map fst pairs) in
+  let output = ref [] in
+  List.iter
+    (fun run ->
+      S.Relation.iter_tuples_nocharge run (fun t ->
+          output := key_of sch t :: !output))
+    runs;
+  Alcotest.(check (list int)) "same keys" input (List.sort compare !output)
+
+let test_run_gen_sorted_input_one_run () =
+  let _, disk = fresh_disk () in
+  let sch = r_schema () in
+  let pairs = List.init 300 (fun i -> (i, i)) in
+  let rel = load disk "R" sch pairs in
+  let runs = E.Run_gen.runs ~mem_pages:2 rel in
+  (* Replacement selection turns presorted input into a single run. *)
+  checki "one run" 1 (List.length runs)
+
+let test_run_gen_average_length () =
+  (* Knuth: runs average 2|M| pages on random input. *)
+  let _, disk = fresh_disk ~page_size:256 () in
+  let sch = r_schema () in
+  let rng = U.Xorshift.create 77 in
+  let pairs = random_pairs rng 6000 1_000_000 in
+  let rel = load disk "R" sch pairs in
+  let mem_pages = 3 in
+  let runs = E.Run_gen.runs ~mem_pages rel in
+  let avg_pages =
+    float_of_int (List.fold_left (fun a r -> a + S.Relation.npages r) 0 runs)
+    /. float_of_int (List.length runs)
+  in
+  let expect = E.Run_gen.expected_run_length ~mem_pages in
+  checkb
+    (Printf.sprintf "avg run %.2f pages within 25%% of %.1f" avg_pages expect)
+    true
+    (Float.abs (avg_pages -. expect) < 0.25 *. expect)
+
+let test_run_gen_charges_io () =
+  let env, disk = fresh_disk () in
+  let sch = r_schema () in
+  let rng = U.Xorshift.create 9 in
+  let rel = load disk "R" sch (random_pairs rng 200 500) in
+  let before = env.S.Env.counters.S.Counters.seq_writes in
+  let runs = E.Run_gen.runs ~mem_pages:2 rel in
+  let run_pages = List.fold_left (fun a r -> a + S.Relation.npages r) 0 runs in
+  checki "every run page written sequentially" (before + run_pages)
+    env.S.Env.counters.S.Counters.seq_writes
+
+(* ------------------------------------------------------------------ *)
+(* External sort                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_external_sort_sorts () =
+  let _, disk = fresh_disk () in
+  let sch = r_schema () in
+  let rng = U.Xorshift.create 11 in
+  let pairs = random_pairs rng 800 2000 in
+  let rel = load disk "R" sch pairs in
+  let sorted = E.External_sort.sort ~mem_pages:4 rel in
+  checkb "output sorted" true (run_sorted sch sorted);
+  checki "same cardinality" 800 (S.Relation.ntuples sorted);
+  let input = List.sort compare (List.map fst pairs) in
+  let out = ref [] in
+  S.Relation.iter_tuples_nocharge sorted (fun t -> out := key_of sch t :: !out);
+  Alcotest.(check (list int)) "permutation" input (List.sort compare !out)
+
+let test_external_sort_empty () =
+  let _, disk = fresh_disk () in
+  let rel = load disk "R" (r_schema ()) [] in
+  let sorted = E.External_sort.sort ~mem_pages:4 rel in
+  checki "empty stays empty" 0 (S.Relation.ntuples sorted)
+
+let test_check_run_count () =
+  let _, disk = fresh_disk () in
+  let sch = r_schema () in
+  let runs =
+    List.init 5 (fun i ->
+        load disk (Printf.sprintf "r%d" i) sch [ (i, i) ])
+  in
+  Alcotest.check_raises "too many runs"
+    (Invalid_argument
+       "External_sort: 5 runs exceed 4 buffer pages (single merge pass \
+        assumption violated)") (fun () ->
+      E.External_sort.check_run_count ~mem_pages:4 runs)
+
+let test_cursor_merges_in_order () =
+  let _, disk = fresh_disk () in
+  let sch = r_schema () in
+  let run1 = load disk "r1" sch [ (1, 0); (4, 0); (7, 0) ] in
+  let run2 = load disk "r2" sch [ (2, 0); (5, 0); (6, 0) ] in
+  let run3 = load disk "r3" sch [ (3, 0) ] in
+  let c = E.External_sort.cursor_of_runs ~schema:sch [ run1; run2; run3 ] in
+  let rec drain acc =
+    match E.External_sort.next c with
+    | Some t -> drain (key_of sch t :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "merged" [ 1; 2; 3; 4; 5; 6; 7 ] (drain []);
+  checkb "exhausted" true (E.External_sort.peek c = None)
+
+(* ------------------------------------------------------------------ *)
+(* Hash table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hash_table_basics () =
+  let env, _ = fresh_disk () in
+  let sch = r_schema () in
+  let t = E.Hash_table.create ~env ~schema:sch ~tuples_per_page:7 in
+  E.Hash_table.insert t (mk sch 1 10);
+  E.Hash_table.insert t (mk sch 1 11);
+  E.Hash_table.insert t (mk sch 2 20);
+  checki "length" 3 (E.Hash_table.length t);
+  checki "data pages" 1 (E.Hash_table.data_pages t);
+  let hits = ref [] in
+  E.Hash_table.probe t ~probe_schema:(s_schema ()) (mk (s_schema ()) 1 99)
+    (fun r -> hits := snd_of sch r :: !hits);
+  Alcotest.(check (list int)) "both duplicates" [ 10; 11 ]
+    (List.sort compare !hits);
+  let misses = ref 0 in
+  E.Hash_table.probe t ~probe_schema:(s_schema ()) (mk (s_schema ()) 9 0)
+    (fun _ -> incr misses);
+  checki "no false hits" 0 !misses
+
+let test_hash_table_memory_pages () =
+  let env, _ = fresh_disk () in
+  let sch = r_schema () in
+  let t = E.Hash_table.create ~env ~schema:sch ~tuples_per_page:10 in
+  for i = 1 to 25 do
+    E.Hash_table.insert t (mk sch i i)
+  done;
+  checki "data pages" 3 (E.Hash_table.data_pages t);
+  checki "memory pages with F=1.2" 4 (E.Hash_table.memory_pages t ~fudge:1.2)
+
+let test_hash_table_charges () =
+  let env, _ = fresh_disk () in
+  let sch = r_schema () in
+  let t = E.Hash_table.create ~env ~schema:sch ~tuples_per_page:10 in
+  let m0 = env.S.Env.counters.S.Counters.moves in
+  E.Hash_table.insert t (mk sch 1 1);
+  checki "insert charges move" (m0 + 1) env.S.Env.counters.S.Counters.moves;
+  let c0 = env.S.Env.counters.S.Counters.comparisons in
+  E.Hash_table.probe t ~probe_schema:sch (mk sch 1 0) (fun _ -> ());
+  checki "probe charges comp" (c0 + 1) env.S.Env.counters.S.Counters.comparisons
+
+(* ------------------------------------------------------------------ *)
+(* Partition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_compatible () =
+  let env, disk = fresh_disk () in
+  let rng = U.Xorshift.create 31 in
+  let rs = load disk "R" (r_schema ()) (random_pairs rng 300 50) in
+  let ss = load disk "S" (s_schema ()) (random_pairs rng 400 50) in
+  let hr = E.Hash_fn.create ~env ~schema:(r_schema ()) ~seed:7 in
+  let hs = E.Hash_fn.create ~env ~schema:(s_schema ()) ~seed:7 in
+  let rb =
+    E.Partition.split ~scan:E.Partition.Free ~nbuckets:4 ~hash:hr
+      ~write_mode:S.Disk.Rand rs
+  in
+  let sb =
+    E.Partition.split ~scan:E.Partition.Free ~nbuckets:4 ~hash:hs
+      ~write_mode:S.Disk.Rand ss
+  in
+  (* Compatibility: a key appearing in R bucket i never appears in any S
+     bucket j <> i. *)
+  let bucket_keys buckets sch =
+    Array.map
+      (fun b ->
+        let keys = Hashtbl.create 16 in
+        S.Relation.iter_tuples_nocharge b (fun t ->
+            Hashtbl.replace keys (key_of sch t) ());
+        keys)
+      buckets
+  in
+  let rk = bucket_keys rb (r_schema ()) and sk = bucket_keys sb (s_schema ()) in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if i <> j then
+        Hashtbl.iter
+          (fun k () ->
+            checkb
+              (Printf.sprintf "key %d in R[%d] not in S[%d]" k i j)
+              false (Hashtbl.mem sk.(j) k))
+          rk.(i)
+    done
+  done;
+  (* No tuples lost. *)
+  let total a = Array.fold_left (fun acc b -> acc + S.Relation.ntuples b) 0 a in
+  checki "R total" 300 (total rb);
+  checki "S total" 400 (total sb);
+  E.Partition.free rb;
+  E.Partition.free sb
+
+let test_partition_fraction_split () =
+  let env, disk = fresh_disk () in
+  let rng = U.Xorshift.create 41 in
+  let rs = load disk "R" (r_schema ()) (random_pairs rng 2000 100_000) in
+  let h = E.Hash_fn.create ~env ~schema:(r_schema ()) ~seed:3 in
+  let mem, buckets =
+    E.Partition.split_fraction ~scan:E.Partition.Free ~q:0.5 ~nbuckets:3
+      ~hash:h ~write_mode:S.Disk.Seq rs
+  in
+  let in_mem = List.length mem in
+  let on_disk =
+    Array.fold_left (fun acc b -> acc + S.Relation.ntuples b) 0 buckets
+  in
+  checki "nothing lost" 2000 (in_mem + on_disk);
+  checkb
+    (Printf.sprintf "about half in memory (%d)" in_mem)
+    true
+    (in_mem > 800 && in_mem < 1200);
+  E.Partition.free buckets
+
+let test_partition_write_mode_charges () =
+  let env, disk = fresh_disk () in
+  let rng = U.Xorshift.create 43 in
+  let rs = load disk "R" (r_schema ()) (random_pairs rng 300 1000) in
+  let h = E.Hash_fn.create ~env ~schema:(r_schema ()) ~seed:3 in
+  let rw0 = env.S.Env.counters.S.Counters.rand_writes in
+  let buckets =
+    E.Partition.split ~scan:E.Partition.Free ~nbuckets:4 ~hash:h
+      ~write_mode:S.Disk.Rand rs
+  in
+  let pages =
+    Array.fold_left (fun acc b -> acc + S.Relation.npages b) 0 buckets
+  in
+  checki "random writes = partition pages" (rw0 + pages)
+    env.S.Env.counters.S.Counters.rand_writes;
+  E.Partition.free buckets
+
+(* ------------------------------------------------------------------ *)
+(* Join algorithms vs oracle                                           *)
+(* ------------------------------------------------------------------ *)
+
+let small_r = [ (1, 100); (2, 200); (3, 300); (2, 201) ]
+let small_s = [ (2, 9); (3, 8); (4, 7); (2, 6) ]
+
+let dup_heavy n =
+  (* Every key appears many times on both sides. *)
+  List.init n (fun i -> (i mod 5, i))
+
+let rng_pairs seed n range =
+  let rng = U.Xorshift.create seed in
+  random_pairs rng n range
+
+let algo_cases algo =
+  [
+    Alcotest.test_case "small fixed" `Quick
+      (check_algo_matches_oracle algo small_r small_s);
+    Alcotest.test_case "duplicates both sides" `Quick
+      (check_algo_matches_oracle algo (dup_heavy 40) (dup_heavy 30));
+    Alcotest.test_case "no matches" `Quick
+      (check_algo_matches_oracle algo
+         [ (1, 1); (2, 2) ]
+         [ (3, 3); (4, 4) ]);
+    Alcotest.test_case "empty R" `Quick
+      (check_algo_matches_oracle algo [] small_s);
+    Alcotest.test_case "empty S" `Quick
+      (check_algo_matches_oracle algo small_r []);
+    Alcotest.test_case "random 500x600" `Quick
+      (check_algo_matches_oracle algo (rng_pairs 1 500 120) (rng_pairs 2 600 120));
+    Alcotest.test_case "tiny memory" `Quick
+      (check_algo_matches_oracle ~mem_pages:3 algo (rng_pairs 3 400 80)
+         (rng_pairs 4 500 80));
+    Alcotest.test_case "big memory" `Quick
+      (check_algo_matches_oracle ~mem_pages:512 algo (rng_pairs 5 300 60)
+         (rng_pairs 6 350 60));
+  ]
+
+let test_hybrid_skew_forces_recursion () =
+  (* All R tuples share one key: every partition attempt puts them in one
+     bucket; the recursion must still terminate and be correct. *)
+  let r_pairs = List.init 120 (fun i -> (42, i)) in
+  let s_pairs = (43, 0) :: List.init 10 (fun i -> (42, 1000 + i)) in
+  check_algo_matches_oracle ~mem_pages:3 E.Joiner.Hybrid_hash_join r_pairs
+    s_pairs ()
+
+let test_simple_hash_pass_count () =
+  checki "A=4" 4 (E.Simple_hash.passes ~mem_pages:3 ~fudge:1.2 ~r_pages:10);
+  checki "A=1 when fits" 1
+    (E.Simple_hash.passes ~mem_pages:100 ~fudge:1.2 ~r_pages:10)
+
+let test_hybrid_partition_count () =
+  (* |R|F <= m -> B = 0. *)
+  checki "B=0" 0 (E.Hybrid_hash.partitions ~mem_pages:13 ~fudge:1.2 ~r_pages:10);
+  checkb "B>=1 under pressure" true
+    (E.Hybrid_hash.partitions ~mem_pages:4 ~fudge:1.2 ~r_pages:10 >= 1);
+  let q = E.Hybrid_hash.q_fraction ~mem_pages:13 ~fudge:1.2 ~r_pages:10 in
+  checkb "q=1 when fits" true (q = 1.0)
+
+let test_joiner_names () =
+  List.iter
+    (fun a ->
+      checkb "roundtrip" true (E.Joiner.of_name (E.Joiner.name a) = a))
+    (E.Joiner.Nested_loop_join :: E.Joiner.all)
+
+let test_key_width_mismatch_rejected () =
+  let _, disk = fresh_disk () in
+  let narrow =
+    S.Schema.create ~key:"k" [ S.Schema.column ~width:4 "k" S.Schema.Int ]
+  in
+  let rs = load disk "R" (r_schema ()) [ (1, 1) ] in
+  let ss =
+    S.Relation.of_tuples ~disk ~name:"S" ~schema:narrow
+      [ S.Tuple.encode narrow [ S.Tuple.VInt 1 ] ]
+  in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "join: key widths differ between relations") (fun () ->
+      ignore (E.Hybrid_hash.join ~mem_pages:8 ~fudge:1.2 rs ss (fun _ _ -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: all four algorithms agree with the oracle                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_all_algos_agree =
+  QCheck.Test.make ~name:"all join algorithms agree with nested loop"
+    ~count:40
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 0 120) (int_range 0 30))
+        (list_of_size Gen.(int_range 0 120) (int_range 0 30))
+        (int_range 3 32))
+    (fun (r_keys, s_keys, mem_pages) ->
+      let _, disk = fresh_disk () in
+      let rs =
+        load disk "R" (r_schema ()) (List.mapi (fun i k -> (k, i)) r_keys)
+      in
+      let ss =
+        load disk "S" (s_schema ()) (List.mapi (fun i k -> (k, i)) s_keys)
+      in
+      let expected = oracle rs ss in
+      List.for_all
+        (fun algo ->
+          join_triples rs ss (fun emit ->
+              E.Joiner.run algo ~mem_pages ~fudge:1.2 rs ss emit)
+          = expected)
+        E.Joiner.all)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let agg_input () =
+  [ (1, 10); (2, 5); (1, 30); (3, 7); (2, 15); (1, 20) ]
+
+let decode_agg out =
+  let sch = S.Relation.schema out in
+  let rows = ref [] in
+  S.Relation.iter_tuples_nocharge out (fun t ->
+      let vals =
+        List.map
+          (function S.Tuple.VInt v -> v | S.Tuple.VStr _ -> assert false)
+          (S.Tuple.decode sch t)
+      in
+      rows := vals :: !rows);
+  List.sort compare !rows
+
+let test_one_pass_aggregate () =
+  let _, disk = fresh_disk () in
+  let rel = load disk "T" (r_schema ()) (agg_input ()) in
+  let out =
+    E.Aggregate.one_pass rel
+      [ E.Aggregate.Count; E.Aggregate.Sum "v"; E.Aggregate.Min "v";
+        E.Aggregate.Max "v"; E.Aggregate.Avg "v" ]
+  in
+  Alcotest.(check (list (list int)))
+    "groups"
+    [
+      [ 1; 3; 60; 10; 30; 20 ] (* k=1: count 3, sum 60, min 10, max 30, avg 20 *);
+      [ 2; 2; 20; 5; 15; 10 ];
+      [ 3; 1; 7; 7; 7; 7 ];
+    ]
+    (decode_agg out)
+
+let test_hybrid_aggregate_matches_one_pass () =
+  let _, disk = fresh_disk () in
+  let rng = U.Xorshift.create 55 in
+  let pairs = random_pairs rng 1500 200 in
+  let rel = load disk "T" (r_schema ()) pairs in
+  let specs = [ E.Aggregate.Count; E.Aggregate.Sum "v" ] in
+  let a = E.Aggregate.one_pass rel specs in
+  let b = E.Aggregate.hybrid ~mem_pages:3 ~fudge:1.2 rel specs in
+  Alcotest.(check (list (list int)))
+    "hybrid = one-pass" (decode_agg a) (decode_agg b)
+
+let test_aggregate_group_count () =
+  let _, disk = fresh_disk () in
+  let rel = load disk "T" (r_schema ()) (agg_input ()) in
+  checki "3 groups" 3 (E.Aggregate.group_count rel)
+
+let test_aggregate_empty () =
+  let _, disk = fresh_disk () in
+  let rel = load disk "T" (r_schema ()) [] in
+  let out = E.Aggregate.one_pass rel [ E.Aggregate.Count ] in
+  checki "no groups" 0 (S.Relation.ntuples out)
+
+let test_aggregate_result_schema () =
+  let sch =
+    E.Aggregate.result_schema (r_schema ())
+      [ E.Aggregate.Count; E.Aggregate.Sum "v" ]
+  in
+  checki "3 columns" 3 (List.length (S.Schema.columns sch));
+  checki "keyed on group" 0 (S.Schema.key_index sch)
+
+let test_sort_based_aggregate_matches_hash () =
+  let _, disk = fresh_disk () in
+  let rng = U.Xorshift.create 91 in
+  let pairs = random_pairs rng 1200 150 in
+  let rel = load disk "T" (r_schema ()) pairs in
+  let specs =
+    [ E.Aggregate.Count; E.Aggregate.Sum "v"; E.Aggregate.Min "v";
+      E.Aggregate.Max "v" ]
+  in
+  let hash_out = E.Aggregate.one_pass rel specs in
+  let sort_out = E.Aggregate.sort_based ~mem_pages:4 rel specs in
+  Alcotest.(check (list (list int)))
+    "sort-based = hash" (decode_agg hash_out) (decode_agg sort_out)
+
+let test_sort_based_aggregate_costs_more () =
+  (* Section 3.9's recommendation quantified: with the result fitting in
+     memory, one-pass hashing beats sort-group. *)
+  let env, disk = fresh_disk ~page_size:512 () in
+  let rng = U.Xorshift.create 92 in
+  let rel = load disk "T" (r_schema ()) (random_pairs rng 5000 100) in
+  let time f =
+    let t0 = S.Env.elapsed env in
+    let out = f () in
+    S.Relation.free_pages out;
+    S.Env.elapsed env -. t0
+  in
+  let hash_t =
+    time (fun () -> E.Aggregate.one_pass rel [ E.Aggregate.Count ])
+  in
+  let sort_t =
+    time (fun () -> E.Aggregate.sort_based ~mem_pages:8 rel [ E.Aggregate.Count ])
+  in
+  checkb
+    (Printf.sprintf "hash %.3fs < sort %.3fs" hash_t sort_t)
+    true (hash_t < sort_t)
+
+(* ------------------------------------------------------------------ *)
+(* Semi/anti join and division                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_semi_anti_join () =
+  let _, disk = fresh_disk () in
+  let rs = load disk "R" (r_schema ()) [ (1, 10); (2, 20); (2, 21); (3, 30) ] in
+  let ss = load disk "S" (s_schema ()) [ (2, 0); (4, 0) ] in
+  let keys rel =
+    let sch = S.Relation.schema rel in
+    let acc = ref [] in
+    S.Relation.iter_tuples_nocharge rel (fun t ->
+        acc := (key_of sch t, snd_of sch t) :: !acc);
+    List.sort compare !acc
+  in
+  Alcotest.(check (list (pair int int)))
+    "semi keeps matching R tuples (with duplicates)"
+    [ (2, 20); (2, 21) ]
+    (keys (E.Semi_join.semi rs ss));
+  Alcotest.(check (list (pair int int)))
+    "anti keeps the rest"
+    [ (1, 10); (3, 30) ]
+    (keys (E.Semi_join.anti rs ss))
+
+let qcheck_semi_anti_partition_r =
+  QCheck.Test.make ~name:"semi + anti partition R" ~count:80
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 80) (int_range 0 25))
+        (list_of_size Gen.(int_range 0 40) (int_range 0 25)))
+    (fun (rk, sk) ->
+      let _, disk = fresh_disk () in
+      let rs = load disk "R" (r_schema ()) (List.mapi (fun i k -> (k, i)) rk) in
+      let ss = load disk "S" (s_schema ()) (List.map (fun k -> (k, 0)) sk) in
+      let count rel = S.Relation.ntuples rel in
+      let semi = E.Semi_join.semi rs ss and anti = E.Semi_join.anti rs ss in
+      count semi + count anti = List.length rk
+      && (let sch = S.Relation.schema semi in
+          let ok = ref true in
+          S.Relation.iter_tuples_nocharge semi (fun t ->
+              if not (List.mem (S.Tuple.get_int sch t 0) sk) then ok := false);
+          S.Relation.iter_tuples_nocharge anti (fun t ->
+              if List.mem (S.Tuple.get_int sch t 0) sk then ok := false);
+          !ok))
+
+let test_index_join_matches_oracle () =
+  let env, disk = fresh_disk () in
+  let rng = U.Xorshift.create 97 in
+  (* Inner: unique keys (an indexed primary key). *)
+  let inner_pairs = List.init 200 (fun i -> (i, i * 3)) in
+  let inner = load disk "I" (r_schema ()) inner_pairs in
+  let outer = load disk "O" (s_schema ()) (random_pairs rng 300 400) in
+  let expected = oracle inner outer in
+  List.iter
+    (fun kind ->
+      let ix =
+        match kind with
+        | `Btree ->
+          let t =
+            Mmdb_index.Btree.create ~env ~schema:(r_schema ()) ~page_size:256 ()
+          in
+          S.Relation.iter_tuples_nocharge inner (Mmdb_index.Btree.insert t);
+          E.Index_join.Btree_ix t
+        | `Avl ->
+          let t = Mmdb_index.Avl.create ~env ~schema:(r_schema ()) () in
+          S.Relation.iter_tuples_nocharge inner (Mmdb_index.Avl.insert t);
+          E.Index_join.Avl_ix t
+      in
+      let got =
+        join_triples inner outer (fun emit -> E.Index_join.join ix outer emit)
+      in
+      Alcotest.(check (list (triple int int int)))
+        "index join matches oracle" expected got)
+    [ `Btree; `Avl ]
+
+let test_index_join_cheap_for_small_outer () =
+  (* Small outer vs big indexed inner: probes cost ~log n comparisons
+     each, far below hybrid hash's full scan of the inner. *)
+  let env, disk = fresh_disk ~page_size:512 () in
+  let inner_pairs = List.init 20_000 (fun i -> (i, i)) in
+  let inner = load disk "I" (r_schema ()) inner_pairs in
+  let rng = U.Xorshift.create 98 in
+  let outer =
+    load disk "O" (s_schema ())
+      (List.init 50 (fun _ -> (U.Xorshift.int rng 20_000, 0)))
+  in
+  let bt = Mmdb_index.Btree.create ~env ~schema:(r_schema ()) ~page_size:512 () in
+  S.Relation.iter_tuples_nocharge inner (Mmdb_index.Btree.insert bt);
+  let time f =
+    let t0 = S.Env.elapsed env in
+    ignore (f ());
+    S.Env.elapsed env -. t0
+  in
+  let inl =
+    time (fun () ->
+        E.Index_join.join (E.Index_join.Btree_ix bt) outer (fun _ _ -> ()))
+  in
+  let hybrid =
+    time (fun () ->
+        E.Hybrid_hash.join ~mem_pages:16 ~fudge:1.2 outer inner (fun _ _ -> ()))
+  in
+  checkb
+    (Printf.sprintf "index join %.4fs beats hybrid %.4fs for tiny outer" inl
+       hybrid)
+    true (inl < hybrid)
+
+(* supplies(supplier, part) / parts(part) *)
+let test_division_suppliers_all_parts () =
+  let _, disk = fresh_disk () in
+  let supplies_schema =
+    S.Schema.create ~key:"supplier"
+      [ S.Schema.column "supplier" S.Schema.Int; S.Schema.column "part" S.Schema.Int ]
+  in
+  let parts_schema =
+    S.Schema.create ~key:"part" [ S.Schema.column "part" S.Schema.Int ]
+  in
+  let supplies =
+    S.Relation.of_tuples ~disk ~name:"supplies" ~schema:supplies_schema
+      (List.map
+         (fun (s, p) ->
+           S.Tuple.encode supplies_schema [ S.Tuple.VInt s; S.Tuple.VInt p ])
+         [
+           (1, 10); (1, 11); (1, 12) (* supplier 1 supplies all *);
+           (2, 10); (2, 12) (* supplier 2 misses part 11 *);
+           (3, 10); (3, 11); (3, 12); (3, 99) (* 3 supplies all + extra *);
+           (4, 99) (* 4 supplies none of the asked parts *);
+         ])
+  in
+  let parts =
+    S.Relation.of_tuples ~disk ~name:"parts" ~schema:parts_schema
+      (List.map (fun p -> S.Tuple.encode parts_schema [ S.Tuple.VInt p ])
+         [ 10; 11; 12 ])
+  in
+  let quotient =
+    E.Division.divide ~mem_pages:8 ~fudge:1.2 ~divisor_col:"part" supplies
+      parts
+  in
+  let sch = S.Relation.schema quotient in
+  let got = ref [] in
+  S.Relation.iter_tuples_nocharge quotient (fun t ->
+      got := S.Tuple.get_int sch t 0 :: !got);
+  Alcotest.(check (list int)) "suppliers of all parts" [ 1; 3 ]
+    (List.sort compare !got)
+
+let test_division_empty_divisor () =
+  let _, disk = fresh_disk () in
+  let rs = load disk "R" (r_schema ()) [ (1, 5); (2, 5); (1, 6) ] in
+  let ss = load disk "S" (s_schema ()) [] in
+  (* Divide R(k,v) by S on v: empty divisor -> all distinct k groups. *)
+  let q = E.Division.divide ~mem_pages:8 ~fudge:1.2 ~divisor_col:"v" rs ss in
+  checki "all quotient groups" 2 (S.Relation.ntuples q)
+
+let qcheck_division_matches_model =
+  QCheck.Test.make ~name:"division agrees with a list model" ~count:60
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 0 120)
+           (pair (int_range 0 12) (int_range 0 8)))
+        (list_of_size Gen.(int_range 0 6) (int_range 0 8))
+        (int_range 2 24))
+    (fun (rp, sk, mem_pages) ->
+      let _, disk = fresh_disk () in
+      let rs = load disk "R" (r_schema ()) rp in
+      let sset = List.sort_uniq compare sk in
+      let ss = load disk "S" (s_schema ()) (List.map (fun k -> (k, 0)) sset) in
+      (* Model: k qualifies iff its v-set covers sset.  NOTE: R's key is k,
+         divisor column is v. *)
+      let expected =
+        List.sort_uniq compare (List.map fst rp)
+        |> List.filter (fun k ->
+               let vs = List.filter_map (fun (k', v) -> if k' = k then Some v else None) rp in
+               List.for_all (fun s -> List.mem s vs) sset)
+      in
+      let q =
+        E.Division.divide ~mem_pages ~fudge:1.2 ~divisor_col:"v" rs ss
+      in
+      let sch = S.Relation.schema q in
+      let got = ref [] in
+      S.Relation.iter_tuples_nocharge q (fun t ->
+          got := S.Tuple.get_int sch t 0 :: !got);
+      List.sort compare !got = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Projection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_projection_distinct () =
+  let _, disk = fresh_disk () in
+  let rel =
+    load disk "T" (r_schema ())
+      [ (1, 10); (1, 10); (2, 10); (1, 20); (2, 10) ]
+  in
+  let out = E.Projection.distinct ~mem_pages:4 ~fudge:1.2 ~cols:[ "k"; "v" ] rel in
+  let sch = S.Relation.schema out in
+  let rows = ref [] in
+  S.Relation.iter_tuples_nocharge out (fun t ->
+      rows := (S.Tuple.get_int sch t 0, S.Tuple.get_int sch t 1) :: !rows);
+  Alcotest.(check (list (pair int int)))
+    "distinct pairs"
+    [ (1, 10); (1, 20); (2, 10) ]
+    (List.sort compare !rows)
+
+let test_projection_single_column () =
+  let _, disk = fresh_disk () in
+  let rng = U.Xorshift.create 66 in
+  let rel = load disk "T" (r_schema ()) (random_pairs rng 1000 37) in
+  let out = E.Projection.distinct ~mem_pages:2 ~fudge:1.2 ~cols:[ "k" ] rel in
+  checki "37 distinct keys" 37 (S.Relation.ntuples out);
+  let sch = S.Relation.schema out in
+  checki "one column" 1 (List.length (S.Schema.columns sch))
+
+let test_projection_spills_match_in_memory () =
+  let _, disk = fresh_disk () in
+  let rng = U.Xorshift.create 67 in
+  let pairs = random_pairs rng 2000 500 in
+  let rel = load disk "T" (r_schema ()) pairs in
+  let small = E.Projection.distinct ~mem_pages:2 ~fudge:1.2 ~cols:[ "k" ] rel in
+  let large = E.Projection.distinct ~mem_pages:4096 ~fudge:1.2 ~cols:[ "k" ] rel in
+  let keys out =
+    let sch = S.Relation.schema out in
+    let acc = ref [] in
+    S.Relation.iter_tuples_nocharge out (fun t ->
+        acc := S.Tuple.get_int sch t 0 :: !acc);
+    List.sort compare !acc
+  in
+  Alcotest.(check (list int)) "same result" (keys large) (keys small)
+
+let test_sort_distinct_matches_hash () =
+  let _, disk = fresh_disk () in
+  let rng = U.Xorshift.create 93 in
+  let pairs = random_pairs rng 1500 60 in
+  let rel = load disk "T" (r_schema ()) pairs in
+  let dump out =
+    let sch = S.Relation.schema out in
+    let acc = ref [] in
+    S.Relation.iter_tuples_nocharge out (fun t ->
+        acc := (S.Tuple.get_int sch t 0, S.Tuple.get_int sch t 1) :: !acc);
+    List.sort compare !acc
+  in
+  let hash_out =
+    E.Projection.distinct ~mem_pages:4 ~fudge:1.2 ~cols:[ "k"; "v" ] rel
+  in
+  let sort_out =
+    E.Projection.sort_distinct ~mem_pages:4 ~cols:[ "k"; "v" ] rel
+  in
+  Alcotest.(check (list (pair int int)))
+    "sort = hash projection" (dump hash_out) (dump sort_out)
+
+let test_projection_unknown_column () =
+  let _, disk = fresh_disk () in
+  let rel = load disk "T" (r_schema ()) [ (1, 1) ] in
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Projection: unknown column zz") (fun () ->
+      ignore (E.Projection.distinct ~mem_pages:4 ~fudge:1.2 ~cols:[ "zz" ] rel))
+
+(* ------------------------------------------------------------------ *)
+(* Op stats                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_op_stats_measure () =
+  let env, disk = fresh_disk () in
+  let rng = U.Xorshift.create 71 in
+  let rs = load disk "R" (r_schema ()) (random_pairs rng 200 40) in
+  let ss = load disk "S" (s_schema ()) (random_pairs rng 200 40) in
+  let stats =
+    E.Joiner.run_measured E.Joiner.Hybrid_hash_join ~mem_pages:4 ~fudge:1.2 rs
+      ss
+  in
+  checkb "output counted" true (stats.E.Op_stats.output_tuples > 0);
+  checkb "time charged" true (stats.E.Op_stats.seconds > 0.0);
+  checkb "hashes counted" true
+    (stats.E.Op_stats.counters.S.Counters.hashes > 0);
+  (* A second measurement sees only its own delta. *)
+  let s2 =
+    E.Joiner.run_measured E.Joiner.Hybrid_hash_join ~mem_pages:4 ~fudge:1.2 rs
+      ss
+  in
+  checki "same output on rerun" stats.E.Op_stats.output_tuples
+    s2.E.Op_stats.output_tuples;
+  ignore env
+
+(* ------------------------------------------------------------------ *)
+(* Empirical cost sanity: measured simulated times follow the model's   *)
+(* qualitative ordering.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_measured_ordering_small_memory () =
+  let _, disk = fresh_disk ~page_size:256 () in
+  let rng = U.Xorshift.create 81 in
+  let n = 3000 in
+  let rs = load disk "R" (r_schema ()) (random_pairs rng n 5000) in
+  let ss = load disk "S" (s_schema ()) (random_pairs rng n 5000) in
+  (* |R| = 3000/15 = 200 pages; memory 20 pages -> ratio ~0.08. *)
+  let measure algo =
+    (E.Joiner.run_measured algo ~mem_pages:20 ~fudge:1.2 rs ss)
+      .E.Op_stats.seconds
+  in
+  let hybrid = measure E.Joiner.Hybrid_hash_join in
+  let grace = measure E.Joiner.Grace_hash_join in
+  let simple = measure E.Joiner.Simple_hash_join in
+  checkb
+    (Printf.sprintf "hybrid (%.2fs) <= grace (%.2fs)" hybrid grace)
+    true (hybrid <= grace);
+  checkb
+    (Printf.sprintf "hybrid (%.2fs) < simple (%.2fs) at small memory" hybrid
+       simple)
+    true (hybrid < simple)
+
+let () =
+  Alcotest.run "mmdb_exec"
+    [
+      ( "run_gen",
+        [
+          Alcotest.test_case "sorted & complete" `Quick
+            test_run_gen_sorted_and_complete;
+          Alcotest.test_case "sorted input -> 1 run" `Quick
+            test_run_gen_sorted_input_one_run;
+          Alcotest.test_case "avg length ~ 2M" `Quick
+            test_run_gen_average_length;
+          Alcotest.test_case "charges seq writes" `Quick
+            test_run_gen_charges_io;
+        ] );
+      ( "external_sort",
+        [
+          Alcotest.test_case "sorts" `Quick test_external_sort_sorts;
+          Alcotest.test_case "empty" `Quick test_external_sort_empty;
+          Alcotest.test_case "run count check" `Quick test_check_run_count;
+          Alcotest.test_case "cursor merge" `Quick test_cursor_merges_in_order;
+        ] );
+      ( "hash_table",
+        [
+          Alcotest.test_case "basics" `Quick test_hash_table_basics;
+          Alcotest.test_case "memory pages" `Quick test_hash_table_memory_pages;
+          Alcotest.test_case "charges" `Quick test_hash_table_charges;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "compatible partitions" `Quick
+            test_partition_compatible;
+          Alcotest.test_case "fraction split" `Quick
+            test_partition_fraction_split;
+          Alcotest.test_case "write mode charges" `Quick
+            test_partition_write_mode_charges;
+        ] );
+      ("join: sort-merge", algo_cases E.Joiner.Sort_merge_join);
+      ("join: simple hash", algo_cases E.Joiner.Simple_hash_join);
+      ("join: grace hash", algo_cases E.Joiner.Grace_hash_join);
+      ("join: hybrid hash", algo_cases E.Joiner.Hybrid_hash_join);
+      ( "join: misc",
+        [
+          Alcotest.test_case "hybrid skew recursion" `Quick
+            test_hybrid_skew_forces_recursion;
+          Alcotest.test_case "simple pass count" `Quick
+            test_simple_hash_pass_count;
+          Alcotest.test_case "hybrid partition count" `Quick
+            test_hybrid_partition_count;
+          Alcotest.test_case "joiner names" `Quick test_joiner_names;
+          Alcotest.test_case "key width mismatch" `Quick
+            test_key_width_mismatch_rejected;
+          QCheck_alcotest.to_alcotest qcheck_all_algos_agree;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "one pass" `Quick test_one_pass_aggregate;
+          Alcotest.test_case "hybrid matches one-pass" `Quick
+            test_hybrid_aggregate_matches_one_pass;
+          Alcotest.test_case "group count" `Quick test_aggregate_group_count;
+          Alcotest.test_case "empty" `Quick test_aggregate_empty;
+          Alcotest.test_case "result schema" `Quick
+            test_aggregate_result_schema;
+          Alcotest.test_case "sort-based matches hash" `Quick
+            test_sort_based_aggregate_matches_hash;
+          Alcotest.test_case "hash beats sort (3.9)" `Quick
+            test_sort_based_aggregate_costs_more;
+        ] );
+      ( "semi/anti/division",
+        [
+          Alcotest.test_case "index join vs oracle" `Quick
+            test_index_join_matches_oracle;
+          Alcotest.test_case "index join cheap for small outer" `Quick
+            test_index_join_cheap_for_small_outer;
+          Alcotest.test_case "semi & anti" `Quick test_semi_anti_join;
+          QCheck_alcotest.to_alcotest qcheck_semi_anti_partition_r;
+          Alcotest.test_case "suppliers of all parts" `Quick
+            test_division_suppliers_all_parts;
+          Alcotest.test_case "empty divisor" `Quick test_division_empty_divisor;
+          QCheck_alcotest.to_alcotest qcheck_division_matches_model;
+        ] );
+      ( "projection",
+        [
+          Alcotest.test_case "distinct" `Quick test_projection_distinct;
+          Alcotest.test_case "single column" `Quick
+            test_projection_single_column;
+          Alcotest.test_case "spill matches in-memory" `Quick
+            test_projection_spills_match_in_memory;
+          Alcotest.test_case "unknown column" `Quick
+            test_projection_unknown_column;
+          Alcotest.test_case "sort-distinct matches hash" `Quick
+            test_sort_distinct_matches_hash;
+        ] );
+      ( "stats & ordering",
+        [
+          Alcotest.test_case "op stats" `Quick test_op_stats_measure;
+          Alcotest.test_case "measured ordering (small memory)" `Quick
+            test_measured_ordering_small_memory;
+        ] );
+    ]

@@ -1,0 +1,586 @@
+(* Tests for Mmdb_index: AVL tree, B+-tree, pager fault accounting.
+   Both trees are checked model-based against Stdlib.Map over random
+   operation sequences, plus structural invariants after every batch. *)
+
+module S = Mmdb_storage
+module U = Mmdb_util
+module I = Mmdb_index
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let schema () =
+  S.Schema.create ~key:"k"
+    [ S.Schema.column "k" S.Schema.Int; S.Schema.column "v" S.Schema.Int ]
+
+let mk sch k v = S.Tuple.encode sch [ S.Tuple.VInt k; S.Tuple.VInt v ]
+let key sch k = S.Tuple.encode_int_key sch k
+let val_of sch tup = S.Tuple.get_int sch tup 1
+let key_of sch tup = S.Tuple.get_int sch tup 0
+
+module IntMap = Map.Make (Int)
+
+(* Generic battery run against any index with the common signature. *)
+type ops = {
+  insert : bytes -> unit;
+  search : bytes -> bytes option;
+  delete : bytes -> bool;
+  length : unit -> int;
+  check : unit -> bool;
+  iter : (bytes -> unit) -> unit;
+}
+
+let avl_ops t =
+  {
+    insert = I.Avl.insert t;
+    search = I.Avl.search t;
+    delete = I.Avl.delete t;
+    length = (fun () -> I.Avl.length t);
+    check = (fun () -> I.Avl.check_invariants t);
+    iter = (fun f -> I.Avl.iter_in_order t f);
+  }
+
+let btree_ops t =
+  {
+    insert = I.Btree.insert t;
+    search = I.Btree.search t;
+    delete = I.Btree.delete t;
+    length = (fun () -> I.Btree.length t);
+    check = (fun () -> I.Btree.check_invariants t);
+    iter = (fun f -> I.Btree.iter_in_order t f);
+  }
+
+let fresh_avl () =
+  let env = S.Env.create () in
+  I.Avl.create ~env ~schema:(schema ()) ()
+
+let fresh_btree ?(page_size = 256) () =
+  let env = S.Env.create () in
+  I.Btree.create ~env ~schema:(schema ()) ~page_size ()
+
+(* Model-based random-operation test. *)
+let model_test make_ops n_ops seed () =
+  let sch = schema () in
+  let ops = make_ops () in
+  let rng = U.Xorshift.create seed in
+  let model = ref IntMap.empty in
+  for step = 1 to n_ops do
+    let k = U.Xorshift.int rng 200 in
+    let action = U.Xorshift.int rng 3 in
+    (match action with
+    | 0 | 1 ->
+      let v = U.Xorshift.int rng 1_000_000 in
+      ops.insert (mk sch k v);
+      model := IntMap.add k v !model
+    | _ ->
+      let deleted = ops.delete (key sch k) in
+      let expected = IntMap.mem k !model in
+      checkb (Printf.sprintf "step %d delete %d" step k) expected deleted;
+      model := IntMap.remove k !model);
+    if step mod 50 = 0 then begin
+      checkb (Printf.sprintf "invariants at step %d" step) true (ops.check ());
+      checki
+        (Printf.sprintf "length at step %d" step)
+        (IntMap.cardinal !model) (ops.length ())
+    end
+  done;
+  (* Final full comparison: every model key searchable with right value,
+     in-order iteration equals sorted model. *)
+  checkb "final invariants" true (ops.check ());
+  IntMap.iter
+    (fun k v ->
+      match ops.search (key sch k) with
+      | Some tup -> checki (Printf.sprintf "value of %d" k) v (val_of sch tup)
+      | None -> Alcotest.fail (Printf.sprintf "key %d missing" k))
+    !model;
+  for k = 0 to 199 do
+    if not (IntMap.mem k !model) then
+      checkb
+        (Printf.sprintf "absent key %d" k)
+        true
+        (ops.search (key sch k) = None)
+  done;
+  let seen = ref [] in
+  ops.iter (fun tup -> seen := key_of sch tup :: !seen);
+  Alcotest.(check (list int))
+    "in-order equals model"
+    (List.map fst (IntMap.bindings !model))
+    (List.rev !seen)
+
+(* ------------------------------------------------------------------ *)
+(* AVL specifics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_avl_empty () =
+  let t = fresh_avl () in
+  let sch = schema () in
+  checki "length" 0 (I.Avl.length t);
+  checki "height" 0 (I.Avl.height t);
+  checkb "search misses" true (I.Avl.search t (key sch 1) = None);
+  checkb "delete misses" false (I.Avl.delete t (key sch 1));
+  checkb "min none" true (I.Avl.min_tuple t = None);
+  checkb "max none" true (I.Avl.max_tuple t = None);
+  checkb "invariants" true (I.Avl.check_invariants t)
+
+let test_avl_height_bound () =
+  let t = fresh_avl () in
+  let sch = schema () in
+  (* Sorted insertion is the adversarial case for unbalanced trees. *)
+  let n = 2048 in
+  for i = 1 to n do
+    I.Avl.insert t (mk sch i i)
+  done;
+  let h = I.Avl.height t in
+  let bound =
+    (* 1.4405 log2(n+2) - 0.3277 *)
+    int_of_float (Float.ceil ((1.4405 *. Float.log2 (float_of_int (n + 2))) -. 0.3277))
+  in
+  checkb (Printf.sprintf "height %d <= %d" h bound) true (h <= bound);
+  checkb "invariants after sorted inserts" true (I.Avl.check_invariants t)
+
+let test_avl_duplicate_replaces () =
+  let t = fresh_avl () in
+  let sch = schema () in
+  I.Avl.insert t (mk sch 5 1);
+  I.Avl.insert t (mk sch 5 2);
+  checki "length 1" 1 (I.Avl.length t);
+  match I.Avl.search t (key sch 5) with
+  | Some tup -> checki "replaced" 2 (val_of sch tup)
+  | None -> Alcotest.fail "missing"
+
+let test_avl_min_max () =
+  let t = fresh_avl () in
+  let sch = schema () in
+  List.iter (fun k -> I.Avl.insert t (mk sch k k)) [ 7; 2; 9; 4; 1; 8 ];
+  (match I.Avl.min_tuple t with
+  | Some tup -> checki "min" 1 (key_of sch tup)
+  | None -> Alcotest.fail "no min");
+  match I.Avl.max_tuple t with
+  | Some tup -> checki "max" 9 (key_of sch tup)
+  | None -> Alcotest.fail "no max"
+
+let test_avl_scan_from () =
+  let t = fresh_avl () in
+  let sch = schema () in
+  List.iter (fun k -> I.Avl.insert t (mk sch k (k * 2))) [ 10; 20; 30; 40; 50 ];
+  let got = I.Avl.scan_from t (key sch 25) 2 in
+  Alcotest.(check (list int)) "scan from 25" [ 30; 40 ]
+    (List.map (key_of sch) got);
+  let from_existing = I.Avl.scan_from t (key sch 20) 3 in
+  Alcotest.(check (list int)) "inclusive start" [ 20; 30; 40 ]
+    (List.map (key_of sch) from_existing);
+  let past_end = I.Avl.scan_from t (key sch 60) 5 in
+  checki "past end empty" 0 (List.length past_end);
+  let overrun = I.Avl.scan_from t (key sch 40) 10 in
+  Alcotest.(check (list int)) "overrun clips" [ 40; 50 ]
+    (List.map (key_of sch) overrun)
+
+let test_avl_range_scan () =
+  let t = fresh_avl () in
+  let sch = schema () in
+  for k = 1 to 20 do
+    I.Avl.insert t (mk sch k k)
+  done;
+  let acc = ref [] in
+  I.Avl.range_scan t ~lo:(key sch 5) ~hi:(key sch 9) (fun tup ->
+      acc := key_of sch tup :: !acc);
+  Alcotest.(check (list int)) "range [5,9]" [ 5; 6; 7; 8; 9 ] (List.rev !acc)
+
+let test_avl_comparison_count_logarithmic () =
+  let env = S.Env.create () in
+  let sch = schema () in
+  let t = I.Avl.create ~env ~schema:sch () in
+  let n = 4096 in
+  let rng = U.Xorshift.create 5 in
+  let keys = Array.init n (fun i -> i) in
+  U.Xorshift.shuffle rng keys;
+  Array.iter (fun k -> I.Avl.insert t (mk sch k k)) keys;
+  let before = env.S.Env.counters.S.Counters.comparisons in
+  let probes = 500 in
+  for _ = 1 to probes do
+    ignore (I.Avl.search t (key sch (U.Xorshift.int rng n)))
+  done;
+  let per_probe =
+    float_of_int (env.S.Env.counters.S.Counters.comparisons - before)
+    /. float_of_int probes
+  in
+  (* Paper: about log2 |R| + 0.25 comparisons. *)
+  let expected = Float.log2 (float_of_int n) +. 0.25 in
+  checkb
+    (Printf.sprintf "%.2f comps/probe within 20%% of %.2f" per_probe expected)
+    true
+    (Float.abs (per_probe -. expected) < 0.2 *. expected)
+
+(* ------------------------------------------------------------------ *)
+(* B+-tree specifics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_btree_empty () =
+  let t = fresh_btree () in
+  let sch = schema () in
+  checki "length" 0 (I.Btree.length t);
+  checki "height" 1 (I.Btree.height t);
+  checkb "search misses" true (I.Btree.search t (key sch 1) = None);
+  checkb "delete misses" false (I.Btree.delete t (key sch 1));
+  checkb "min none" true (I.Btree.min_tuple t = None);
+  checkb "invariants" true (I.Btree.check_invariants t)
+
+let test_btree_capacities () =
+  let t = fresh_btree ~page_size:4096 () in
+  (* K=8, s=4: fanout = 4096/12 = 341. tuple width 16: lcap = 4094/16 = 255. *)
+  checki "fanout" 341 (I.Btree.fanout t);
+  checki "leaf capacity" 255 (I.Btree.leaf_capacity t)
+
+let test_btree_split_grows_height () =
+  let t = fresh_btree ~page_size:64 () in
+  let sch = schema () in
+  (* lcap = 62/16 = 3; inserting 4 forces a split. *)
+  for k = 1 to 4 do
+    I.Btree.insert t (mk sch k k)
+  done;
+  checki "height 2" 2 (I.Btree.height t);
+  checkb "invariants" true (I.Btree.check_invariants t);
+  checki "all present" 4 (I.Btree.length t)
+
+let test_btree_sorted_bulk () =
+  let t = fresh_btree ~page_size:128 () in
+  let sch = schema () in
+  let n = 1000 in
+  for k = 1 to n do
+    I.Btree.insert t (mk sch k k)
+  done;
+  checkb "invariants" true (I.Btree.check_invariants t);
+  checki "length" n (I.Btree.length t);
+  (* Every key findable. *)
+  for k = 1 to n do
+    match I.Btree.search t (key sch k) with
+    | Some tup -> checki "value" k (val_of sch tup)
+    | None -> Alcotest.fail (Printf.sprintf "missing %d" k)
+  done
+
+let test_btree_delete_collapses () =
+  let t = fresh_btree ~page_size:64 () in
+  let sch = schema () in
+  for k = 1 to 100 do
+    I.Btree.insert t (mk sch k k)
+  done;
+  for k = 1 to 100 do
+    checkb (Printf.sprintf "delete %d" k) true (I.Btree.delete t (key sch k));
+    checkb
+      (Printf.sprintf "invariants after delete %d" k)
+      true (I.Btree.check_invariants t)
+  done;
+  checki "empty" 0 (I.Btree.length t);
+  checki "height back to 1" 1 (I.Btree.height t)
+
+let test_btree_scan_from_crosses_leaves () =
+  let t = fresh_btree ~page_size:64 () in
+  let sch = schema () in
+  for k = 1 to 50 do
+    I.Btree.insert t (mk sch (k * 2) k)
+  done;
+  (* Keys 2,4,...,100; scan from 51 -> 52,54,...  *)
+  let got = I.Btree.scan_from t (key sch 51) 5 in
+  Alcotest.(check (list int)) "scan" [ 52; 54; 56; 58; 60 ]
+    (List.map (key_of sch) got)
+
+let test_btree_range_scan () =
+  let t = fresh_btree ~page_size:64 () in
+  let sch = schema () in
+  for k = 1 to 40 do
+    I.Btree.insert t (mk sch k k)
+  done;
+  let acc = ref [] in
+  I.Btree.range_scan t ~lo:(key sch 10) ~hi:(key sch 15) (fun tup ->
+      acc := key_of sch tup :: !acc);
+  Alcotest.(check (list int)) "range" [ 10; 11; 12; 13; 14; 15 ] (List.rev !acc)
+
+let test_btree_random_load_occupancy () =
+  let t = fresh_btree ~page_size:128 () in
+  let sch = schema () in
+  let rng = U.Xorshift.create 21 in
+  let keys = Array.init 5000 (fun i -> i) in
+  U.Xorshift.shuffle rng keys;
+  Array.iter (fun k -> I.Btree.insert t (mk sch k k)) keys;
+  let occ = I.Btree.avg_leaf_occupancy t in
+  (* Yao: ~69% for random insertion (we accept a broad band). *)
+  checkb (Printf.sprintf "occupancy %.2f in [0.6, 0.8]" occ) true
+    (occ >= 0.60 && occ <= 0.80);
+  checkb "invariants" true (I.Btree.check_invariants t)
+
+let test_btree_comparison_count_logarithmic () =
+  let env = S.Env.create () in
+  let sch = schema () in
+  let t = I.Btree.create ~env ~schema:sch ~page_size:256 () in
+  let n = 4096 in
+  let rng = U.Xorshift.create 5 in
+  let keys = Array.init n (fun i -> i) in
+  U.Xorshift.shuffle rng keys;
+  Array.iter (fun k -> I.Btree.insert t (mk sch k k)) keys;
+  let before = env.S.Env.counters.S.Counters.comparisons in
+  let probes = 500 in
+  for _ = 1 to probes do
+    ignore (I.Btree.search t (key sch (U.Xorshift.int rng n)))
+  done;
+  let per_probe =
+    float_of_int (env.S.Env.counters.S.Counters.comparisons - before)
+    /. float_of_int probes
+  in
+  (* Paper: C' = ceil(log2 ||R||) comparisons, binary search adds O(1). *)
+  let expected = Float.log2 (float_of_int n) in
+  checkb
+    (Printf.sprintf "%.2f comps/probe within 35%% of %.2f" per_probe expected)
+    true
+    (Float.abs (per_probe -. expected) < 0.35 *. expected)
+
+(* ------------------------------------------------------------------ *)
+(* Pager                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pager_no_faults_when_everything_fits () =
+  let env = S.Env.create () in
+  let sch = schema () in
+  let disk = S.Disk.create ~env ~page_size:4096 in
+  let t = I.Avl.create ~env ~schema:sch () in
+  for k = 1 to 500 do
+    I.Avl.insert t (mk sch k k)
+  done;
+  let pager =
+    I.Pager.create ~disk ~pool_capacity:10_000
+      ~policy:S.Buffer_pool.Lru ~nodes_per_page:10
+  in
+  I.Pager.attach_avl pager t;
+  (* Warm: touch all pages once. *)
+  I.Avl.iter_in_order t (fun _ -> ());
+  let rng = U.Xorshift.create 3 in
+  for _ = 1 to 200 do
+    ignore (I.Avl.search t (key sch (1 + U.Xorshift.int rng 500)))
+  done;
+  let cold_faults = env.S.Env.counters.S.Counters.faults in
+  (* All pages now resident; more searches fault nothing. *)
+  for _ = 1 to 200 do
+    ignore (I.Avl.search t (key sch (1 + U.Xorshift.int rng 500)))
+  done;
+  checki "no new faults" cold_faults env.S.Env.counters.S.Counters.faults
+
+let test_pager_faults_under_pressure () =
+  let env = S.Env.create () in
+  let sch = schema () in
+  let disk = S.Disk.create ~env ~page_size:4096 in
+  let t = I.Avl.create ~env ~schema:sch () in
+  for k = 1 to 2000 do
+    I.Avl.insert t (mk sch k k)
+  done;
+  let rng_pol = U.Xorshift.create 17 in
+  let pager =
+    I.Pager.create ~disk ~pool_capacity:5
+      ~policy:(S.Buffer_pool.Random_replacement rng_pol) ~nodes_per_page:10
+  in
+  I.Pager.attach_avl pager t;
+  let before = env.S.Env.counters.S.Counters.faults in
+  let rng = U.Xorshift.create 23 in
+  for _ = 1 to 200 do
+    ignore (I.Avl.search t (key sch (1 + U.Xorshift.int rng 2000)))
+  done;
+  checkb "faults occur under pressure" true
+    (env.S.Env.counters.S.Counters.faults - before > 200)
+
+let test_pager_btree_one_node_per_page () =
+  let env = S.Env.create () in
+  let sch = schema () in
+  let disk = S.Disk.create ~env ~page_size:4096 in
+  let t = I.Btree.create ~env ~schema:sch ~page_size:128 () in
+  for k = 1 to 500 do
+    I.Btree.insert t (mk sch k k)
+  done;
+  let pager =
+    I.Pager.create ~disk ~pool_capacity:10_000 ~policy:S.Buffer_pool.Lru
+      ~nodes_per_page:1
+  in
+  I.Pager.attach_btree pager t;
+  let rng = U.Xorshift.create 29 in
+  for _ = 1 to 300 do
+    ignore (I.Btree.search t (key sch (1 + U.Xorshift.int rng 500)))
+  done;
+  (* Touched pages should be bounded by the number of live nodes. *)
+  checkb "pages <= nodes" true
+    (I.Pager.pages_touched pager <= I.Btree.node_count t)
+
+(* ------------------------------------------------------------------ *)
+(* Paged BST (the Section 2 footnote's structure)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_bst_basic_ops () =
+  let env = S.Env.create () in
+  let sch = schema () in
+  let t = I.Paged_bst.create ~env ~schema:sch () in
+  List.iter (fun k -> I.Paged_bst.insert t (mk sch k (k * 10))) [ 5; 2; 8; 1; 9 ];
+  checki "length" 5 (I.Paged_bst.length t);
+  (match I.Paged_bst.search t (key sch 8) with
+  | Some tup -> checki "value" 80 (val_of sch tup)
+  | None -> Alcotest.fail "missing");
+  checkb "miss" true (I.Paged_bst.search t (key sch 7) = None);
+  I.Paged_bst.insert t (mk sch 8 99);
+  checki "replace keeps length" 5 (I.Paged_bst.length t);
+  (match I.Paged_bst.search t (key sch 8) with
+  | Some tup -> checki "replaced" 99 (val_of sch tup)
+  | None -> Alcotest.fail "missing after replace");
+  checkb "invariants" true (I.Paged_bst.check_invariants t)
+
+let test_bst_degenerates_on_sorted_input () =
+  (* The footnote: "paged binary trees are not balanced and the worst case
+     access time may be significantly poorer". *)
+  let env = S.Env.create () in
+  let sch = schema () in
+  let n = 2000 in
+  let degenerate = I.Paged_bst.create ~env ~schema:sch () in
+  for k = 1 to n do
+    I.Paged_bst.insert degenerate (mk sch k k)
+  done;
+  checki "sorted insertion = linked list" n (I.Paged_bst.height degenerate);
+  let random_tree = I.Paged_bst.create ~env ~schema:sch () in
+  let keys = Array.init n (fun i -> i) in
+  U.Xorshift.shuffle (U.Xorshift.create 7) keys;
+  Array.iter (fun k -> I.Paged_bst.insert random_tree (mk sch k k)) keys;
+  let h = I.Paged_bst.height random_tree in
+  (* ~1.39 log2 n expected for a random BST; allow generous slack. *)
+  checkb (Printf.sprintf "random height %d reasonable" h) true
+    (h < 4 * int_of_float (Float.log2 (float_of_int n)));
+  checkb "still a valid BST" true (I.Paged_bst.check_invariants random_tree)
+
+let test_bst_vs_avl_comparisons () =
+  let env_bst = S.Env.create () and env_avl = S.Env.create () in
+  let sch = schema () in
+  let bst = I.Paged_bst.create ~env:env_bst ~schema:sch () in
+  let avl = I.Avl.create ~env:env_avl ~schema:sch () in
+  (* Adversarial (sorted) load. *)
+  for k = 1 to 1000 do
+    I.Paged_bst.insert bst (mk sch k k);
+    I.Avl.insert avl (mk sch k k)
+  done;
+  let probe_cost env search =
+    let before = env.S.Env.counters.S.Counters.comparisons in
+    for k = 1 to 1000 do
+      ignore (search (key sch k))
+    done;
+    env.S.Env.counters.S.Counters.comparisons - before
+  in
+  let bst_comps = probe_cost env_bst (I.Paged_bst.search bst) in
+  let avl_comps = probe_cost env_avl (I.Avl.search avl) in
+  checkb
+    (Printf.sprintf "degenerate BST (%d comps) >> AVL (%d comps)" bst_comps
+       avl_comps)
+    true
+    (bst_comps > 20 * avl_comps)
+
+let qcheck_bst_matches_map =
+  QCheck.Test.make ~name:"paged BST equals Map on inserts/searches" ~count:80
+    QCheck.(list (pair (int_range 0 60) (int_range 0 1000)))
+    (fun ops ->
+      let sch = schema () in
+      let env = S.Env.create () in
+      let t = I.Paged_bst.create ~env ~schema:sch () in
+      let model =
+        List.fold_left
+          (fun m (k, v) ->
+            I.Paged_bst.insert t (mk sch k v);
+            IntMap.add k v m)
+          IntMap.empty ops
+      in
+      IntMap.for_all
+        (fun k v ->
+          match I.Paged_bst.search t (key sch k) with
+          | Some tup -> val_of sch tup = v
+          | None -> false)
+        model
+      && I.Paged_bst.length t = IntMap.cardinal model
+      && I.Paged_bst.check_invariants t)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck cross-structure equivalence                                  *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_avl_btree_agree =
+  QCheck.Test.make ~name:"AVL and B+-tree agree on any op sequence" ~count:60
+    QCheck.(list (pair (int_range 0 100) (int_range 0 1000)))
+    (fun ops_list ->
+      let sch = schema () in
+      let avl = fresh_avl () in
+      let bt = fresh_btree ~page_size:64 () in
+      List.iter
+        (fun (k, v) ->
+          if v mod 4 = 0 then begin
+            ignore (I.Avl.delete avl (key sch k));
+            ignore (I.Btree.delete bt (key sch k))
+          end
+          else begin
+            I.Avl.insert avl (mk sch k v);
+            I.Btree.insert bt (mk sch k v)
+          end)
+        ops_list;
+      let dump_avl = ref [] and dump_bt = ref [] in
+      I.Avl.iter_in_order avl (fun t -> dump_avl := (key_of sch t, val_of sch t) :: !dump_avl);
+      I.Btree.iter_in_order bt (fun t -> dump_bt := (key_of sch t, val_of sch t) :: !dump_bt);
+      !dump_avl = !dump_bt
+      && I.Avl.check_invariants avl
+      && I.Btree.check_invariants bt)
+
+let () =
+  Alcotest.run "mmdb_index"
+    [
+      ( "avl",
+        [
+          Alcotest.test_case "empty" `Quick test_avl_empty;
+          Alcotest.test_case "model-based ops" `Quick
+            (model_test (fun () -> avl_ops (fresh_avl ())) 2000 101);
+          Alcotest.test_case "height bound" `Quick test_avl_height_bound;
+          Alcotest.test_case "duplicate replaces" `Quick
+            test_avl_duplicate_replaces;
+          Alcotest.test_case "min/max" `Quick test_avl_min_max;
+          Alcotest.test_case "scan_from" `Quick test_avl_scan_from;
+          Alcotest.test_case "range_scan" `Quick test_avl_range_scan;
+          Alcotest.test_case "comparisons ~ log2 n" `Quick
+            test_avl_comparison_count_logarithmic;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "empty" `Quick test_btree_empty;
+          Alcotest.test_case "capacities" `Quick test_btree_capacities;
+          Alcotest.test_case "model-based ops" `Quick
+            (model_test (fun () -> btree_ops (fresh_btree ~page_size:64 ())) 2000 202);
+          Alcotest.test_case "model-based ops (larger pages)" `Quick
+            (model_test (fun () -> btree_ops (fresh_btree ~page_size:256 ())) 2000 303);
+          Alcotest.test_case "split grows height" `Quick
+            test_btree_split_grows_height;
+          Alcotest.test_case "sorted bulk" `Quick test_btree_sorted_bulk;
+          Alcotest.test_case "delete collapses" `Quick
+            test_btree_delete_collapses;
+          Alcotest.test_case "scan crosses leaves" `Quick
+            test_btree_scan_from_crosses_leaves;
+          Alcotest.test_case "range_scan" `Quick test_btree_range_scan;
+          Alcotest.test_case "occupancy ~69%" `Quick
+            test_btree_random_load_occupancy;
+          Alcotest.test_case "comparisons ~ log2 n" `Quick
+            test_btree_comparison_count_logarithmic;
+        ] );
+      ( "pager",
+        [
+          Alcotest.test_case "no faults when resident" `Quick
+            test_pager_no_faults_when_everything_fits;
+          Alcotest.test_case "faults under pressure" `Quick
+            test_pager_faults_under_pressure;
+          Alcotest.test_case "btree node pages" `Quick
+            test_pager_btree_one_node_per_page;
+        ] );
+      ( "paged_bst",
+        [
+          Alcotest.test_case "basic ops" `Quick test_bst_basic_ops;
+          Alcotest.test_case "degenerates on sorted input" `Quick
+            test_bst_degenerates_on_sorted_input;
+          Alcotest.test_case "footnote: BST >> AVL comparisons" `Quick
+            test_bst_vs_avl_comparisons;
+          QCheck_alcotest.to_alcotest qcheck_bst_matches_map;
+        ] );
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest qcheck_avl_btree_agree ] );
+    ]

@@ -1,0 +1,229 @@
+(* End-to-end system test: random sequences of DDL/DML/queries (and
+   save/load round-trips) against the Db facade, checked after every step
+   against a simple in-memory model.  This exercises the whole stack —
+   SQL parser, planner, operators, indexes, statistics, persistence —
+   under realistic interleavings. *)
+
+module M = Mmdb
+module S = Mmdb_storage
+module U = Mmdb_util
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Model: table name -> rows (list of int lists; schemas here are
+   all-integer for simplicity — string columns are covered elsewhere). *)
+type model = (string, int list list) Hashtbl.t
+
+let table_pool = [ "alpha"; "beta"; "gamma" ]
+
+(* Each table has 3 int columns c0 (key), c1, c2. *)
+let schema () =
+  S.Schema.create ~key:"c0"
+    [
+      S.Schema.column "c0" S.Schema.Int;
+      S.Schema.column "c1" S.Schema.Int;
+      S.Schema.column "c2" S.Schema.Int;
+    ]
+
+let dump_table db name =
+  List.sort compare
+    (List.map
+       (List.map (function
+         | S.Tuple.VInt v -> v
+         | S.Tuple.VStr _ -> Alcotest.fail "unexpected string"))
+       (M.Db.sql db ("SELECT * FROM " ^ name)))
+
+let check_consistent step db (model : model) =
+  Hashtbl.iter
+    (fun name rows ->
+      let got = dump_table db name in
+      let want = List.sort compare rows in
+      if got <> want then
+        Alcotest.fail
+          (Printf.sprintf "step %d: table %s diverged (%d db rows vs %d model)"
+             step name (List.length got) (List.length want)))
+    model
+
+let run_random_ops ~seed ~steps () =
+  let rng = U.Xorshift.create seed in
+  let db = ref (M.Db.create ()) in
+  let model : model = Hashtbl.create 4 in
+  let existing () = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+  let pick_table () =
+    match existing () with
+    | [] -> None
+    | ts -> Some (List.nth ts (U.Xorshift.int rng (List.length ts)))
+  in
+  let next_key = ref 0 in
+  for step = 1 to steps do
+    let roll = U.Xorshift.int rng 100 in
+    (if roll < 8 then begin
+       (* create table *)
+       let candidates =
+         List.filter (fun t -> not (Hashtbl.mem model t)) table_pool
+       in
+       match candidates with
+       | [] -> ()
+       | cs ->
+         let name = List.nth cs (U.Xorshift.int rng (List.length cs)) in
+         M.Db.create_table !db ~name ~schema:(schema ());
+         Hashtbl.replace model name [];
+         (* Sometimes index it. *)
+         if U.Xorshift.bool rng then
+           M.Db.create_index !db ~table:name
+             (if U.Xorshift.bool rng then M.Db.Avl_index else M.Db.Btree_index)
+     end
+     else if roll < 12 then begin
+       (* drop table *)
+       match pick_table () with
+       | None -> ()
+       | Some name ->
+         (match M.Db.execute !db ("DROP TABLE " ^ name) with
+         | M.Db.Affected _ -> ()
+         | M.Db.Rows _ -> Alcotest.fail "drop returned rows");
+         Hashtbl.remove model name
+     end
+     else if roll < 45 then begin
+       (* insert a few rows *)
+       match pick_table () with
+       | None -> ()
+       | Some name ->
+         let n = 1 + U.Xorshift.int rng 5 in
+         let rows =
+           List.init n (fun _ ->
+               incr next_key;
+               [ !next_key; U.Xorshift.int rng 10; U.Xorshift.int rng 100 ])
+         in
+         let values =
+           String.concat ", "
+             (List.map
+                (fun row ->
+                  "(" ^ String.concat ", " (List.map string_of_int row) ^ ")")
+                rows)
+         in
+         (match
+            M.Db.execute !db
+              (Printf.sprintf "INSERT INTO %s VALUES %s" name values)
+          with
+         | M.Db.Affected k -> checki "insert count" n k
+         | M.Db.Rows _ -> Alcotest.fail "insert returned rows");
+         Hashtbl.replace model name (rows @ Hashtbl.find model name)
+     end
+     else if roll < 60 then begin
+       (* delete where c1 = x *)
+       match pick_table () with
+       | None -> ()
+       | Some name ->
+         let x = U.Xorshift.int rng 10 in
+         let before = Hashtbl.find model name in
+         let keep = List.filter (fun row -> List.nth row 1 <> x) before in
+         (match
+            M.Db.execute !db
+              (Printf.sprintf "DELETE FROM %s WHERE c1 = %d" name x)
+          with
+         | M.Db.Affected k ->
+           checki "delete count" (List.length before - List.length keep) k
+         | M.Db.Rows _ -> Alcotest.fail "delete returned rows");
+         Hashtbl.replace model name keep
+     end
+     else if roll < 72 then begin
+       (* update c2 where c1 = x *)
+       match pick_table () with
+       | None -> ()
+       | Some name ->
+         let x = U.Xorshift.int rng 10 in
+         let v = U.Xorshift.int rng 1000 in
+         let before = Hashtbl.find model name in
+         let updated =
+           List.map
+             (fun row ->
+               if List.nth row 1 = x then
+                 [ List.nth row 0; List.nth row 1; v ]
+               else row)
+             before
+         in
+         (match
+            M.Db.execute !db
+              (Printf.sprintf "UPDATE %s SET c2 = %d WHERE c1 = %d" name v x)
+          with
+         | M.Db.Affected _ -> ()
+         | M.Db.Rows _ -> Alcotest.fail "update returned rows");
+         Hashtbl.replace model name updated
+     end
+     else if roll < 90 then begin
+       (* queries: filter / aggregate / order, compared to the model *)
+       match pick_table () with
+       | None -> ()
+       | Some name -> (
+         let rows = Hashtbl.find model name in
+         match U.Xorshift.int rng 3 with
+         | 0 ->
+           let x = U.Xorshift.int rng 10 in
+           let got =
+             List.length
+               (M.Db.sql !db
+                  (Printf.sprintf "SELECT * FROM %s WHERE c1 >= %d" name x))
+           in
+           checki
+             (Printf.sprintf "step %d filter count" step)
+             (List.length (List.filter (fun r -> List.nth r 1 >= x) rows))
+             got
+         | 1 ->
+           let got =
+             M.Db.sql !db
+               (Printf.sprintf
+                  "SELECT c1, COUNT(*), SUM(c2) FROM %s GROUP BY c1" name)
+           in
+           let expect_groups =
+             List.sort_uniq compare (List.map (fun r -> List.nth r 1) rows)
+           in
+           checki
+             (Printf.sprintf "step %d group count" step)
+             (List.length expect_groups) (List.length got)
+         | _ ->
+           let got =
+             M.Db.sql !db
+               (Printf.sprintf "SELECT c0 FROM %s ORDER BY c0 DESC" name)
+           in
+           let keys =
+             List.map
+               (fun row ->
+                 match row with
+                 | [ S.Tuple.VInt v ] -> v
+                 | _ -> Alcotest.fail "bad row")
+               got
+           in
+           let expect =
+             List.rev (List.sort compare (List.map (fun r -> List.nth r 0) rows))
+           in
+           Alcotest.(check (list int))
+             (Printf.sprintf "step %d order" step)
+             expect keys)
+     end
+     else begin
+       (* save / load round-trip: the database must survive intact. *)
+       let path = Filename.temp_file "mmdb_integ" ".db" in
+       Fun.protect
+         ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+         (fun () ->
+           M.Db.save !db path;
+           db := M.Db.load path)
+     end);
+    if step mod 10 = 0 then check_consistent step !db model
+  done;
+  check_consistent steps !db model;
+  checkb "ran to completion" true true
+
+let () =
+  Alcotest.run "mmdb_integration"
+    [
+      ( "random system workloads",
+        [
+          Alcotest.test_case "seed 1" `Quick (run_random_ops ~seed:1 ~steps:200);
+          Alcotest.test_case "seed 2" `Quick (run_random_ops ~seed:2 ~steps:200);
+          Alcotest.test_case "seed 3" `Quick (run_random_ops ~seed:3 ~steps:200);
+          Alcotest.test_case "seed 4 (long)" `Slow
+            (run_random_ops ~seed:4 ~steps:600);
+        ] );
+    ]

@@ -1,0 +1,853 @@
+(* Tests for Mmdb_recovery: log records/devices, stable memory, the
+   three-set lock manager, WAL commit strategies, the memory-resident
+   store with checkpoint/crash/recover, the banking workload, the
+   throughput simulation (paper's 100 -> 1000 tps ladder), and end-to-end
+   crash consistency. *)
+
+module R = Mmdb_recovery
+module S = Mmdb_storage
+module U = Mmdb_util
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let feq ?(eps = 1e-9) name a b =
+  checkb
+    (Printf.sprintf "%s: %.6g ~= %.6g" name a b)
+    true
+    (Float.abs (a -. b) <= eps)
+
+let within name pct a b =
+  checkb
+    (Printf.sprintf "%s: %.4g within %.0f%% of %.4g" name a (pct *. 100.) b)
+    true
+    (Float.abs (a -. b) <= pct *. Float.abs b)
+
+(* ------------------------------------------------------------------ *)
+(* Log records                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let banking_records ?(txn = 1) ?(lsn0 = 1) () =
+  R.Log_record.Begin { txn; lsn = lsn0 }
+  :: List.init 6 (fun i ->
+         R.Log_record.Update
+           {
+             txn;
+             lsn = lsn0 + 1 + i;
+             slot = i;
+             old_value = 0;
+             new_value = i;
+           })
+  @ [ R.Log_record.Commit { txn; lsn = lsn0 + 7 } ]
+
+let txn_bytes ~compressed records =
+  List.fold_left
+    (fun acc r -> acc + R.Log_record.size_bytes ~compressed r)
+    0 records
+
+let test_record_sizes () =
+  let records = banking_records () in
+  checki "typical txn = 400 bytes" 400 (txn_bytes ~compressed:false records);
+  checki "compressed = 220 bytes" 220 (txn_bytes ~compressed:true records);
+  checki "lsn accessor" 1 (R.Log_record.lsn (List.hd records));
+  checki "txn accessor" 1 (R.Log_record.txn (List.hd records));
+  checkb "update detection" true
+    (R.Log_record.is_update (List.nth records 1));
+  checkb "commit not update" false
+    (R.Log_record.is_update (List.nth records 7))
+
+(* ------------------------------------------------------------------ *)
+(* Log device                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_device_queuing () =
+  let clock = S.Sim_clock.create () in
+  let d = R.Log_device.create ~clock () in
+  let c1 = R.Log_device.write_page d ~at:0.0 [] ~bytes:4096 in
+  feq "first completes at 10ms" 10e-3 c1;
+  let c2 = R.Log_device.write_page d ~at:0.0 [] ~bytes:4096 in
+  feq "second queues" 20e-3 c2;
+  let c3 = R.Log_device.write_page d ~at:0.5 [] ~bytes:100 in
+  feq "idle gap honoured" 0.51 c3;
+  feq "busy_until" 0.51 (R.Log_device.busy_until d);
+  checki "pages" 3 (R.Log_device.pages_written d);
+  checki "bytes" (4096 + 4096 + 100) (R.Log_device.bytes_written d)
+
+let test_log_device_durability_cutoff () =
+  let clock = S.Sim_clock.create () in
+  let d = R.Log_device.create ~clock () in
+  let r1 = R.Log_record.Begin { txn = 1; lsn = 1 } in
+  let r2 = R.Log_record.Begin { txn = 2; lsn = 2 } in
+  ignore (R.Log_device.write_page d ~at:0.0 [ r1 ] ~bytes:20);
+  ignore (R.Log_device.write_page d ~at:0.0 [ r2 ] ~bytes:20);
+  checki "nothing durable at 5ms" 0
+    (List.length (R.Log_device.durable_records d ~at:5e-3));
+  checki "one durable at 15ms" 1
+    (List.length (R.Log_device.durable_records d ~at:15e-3));
+  checki "both durable at 25ms" 2
+    (List.length (R.Log_device.durable_records d ~at:25e-3));
+  checki "all records" 2 (List.length (R.Log_device.all_records d))
+
+let test_log_device_oversize_rejected () =
+  let clock = S.Sim_clock.create () in
+  let d = R.Log_device.create ~page_bytes:100 ~clock () in
+  checkb "oversize raises" true
+    (try
+       ignore (R.Log_device.write_page d ~at:0.0 [] ~bytes:101);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Stable memory                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_stable_memory_capacity () =
+  let sm = R.Stable_memory.create ~capacity_bytes:100 in
+  checki "capacity" 100 (R.Stable_memory.capacity sm);
+  checkb "fits" true (R.Stable_memory.put_records sm [] ~bytes:60);
+  checki "used" 60 (R.Stable_memory.used sm);
+  checkb "overflow rejected" false (R.Stable_memory.put_records sm [] ~bytes:50);
+  checkb "exact fit" true (R.Stable_memory.put_records sm [] ~bytes:40);
+  checki "full" 0 (R.Stable_memory.available sm)
+
+let test_stable_memory_fifo_drain () =
+  let sm = R.Stable_memory.create ~capacity_bytes:1000 in
+  let r i = R.Log_record.Begin { txn = i; lsn = i } in
+  ignore (R.Stable_memory.put_records sm [ r 1; r 2 ] ~bytes:40);
+  ignore (R.Stable_memory.put_records sm [ r 3 ] ~bytes:20);
+  ignore (R.Stable_memory.put_records sm [ r 4 ] ~bytes:20);
+  let records, bytes = R.Stable_memory.drain sm ~max_bytes:60 in
+  checki "drained bytes" 60 bytes;
+  Alcotest.(check (list int))
+    "oldest first, in order" [ 1; 2; 3 ]
+    (List.map R.Log_record.txn records);
+  checki "remaining" 20 (R.Stable_memory.used sm);
+  Alcotest.(check (list int))
+    "contents" [ 4 ]
+    (List.map R.Log_record.txn (R.Stable_memory.records sm))
+
+let test_stable_memory_peek_drop () =
+  let sm = R.Stable_memory.create ~capacity_bytes:1000 in
+  let r i = R.Log_record.Begin { txn = i; lsn = i } in
+  ignore (R.Stable_memory.put_records sm [ r 1 ] ~bytes:20);
+  ignore (R.Stable_memory.put_records sm [ r 2 ] ~bytes:30);
+  (match R.Stable_memory.peek_batch sm with
+  | Some ([ x ], 20) -> checki "peek oldest" 1 (R.Log_record.txn x)
+  | _ -> Alcotest.fail "unexpected peek");
+  R.Stable_memory.drop_batch sm;
+  checki "used after drop" 30 (R.Stable_memory.used sm);
+  R.Stable_memory.drop_batch sm;
+  checkb "drop empty raises" true
+    (try
+       R.Stable_memory.drop_batch sm;
+       false
+     with Invalid_argument _ -> true)
+
+let test_stable_memory_table () =
+  let sm = R.Stable_memory.create ~capacity_bytes:10 in
+  R.Stable_memory.table_put sm ~key:3 ~value:77;
+  R.Stable_memory.table_put sm ~key:5 ~value:99;
+  checkb "get" true (R.Stable_memory.table_get sm ~key:3 = Some 77);
+  checkb "missing" true (R.Stable_memory.table_get sm ~key:4 = None);
+  let sum =
+    R.Stable_memory.table_fold sm ~init:0 ~f:(fun acc ~key:_ ~value ->
+        acc + value)
+  in
+  checki "fold" 176 sum;
+  R.Stable_memory.table_remove sm ~key:3;
+  checkb "removed" true (R.Stable_memory.table_get sm ~key:3 = None);
+  R.Stable_memory.table_clear sm;
+  checkb "cleared" true (R.Stable_memory.table_get sm ~key:5 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Lock manager                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_lock_basic_grant () =
+  let lm = R.Lock_manager.create () in
+  (match R.Lock_manager.acquire lm ~txn:1 ~key:10 with
+  | Some g ->
+    checki "granted to 1" 1 g.R.Lock_manager.granted_txn;
+    Alcotest.(check (list int)) "no deps" [] g.R.Lock_manager.dependencies
+  | None -> Alcotest.fail "should grant");
+  checkb "holder" true (R.Lock_manager.holder lm ~key:10 = Some 1);
+  (* Second transaction must wait. *)
+  checkb "2 waits" true (R.Lock_manager.acquire lm ~txn:2 ~key:10 = None);
+  Alcotest.(check (list int)) "wait queue" [ 2 ]
+    (R.Lock_manager.waiters lm ~key:10)
+
+let test_lock_precommit_dependency () =
+  let lm = R.Lock_manager.create () in
+  ignore (R.Lock_manager.acquire lm ~txn:1 ~key:10);
+  let grants = R.Lock_manager.precommit lm ~txn:1 in
+  Alcotest.(check (list int)) "no waiters woken" []
+    (List.map (fun g -> g.R.Lock_manager.granted_txn) grants);
+  Alcotest.(check (list int)) "1 precommitted" [ 1 ]
+    (R.Lock_manager.precommitted lm ~key:10);
+  (* New acquirer becomes dependent on 1 ("reading uncommitted data"). *)
+  (match R.Lock_manager.acquire lm ~txn:2 ~key:10 with
+  | Some g ->
+    Alcotest.(check (list int)) "depends on 1" [ 1 ]
+      g.R.Lock_manager.dependencies
+  | None -> Alcotest.fail "should grant");
+  (* Chain: 2 precommits, 3 depends on both. *)
+  ignore (R.Lock_manager.precommit lm ~txn:2);
+  (match R.Lock_manager.acquire lm ~txn:3 ~key:10 with
+  | Some g ->
+    Alcotest.(check (list int))
+      "depends on 2 then 1" [ 2; 1 ]
+      g.R.Lock_manager.dependencies
+  | None -> Alcotest.fail "should grant");
+  (* Finalize 1: it leaves the precommitted set. *)
+  R.Lock_manager.finalize lm ~txn:1;
+  ignore (R.Lock_manager.precommit lm ~txn:3);
+  Alcotest.(check (list int)) "2,3 precommitted" [ 2; 3 ]
+    (List.sort compare (R.Lock_manager.precommitted lm ~key:10))
+
+let test_lock_waiter_woken_on_precommit () =
+  let lm = R.Lock_manager.create () in
+  ignore (R.Lock_manager.acquire lm ~txn:1 ~key:5);
+  checkb "2 waits" true (R.Lock_manager.acquire lm ~txn:2 ~key:5 = None);
+  let grants = R.Lock_manager.precommit lm ~txn:1 in
+  (match grants with
+  | [ g ] ->
+    checki "2 woken" 2 g.R.Lock_manager.granted_txn;
+    Alcotest.(check (list int)) "dependent on 1" [ 1 ]
+      g.R.Lock_manager.dependencies
+  | _ -> Alcotest.fail "expected one grant");
+  checkb "2 now holds" true (R.Lock_manager.holder lm ~key:5 = Some 2)
+
+let test_lock_abort_releases () =
+  let lm = R.Lock_manager.create () in
+  ignore (R.Lock_manager.acquire lm ~txn:1 ~key:5);
+  checkb "2 waits" true (R.Lock_manager.acquire lm ~txn:2 ~key:5 = None);
+  let grants = R.Lock_manager.release_abort lm ~txn:1 in
+  (match grants with
+  | [ g ] ->
+    checki "2 woken" 2 g.R.Lock_manager.granted_txn;
+    Alcotest.(check (list int)) "no deps from aborter" []
+      g.R.Lock_manager.dependencies
+  | _ -> Alcotest.fail "expected one grant");
+  (* Pre-committed transactions never abort. *)
+  ignore (R.Lock_manager.precommit lm ~txn:2);
+  checkb "abort after precommit rejected" true
+    (try
+       ignore (R.Lock_manager.release_abort lm ~txn:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_lock_reacquire_held () =
+  let lm = R.Lock_manager.create () in
+  ignore (R.Lock_manager.acquire lm ~txn:1 ~key:5);
+  (match R.Lock_manager.acquire lm ~txn:1 ~key:5 with
+  | Some g -> Alcotest.(check (list int)) "no deps" [] g.R.Lock_manager.dependencies
+  | None -> Alcotest.fail "re-acquire should grant");
+  Alcotest.(check (list int)) "held once" [ 5 ]
+    (R.Lock_manager.locks_held lm ~txn:1)
+
+(* ------------------------------------------------------------------ *)
+(* WAL strategies                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let wal_commit wal ~at ~txn ?(deps = []) () =
+  R.Wal.commit_txn wal ~at ~txn ~deps
+    (banking_records ~txn ~lsn0:(txn * 100) ())
+
+let test_wal_conventional_serializes () =
+  let clock = S.Sim_clock.create () in
+  let wal = R.Wal.create ~clock R.Wal.Conventional in
+  let t1 = wal_commit wal ~at:0.0 ~txn:1 () in
+  let t2 = wal_commit wal ~at:0.0 ~txn:2 () in
+  let t3 = wal_commit wal ~at:0.0 ~txn:3 () in
+  feq "t1 at 10ms" 10e-3 (Option.get (R.Wal.ticket_completion t1));
+  feq "t2 at 20ms" 20e-3 (Option.get (R.Wal.ticket_completion t2));
+  feq "t3 at 30ms" 30e-3 (Option.get (R.Wal.ticket_completion t3));
+  checki "3 pages" 3 (R.Wal.pages_written wal)
+
+let test_wal_group_commit_batches () =
+  let clock = S.Sim_clock.create () in
+  let wal = R.Wal.create ~clock R.Wal.Group_commit in
+  let tickets = List.init 12 (fun i -> wal_commit wal ~at:0.0 ~txn:i ()) in
+  (* First ten 400-byte txns share the first page (4000 <= 4096). *)
+  let t0 = List.nth tickets 0 and t9 = List.nth tickets 9 in
+  (match (R.Wal.ticket_completion t0, R.Wal.ticket_completion t9) with
+  | Some a, Some b ->
+    feq "first group together" a b;
+    feq "one write" 10e-3 a
+  | _ -> Alcotest.fail "first group should be durable");
+  (* Txn 11 still sits in the open buffer. *)
+  let t11 = List.nth tickets 11 in
+  checkb "tail not durable yet" true (R.Wal.ticket_completion t11 = None);
+  ignore (R.Wal.flush wal ~at:0.0);
+  checkb "flush resolves tail" true (R.Wal.ticket_completion t11 <> None)
+
+let test_wal_partitioned_parallelism () =
+  let clock = S.Sim_clock.create () in
+  let wal = R.Wal.create ~clock (R.Wal.Partitioned { devices = 2 }) in
+  (* 20 independent txns span two pages; with 2 devices both write in
+     parallel, completing at 10ms. *)
+  let tickets = List.init 20 (fun i -> wal_commit wal ~at:0.0 ~txn:i ()) in
+  ignore (R.Wal.flush wal ~at:0.0);
+  let c i = Option.get (R.Wal.ticket_completion (List.nth tickets i)) in
+  feq "page 1 at 10ms" 10e-3 (c 0);
+  feq "page 2 also at 10ms (parallel)" 10e-3 (c 19)
+
+let test_wal_partitioned_dependency_ordering () =
+  let clock = S.Sim_clock.create () in
+  let wal = R.Wal.create ~clock (R.Wal.Partitioned { devices = 4 }) in
+  (* Group 1: the anchor and nine independent fillers. *)
+  let anchor = wal_commit wal ~at:0.0 ~txn:100 () in
+  let free_rider = wal_commit wal ~at:0.0 ~txn:1 () in
+  for i = 2 to 9 do
+    ignore (wal_commit wal ~at:0.0 ~txn:i ())
+  done;
+  ignore (R.Wal.flush wal ~at:0.0);
+  let anchor_done = Option.get (R.Wal.ticket_completion anchor) in
+  feq "anchor group at 10ms" 10e-3 anchor_done;
+  ignore free_rider;
+  (* Group 2: one transaction dependent on the anchor, plus an
+     independent control group 3 for comparison. *)
+  let dep = wal_commit wal ~at:0.0 ~txn:200 ~deps:[ 100 ] () in
+  ignore (R.Wal.flush wal ~at:0.0);
+  let control = wal_commit wal ~at:0.0 ~txn:300 () in
+  ignore (R.Wal.flush wal ~at:0.0);
+  let dep_done = Option.get (R.Wal.ticket_completion dep) in
+  let control_done = Option.get (R.Wal.ticket_completion control) in
+  (* The dependent group is issued only after the anchor group is
+     durable: 10ms + 10ms.  The independent control group, on an idle
+     device, needs only its own 10ms. *)
+  feq "dependent serialized" 20e-3 dep_done;
+  feq "independent parallel" 10e-3 control_done;
+  checkb "topological order" true (dep_done >= anchor_done +. 10e-3 -. 1e-9)
+
+let test_wal_stable_immediate_commit () =
+  let clock = S.Sim_clock.create () in
+  let wal =
+    R.Wal.create ~clock
+      (R.Wal.Stable { devices = 1; capacity_bytes = 8192; compressed = true })
+  in
+  let t1 = wal_commit wal ~at:0.0 ~txn:1 () in
+  feq "commits instantly" 0.0 (Option.get (R.Wal.ticket_completion t1));
+  (* Crash right now: the records are durable in stable memory. *)
+  checki "durable immediately" 8
+    (List.length (R.Wal.durable_records wal ~at:0.0))
+
+let test_wal_stable_backpressure () =
+  let clock = S.Sim_clock.create () in
+  (* Room for exactly 2 x 400-byte transactions. *)
+  let wal =
+    R.Wal.create ~clock
+      (R.Wal.Stable { devices = 1; capacity_bytes = 800; compressed = false })
+  in
+  let t1 = wal_commit wal ~at:0.0 ~txn:1 () in
+  let t2 = wal_commit wal ~at:0.0 ~txn:2 () in
+  feq "t1 instant" 0.0 (Option.get (R.Wal.ticket_completion t1));
+  feq "t2 instant" 0.0 (Option.get (R.Wal.ticket_completion t2));
+  (* Third must wait for a drain page write. *)
+  let t3 = wal_commit wal ~at:0.0 ~txn:3 () in
+  feq "t3 waits for drain" 10e-3 (Option.get (R.Wal.ticket_completion t3))
+
+let test_wal_stable_compression_on_disk () =
+  let clock = S.Sim_clock.create () in
+  let mk compressed =
+    let wal =
+      R.Wal.create ~clock
+        (R.Wal.Stable { devices = 1; capacity_bytes = 4000; compressed })
+    in
+    for i = 1 to 50 do
+      ignore (wal_commit wal ~at:0.0 ~txn:i ())
+    done;
+    ignore (R.Wal.flush wal ~at:0.0);
+    R.Wal.disk_bytes_written wal
+  in
+  let plain = mk false and compressed = mk true in
+  within "compressed/plain ~ 0.55" 0.02
+    (float_of_int compressed /. float_of_int plain)
+    0.55
+
+let test_wal_durable_cutoff_group () =
+  let clock = S.Sim_clock.create () in
+  let wal = R.Wal.create ~clock R.Wal.Group_commit in
+  for i = 1 to 10 do
+    ignore (wal_commit wal ~at:0.0 ~txn:i ())
+  done;
+  (* Ten 400-byte txns (4000 bytes) still fit the 4096-byte buffer: the
+     group has not been forced out, so a crash now loses everything. *)
+  checki "whole group volatile" 0
+    (List.length (R.Wal.durable_records wal ~at:1.0));
+  ignore (R.Wal.flush wal ~at:0.0);
+  (* Page scheduled at 0, completes at 10ms. *)
+  checki "nothing durable at 5ms" 0
+    (List.length (R.Wal.durable_records wal ~at:5e-3));
+  checki "80 records durable at 10ms" 80
+    (List.length (R.Wal.durable_records wal ~at:10e-3));
+  checki "oracle sees all" 80 (List.length (R.Wal.all_records wal))
+
+let test_wal_time_order_enforced () =
+  let clock = S.Sim_clock.create () in
+  let wal = R.Wal.create ~clock R.Wal.Conventional in
+  ignore (wal_commit wal ~at:1.0 ~txn:1 ());
+  checkb "going back raises" true
+    (try
+       ignore (wal_commit wal ~at:0.5 ~txn:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: under every strategy, for random dependency chains, a
+   dependent transaction is never durable before its dependency. *)
+let qcheck_wal_dependency_order =
+  QCheck.Test.make ~name:"dependents never durable before dependencies"
+    ~count:40
+    QCheck.(
+      pair (int_range 0 3)
+        (list_of_size Gen.(int_range 1 60) (int_range 0 9)))
+    (fun (strat_idx, dep_offsets) ->
+      let strategy =
+        match strat_idx with
+        | 0 -> R.Wal.Conventional
+        | 1 -> R.Wal.Group_commit
+        | 2 -> R.Wal.Partitioned { devices = 3 }
+        | _ ->
+          R.Wal.Stable { devices = 2; capacity_bytes = 4096; compressed = true }
+      in
+      let clock = S.Sim_clock.create () in
+      let wal = R.Wal.create ~clock strategy in
+      (* Txn i depends on txn (i - 1 - offset) when that exists. *)
+      let tickets =
+        List.mapi
+          (fun i offset ->
+            let deps = if i - 1 - offset >= 0 then [ i - 1 - offset ] else [] in
+            (i, deps, wal_commit wal ~at:(float_of_int i *. 1e-4) ~txn:i ~deps ()))
+          dep_offsets
+      in
+      ignore (R.Wal.flush wal ~at:1.0);
+      let completion = Hashtbl.create 64 in
+      List.iter
+        (fun (i, _, tkt) ->
+          match R.Wal.ticket_completion tkt with
+          | Some c -> Hashtbl.replace completion i c
+          | None -> ())
+        tickets;
+      List.for_all
+        (fun (i, deps, _) ->
+          match Hashtbl.find_opt completion i with
+          | None -> true (* never durable: vacuously ordered *)
+          | Some c ->
+            List.for_all
+              (fun d ->
+                match Hashtbl.find_opt completion d with
+                | Some dc -> dc <= c +. 1e-12
+                | None -> false (* dependency lost but dependent durable! *))
+              deps)
+        tickets)
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_properties () =
+  let rng = U.Xorshift.create 3 in
+  let txns = R.Workload.generate ~rng ~nrecords:100 ~n:50 () in
+  checki "50 txns" 50 (List.length txns);
+  List.iter
+    (fun (t : R.Workload.txn) ->
+      checki "6 updates" 6 (List.length t.R.Workload.updates);
+      let sum = List.fold_left (fun a (_, d) -> a + d) 0 t.R.Workload.updates in
+      checki "zero-sum" 0 sum;
+      let slots = List.map fst t.R.Workload.updates in
+      checki "distinct slots" 6
+        (List.length (List.sort_uniq compare slots)))
+    txns;
+  checki "400-byte logs" 400 (R.Workload.log_bytes ~updates_per_txn:6)
+
+let test_workload_apply () =
+  let balances = Array.make 10 0 in
+  let txn = { R.Workload.txn_id = 0; updates = [ (1, 5); (2, -5) ] } in
+  R.Workload.apply ~balances txn;
+  checki "credit" 5 balances.(1);
+  checki "debit" (-5) balances.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Kv_store                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_kv ?(nrecords = 100) ?(records_per_page = 10) () =
+  let sm = R.Stable_memory.create ~capacity_bytes:4096 in
+  (sm, R.Kv_store.create ~nrecords ~records_per_page ~stable:sm ())
+
+let test_kv_basics () =
+  let _, kv = fresh_kv () in
+  checki "nrecords" 100 (R.Kv_store.nrecords kv);
+  checki "npages" 10 (R.Kv_store.npages kv);
+  checki "initial 0" 0 (R.Kv_store.get kv 5);
+  R.Kv_store.apply_update kv ~lsn:1 ~slot:5 ~value:42;
+  checki "updated" 42 (R.Kv_store.get kv 5);
+  checki "one dirty page" 1 (R.Kv_store.dirty_pages kv)
+
+let test_kv_dirty_table_first_lsn () =
+  let _, kv = fresh_kv () in
+  R.Kv_store.apply_update kv ~lsn:7 ~slot:5 ~value:1;
+  R.Kv_store.apply_update kv ~lsn:9 ~slot:6 ~value:2;
+  (* slot 6 same page as 5 *)
+  R.Kv_store.apply_update kv ~lsn:11 ~slot:50 ~value:3;
+  checkb "start = min first-lsn" true (R.Kv_store.recovery_start_lsn kv = Some 7);
+  checki "two dirty pages" 2 (R.Kv_store.dirty_pages kv)
+
+let test_kv_checkpoint_clears () =
+  let _, kv = fresh_kv () in
+  R.Kv_store.apply_update kv ~lsn:1 ~slot:0 ~value:1;
+  R.Kv_store.apply_update kv ~lsn:2 ~slot:99 ~value:2;
+  let st = R.Kv_store.checkpoint kv in
+  checki "2 pages flushed" 2 st.R.Kv_store.pages_flushed;
+  feq "20ms" 20e-3 st.R.Kv_store.duration;
+  checki "clean" 0 (R.Kv_store.dirty_pages kv);
+  checkb "no start lsn" true (R.Kv_store.recovery_start_lsn kv = None)
+
+let test_kv_crash_blocks_reads () =
+  let _, kv = fresh_kv () in
+  R.Kv_store.crash kv;
+  checkb "read after crash raises" true
+    (try
+       ignore (R.Kv_store.get kv 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_kv_recover_redo () =
+  let _, kv = fresh_kv () in
+  R.Kv_store.apply_update kv ~lsn:1 ~slot:3 ~value:10;
+  R.Kv_store.apply_update kv ~lsn:2 ~slot:4 ~value:20;
+  let log =
+    [
+      R.Log_record.Begin { txn = 1; lsn = 0 };
+      R.Log_record.Update { txn = 1; lsn = 1; slot = 3; old_value = 0; new_value = 10 };
+      R.Log_record.Update { txn = 1; lsn = 2; slot = 4; old_value = 0; new_value = 20 };
+      R.Log_record.Commit { txn = 1; lsn = 3 };
+    ]
+  in
+  R.Kv_store.crash kv;
+  let st = R.Kv_store.recover kv ~log in
+  checki "slot 3 redone" 10 (R.Kv_store.get kv 3);
+  checki "slot 4 redone" 20 (R.Kv_store.get kv 4);
+  checki "redo count" 2 st.R.Kv_store.redo_applied;
+  checki "no undo" 0 st.R.Kv_store.undo_applied;
+  checki "start lsn" 1 st.R.Kv_store.start_lsn
+
+let test_kv_recover_undo_uncommitted () =
+  let _, kv = fresh_kv () in
+  (* Committed txn 1 writes 10; uncommitted txn 2 overwrites with 99 and a
+     checkpoint propagates the dirty page; recovery must undo 99. *)
+  R.Kv_store.apply_update kv ~lsn:1 ~slot:3 ~value:10;
+  R.Kv_store.apply_update kv ~lsn:5 ~slot:3 ~value:99;
+  ignore (R.Kv_store.checkpoint kv);
+  let log =
+    [
+      R.Log_record.Begin { txn = 1; lsn = 0 };
+      R.Log_record.Update { txn = 1; lsn = 1; slot = 3; old_value = 0; new_value = 10 };
+      R.Log_record.Commit { txn = 1; lsn = 2 };
+      R.Log_record.Begin { txn = 2; lsn = 4 };
+      R.Log_record.Update { txn = 2; lsn = 5; slot = 3; old_value = 10; new_value = 99 };
+    ]
+  in
+  R.Kv_store.crash kv;
+  let st = R.Kv_store.recover kv ~log in
+  checki "uncommitted undone" 10 (R.Kv_store.get kv 3);
+  checki "one undo" 1 st.R.Kv_store.undo_applied
+
+let test_kv_recover_uses_checkpoint_start () =
+  let _, kv = fresh_kv () in
+  R.Kv_store.apply_update kv ~lsn:1 ~slot:0 ~value:5;
+  ignore (R.Kv_store.checkpoint kv);
+  R.Kv_store.apply_update kv ~lsn:10 ~slot:1 ~value:7;
+  checkb "start after checkpoint" true
+    (R.Kv_store.recovery_start_lsn kv = Some 10)
+
+(* ------------------------------------------------------------------ *)
+(* Tps_sim: the Section 5.2 ladder                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_tps_conventional_100 () =
+  let r = R.Tps_sim.run ~n_txns:500 R.Wal.Conventional in
+  within "conventional ~100 tps" 0.05 r.R.Tps_sim.tps 100.0
+
+let test_tps_group_commit_1000 () =
+  let r = R.Tps_sim.run ~n_txns:2000 R.Wal.Group_commit in
+  within "group commit ~1000 tps" 0.05 r.R.Tps_sim.tps 1000.0
+
+let test_tps_partitioned_scales () =
+  (* Low-conflict regime (large account table): dependencies between
+     commit groups are rare, so devices run in parallel. *)
+  let r2 =
+    R.Tps_sim.run ~nrecords:200_000 ~n_txns:2000
+      (R.Wal.Partitioned { devices = 2 })
+  in
+  within "2 devices ~2000 tps" 0.08 r2.R.Tps_sim.tps 2000.0;
+  let r4 =
+    R.Tps_sim.run ~nrecords:200_000 ~n_txns:4000
+      (R.Wal.Partitioned { devices = 4 })
+  in
+  within "4 devices ~4000 tps" 0.10 r4.R.Tps_sim.tps 4000.0
+
+let test_tps_partitioned_conflict_collapses () =
+  (* High-conflict regime: nearly every commit group depends on its
+     predecessor, so the paper's topological ordering serializes the
+     writes and extra devices buy nothing. *)
+  let r =
+    R.Tps_sim.run ~nrecords:60 ~n_txns:2000
+      (R.Wal.Partitioned { devices = 4 })
+  in
+  checkb
+    (Printf.sprintf "conflict-bound tps %.0f ~ single-device 1000"
+       r.R.Tps_sim.tps)
+    true
+    (r.R.Tps_sim.tps < 1300.0)
+
+let test_tps_stable_compressed_1800 () =
+  let r =
+    R.Tps_sim.run ~n_txns:4000
+      (R.Wal.Stable { devices = 1; capacity_bytes = 64 * 1024; compressed = true })
+  in
+  within "stable compressed ~1800 tps" 0.10 r.R.Tps_sim.tps 1800.0
+
+let test_tps_latency_sane () =
+  let r = R.Tps_sim.run ~n_txns:200 ~arrival_interval:20e-3 R.Wal.Conventional in
+  (* Open loop slower than the device: every commit waits exactly one
+     page write. *)
+  within "latency = 10ms" 0.01 r.R.Tps_sim.latency.U.Stats.mean 10e-3
+
+let test_paper_ladder_shape () =
+  let ladder = R.Tps_sim.paper_ladder () in
+  checki "5 rungs" 5 (List.length ladder);
+  List.iter
+    (fun (label, measured, predicted) ->
+      within (label ^ " within 12% of model") 0.12 measured predicted)
+    ladder
+
+(* ------------------------------------------------------------------ *)
+(* Recovery_manager: end-to-end crash consistency                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_with cfg = R.Recovery_manager.run cfg
+
+let check_consistent name outcome =
+  checkb (name ^ ": consistent") true outcome.R.Recovery_manager.consistent;
+  checkb (name ^ ": money conserved") true
+    outcome.R.Recovery_manager.money_conserved
+
+let test_recovery_clean_shutdown () =
+  let o = run_with R.Recovery_manager.default_config in
+  check_consistent "clean" o;
+  checki "all committed" 2000 o.R.Recovery_manager.durably_committed
+
+let test_recovery_crash_loses_tail () =
+  let cfg =
+    { R.Recovery_manager.default_config with
+      R.Recovery_manager.crash_after = Some 1995 }
+  in
+  let o = run_with cfg in
+  check_consistent "tail loss" o;
+  checkb "some loss or all durable" true
+    (o.R.Recovery_manager.durably_committed <= 1995);
+  (* Group commit: the open partial group is lost. *)
+  checkb "tail actually lost" true
+    (o.R.Recovery_manager.durably_committed < 1995)
+
+let test_recovery_all_strategies_consistent () =
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun crash_after ->
+          let cfg =
+            {
+              R.Recovery_manager.default_config with
+              R.Recovery_manager.strategy;
+              crash_after;
+              n_txns = 600;
+              checkpoint_every = Some 150;
+            }
+          in
+          let o = run_with cfg in
+          check_consistent
+            (Printf.sprintf "%s crash=%s"
+               (R.Tps_sim.strategy_label strategy)
+               (match crash_after with
+               | Some k -> string_of_int k
+               | None -> "none"))
+            o)
+        [ None; Some 100; Some 599 ])
+    [
+      R.Wal.Conventional;
+      R.Wal.Group_commit;
+      R.Wal.Partitioned { devices = 3 };
+      R.Wal.Stable { devices = 1; capacity_bytes = 32768; compressed = true };
+    ]
+
+let test_recovery_checkpoint_bounds_redo () =
+  let base =
+    { R.Recovery_manager.default_config with
+      R.Recovery_manager.n_txns = 1000 }
+  in
+  let no_ckpt =
+    run_with { base with R.Recovery_manager.checkpoint_every = None }
+  in
+  let frequent =
+    run_with { base with R.Recovery_manager.checkpoint_every = Some 100 }
+  in
+  check_consistent "no checkpoint" no_ckpt;
+  check_consistent "frequent checkpoint" frequent;
+  checkb "checkpointing reduces redo work" true
+    (frequent.R.Recovery_manager.recover_stats.R.Kv_store.redo_applied
+    < no_ckpt.R.Recovery_manager.recover_stats.R.Kv_store.redo_applied);
+  checkb "checkpointing reduces recovery time" true
+    (frequent.R.Recovery_manager.recover_stats.R.Kv_store.recovery_time
+    <= no_ckpt.R.Recovery_manager.recover_stats.R.Kv_store.recovery_time)
+
+let test_recovery_compression_shrinks_log () =
+  let base =
+    { R.Recovery_manager.default_config with R.Recovery_manager.n_txns = 800 }
+  in
+  let group =
+    run_with { base with R.Recovery_manager.strategy = R.Wal.Group_commit }
+  in
+  let stable =
+    run_with
+      {
+        base with
+        R.Recovery_manager.strategy =
+          R.Wal.Stable
+            { devices = 1; capacity_bytes = 32768; compressed = true };
+      }
+  in
+  check_consistent "group" group;
+  check_consistent "stable" stable;
+  within "compressed disk log ~ 0.55 of full" 0.06
+    (float_of_int stable.R.Recovery_manager.log_disk_bytes
+    /. float_of_int group.R.Recovery_manager.log_disk_bytes)
+    0.55
+
+let qcheck_crash_consistency =
+  QCheck.Test.make ~name:"recovery is consistent at any crash point" ~count:25
+    QCheck.(pair (int_range 1 400) (int_range 0 3))
+    (fun (crash_after, strat_idx) ->
+      let strategy =
+        match strat_idx with
+        | 0 -> R.Wal.Conventional
+        | 1 -> R.Wal.Group_commit
+        | 2 -> R.Wal.Partitioned { devices = 2 }
+        | _ ->
+          R.Wal.Stable { devices = 1; capacity_bytes = 16384; compressed = true }
+      in
+      let cfg =
+        {
+          R.Recovery_manager.default_config with
+          R.Recovery_manager.n_txns = 400;
+          checkpoint_every = Some 97;
+          strategy;
+          crash_after = Some crash_after;
+          seed = crash_after * 31;
+        }
+      in
+      let o = run_with cfg in
+      o.R.Recovery_manager.consistent && o.R.Recovery_manager.money_conserved)
+
+let () =
+  Alcotest.run "mmdb_recovery"
+    [
+      ( "log_record",
+        [ Alcotest.test_case "sizes" `Quick test_record_sizes ] );
+      ( "log_device",
+        [
+          Alcotest.test_case "queuing" `Quick test_log_device_queuing;
+          Alcotest.test_case "durability cutoff" `Quick
+            test_log_device_durability_cutoff;
+          Alcotest.test_case "oversize rejected" `Quick
+            test_log_device_oversize_rejected;
+        ] );
+      ( "stable_memory",
+        [
+          Alcotest.test_case "capacity" `Quick test_stable_memory_capacity;
+          Alcotest.test_case "fifo drain" `Quick test_stable_memory_fifo_drain;
+          Alcotest.test_case "peek/drop" `Quick test_stable_memory_peek_drop;
+          Alcotest.test_case "table" `Quick test_stable_memory_table;
+        ] );
+      ( "lock_manager",
+        [
+          Alcotest.test_case "basic grant/wait" `Quick test_lock_basic_grant;
+          Alcotest.test_case "precommit dependencies" `Quick
+            test_lock_precommit_dependency;
+          Alcotest.test_case "waiter woken on precommit" `Quick
+            test_lock_waiter_woken_on_precommit;
+          Alcotest.test_case "abort releases" `Quick test_lock_abort_releases;
+          Alcotest.test_case "re-acquire held" `Quick test_lock_reacquire_held;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "conventional serializes" `Quick
+            test_wal_conventional_serializes;
+          Alcotest.test_case "group commit batches" `Quick
+            test_wal_group_commit_batches;
+          Alcotest.test_case "partitioned parallel" `Quick
+            test_wal_partitioned_parallelism;
+          Alcotest.test_case "partitioned dependency order" `Quick
+            test_wal_partitioned_dependency_ordering;
+          Alcotest.test_case "stable immediate commit" `Quick
+            test_wal_stable_immediate_commit;
+          Alcotest.test_case "stable backpressure" `Quick
+            test_wal_stable_backpressure;
+          Alcotest.test_case "stable compression" `Quick
+            test_wal_stable_compression_on_disk;
+          Alcotest.test_case "durable cutoff (group)" `Quick
+            test_wal_durable_cutoff_group;
+          Alcotest.test_case "time order enforced" `Quick
+            test_wal_time_order_enforced;
+          QCheck_alcotest.to_alcotest qcheck_wal_dependency_order;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "properties" `Quick test_workload_properties;
+          Alcotest.test_case "apply" `Quick test_workload_apply;
+        ] );
+      ( "kv_store",
+        [
+          Alcotest.test_case "basics" `Quick test_kv_basics;
+          Alcotest.test_case "dirty table first-lsn" `Quick
+            test_kv_dirty_table_first_lsn;
+          Alcotest.test_case "checkpoint clears" `Quick
+            test_kv_checkpoint_clears;
+          Alcotest.test_case "crash blocks reads" `Quick
+            test_kv_crash_blocks_reads;
+          Alcotest.test_case "recover redo" `Quick test_kv_recover_redo;
+          Alcotest.test_case "recover undo uncommitted" `Quick
+            test_kv_recover_undo_uncommitted;
+          Alcotest.test_case "checkpoint advances start" `Quick
+            test_kv_recover_uses_checkpoint_start;
+        ] );
+      ( "tps_sim",
+        [
+          Alcotest.test_case "conventional ~100" `Quick
+            test_tps_conventional_100;
+          Alcotest.test_case "group commit ~1000" `Quick
+            test_tps_group_commit_1000;
+          Alcotest.test_case "partitioned scales" `Quick
+            test_tps_partitioned_scales;
+          Alcotest.test_case "partitioned conflict collapse" `Quick
+            test_tps_partitioned_conflict_collapses;
+          Alcotest.test_case "stable compressed ~1800" `Quick
+            test_tps_stable_compressed_1800;
+          Alcotest.test_case "open-loop latency" `Quick test_tps_latency_sane;
+          Alcotest.test_case "paper ladder" `Slow test_paper_ladder_shape;
+        ] );
+      ( "recovery_manager",
+        [
+          Alcotest.test_case "clean shutdown" `Quick
+            test_recovery_clean_shutdown;
+          Alcotest.test_case "crash loses tail" `Quick
+            test_recovery_crash_loses_tail;
+          Alcotest.test_case "all strategies consistent" `Slow
+            test_recovery_all_strategies_consistent;
+          Alcotest.test_case "checkpoint bounds redo" `Quick
+            test_recovery_checkpoint_bounds_redo;
+          Alcotest.test_case "compression shrinks log" `Quick
+            test_recovery_compression_shrinks_log;
+          QCheck_alcotest.to_alcotest qcheck_crash_consistency;
+        ] );
+    ]

@@ -1,0 +1,462 @@
+(* Tests for the SQL front-end: parsing, error reporting, and end-to-end
+   equivalence with hand-built algebra expressions. *)
+
+module S = Mmdb_storage
+module E = Mmdb_exec
+module P = Mmdb_planner
+module A = P.Algebra
+module M = Mmdb
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let parse_ok s =
+  match P.Sql.parse s with
+  | Ok e -> e
+  | Error m -> Alcotest.fail (Printf.sprintf "parse of %S failed: %s" s m)
+
+let parse_err s =
+  match P.Sql.parse s with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "parse of %S should fail" s)
+  | Error m -> m
+
+let expr_str e = Format.asprintf "%a" A.pp e
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_scan () =
+  checks "select star" "emp" (expr_str (parse_ok "SELECT * FROM emp"))
+
+let test_parse_projection () =
+  checks "projection" "project[id,salary](emp)"
+    (expr_str (parse_ok "SELECT id, salary FROM emp"));
+  checks "distinct" "project-distinct[dept](emp)"
+    (expr_str (parse_ok "SELECT DISTINCT dept FROM emp"))
+
+let test_parse_where () =
+  checks "single predicate" "project[id](select[salary > 50000](emp))"
+    (expr_str (parse_ok "SELECT id FROM emp WHERE salary > 50000"));
+  checks "conjunction"
+    "project[id](select[dept = 3](select[salary >= 10](emp)))"
+    (expr_str (parse_ok "SELECT id FROM emp WHERE salary >= 10 AND dept = 3"))
+
+let test_parse_operators () =
+  List.iter
+    (fun (src, expect) ->
+      checks src expect (expr_str (parse_ok ("SELECT * FROM t WHERE a " ^ src))))
+    [
+      ("= 1", "select[a = 1](t)");
+      ("<> 1", "select[a <> 1](t)");
+      ("!= 1", "select[a <> 1](t)");
+      ("< 1", "select[a < 1](t)");
+      ("<= 1", "select[a <= 1](t)");
+      ("> 1", "select[a > 1](t)");
+      (">= 1", "select[a >= 1](t)");
+      ("= -5", "select[a = -5](t)");
+      ("= 'x'", "select[a = \"x\"](t)");
+    ]
+
+let test_parse_join () =
+  checks "one join" "join[dept=dept_id](emp, dept)"
+    (expr_str (parse_ok "SELECT * FROM emp JOIN dept ON dept = dept_id"));
+  checks "two joins (left-deep)"
+    "join[s_region=region_id](join[dept=dept_id](emp, dept), regions)"
+    (expr_str
+       (parse_ok
+          "SELECT * FROM emp JOIN dept ON dept = dept_id JOIN regions ON \
+           s_region = region_id"))
+
+let test_parse_group_by () =
+  checks "aggregate" "aggregate[by dept; 2 aggs](emp)"
+    (expr_str
+       (parse_ok "SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept"));
+  checks "aggregate over join"
+    "aggregate[by r_dept; 1 aggs](select[r_salary > 10](join[dept=dept_id](emp, dept)))"
+    (expr_str
+       (parse_ok
+          "SELECT r_dept, AVG(r_salary) FROM emp JOIN dept ON dept = dept_id \
+           WHERE r_salary > 10 GROUP BY r_dept"))
+
+let test_parse_order_by () =
+  checks "order by" "order[salary](project[id,salary](emp))"
+    (expr_str (parse_ok "SELECT id, salary FROM emp ORDER BY salary"));
+  checks "order by desc" "order[salary desc](emp)"
+    (expr_str (parse_ok "SELECT * FROM emp ORDER BY salary DESC"));
+  checks "order by asc" "order[salary](emp)"
+    (expr_str (parse_ok "SELECT * FROM emp ORDER BY salary ASC"));
+  checks "order above group by"
+    "order[count desc](aggregate[by dept; 1 aggs](emp))"
+    (expr_str
+       (parse_ok
+          "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY count DESC"))
+
+let test_parse_set_ops () =
+  checks "union"
+    "union(project[dept](select[salary > 9000](emp)), project[dept](select[salary < 100](emp)))"
+    (expr_str
+       (parse_ok
+          "SELECT dept FROM emp WHERE salary > 9000 UNION SELECT dept FROM \
+           emp WHERE salary < 100"));
+  checks "except left-assoc"
+    "except(intersect(project[a](t), project[a](u)), project[a](v))"
+    (expr_str
+       (parse_ok
+          "SELECT a FROM t INTERSECT SELECT a FROM u EXCEPT SELECT a FROM v"));
+  checks "set op then order"
+    "order[dept](union(project[dept](emp), project[dept](emp)))"
+    (expr_str
+       (parse_ok
+          "SELECT dept FROM emp UNION SELECT dept FROM emp ORDER BY dept"))
+
+let test_parse_case_insensitive () =
+  checks "lowercase keywords" "project[id](select[dept = 1](emp))"
+    (expr_str (parse_ok "select id from emp where dept = 1"))
+
+let test_parse_errors () =
+  let has_sub hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "missing FROM" true (has_sub (parse_err "SELECT *") "FROM");
+  checkb "bad operator chain" true
+    (String.length (parse_err "SELECT * FROM t WHERE a = = 1") > 0);
+  checkb "unterminated string" true
+    (has_sub (parse_err "SELECT * FROM t WHERE a = 'oops") "unterminated");
+  checkb "aggregate without group by" true
+    (has_sub (parse_err "SELECT COUNT(*) FROM t") "GROUP BY");
+  checkb "group by needs select list" true
+    (has_sub (parse_err "SELECT * FROM t GROUP BY a") "select list");
+  checkb "non-aggregated column" true
+    (has_sub
+       (parse_err "SELECT a, b FROM t GROUP BY a")
+       "non-aggregated");
+  checkb "trailing garbage" true
+    (has_sub (parse_err "SELECT * FROM t WHERE a = 1 b") "unexpected");
+  checkb "stray char" true
+    (String.length (parse_err "SELECT * FROM t %") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* End to end through Db                                               *)
+(* ------------------------------------------------------------------ *)
+
+let setup_db () =
+  let db = M.Db.create () in
+  let emp =
+    S.Schema.create ~key:"id"
+      [
+        S.Schema.column "id" S.Schema.Int;
+        S.Schema.column "dept" S.Schema.Int;
+        S.Schema.column "salary" S.Schema.Int;
+      ]
+  in
+  let dept =
+    S.Schema.create ~key:"dept_id"
+      [
+        S.Schema.column "dept_id" S.Schema.Int;
+        S.Schema.column "budget" S.Schema.Int;
+      ]
+  in
+  M.Db.create_table db ~name:"emp" ~schema:emp;
+  M.Db.create_table db ~name:"dept" ~schema:dept;
+  M.Db.insert_many db ~table:"emp"
+    (List.init 60 (fun i ->
+         [
+           S.Tuple.VInt i;
+           S.Tuple.VInt (i mod 4);
+           S.Tuple.VInt (1000 * (i mod 10));
+         ]));
+  M.Db.insert_many db ~table:"dept"
+    (List.init 4 (fun i -> [ S.Tuple.VInt i; S.Tuple.VInt (i * 100) ]));
+  db
+
+let test_sql_end_to_end_filter () =
+  let db = setup_db () in
+  let rows = M.Db.sql db "SELECT id FROM emp WHERE salary >= 8000" in
+  checki "6 rows with salary 8000 or 9000" 12 (List.length rows)
+
+let test_sql_end_to_end_join_aggregate () =
+  let db = setup_db () in
+  let rows =
+    M.Db.sql db
+      "SELECT r_dept, COUNT(*), SUM(s_budget) FROM emp JOIN dept ON dept = \
+       dept_id GROUP BY r_dept"
+  in
+  checki "4 groups" 4 (List.length rows);
+  List.iter
+    (fun row ->
+      match row with
+      | [ S.Tuple.VInt dept; S.Tuple.VInt count; S.Tuple.VInt budget_sum ] ->
+        checki "15 employees per dept" 15 count;
+        checki "sum = count * dept budget" (15 * dept * 100) budget_sum
+      | _ -> Alcotest.fail "bad row shape")
+    rows
+
+let test_sql_matches_algebra () =
+  let db = setup_db () in
+  let via_sql =
+    M.Db.sql db "SELECT DISTINCT dept FROM emp WHERE salary > 3000"
+  in
+  let via_algebra =
+    M.Db.query_rows db
+      (A.project ~distinct:true ~columns:[ "dept" ]
+         (A.select ~column:"salary" ~op:A.Gt ~value:(S.Tuple.VInt 3000)
+            (A.scan "emp")))
+  in
+  checkb "identical results" true
+    (List.sort compare via_sql = List.sort compare via_algebra)
+
+let test_sql_explain () =
+  let db = setup_db () in
+  let text =
+    M.Db.sql_explain db
+      "SELECT r_dept, COUNT(*) FROM emp JOIN dept ON dept = dept_id WHERE \
+       r_salary > 5000 GROUP BY r_dept"
+  in
+  let has_sub needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "plan shows join" true (has_sub "join");
+  (* The WHERE predicate must have been pushed below the join. *)
+  checkb "filter pushed down" true (has_sub "filter salary")
+
+let test_sql_order_by_end_to_end () =
+  let db = setup_db () in
+  let rows =
+    M.Db.sql db "SELECT id, salary FROM emp WHERE dept = 1 ORDER BY salary DESC"
+  in
+  let salaries =
+    List.map
+      (fun row ->
+        match row with
+        | [ _; S.Tuple.VInt s ] -> s
+        | _ -> Alcotest.fail "bad row")
+      rows
+  in
+  checkb "descending" true
+    (salaries = List.rev (List.sort compare salaries));
+  checki "15 rows" 15 (List.length rows)
+
+let test_sql_set_ops_end_to_end () =
+  let db = setup_db () in
+  let ints rows =
+    List.sort compare
+      (List.map
+         (fun row ->
+           match row with
+           | [ S.Tuple.VInt v ] -> v
+           | _ -> Alcotest.fail "bad row")
+         rows)
+  in
+  (* Departments of low earners union departments of high earners. *)
+  let union =
+    ints
+      (M.Db.sql db
+         "SELECT dept FROM emp WHERE salary < 2000 UNION SELECT dept FROM \
+          emp WHERE salary >= 8000")
+  in
+  Alcotest.(check (list int)) "union distinct depts" [ 0; 1; 2; 3 ] union;
+  let inter =
+    ints
+      (M.Db.sql db
+         "SELECT dept FROM emp WHERE salary = 0 INTERSECT SELECT dept FROM \
+          emp WHERE salary = 9000")
+  in
+  (* salary 0 <=> i mod 10 = 0 <=> dept in {0,2}; salary 9000 <=> i mod 10
+     = 9 <=> dept in {1,3}.  Intersection is empty. *)
+  Alcotest.(check (list int)) "empty intersection" [] inter;
+  let except =
+    ints
+      (M.Db.sql db
+         "SELECT dept FROM emp EXCEPT SELECT dept FROM emp WHERE salary = 0")
+  in
+  Alcotest.(check (list int)) "depts never paying 0" [ 1; 3 ] except
+
+let test_sql_unknown_table () =
+  let db = setup_db () in
+  checkb "unknown table raises" true
+    (try
+       ignore (M.Db.sql db "SELECT * FROM nope");
+       false
+     with Not_found | Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let count db table = List.length (M.Db.sql db ("SELECT * FROM " ^ table))
+
+let test_dml_insert () =
+  let db = setup_db () in
+  (match
+     M.Db.execute db "INSERT INTO emp VALUES (100, 1, 7777), (101, 2, 8888)"
+   with
+  | M.Db.Affected 2 -> ()
+  | _ -> Alcotest.fail "expected Affected 2");
+  checki "62 rows now" 62 (count db "emp");
+  (match M.Db.lookup db ~table:"emp" ~key:(S.Tuple.VInt 100) with
+  | Some [ _; _; S.Tuple.VInt 7777 ] -> ()
+  | _ -> Alcotest.fail "inserted row not found")
+
+let test_dml_delete () =
+  let db = setup_db () in
+  (match M.Db.execute db "DELETE FROM emp WHERE dept = 3" with
+  | M.Db.Affected 15 -> ()
+  | M.Db.Affected n -> Alcotest.fail (Printf.sprintf "affected %d" n)
+  | M.Db.Rows _ -> Alcotest.fail "expected Affected");
+  checki "45 remain" 45 (count db "emp");
+  checki "none in dept 3" 0
+    (List.length (M.Db.sql db "SELECT * FROM emp WHERE dept = 3"))
+
+let test_dml_delete_all () =
+  let db = setup_db () in
+  (match M.Db.execute db "DELETE FROM emp" with
+  | M.Db.Affected 60 -> ()
+  | _ -> Alcotest.fail "expected Affected 60");
+  checki "empty" 0 (count db "emp")
+
+let test_dml_update () =
+  let db = setup_db () in
+  (match M.Db.execute db "UPDATE emp SET salary = 0 WHERE dept = 1" with
+  | M.Db.Affected 15 -> ()
+  | _ -> Alcotest.fail "expected Affected 15");
+  let rows = M.Db.sql db "SELECT salary FROM emp WHERE dept = 1" in
+  checki "15 rows" 15 (List.length rows);
+  List.iter
+    (fun row ->
+      match row with
+      | [ S.Tuple.VInt 0 ] -> ()
+      | _ -> Alcotest.fail "salary not zeroed")
+    rows;
+  checki "other depts untouched" 45
+    (List.length (M.Db.sql db "SELECT * FROM emp WHERE dept <> 1"))
+
+let test_dml_maintains_indexes () =
+  let db = setup_db () in
+  M.Db.create_index db ~table:"emp" M.Db.Btree_index;
+  ignore (M.Db.execute db "DELETE FROM emp WHERE id = 30");
+  checkb "deleted row invisible to index" true
+    (M.Db.lookup db ~table:"emp" ~key:(S.Tuple.VInt 30) = None);
+  ignore (M.Db.execute db "UPDATE emp SET salary = 123 WHERE id = 31");
+  (match M.Db.lookup db ~table:"emp" ~key:(S.Tuple.VInt 31) with
+  | Some [ _; _; S.Tuple.VInt 123 ] -> ()
+  | _ -> Alcotest.fail "index stale after update");
+  ignore (M.Db.execute db "INSERT INTO emp VALUES (500, 0, 1)");
+  checkb "insert indexed" true
+    (M.Db.lookup db ~table:"emp" ~key:(S.Tuple.VInt 500) <> None)
+
+let test_dml_query_through_execute () =
+  let db = setup_db () in
+  match M.Db.execute db "SELECT dept, COUNT(*) FROM emp GROUP BY dept" with
+  | M.Db.Rows rows -> checki "4 groups" 4 (List.length rows)
+  | M.Db.Affected _ -> Alcotest.fail "expected Rows"
+
+let test_ddl_create_drop () =
+  let db = M.Db.create () in
+  (match
+     M.Db.execute db
+       "CREATE TABLE books (isbn INT PRIMARY KEY, title STRING(20), year INT)"
+   with
+  | M.Db.Affected 0 -> ()
+  | _ -> Alcotest.fail "expected Affected 0");
+  Alcotest.(check (list string)) "created" [ "books" ] (M.Db.table_names db);
+  ignore
+    (M.Db.execute db "INSERT INTO books VALUES (42, 'ocaml book', 1996)");
+  (match M.Db.lookup db ~table:"books" ~key:(S.Tuple.VInt 42) with
+  | Some [ _; S.Tuple.VStr "ocaml book"; S.Tuple.VInt 1996 ] -> ()
+  | _ -> Alcotest.fail "row wrong");
+  (* Key defaults to the first column when PRIMARY KEY is omitted. *)
+  ignore (M.Db.execute db "CREATE TABLE plain (a INT, b INT)");
+  ignore (M.Db.execute db "DROP TABLE books");
+  Alcotest.(check (list string)) "dropped" [ "plain" ] (M.Db.table_names db);
+  checkb "dropped table unknown to planner" true
+    (try
+       ignore (M.Db.sql db "SELECT * FROM books");
+       false
+     with Not_found -> true);
+  checkb "create after drop ok" true
+    (match M.Db.execute db "CREATE TABLE books (isbn INT)" with
+    | M.Db.Affected 0 -> true
+    | _ -> false)
+
+let test_ddl_errors () =
+  let db = M.Db.create () in
+  checkb "duplicate primary key" true
+    (match
+       P.Sql.parse_statement
+         "CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)"
+     with
+    | Error _ -> true
+    | Ok _ -> false);
+  checkb "bad type" true
+    (match P.Sql.parse_statement "CREATE TABLE t (a FLOAT)" with
+    | Error _ -> true
+    | Ok _ -> false);
+  checkb "drop unknown table" true
+    (try
+       ignore (M.Db.execute db "DROP TABLE nope");
+       false
+     with Not_found -> true)
+
+let test_dml_parse_errors () =
+  checkb "bad insert" true
+    (match P.Sql.parse_statement "INSERT INTO t VALUES 1, 2" with
+    | Error _ -> true
+    | Ok _ -> false);
+  checkb "query via parse rejects DML" true
+    (match P.Sql.parse "DELETE FROM t" with Error _ -> true | Ok _ -> false);
+  checkb "update needs SET" true
+    (match P.Sql.parse_statement "UPDATE t WHERE a = 1" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let () =
+  Alcotest.run "mmdb_sql"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "scan" `Quick test_parse_scan;
+          Alcotest.test_case "projection" `Quick test_parse_projection;
+          Alcotest.test_case "where" `Quick test_parse_where;
+          Alcotest.test_case "operators" `Quick test_parse_operators;
+          Alcotest.test_case "join" `Quick test_parse_join;
+          Alcotest.test_case "group by" `Quick test_parse_group_by;
+          Alcotest.test_case "order by" `Quick test_parse_order_by;
+          Alcotest.test_case "set ops" `Quick test_parse_set_ops;
+          Alcotest.test_case "case-insensitive" `Quick
+            test_parse_case_insensitive;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "filter" `Quick test_sql_end_to_end_filter;
+          Alcotest.test_case "join + aggregate" `Quick
+            test_sql_end_to_end_join_aggregate;
+          Alcotest.test_case "matches algebra" `Quick test_sql_matches_algebra;
+          Alcotest.test_case "explain + pushdown" `Quick test_sql_explain;
+          Alcotest.test_case "order by end-to-end" `Quick
+            test_sql_order_by_end_to_end;
+          Alcotest.test_case "set ops end-to-end" `Quick
+            test_sql_set_ops_end_to_end;
+          Alcotest.test_case "unknown table" `Quick test_sql_unknown_table;
+        ] );
+      ( "dml",
+        [
+          Alcotest.test_case "insert" `Quick test_dml_insert;
+          Alcotest.test_case "delete" `Quick test_dml_delete;
+          Alcotest.test_case "delete all" `Quick test_dml_delete_all;
+          Alcotest.test_case "update" `Quick test_dml_update;
+          Alcotest.test_case "indexes maintained" `Quick
+            test_dml_maintains_indexes;
+          Alcotest.test_case "query through execute" `Quick
+            test_dml_query_through_execute;
+          Alcotest.test_case "parse errors" `Quick test_dml_parse_errors;
+          Alcotest.test_case "create/drop table" `Quick test_ddl_create_drop;
+          Alcotest.test_case "ddl errors" `Quick test_ddl_errors;
+        ] );
+    ]
