@@ -159,7 +159,7 @@ let tps_cmd =
 (* recover                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let recover strategy txns checkpoint crash_after =
+let recover strategy txns checkpoint crash_after audit =
   let cfg =
     {
       R.Recovery_manager.default_config with
@@ -182,7 +182,33 @@ let recover strategy txns checkpoint crash_after =
     rs.R.Kv_store.records_scanned rs.R.Kv_store.recovery_time;
   Printf.printf "consistent:          %b\nmoney conserved:     %b\n"
     o.R.Recovery_manager.consistent o.R.Recovery_manager.money_conserved;
-  if o.R.Recovery_manager.consistent then 0 else 1
+  let audit_ok =
+    if not audit then true
+    else begin
+      (* The full submitted log is a complete run; the durable log may be
+         crash-truncated, so open transactions there are legitimate. *)
+      let results =
+        Mmdb_verify.Audit.run_all
+          [
+            Mmdb_verify.Audit.Log
+              {
+                name = "wal (submitted)";
+                complete = true;
+                records = o.R.Recovery_manager.log_records;
+              };
+            Mmdb_verify.Audit.Log
+              {
+                name = "wal (durable)";
+                complete = false;
+                records = o.R.Recovery_manager.durable_log;
+              };
+          ]
+      in
+      print_newline ();
+      Mmdb_verify.Audit.report Format.std_formatter results
+    end
+  in
+  if o.R.Recovery_manager.consistent && audit_ok then 0 else 1
 
 let recover_cmd =
   let strategy =
@@ -204,9 +230,14 @@ let recover_cmd =
       & opt (some int) None
       & info [ "crash-after" ] ~doc:"Crash after N submissions (default: clean run).")
   in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ] ~doc:"Run the WAL protocol auditor on the logs.")
+  in
   Cmd.v
     (Cmd.info "recover" ~doc:"Sections 5.3-5.5: crash, recover, verify.")
-    Term.(const recover $ strategy $ txns $ checkpoint $ crash)
+    Term.(const recover $ strategy $ txns $ checkpoint $ crash $ audit)
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
@@ -322,11 +353,14 @@ let run_sql text explain_only limit =
   Printf.printf
     "demo database: emp(id, dept, salary, name) x 5000, dept(dept_id, \
      budget, dname) x 20\n\n";
-  match P.Sql.parse text with
-  | Error m ->
-    Printf.printf "parse error: %s\n" m;
+  match P.Sql.parse_checked (Mmdb.Db.catalog db) text with
+  | Error diags ->
+    Format.printf "%a@." Mmdb_util.Diag.pp_list diags;
     1
   | Ok expr ->
+    (match P.Plan_check.check (Mmdb.Db.catalog db) expr with
+    | [] -> ()
+    | warnings -> Format.printf "%a@." Mmdb_util.Diag.pp_list warnings);
     Printf.printf "plan:\n%s\n" (Mmdb.Db.explain db expr);
     if explain_only then 0
     else begin
@@ -366,6 +400,47 @@ let sql_cmd =
   Cmd.v
     (Cmd.info "sql" ~doc:"Run a SQL query against a built-in demo database.")
     Term.(const run_sql $ text $ explain_only $ limit)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_check text explain_after =
+  let db = demo_db () in
+  Printf.printf
+    "demo database: emp(id, dept, salary, name) x 5000, dept(dept_id, \
+     budget, dname) x 20\n\n";
+  match P.Sql.parse_checked (Mmdb.Db.catalog db) text with
+  | Error diags ->
+    Format.printf "%a@." U.Diag.pp_list diags;
+    Printf.printf "check: %s\n" (U.Diag.summary diags);
+    if U.Diag.has_errors diags then 1 else 0
+  | Ok expr ->
+    let diags = Mmdb.Db.check db expr in
+    Format.printf "query: %a@.@." A.pp expr;
+    if explain_after then Printf.printf "plan:\n%s\n" (Mmdb.Db.explain db expr);
+    if diags <> [] then Format.printf "%a@." U.Diag.pp_list diags;
+    Printf.printf "check: ok (%s)\n" (U.Diag.summary diags);
+    0
+
+let check_cmd =
+  let text =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"The SQL text to check.")
+  in
+  let explain_after =
+    Arg.(
+      value & flag
+      & info [ "explain" ] ~doc:"Also show the optimizer's plan when valid.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically check a SQL query against the demo catalog without \
+          executing it; exits 1 when the plan checker reports errors.")
+    Term.(const run_check $ text $ explain_after)
 
 (* ------------------------------------------------------------------ *)
 (* repl                                                                *)
@@ -493,5 +568,5 @@ let () =
        (Cmd.group ~default info
           [
             crossover_cmd; join_cmd; tps_cmd; recover_cmd; plan_cmd; sql_cmd;
-            repl_cmd;
+            check_cmd; repl_cmd;
           ]))

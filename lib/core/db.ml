@@ -146,8 +146,34 @@ let range t ~table ~lo ~hi =
       (List.sort (S.Tuple.compare_keys schema) (List.rev !matches)));
   List.rev !acc
 
-let query t expr = P.Executor.query t.cat t.planner_cfg expr
+let check t expr = P.Plan_check.check t.cat expr
+
+let query t expr =
+  match P.Executor.query_checked t.cat t.planner_cfg expr with
+  | Ok rel -> rel
+  | Error diags ->
+    invalid_arg
+      (Format.asprintf "Db.query: invalid plan:@ %a" Mmdb_util.Diag.pp_list
+         diags)
+
 let query_rows t expr = P.Executor.rows (query t expr)
+
+let audit t =
+  let names = List.sort compare (table_names t) in
+  let comps =
+    List.concat_map
+      (fun name ->
+        let tbl = find_table t name in
+        (match tbl.avl with
+        | Some ix -> [ Mmdb_verify.Audit.Avl (name ^ ".avl", ix) ]
+        | None -> [])
+        @
+        match tbl.btree with
+        | Some ix -> [ Mmdb_verify.Audit.Btree (name ^ ".btree", ix) ]
+        | None -> [])
+      names
+  in
+  Mmdb_verify.Audit.run_all comps
 
 let explain t expr =
   P.Optimizer.explain (P.Optimizer.plan t.cat t.planner_cfg expr)

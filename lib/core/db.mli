@@ -52,7 +52,17 @@ val range : t -> table:string -> lo:Mmdb_storage.Tuple.value ->
 (** Inclusive key-range query via an index (or scan fallback), ascending. *)
 
 val query : t -> Mmdb_planner.Algebra.expr -> Mmdb_storage.Relation.t
-(** Optimize and execute. *)
+(** Statically check ({!Mmdb_planner.Plan_check}), optimize, and execute.
+    @raise Invalid_argument with the rendered diagnostics when the plan is
+    ill-formed (use {!check} to inspect them structurally). *)
+
+val check : t -> Mmdb_planner.Algebra.expr -> Mmdb_util.Diag.t list
+(** Static plan diagnostics against this database's catalog, without
+    executing. *)
+
+val audit : t -> (string * Mmdb_util.Diag.t list) list
+(** Run {!Mmdb_verify.Audit} over every index of every table (components
+    named ["table.avl"] / ["table.btree"], sorted). *)
 
 val sql : t -> string -> Mmdb_storage.Tuple.value list list
 (** [sql db "SELECT dept, COUNT( * ) FROM emp GROUP BY dept"] — parse

@@ -134,7 +134,7 @@ let transact_abort t updates =
           R.Log_record.Update
             { txn; lsn; slot; old_value = new_value; new_value = old_value }
         | R.Log_record.Begin _ | R.Log_record.Commit _ | R.Log_record.Abort _
-          -> assert false)
+        | R.Log_record.Ckpt_begin _ | R.Log_record.Ckpt_end _ -> assert false)
       (List.rev body)
   in
   ignore (R.Lock_manager.release_abort t.locks ~txn);
@@ -154,8 +154,13 @@ let flush t =
 
 let checkpoint t =
   check_alive t;
+  R.Wal.log_control t.wal ~at:(now t)
+    [ R.Log_record.Ckpt_begin { lsn = fresh_lsn t } ];
   flush t;
-  R.Kv_store.checkpoint t.kv
+  let st = R.Kv_store.checkpoint t.kv in
+  R.Wal.log_control t.wal ~at:(now t)
+    [ R.Log_record.Ckpt_end { lsn = fresh_lsn t } ];
+  st
 
 let crash t =
   check_alive t;
@@ -176,9 +181,10 @@ let committed_txns t =
     (fun r ->
       match r with
       | R.Log_record.Commit { txn; _ } -> Some txn
-      | R.Log_record.Begin _ | R.Log_record.Update _ | R.Log_record.Abort _ ->
-        None)
+      | R.Log_record.Begin _ | R.Log_record.Update _ | R.Log_record.Abort _
+      | R.Log_record.Ckpt_begin _ | R.Log_record.Ckpt_end _ -> None)
     log
 
+let log_records t = R.Wal.all_records t.wal
 let log_pages t = R.Wal.pages_written t.wal
 let log_disk_bytes t = R.Wal.disk_bytes_written t.wal

@@ -48,7 +48,8 @@ val flush : t -> unit
     clock to durability. *)
 
 val checkpoint : t -> Mmdb_recovery.Kv_store.checkpoint_stats
-(** Flush the log, then fuzzy-checkpoint dirty pages. *)
+(** Fuzzy checkpoint: log [Ckpt_begin], flush the log (WAL rule), sweep
+    dirty pages to the snapshot, log [Ckpt_end]. *)
 
 val crash : t -> unit
 (** Lose volatile state at the current instant (pending group-commit
@@ -61,6 +62,10 @@ val recover : t -> Mmdb_recovery.Kv_store.recover_stats
 
 val committed_txns : t -> int list
 (** Transaction ids whose commit records are currently durable. *)
+
+val log_records : t -> Mmdb_recovery.Log_record.t list
+(** Everything submitted to the WAL so far, in order (audit input for
+    {!Mmdb_verify.Log_check}). *)
 
 val log_pages : t -> int
 val log_disk_bytes : t -> int

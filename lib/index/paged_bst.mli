@@ -25,6 +25,12 @@ val insert : t -> bytes -> unit
 
 val search : t -> bytes -> bytes option
 
+val delete : t -> bytes -> bool
+(** Remove the tuple with the given encoded key; [false] when absent.
+    Standard BST splice (in-order successor for two-child nodes); freed
+    node slots are abandoned, not reused, so {!node_count} never
+    shrinks. *)
+
 val iter_in_order : t -> (bytes -> unit) -> unit
 
 val set_visit_hook : t -> (int -> unit) option -> unit

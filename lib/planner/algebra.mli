@@ -48,4 +48,7 @@ val base_relations : expr -> string list
 (** Names of the base relations referenced, left-to-right, with
     duplicates. *)
 
+val op_string : cmp_op -> string
+(** SQL spelling: ["="], ["<>"], ["<"], ... *)
+
 val pp : Format.formatter -> expr -> unit

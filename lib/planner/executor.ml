@@ -134,6 +134,11 @@ let rec run catalog cfg plan =
 
 let query catalog cfg expr = run catalog cfg (Optimizer.plan catalog cfg expr)
 
+let query_checked catalog cfg expr =
+  match Plan_check.check_schema catalog expr with
+  | Error diags -> Error diags
+  | Ok _ -> Ok (query catalog cfg expr)
+
 let rows rel =
   let schema = S.Relation.schema rel in
   let acc = ref [] in

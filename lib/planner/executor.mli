@@ -15,5 +15,12 @@ val query : Catalog.t -> Optimizer.config -> Algebra.expr ->
   Mmdb_storage.Relation.t
 (** [query catalog cfg expr] = plan + run. *)
 
+val query_checked : Catalog.t -> Optimizer.config -> Algebra.expr ->
+  (Mmdb_storage.Relation.t, Mmdb_util.Diag.t list) result
+(** Like {!query}, but the expression is first validated with
+    {!Plan_check}: ill-formed plans come back as [Error diags] without
+    touching any operator, instead of raising mid-execution.  Well-formed
+    plans execute normally (warnings do not block execution). *)
+
 val rows : Mmdb_storage.Relation.t -> Mmdb_storage.Tuple.value list list
 (** Decode every tuple (convenience for examples and tests). *)

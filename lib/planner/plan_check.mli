@@ -1,0 +1,52 @@
+(** Static type/schema checker for {!Algebra.expr} against a {!Catalog}.
+
+    The Section 4 planner assumes every plan is well-formed: relations
+    exist, predicate literals match column types, join keys are
+    comparable, set-operation inputs share a schema.  Today those
+    assumptions surface as runtime exceptions mid-execution (or worse,
+    as byte-level misreads).  [Plan_check] validates them {e statically},
+    before any operator runs, and reports structured diagnostics with
+    stable codes instead of raising.
+
+    Error codes (stable; one test per code in [test_verify]):
+
+    - [PLAN001] unknown base relation
+    - [PLAN002] unknown column (predicate, projection, join key, group or
+      order key, aggregate argument)
+    - [PLAN003] predicate literal type incompatible with the column type
+    - [PLAN004] join keys have incompatible types or widths
+    - [PLAN005] set-operation inputs have incompatible schemas
+    - [PLAN006] aggregate over a non-integer column
+    - [PLAN007] aggregate with an empty spec list
+    - [PLAN008] projection with an empty column list
+    - [PLAN009] duplicate column in a projection
+
+    Warning codes:
+
+    - [PLAN101] redundant DISTINCT (feeding a deduplicating set
+      operation, another DISTINCT, or a re-grouping aggregate)
+    - [PLAN102] predicate selects nothing according to catalog statistics
+    - [PLAN103] ORDER BY whose ordering is destroyed by an enclosing
+      hash-based operator (join, aggregate, set operation)
+    - [PLAN104] string literal wider than the column it is compared to
+
+    Paths locate the offending node: ["$"] is the expression root,
+    ["$.input.left"] its input's left child, etc. *)
+
+val check : Catalog.t -> Algebra.expr -> Mmdb_util.Diag.t list
+(** All diagnostics for [expr], errors and warnings, in tree order.
+    Never raises. *)
+
+val check_schema :
+  Catalog.t ->
+  Algebra.expr ->
+  (Mmdb_storage.Schema.t, Mmdb_util.Diag.t list) result
+(** [Ok schema] (the expression's output schema, matching
+    {!Optimizer.output_schema}) when no errors were found — warnings are
+    discarded; [Error diags] otherwise with the full diagnostic list. *)
+
+val ok : Catalog.t -> Algebra.expr -> bool
+(** No error-severity diagnostics. *)
+
+val code_catalogue : (string * string) list
+(** Every stable code with a one-line description, for tooling and docs. *)

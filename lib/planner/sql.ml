@@ -508,6 +508,14 @@ let parse input =
     Error "expected a query, found a DML/DDL statement"
   | Error m -> Error m
 
+let parse_checked catalog input =
+  match parse input with
+  | Error m -> Error [ Mmdb_util.Diag.error ~code:"SQL001" ~path:"" m ]
+  | Ok expr -> (
+    match Plan_check.check_schema catalog expr with
+    | Ok _ -> Ok expr
+    | Error diags -> Error diags)
+
 let parse_exn input =
   match parse input with
   | Ok e -> e

@@ -38,6 +38,14 @@ val parse : string -> (Algebra.expr, string) result
 (** Parse a query into the algebra; [Error msg] pinpoints the offending
     token. *)
 
+val parse_checked :
+  Catalog.t -> string -> (Algebra.expr, Mmdb_util.Diag.t list) result
+(** Parse {e and} statically validate against the catalog with
+    {!Plan_check}.  Lexer/parser failures surface as a single [SQL001]
+    diagnostic; well-parsed but ill-typed queries carry the checker's
+    [PLAN...] codes.  [Ok expr] guarantees the expression executes
+    without schema/type errors (warnings do not block). *)
+
 val parse_exn : string -> Algebra.expr
 (** @raise Invalid_argument on parse errors. *)
 

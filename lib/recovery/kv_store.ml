@@ -103,7 +103,8 @@ let recover t ~log =
         Hashtbl.replace committed txn ();
         Hashtbl.replace terminated txn ()
       | Log_record.Abort { txn; _ } -> Hashtbl.replace terminated txn ()
-      | Log_record.Begin _ | Log_record.Update _ -> ())
+      | Log_record.Begin _ | Log_record.Update _ | Log_record.Ckpt_begin _
+      | Log_record.Ckpt_end _ -> ())
     log;
   (* The scan starts at the oldest of (a) the dirty-page table's minimum
      first-update LSN (§5.5: "the oldest entry in the table determines the
@@ -116,8 +117,10 @@ let recover t ~log =
   let undo_start =
     List.fold_left
       (fun acc r ->
-        if Hashtbl.mem terminated (Log_record.txn r) then acc
-        else min acc (Log_record.lsn r))
+        match Log_record.txn r with
+        | Some tx when not (Hashtbl.mem terminated tx) ->
+          min acc (Log_record.lsn r)
+        | Some _ | None -> acc)
       max_int log
   in
   let scan_start = min table_start undo_start in
@@ -135,7 +138,8 @@ let recover t ~log =
         | Log_record.Update { slot; new_value; _ } ->
           t.mem.(slot) <- new_value;
           incr redo
-        | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _ -> ()
+        | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _
+        | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _ -> ()
       end)
     log;
   (* Undo phase: reverse updates of transactions that never terminated,
@@ -149,7 +153,8 @@ let recover t ~log =
         t.mem.(slot) <- old_value;
         incr undo
       | Log_record.Update _ | Log_record.Begin _ | Log_record.Commit _
-      | Log_record.Abort _ -> ())
+      | Log_record.Abort _ | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _
+        -> ())
     (List.rev log);
   Stable_memory.table_clear t.stable;
   (* Log reading cost: sequential pages of ~10 ms over the scanned

@@ -9,14 +9,17 @@ type t =
     }
   | Commit of { txn : int; lsn : int }
   | Abort of { txn : int; lsn : int }
+  | Ckpt_begin of { lsn : int }
+  | Ckpt_end of { lsn : int }
 
 let lsn = function
   | Begin { lsn; _ } | Update { lsn; _ } | Commit { lsn; _ } | Abort { lsn; _ }
-    -> lsn
+  | Ckpt_begin { lsn } | Ckpt_end { lsn } -> lsn
 
 let txn = function
   | Begin { txn; _ } | Update { txn; _ } | Commit { txn; _ } | Abort { txn; _ }
-    -> txn
+    -> Some txn
+  | Ckpt_begin _ | Ckpt_end _ -> None
 
 (* Sizes chosen so the paper's "typical" banking transaction (begin + 6
    updates + commit) writes 40 + 360 = 400 bytes uncompressed: 20 + 20
@@ -25,12 +28,12 @@ let txn = function
    old values"), so a compressed update is 30 bytes and the compressed
    transaction 220 — matching Recovery_model. *)
 let size_bytes ~compressed = function
-  | Begin _ | Commit _ | Abort _ -> 20
+  | Begin _ | Commit _ | Abort _ | Ckpt_begin _ | Ckpt_end _ -> 20
   | Update _ -> if compressed then 30 else 60
 
 let is_update = function
   | Update _ -> true
-  | Begin _ | Commit _ | Abort _ -> false
+  | Begin _ | Commit _ | Abort _ | Ckpt_begin _ | Ckpt_end _ -> false
 
 let pp ppf = function
   | Begin { txn; lsn } -> Format.fprintf ppf "[%d] BEGIN t%d" lsn txn
@@ -39,3 +42,5 @@ let pp ppf = function
   | Update { txn; lsn; slot; old_value; new_value } ->
     Format.fprintf ppf "[%d] UPDATE t%d slot=%d %d->%d" lsn txn slot old_value
       new_value
+  | Ckpt_begin { lsn } -> Format.fprintf ppf "[%d] CKPT-BEGIN" lsn
+  | Ckpt_end { lsn } -> Format.fprintf ppf "[%d] CKPT-END" lsn

@@ -5,7 +5,13 @@
     structured values with explicit byte-size accounting (the experiments
     depend on byte volumes, not on a particular wire encoding); §5.4's
     compression — dropping old values once a transaction is known
-    committed — is a size mode. *)
+    committed — is a size mode.
+
+    Checkpoints leave a bracket in the log: a fuzzy checkpoint writes
+    [Ckpt_begin], flushes the log (the WAL rule), sweeps dirty data pages,
+    then writes [Ckpt_end].  A durable [Ckpt_end] therefore certifies that
+    every data-page write of that checkpoint hit the snapshot — the
+    property {!Mmdb_verify.Log_check} audits as "checkpoint bracketing". *)
 
 type t =
   | Begin of { txn : int; lsn : int }
@@ -18,15 +24,22 @@ type t =
     }
   | Commit of { txn : int; lsn : int }
   | Abort of { txn : int; lsn : int }
+  | Ckpt_begin of { lsn : int }
+      (** fuzzy checkpoint started; not bound to a transaction *)
+  | Ckpt_end of { lsn : int }
+      (** all dirty pages of the matching [Ckpt_begin] reached the
+          snapshot *)
 
 val lsn : t -> int
-val txn : t -> int
+
+val txn : t -> int option
+(** The owning transaction; [None] for checkpoint markers. *)
 
 val size_bytes : compressed:bool -> t -> int
-(** Begin/Commit/Abort: 20 bytes each (the paper's 40 for begin+end).
-    Update: 60 bytes full (30 old value + 30 new value), 30 compressed
-    (old value dropped — §5.4: "approximately half of the size of the log
-    stores the old values"). *)
+(** Begin/Commit/Abort and checkpoint markers: 20 bytes each (the paper's
+    40 for begin+end).  Update: 60 bytes full (30 old value + 30 new
+    value), 30 compressed (old value dropped — §5.4: "approximately half
+    of the size of the log stores the old values"). *)
 
 val is_update : t -> bool
 

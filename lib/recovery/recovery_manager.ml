@@ -34,6 +34,8 @@ type outcome = {
   checkpoint_pages : int;
   log_pages : int;
   log_disk_bytes : int;
+  log_records : Log_record.t list;
+  durable_log : Log_record.t list;
 }
 
 let run cfg =
@@ -111,9 +113,13 @@ let run cfg =
         ignore (Wal.commit_txn wal ~at ~txn:txn.Workload.txn_id ~deps records);
         (match cfg.checkpoint_every with
         | Some every when (i + 1) mod every = 0 ->
+          Wal.log_control wal ~at
+            [ Log_record.Ckpt_begin { lsn = next_lsn () } ];
           (* WAL rule: the log is flushed before data pages go out. *)
           ignore (Wal.flush wal ~at);
           let st = Kv_store.checkpoint kv in
+          Wal.log_control wal ~at
+            [ Log_record.Ckpt_end { lsn = next_lsn () } ];
           incr checkpoints;
           checkpoint_pages := !checkpoint_pages + st.Kv_store.pages_flushed
         | Some _ | None -> ())
@@ -140,7 +146,8 @@ let run cfg =
     (fun r ->
       match r with
       | Log_record.Commit { txn; _ } -> Hashtbl.replace committed txn ()
-      | Log_record.Begin _ | Log_record.Update _ | Log_record.Abort _ -> ())
+      | Log_record.Begin _ | Log_record.Update _ | Log_record.Abort _
+      | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _ -> ())
     durable;
   let golden = Array.make cfg.nrecords 0 in
   List.iter
@@ -161,4 +168,6 @@ let run cfg =
     checkpoint_pages = !checkpoint_pages;
     log_pages = Wal.pages_written wal;
     log_disk_bytes = Wal.disk_bytes_written wal;
+    log_records = Wal.all_records wal;
+    durable_log = durable;
   }

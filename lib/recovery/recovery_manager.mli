@@ -36,6 +36,10 @@ type outcome = {
   checkpoint_pages : int;
   log_pages : int;
   log_disk_bytes : int;
+  log_records : Log_record.t list;
+      (** everything submitted to the WAL, in order (audit input) *)
+  durable_log : Log_record.t list;
+      (** what survived the crash — a possibly truncated prefix *)
 }
 
 val run : config -> outcome

@@ -191,6 +191,29 @@ let commit_txn t ~at ~txn ~deps records =
     | Stable _ -> assert false));
   tkt
 
+(* Non-transactional records (checkpoint brackets): appended to the log
+   stream without a commit ticket.  They ride the open page (or stable
+   memory) and become durable with the next flush or page fill. *)
+let log_control t ~at records =
+  if at < t.last_at -. 1e-12 then
+    invalid_arg "Wal.log_control: submissions must be in time order";
+  t.last_at <- Float.max t.last_at at;
+  t.buffered <- List.rev_append records t.buffered;
+  match t.strat with
+  | Stable _ ->
+    let sm = match t.stable with Some sm -> sm | None -> assert false in
+    let bytes =
+      List.fold_left
+        (fun acc r -> acc + Log_record.size_bytes ~compressed:false r)
+        0 records
+    in
+    if Stable_memory.available sm < bytes then
+      ignore (stable_drain t sm ~at ~need:bytes);
+    if not (Stable_memory.put_records sm records ~bytes) then
+      invalid_arg "Wal: control records larger than stable memory"
+  | Conventional | Group_commit | Partitioned _ ->
+    List.iter (append_record t ~at) records
+
 let ticket_txn tkt = tkt.tkt_txn
 let ticket_completion tkt = tkt.completion
 

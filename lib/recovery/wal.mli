@@ -44,6 +44,11 @@ val commit_txn : t -> at:float -> txn:int -> deps:int list ->
     manager grants); their commit groups must be durable first.
     Transactions must be submitted in nondecreasing [at] order. *)
 
+val log_control : t -> at:float -> Log_record.t list -> unit
+(** Append non-transactional records (checkpoint brackets) to the log
+    stream without a commit ticket.  They ride the open buffer page (or
+    stable memory) and become durable with the next flush or page fill. *)
+
 val ticket_txn : ticket -> int
 
 val ticket_completion : ticket -> float option

@@ -9,6 +9,7 @@ type frame = {
   pid : int;
   data : bytes;
   mutable dirty : bool;
+  mutable pins : int; (* > 0 means ineligible for eviction *)
   mutable last_use : int; (* LRU timestamp *)
   mutable prev_use : int; (* second-most-recent access (LRU-2); 0 = none *)
   mutable arrival : int; (* FIFO order *)
@@ -22,6 +23,10 @@ type t = {
   frames : (int, frame) Hashtbl.t; (* pid -> frame *)
   mutable tick : int;
   mutable clock_hand : int list; (* pids in arrival order for Clock sweep *)
+  mutable dirtied : int; (* clean->dirty transitions *)
+  mutable writebacks : int;
+  mutable dropped_dirty : int; (* dirty frames lost to drop_all *)
+  mutable unpin_underflows : int; (* recorded, not raised: Pool_check reports *)
 }
 
 let create ~disk ~capacity policy =
@@ -33,6 +38,10 @@ let create ~disk ~capacity policy =
     frames = Hashtbl.create (2 * capacity);
     tick = 0;
     clock_hand = [];
+    dirtied = 0;
+    writebacks = 0;
+    dropped_dirty = 0;
+    unpin_underflows = 0;
   }
 
 let capacity t = t.capacity
@@ -46,15 +55,24 @@ let write_back t frame =
     (* Bypass Disk.write's copy-in charge duplication: the pool is the one
        charging, via a normal charged random write. *)
     Disk.write t.disk ~mode:Disk.Rand frame.pid frame.data;
-    frame.dirty <- false
+    frame.dirty <- false;
+    t.writebacks <- t.writebacks + 1
   end
 
+(* Pinned frames are never eviction victims. *)
 let evict_one t =
+  let any_unpinned =
+    Hashtbl.fold (fun _ f acc -> acc || f.pins = 0) t.frames false
+  in
+  if not any_unpinned then
+    invalid_arg "Buffer_pool.evict_one: every frame is pinned";
   let victim_pid =
     match t.policy with
     | Random_replacement rng ->
       let pids =
-        Hashtbl.fold (fun pid _ acc -> pid :: acc) t.frames []
+        Hashtbl.fold
+          (fun pid f acc -> if f.pins = 0 then pid :: acc else acc)
+          t.frames []
       in
       let arr = Array.of_list pids in
       arr.(Mmdb_util.Xorshift.int rng (Array.length arr))
@@ -62,18 +80,21 @@ let evict_one t =
       let best = ref None in
       Hashtbl.iter
         (fun pid f ->
-          match !best with
-          | None -> best := Some (pid, f.last_use)
-          | Some (_, lu) -> if f.last_use < lu then best := Some (pid, f.last_use))
+          if f.pins = 0 then
+            match !best with
+            | None -> best := Some (pid, f.last_use)
+            | Some (_, lu) ->
+              if f.last_use < lu then best := Some (pid, f.last_use))
         t.frames;
       (match !best with Some (pid, _) -> pid | None -> assert false)
     | Fifo ->
       let best = ref None in
       Hashtbl.iter
         (fun pid f ->
-          match !best with
-          | None -> best := Some (pid, f.arrival)
-          | Some (_, a) -> if f.arrival < a then best := Some (pid, f.arrival))
+          if f.pins = 0 then
+            match !best with
+            | None -> best := Some (pid, f.arrival)
+            | Some (_, a) -> if f.arrival < a then best := Some (pid, f.arrival))
         t.frames;
       (match !best with Some (pid, _) -> pid | None -> assert false)
     | Lru_2 ->
@@ -82,15 +103,17 @@ let evict_one t =
       let best = ref None in
       Hashtbl.iter
         (fun pid f ->
-          let key = (f.prev_use, f.last_use) in
-          match !best with
-          | None -> best := Some (pid, key)
-          | Some (_, k) -> if key < k then best := Some (pid, key))
+          if f.pins = 0 then
+            let key = (f.prev_use, f.last_use) in
+            match !best with
+            | None -> best := Some (pid, key)
+            | Some (_, k) -> if key < k then best := Some (pid, key))
         t.frames;
       (match !best with Some (pid, _) -> pid | None -> assert false)
     | Clock ->
       (* Sweep the arrival list, clearing reference bits, until an
-         unreferenced resident page is found. *)
+         unreferenced, unpinned resident page is found (pinned frames keep
+         their bit — they rejoin the scan once unpinned). *)
       let rec sweep order =
         match order with
         | [] -> sweep t.clock_hand
@@ -98,7 +121,8 @@ let evict_one t =
           match Hashtbl.find_opt t.frames pid with
           | None -> sweep rest
           | Some f ->
-            if f.referenced then begin
+            if f.pins > 0 then sweep rest
+            else if f.referenced then begin
               f.referenced <- false;
               sweep rest
             end
@@ -137,6 +161,7 @@ let get t pid =
         pid;
         data;
         dirty = false;
+        pins = 0;
         last_use = 0;
         prev_use = 0;
         arrival = t.tick;
@@ -150,8 +175,31 @@ let get t pid =
 
 let mark_dirty t pid =
   match Hashtbl.find_opt t.frames pid with
-  | Some frame -> frame.dirty <- true
+  | Some frame ->
+    if not frame.dirty then begin
+      frame.dirty <- true;
+      t.dirtied <- t.dirtied + 1
+    end
   | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+
+let pin t pid =
+  let data = get t pid in
+  let frame = Hashtbl.find t.frames pid in
+  frame.pins <- frame.pins + 1;
+  data
+
+let unpin t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | Some frame when frame.pins > 0 -> frame.pins <- frame.pins - 1
+  | Some _ | None ->
+    (* Protocol violation; recorded for the sanitizer rather than raised,
+       so an audit can report it alongside other findings. *)
+    t.unpin_underflows <- t.unpin_underflows + 1
+
+let pin_count t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | Some frame -> frame.pins
+  | None -> 0
 
 let flush t pid =
   match Hashtbl.find_opt t.frames pid with
@@ -161,7 +209,39 @@ let flush t pid =
 let flush_all t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
 
 let drop_all t =
+  Hashtbl.iter
+    (fun _ frame ->
+      if frame.dirty then t.dropped_dirty <- t.dropped_dirty + 1)
+    t.frames;
   Hashtbl.reset t.frames;
   t.clock_hand <- []
 
 let iter_resident t f = Hashtbl.iter (fun pid _ -> f pid) t.frames
+
+type stats = {
+  dirtied : int;
+  writebacks : int;
+  dropped_dirty : int;
+  dirty_resident : int;
+  pinned_pages : (int * int) list;
+  unpin_underflows : int;
+}
+
+let stats t =
+  let dirty_resident =
+    Hashtbl.fold (fun _ f acc -> if f.dirty then acc + 1 else acc) t.frames 0
+  in
+  let pinned_pages =
+    Hashtbl.fold
+      (fun pid f acc -> if f.pins > 0 then (pid, f.pins) :: acc else acc)
+      t.frames []
+    |> List.sort compare
+  in
+  {
+    dirtied = t.dirtied;
+    writebacks = t.writebacks;
+    dropped_dirty = t.dropped_dirty;
+    dirty_resident;
+    pinned_pages;
+    unpin_underflows = t.unpin_underflows;
+  }

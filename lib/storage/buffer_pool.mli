@@ -44,6 +44,20 @@ val mark_dirty : t -> int -> unit
 (** Flag a resident page as modified.  @raise Invalid_argument if the page
     is not resident. *)
 
+val pin : t -> int -> bytes
+(** [pin t pid] is {!get} plus an eviction pin: the frame cannot be chosen
+    as a victim until a matching {!unpin}.  Pins nest.
+    @raise Invalid_argument (from the fault path) when the page is absent
+    and every resident frame is pinned. *)
+
+val unpin : t -> int -> unit
+(** Release one pin.  Unpinning a page that is absent or has no pins is a
+    protocol violation: it is {e recorded} (see {!stats}) rather than
+    raised, so {!Mmdb_verify.Pool_check} can report it. *)
+
+val pin_count : t -> int -> int
+(** Current pin count ([0] when absent). *)
+
 val flush : t -> int -> unit
 (** Write one resident dirty page back (random write); no-op when clean or
     absent. *)
@@ -57,3 +71,17 @@ val drop_all : t -> unit
 
 val iter_resident : t -> (int -> unit) -> unit
 (** Apply to every resident page id (used by the checkpoint sweeper). *)
+
+type stats = {
+  dirtied : int;  (** clean->dirty transitions since creation *)
+  writebacks : int;  (** dirty frames written back (flush or eviction) *)
+  dropped_dirty : int;  (** dirty frames discarded by {!drop_all} *)
+  dirty_resident : int;  (** frames currently dirty *)
+  pinned_pages : (int * int) list;  (** (pid, pins) with pins > 0, sorted *)
+  unpin_underflows : int;  (** unmatched {!unpin} calls *)
+}
+
+val stats : t -> stats
+(** Accounting snapshot.  Invariant audited by
+    {!Mmdb_verify.Pool_check}: [dirtied = writebacks + dropped_dirty +
+    dirty_resident]. *)

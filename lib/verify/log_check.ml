@@ -1,0 +1,100 @@
+module D = Mmdb_util.Diag
+module L = Mmdb_recovery.Log_record
+
+type txn_state = Active | Done
+
+let path_of r =
+  match L.txn r with
+  | Some tx -> Printf.sprintf "lsn=%d txn=%d" (L.lsn r) tx
+  | None -> Printf.sprintf "lsn=%d" (L.lsn r)
+
+let audit ?(complete = false) records =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let err r ~code fmt =
+    Printf.ksprintf (fun m -> add (D.error ~code ~path:(path_of r) m)) fmt
+  in
+  let txns : (int, txn_state) Hashtbl.t = Hashtbl.create 64 in
+  let last_lsn = ref None in
+  let ckpt_open = ref None in
+  List.iter
+    (fun r ->
+      (match !last_lsn with
+      | Some prev when L.lsn r <= prev ->
+        err r ~code:"LOG001" "lsn %d not greater than predecessor %d"
+          (L.lsn r) prev
+      | Some _ | None -> ());
+      last_lsn := Some (L.lsn r);
+      (match r with
+      | L.Begin { txn; _ } ->
+        if Hashtbl.mem txns txn then
+          err r ~code:"LOG005" "duplicate Begin for transaction %d" txn
+        else Hashtbl.replace txns txn Active
+      | L.Update { txn; _ } -> (
+        match Hashtbl.find_opt txns txn with
+        | None ->
+          err r ~code:"LOG002" "Update before Begin for transaction %d" txn
+        | Some Done ->
+          err r ~code:"LOG004" "Update after transaction %d terminated" txn
+        | Some Active -> ())
+      | L.Commit { txn; _ } | L.Abort { txn; _ } -> (
+        let what =
+          match r with L.Commit _ -> "Commit" | _ -> "Abort"
+        in
+        match Hashtbl.find_opt txns txn with
+        | None ->
+          err r ~code:"LOG003" "%s without Begin for transaction %d" what txn
+        | Some Done ->
+          err r ~code:"LOG006" "%s after transaction %d already terminated"
+            what txn
+        | Some Active -> Hashtbl.replace txns txn Done)
+      | L.Ckpt_begin { lsn } -> (
+        match !ckpt_open with
+        | Some open_lsn ->
+          err r ~code:"LOG007"
+            "Ckpt_begin while checkpoint from lsn %d still open" open_lsn
+        | None -> ckpt_open := Some lsn)
+      | L.Ckpt_end _ -> (
+        match !ckpt_open with
+        | Some _ -> ckpt_open := None
+        | None -> err r ~code:"LOG007" "Ckpt_end with no checkpoint open")))
+    records;
+  if complete then begin
+    (match !ckpt_open with
+    | Some lsn ->
+      add
+        (D.error ~code:"LOG008"
+           ~path:(Printf.sprintf "lsn=%d" lsn)
+           "checkpoint never closed in complete log")
+    | None -> ());
+    let open_txns =
+      Hashtbl.fold
+        (fun tx st acc -> if st = Active then tx :: acc else acc)
+        txns []
+      |> List.sort compare
+    in
+    List.iter
+      (fun tx ->
+        add
+          (D.warning ~code:"LOG101"
+             ~path:(Printf.sprintf "txn=%d" tx)
+             (Printf.sprintf "transaction %d never terminated in complete log"
+                tx)))
+      open_txns
+  end;
+  List.rev !diags
+
+let ok ?complete records = not (D.has_errors (audit ?complete records))
+
+let code_catalogue =
+  [
+    ("LOG001", "LSNs not strictly increasing");
+    ("LOG002", "Update without a prior Begin for its transaction");
+    ("LOG003", "Commit/Abort without a prior Begin");
+    ("LOG004", "Update after its transaction terminated");
+    ("LOG005", "duplicate Begin for a transaction");
+    ("LOG006", "duplicate termination (second Commit/Abort)");
+    ("LOG007", "checkpoint nesting violation");
+    ("LOG008", "dangling Ckpt_begin at end of a complete log");
+    ("LOG101", "transaction never terminated in a complete log (warning)");
+  ]

@@ -1,0 +1,34 @@
+(** Offline WAL protocol auditor.
+
+    Replays a log-record stream and checks the write-ahead protocol the
+    recovery stack depends on.  Stable error codes:
+
+    - [LOG001] — LSNs not strictly increasing
+    - [LOG002] — Update without a prior Begin for its transaction
+    - [LOG003] — Commit/Abort without a prior Begin
+    - [LOG004] — Update after its transaction terminated
+    - [LOG005] — duplicate Begin for a transaction
+    - [LOG006] — duplicate termination (second Commit/Abort)
+    - [LOG007] — checkpoint nesting violation (nested [Ckpt_begin], or
+      [Ckpt_end] with no checkpoint open)
+    - [LOG008] — dangling [Ckpt_begin] at end of a complete log
+    - [LOG101] (warning) — transaction never terminated in a complete log
+
+    Diagnostic paths locate the offending record as ["lsn=42 txn=7"]
+    (["lsn=42"] for checkpoint markers). *)
+
+val audit :
+  ?complete:bool -> Mmdb_recovery.Log_record.t list ->
+  Mmdb_util.Diag.t list
+(** [audit ?complete log] returns every violation found, in log order.
+    [complete] (default [false]) asserts the log is a clean, untruncated
+    run: dangling checkpoints become [LOG008] errors and unterminated
+    transactions [LOG101] warnings.  A crash-truncated log should be
+    audited with [complete:false] — losing the tail legitimately strands
+    open transactions and checkpoints. *)
+
+val ok : ?complete:bool -> Mmdb_recovery.Log_record.t list -> bool
+(** No error-severity findings. *)
+
+val code_catalogue : (string * string) list
+(** [(code, one-line description)] for every code above. *)

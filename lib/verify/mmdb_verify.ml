@@ -1,0 +1,18 @@
+(** Verification layer: static plan checking, WAL protocol auditing, and
+    runtime invariant sanitizers, unified behind {!Audit}.
+
+    The plan checker lives in {!Mmdb_planner.Plan_check} (the planner
+    runs it before execution) and the diagnostic type in
+    {!Mmdb_util.Diag}; both are re-exported here so [Mmdb_verify] is the
+    one-stop namespace for tooling. *)
+
+module Diag = Mmdb_util.Diag
+module Plan_check = Mmdb_planner.Plan_check
+module Log_check = Log_check
+module Pool_check = Pool_check
+module Audit = Audit
+
+(** Every stable diagnostic code with a one-line description. *)
+let code_catalogue =
+  Plan_check.code_catalogue @ Log_check.code_catalogue
+  @ Pool_check.code_catalogue @ Audit.code_catalogue

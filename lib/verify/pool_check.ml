@@ -1,0 +1,47 @@
+module D = Mmdb_util.Diag
+module BP = Mmdb_storage.Buffer_pool
+
+let audit ?(expect_unpinned = true) pool =
+  let st = BP.stats pool in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if expect_unpinned then
+    List.iter
+      (fun (pid, pins) ->
+        add
+          (D.error ~code:"POOL001"
+             ~path:(Printf.sprintf "pid=%d" pid)
+             (Printf.sprintf "pin leak: page still holds %d pin%s" pins
+                (if pins = 1 then "" else "s"))))
+      st.BP.pinned_pages;
+  if st.BP.unpin_underflows > 0 then
+    add
+      (D.error ~code:"POOL002" ~path:""
+         (Printf.sprintf "%d unpin underflow%s recorded"
+            st.BP.unpin_underflows
+            (if st.BP.unpin_underflows = 1 then "" else "s")));
+  let accounted = st.BP.writebacks + st.BP.dropped_dirty + st.BP.dirty_resident in
+  if st.BP.dirtied <> accounted then
+    add
+      (D.error ~code:"POOL003" ~path:""
+         (Printf.sprintf
+            "dirty accounting mismatch: dirtied=%d but writebacks=%d + \
+             dropped_dirty=%d + dirty_resident=%d = %d"
+            st.BP.dirtied st.BP.writebacks st.BP.dropped_dirty
+            st.BP.dirty_resident accounted));
+  if BP.resident pool > BP.capacity pool then
+    add
+      (D.error ~code:"POOL004" ~path:""
+         (Printf.sprintf "%d resident frames exceed capacity %d"
+            (BP.resident pool) (BP.capacity pool)));
+  List.rev !diags
+
+let ok ?expect_unpinned pool = not (D.has_errors (audit ?expect_unpinned pool))
+
+let code_catalogue =
+  [
+    ("POOL001", "pin leak: page still pinned at audit time");
+    ("POOL002", "unpin underflow: more unpins than pins");
+    ("POOL003", "dirty accounting mismatch");
+    ("POOL004", "resident frames exceed capacity");
+  ]

@@ -1,0 +1,24 @@
+(** Buffer-pool sanitizer.
+
+    Audits a {!Mmdb_storage.Buffer_pool} snapshot against its pin/unpin
+    and dirty-page accounting protocol.  Stable error codes:
+
+    - [POOL001] — pin leak: a page still pinned at audit time (only when
+      [expect_unpinned], the default — a quiescent pool should hold no
+      pins)
+    - [POOL002] — unpin underflow: more unpins than pins were issued
+    - [POOL003] — dirty accounting mismatch: [dirtied <> writebacks +
+      dropped_dirty + dirty_resident]
+    - [POOL004] — resident frames exceed capacity
+
+    Paths are ["pid=3"] for per-page findings, [""] for pool-wide ones. *)
+
+val audit :
+  ?expect_unpinned:bool -> Mmdb_storage.Buffer_pool.t ->
+  Mmdb_util.Diag.t list
+(** [expect_unpinned] defaults to [true]; pass [false] to audit a pool
+    mid-operation without flagging live pins. *)
+
+val ok : ?expect_unpinned:bool -> Mmdb_storage.Buffer_pool.t -> bool
+
+val code_catalogue : (string * string) list

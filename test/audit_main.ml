@@ -1,0 +1,96 @@
+(* Standalone invariant audit, wired to `dune build @audit`: exercises
+   every structure with a check_invariants hook plus the WAL and pool
+   protocols, then prints a checklist report.  Exits non-zero on any
+   error-severity finding. *)
+
+module S = Mmdb_storage
+module I = Mmdb_index
+module R = Mmdb_recovery
+module U = Mmdb_util
+module V = Mmdb_verify
+
+let idx_schema =
+  S.Schema.create ~key:"k"
+    [ S.Schema.column "k" S.Schema.Int; S.Schema.column "v" S.Schema.Int ]
+
+let mk k v = S.Tuple.encode idx_schema [ S.Tuple.VInt k; S.Tuple.VInt v ]
+let key k = S.Tuple.encode_int_key idx_schema k
+
+(* Mixed insert/delete workload over each index structure. *)
+let workload insert delete =
+  let rng = U.Xorshift.create 2026 in
+  for _ = 1 to 2000 do
+    let k = U.Xorshift.int rng 800 in
+    if U.Xorshift.int rng 4 < 3 then insert (mk k (k * 7))
+    else ignore (delete (key k))
+  done
+
+let () =
+  let env = S.Env.create () in
+  let avl = I.Avl.create ~env ~schema:idx_schema () in
+  workload (I.Avl.insert avl) (I.Avl.delete avl);
+  let btree = I.Btree.create ~env ~schema:idx_schema ~page_size:256 () in
+  workload (I.Btree.insert btree) (I.Btree.delete btree);
+  let bst = I.Paged_bst.create ~env ~schema:idx_schema () in
+  workload (I.Paged_bst.insert bst) (I.Paged_bst.delete bst);
+  let heap =
+    let rng = U.Xorshift.create 7 in
+    U.Heap.of_array ~cmp:compare
+      (Array.init 500 (fun _ -> U.Xorshift.int rng 10_000))
+  in
+  let pool =
+    let disk = S.Disk.create ~env ~page_size:64 in
+    let pids = Array.init 32 (fun _ -> S.Disk.alloc disk) in
+    let pool = S.Buffer_pool.create ~disk ~capacity:8 S.Buffer_pool.Lru in
+    let rng = U.Xorshift.create 13 in
+    for _ = 1 to 500 do
+      let pid = pids.(U.Xorshift.int rng 32) in
+      let data = S.Buffer_pool.pin pool pid in
+      if U.Xorshift.int rng 2 = 0 then begin
+        Bytes.set data 0 'x';
+        S.Buffer_pool.mark_dirty pool pid
+      end;
+      S.Buffer_pool.unpin pool pid
+    done;
+    S.Buffer_pool.flush_all pool;
+    pool
+  in
+  let recovery_log =
+    let o =
+      R.Recovery_manager.run
+        {
+          R.Recovery_manager.default_config with
+          R.Recovery_manager.n_txns = 600;
+          R.Recovery_manager.checkpoint_every = Some 150;
+        }
+    in
+    o.R.Recovery_manager.log_records
+  in
+  let db =
+    let db = Mmdb.Db.create () in
+    Mmdb.Db.create_table db ~name:"t" ~schema:idx_schema;
+    Mmdb.Db.insert_many db ~table:"t"
+      (List.init 500 (fun i -> [ S.Tuple.VInt i; S.Tuple.VInt (i * 3) ]));
+    Mmdb.Db.create_index db ~table:"t" Mmdb.Db.Avl_index;
+    Mmdb.Db.create_index db ~table:"t" Mmdb.Db.Btree_index;
+    db
+  in
+  let results =
+    V.Audit.run_all
+      [
+        V.Audit.Avl ("avl (workload)", avl);
+        V.Audit.Btree ("btree (workload)", btree);
+        V.Audit.Paged_bst ("paged-bst (workload)", bst);
+        V.Audit.Heap_check ("heap", fun () -> U.Heap.check_invariant heap);
+        V.Audit.Pool { name = "buffer pool"; pool; expect_unpinned = true };
+        V.Audit.Log
+          {
+            name = "recovery wal";
+            complete = true;
+            records = recovery_log;
+          };
+      ]
+    @ Mmdb.Db.audit db
+  in
+  let clean = V.Audit.report Format.std_formatter results in
+  exit (if clean then 0 else 1)

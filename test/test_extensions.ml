@@ -62,7 +62,8 @@ let test_wal_partitioned_merge_preserves_conflict_order () =
   let pos txn =
     let rec go i = function
       | [] -> -1
-      | r :: rest -> if R.Log_record.txn r = txn then i else go (i + 1) rest
+      | r :: rest ->
+        if R.Log_record.txn r = Some txn then i else go (i + 1) rest
     in
     go 0 merged
   in

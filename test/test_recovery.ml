@@ -50,7 +50,12 @@ let test_record_sizes () =
   checki "typical txn = 400 bytes" 400 (txn_bytes ~compressed:false records);
   checki "compressed = 220 bytes" 220 (txn_bytes ~compressed:true records);
   checki "lsn accessor" 1 (R.Log_record.lsn (List.hd records));
-  checki "txn accessor" 1 (R.Log_record.txn (List.hd records));
+  Alcotest.(check (option int))
+    "txn accessor" (Some 1)
+    (R.Log_record.txn (List.hd records));
+  Alcotest.(check (option int))
+    "markers have no txn" None
+    (R.Log_record.txn (R.Log_record.Ckpt_begin { lsn = 9 }));
   checkb "update detection" true
     (R.Log_record.is_update (List.nth records 1));
   checkb "commit not update" false
@@ -120,11 +125,11 @@ let test_stable_memory_fifo_drain () =
   checki "drained bytes" 60 bytes;
   Alcotest.(check (list int))
     "oldest first, in order" [ 1; 2; 3 ]
-    (List.map R.Log_record.txn records);
+    (List.map R.Log_record.lsn records);
   checki "remaining" 20 (R.Stable_memory.used sm);
   Alcotest.(check (list int))
     "contents" [ 4 ]
-    (List.map R.Log_record.txn (R.Stable_memory.records sm))
+    (List.map R.Log_record.lsn (R.Stable_memory.records sm))
 
 let test_stable_memory_peek_drop () =
   let sm = R.Stable_memory.create ~capacity_bytes:1000 in
@@ -132,7 +137,7 @@ let test_stable_memory_peek_drop () =
   ignore (R.Stable_memory.put_records sm [ r 1 ] ~bytes:20);
   ignore (R.Stable_memory.put_records sm [ r 2 ] ~bytes:30);
   (match R.Stable_memory.peek_batch sm with
-  | Some ([ x ], 20) -> checki "peek oldest" 1 (R.Log_record.txn x)
+  | Some ([ x ], 20) -> checki "peek oldest" 1 (R.Log_record.lsn x)
   | _ -> Alcotest.fail "unexpected peek");
   R.Stable_memory.drop_batch sm;
   checki "used after drop" 30 (R.Stable_memory.used sm);

@@ -378,7 +378,14 @@ let test_ddl_create_drop () =
     (try
        ignore (M.Db.sql db "SELECT * FROM books");
        false
-     with Not_found -> true);
+     with
+    | Not_found -> true
+    (* The plan checker rejects it first, naming the missing relation. *)
+    | Invalid_argument m ->
+      let rec find i =
+        i + 7 <= String.length m && (String.sub m i 7 = "PLAN001" || find (i + 1))
+      in
+      find 0);
   checkb "create after drop ok" true
     (match M.Db.execute db "CREATE TABLE books (isbn INT)" with
     | M.Db.Affected 0 -> true
