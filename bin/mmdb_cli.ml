@@ -443,6 +443,108 @@ let check_cmd =
     Term.(const run_check $ text $ explain_after)
 
 (* ------------------------------------------------------------------ *)
+(* txncheck                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module V = Mmdb_verify
+
+(* A deterministic Txn_db workload with schedule recording on: a batch of
+   transfers, one explicit abort, a fuzzy checkpoint, more transfers, a
+   crash and recovery. *)
+let txncheck_builtin () =
+  let db = Mmdb.Txn_db.create ~record_schedule:true ~nrecords:64 () in
+  for i = 0 to 11 do
+    let a = i * 5 mod 64 and b = ((i * 5) + 17) mod 64 in
+    ignore (Mmdb.Txn_db.transact db [ (a, 25); (b, -25) ]);
+    Mmdb.Txn_db.advance db 0.0003
+  done;
+  ignore (Mmdb.Txn_db.transact_abort db [ (3, 999); (4, -999) ]);
+  ignore (Mmdb.Txn_db.checkpoint db);
+  for i = 0 to 7 do
+    ignore (Mmdb.Txn_db.transact db [ (i, 7); (i + 20, -7) ]);
+    Mmdb.Txn_db.advance db 0.0003
+  done;
+  Mmdb.Txn_db.flush db;
+  Mmdb.Txn_db.crash db;
+  ignore (Mmdb.Txn_db.recover db);
+  (Mmdb.Txn_db.schedule db, Mmdb.Txn_db.log_records db)
+
+let run_txncheck fuzz seed txns accounts scramble crash_run =
+  if not fuzz then begin
+    let events, log = txncheck_builtin () in
+    Printf.printf
+      "built-in Txn_db workload: %d schedule events, %d log records\n\n"
+      (List.length events) (List.length log);
+    let results =
+      V.Audit.run_all [ V.Audit.Schedule { name = "txn schedule"; events; log } ]
+    in
+    if V.Audit.report Format.std_formatter results then 0 else 1
+  end
+  else begin
+    let o = V.Txn_fuzz.run ~txns ~accounts ~scramble ~crash:crash_run ~seed () in
+    Printf.printf
+      "fuzz seed %d: %d committed, %d aborted, %d lock waits, %d deadlocks \
+       broken%s\n"
+      seed o.V.Txn_fuzz.committed o.V.Txn_fuzz.aborted o.V.Txn_fuzz.waits
+      o.V.Txn_fuzz.deadlocks
+      (if o.V.Txn_fuzz.crashed then ", crashed mid-schedule" else "");
+    Printf.printf "schedule: %d events, %d log records\n"
+      (List.length o.V.Txn_fuzz.events)
+      (List.length o.V.Txn_fuzz.log);
+    let diags = o.V.Txn_fuzz.diags in
+    if diags <> [] then Format.printf "@.%a@." U.Diag.pp_list diags;
+    Printf.printf "txncheck: %s\n" (U.Diag.summary diags);
+    if U.Diag.has_errors diags then 1 else 0
+  end
+
+let txncheck_cmd =
+  let fuzz =
+    Arg.(
+      value & flag
+      & info [ "fuzz" ]
+          ~doc:
+            "Run the seeded interleaved-workload fuzzer (staged lock \
+             acquisition, aborts, optional deadlocks) instead of the \
+             built-in Txn_db workload.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Fuzzer PRNG seed.")
+  in
+  let txns =
+    Arg.(value & opt int 40 & info [ "txns" ] ~doc:"Fuzzer transaction count.")
+  in
+  let accounts =
+    Arg.(
+      value & opt int 16
+      & info [ "accounts" ] ~doc:"Fuzzer account count (small = contended).")
+  in
+  let scramble =
+    Arg.(
+      value & flag
+      & info [ "scramble" ]
+          ~doc:
+            "Shuffle each transaction's lock-acquisition order: deadlocks \
+             become possible and must be caught (TXN006/TXN101).")
+  in
+  let crash_run =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Stop the fuzzed run mid-schedule without flushing the log \
+             (truncated-trace tolerance).")
+  in
+  Cmd.v
+    (Cmd.info "txncheck"
+       ~doc:
+         "Record a transaction schedule and run the Section 5.2 sanitizer: \
+          2PL/pre-commit conformance, waits-for deadlocks, \
+          conflict-serializability, and the group-commit dependency audit. \
+          Exits 1 when any TXN error is reported.")
+    Term.(
+      const run_txncheck $ fuzz $ seed $ txns $ accounts $ scramble $ crash_run)
+
+(* ------------------------------------------------------------------ *)
 (* repl                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -568,5 +670,5 @@ let () =
        (Cmd.group ~default info
           [
             crossover_cmd; join_cmd; tps_cmd; recover_cmd; plan_cmd; sql_cmd;
-            check_cmd; repl_cmd;
+            check_cmd; txncheck_cmd; repl_cmd;
           ]))

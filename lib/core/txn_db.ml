@@ -10,7 +10,8 @@ type commit_outcome = {
 type t = {
   clock : S.Sim_clock.t;
   wal : R.Wal.t;
-  locks : R.Lock_manager.t;
+  mutable locks : R.Lock_manager.t;
+  recorder : R.Schedule.recorder option;
   stable : R.Stable_memory.t;
   kv : R.Kv_store.t;
   mutable next_txn : int;
@@ -20,13 +21,20 @@ type t = {
 }
 
 let create ?(strategy = R.Wal.Group_commit) ?(nrecords = 1000)
-    ?(records_per_page = 20) ?(stable_bytes = 1 lsl 20) () =
+    ?(records_per_page = 20) ?(stable_bytes = 1 lsl 20)
+    ?(record_schedule = false) () =
   let clock = S.Sim_clock.create () in
   let stable = R.Stable_memory.create ~capacity_bytes:stable_bytes in
+  let recorder =
+    if record_schedule then
+      Some (R.Schedule.recorder ~now:(fun () -> S.Sim_clock.now clock))
+    else None
+  in
   {
     clock;
     wal = R.Wal.create ~clock strategy;
-    locks = R.Lock_manager.create ();
+    locks = R.Lock_manager.create ?recorder ();
+    recorder;
     stable;
     kv = R.Kv_store.create ~nrecords ~records_per_page ~stable ();
     next_txn = 0;
@@ -48,23 +56,41 @@ let fresh_lsn t =
   t.next_lsn
 
 (* Finalize lock-manager state for transactions whose commits became
-   durable by [at]. *)
+   durable by [at]; the schedule gets a Commit_durable event stamped with
+   the exact completion time (not the retire time). *)
 let retire t ~at =
   let still_open =
     List.filter
       (fun tkt ->
         match R.Wal.ticket_completion tkt with
         | Some c when c <= at ->
-          R.Lock_manager.finalize t.locks ~txn:(R.Wal.ticket_txn tkt);
+          let txn = R.Wal.ticket_txn tkt in
+          R.Schedule.emit t.recorder ~at:c ~txn R.Schedule.Commit_durable;
+          R.Lock_manager.finalize t.locks ~txn;
           false
         | Some _ | None -> true)
       t.open_tickets
   in
   t.open_tickets <- still_open
 
+(* A slot locked twice inside one transaction would hit the lock
+   manager's re-acquire path, whose empty grant muddies the dependency
+   accounting — reject it up front. *)
+let check_slots ~what updates =
+  if updates = [] then invalid_arg (what ^ ": no updates");
+  let slots = List.sort compare (List.map fst updates) in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+    | [ _ ] | [] -> None
+  in
+  match dup slots with
+  | Some s ->
+    invalid_arg (Printf.sprintf "%s: duplicate slot %d in update list" what s)
+  | None -> ()
+
 let transact t updates =
   check_alive t;
-  if updates = [] then invalid_arg "Txn_db.transact: no updates";
+  check_slots ~what:"Txn_db.transact" updates;
   let at = now t in
   let txn = t.next_txn in
   t.next_txn <- txn + 1;
@@ -83,7 +109,9 @@ let transact t updates =
         let old_value = R.Kv_store.get t.kv slot in
         let new_value = old_value + delta in
         let lsn = fresh_lsn t in
+        R.Schedule.emit t.recorder ~key:slot ~txn R.Schedule.Read;
         R.Kv_store.apply_update t.kv ~lsn ~slot ~value:new_value;
+        R.Schedule.emit t.recorder ~key:slot ~lsn ~txn R.Schedule.Write;
         R.Log_record.Update { txn; lsn; slot; old_value; new_value })
       updates
   in
@@ -99,7 +127,7 @@ let transact t updates =
 
 let transact_abort t updates =
   check_alive t;
-  if updates = [] then invalid_arg "Txn_db.transact_abort: no updates";
+  check_slots ~what:"Txn_db.transact_abort" updates;
   let at = now t in
   let txn = t.next_txn in
   t.next_txn <- txn + 1;
@@ -117,7 +145,9 @@ let transact_abort t updates =
         let old_value = R.Kv_store.get t.kv slot in
         let new_value = old_value + delta in
         let lsn = fresh_lsn t in
+        R.Schedule.emit t.recorder ~key:slot ~txn R.Schedule.Read;
         R.Kv_store.apply_update t.kv ~lsn ~slot ~value:new_value;
+        R.Schedule.emit t.recorder ~key:slot ~lsn ~txn R.Schedule.Write;
         R.Log_record.Update { txn; lsn; slot; old_value; new_value })
       updates
   in
@@ -131,6 +161,7 @@ let transact_abort t updates =
         | R.Log_record.Update { slot; old_value; new_value; _ } ->
           let lsn = fresh_lsn t in
           R.Kv_store.apply_update t.kv ~lsn ~slot ~value:old_value;
+          R.Schedule.emit t.recorder ~key:slot ~lsn ~txn R.Schedule.Write;
           R.Log_record.Update
             { txn; lsn; slot; old_value = new_value; new_value = old_value }
         | R.Log_record.Begin _ | R.Log_record.Commit _ | R.Log_record.Abort _
@@ -166,7 +197,11 @@ let crash t =
   check_alive t;
   R.Kv_store.crash t.kv;
   t.crashed <- true;
-  t.open_tickets <- []
+  t.open_tickets <- [];
+  (* The lock table is volatile state: a crash loses holders, waiters and
+     pre-committed sets alike (their transactions are decided by the
+     durable log, not by lock-manager residue). *)
+  t.locks <- R.Lock_manager.create ?recorder:t.recorder ()
 
 let recover t =
   if not t.crashed then invalid_arg "Txn_db.recover: not crashed";
@@ -184,6 +219,11 @@ let committed_txns t =
       | R.Log_record.Begin _ | R.Log_record.Update _ | R.Log_record.Abort _
       | R.Log_record.Ckpt_begin _ | R.Log_record.Ckpt_end _ -> None)
     log
+
+let schedule t =
+  match t.recorder with
+  | Some r -> R.Schedule.events r
+  | None -> []
 
 let log_records t = R.Wal.all_records t.wal
 let log_pages t = R.Wal.pages_written t.wal

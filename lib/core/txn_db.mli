@@ -7,9 +7,13 @@
 type t
 
 val create : ?strategy:Mmdb_recovery.Wal.strategy -> ?nrecords:int ->
-  ?records_per_page:int -> ?stable_bytes:int -> unit -> t
+  ?records_per_page:int -> ?stable_bytes:int -> ?record_schedule:bool ->
+  unit -> t
 (** Defaults: group commit, 1000 accounts, 20 per page, 1 MiB stable
-    memory. *)
+    memory, schedule recording off.  With [record_schedule:true] every
+    lock-manager and transaction event is captured as a
+    {!Mmdb_recovery.Schedule.event} (see {!schedule}) so
+    {!Mmdb_verify.Txn_check} can audit the run. *)
 
 val nrecords : t -> int
 
@@ -34,8 +38,9 @@ type commit_outcome = {
 val transact : t -> (int * int) list -> commit_outcome
 (** [transact db updates] runs one transaction applying [(slot, delta)]
     pairs at the current simulated time: locks, in-memory update, log
-    append, pre-commit.  @raise Invalid_argument on bad slots or an empty
-    update list. *)
+    append, pre-commit.  @raise Invalid_argument on bad slots, an empty
+    update list, or a slot appearing twice in one update list (the
+    re-acquire path would muddy pre-commit dependency accounting). *)
 
 val transact_abort : t -> (int * int) list -> int
 (** Run a transaction that aborts {e before} pre-commit (the paper's
@@ -53,8 +58,8 @@ val checkpoint : t -> Mmdb_recovery.Kv_store.checkpoint_stats
 
 val crash : t -> unit
 (** Lose volatile state at the current instant (pending group-commit
-    buffers are lost; completed and scheduled log writes survive, as does
-    stable memory). *)
+    buffers and the lock table are lost; completed and scheduled log
+    writes survive, as does stable memory). *)
 
 val recover : t -> Mmdb_recovery.Kv_store.recover_stats
 (** Rebuild memory from the snapshot and the durable log.
@@ -63,9 +68,16 @@ val recover : t -> Mmdb_recovery.Kv_store.recover_stats
 val committed_txns : t -> int list
 (** Transaction ids whose commit records are currently durable. *)
 
+val schedule : t -> Mmdb_recovery.Schedule.event list
+(** The recorded transaction schedule, in emission order (audit input for
+    {!Mmdb_verify.Txn_check}); [[]] unless the database was created with
+    [record_schedule:true].  [Commit_durable] events are stamped with the
+    exact log-ticket completion time, so they can carry earlier
+    timestamps than trace-order neighbours. *)
+
 val log_records : t -> Mmdb_recovery.Log_record.t list
 (** Everything submitted to the WAL so far, in order (audit input for
-    {!Mmdb_verify.Log_check}). *)
+    {!Mmdb_verify.Log_check} and {!Mmdb_verify.Txn_check}). *)
 
 val log_pages : t -> int
 val log_disk_bytes : t -> int

@@ -15,9 +15,11 @@ type grant = { granted_txn : int; dependencies : int list }
 type t = {
   locks : (int, lock) Hashtbl.t;
   txns : (int, txn_state) Hashtbl.t;
+  recorder : Schedule.recorder option;
 }
 
-let create () = { locks = Hashtbl.create 64; txns = Hashtbl.create 64 }
+let create ?recorder () =
+  { locks = Hashtbl.create 64; txns = Hashtbl.create 64; recorder }
 
 let get_lock t key =
   match Hashtbl.find_opt t.locks key with
@@ -50,26 +52,55 @@ let grant_to t lock key txn =
 
 let acquire t ~txn ~key =
   let st = get_txn t txn in
+  (* The paper's §5.2 invariant: a pre-committed transaction has released
+     every lock and only awaits durability — it never grows its lock set
+     again (and a finished transaction id is dead). *)
+  (match st.phase with
+  | `Active -> ()
+  | `Precommitted ->
+    invalid_arg
+      (Printf.sprintf
+         "Lock_manager.acquire: txn %d is pre-committed and cannot acquire \
+          locks (pre-commit releases all locks for good)"
+         txn)
+  | `Done ->
+    invalid_arg
+      (Printf.sprintf
+         "Lock_manager.acquire: txn %d already finished (committed or \
+          aborted)"
+         txn));
   (match st.waiting_for with
   | Some k ->
     invalid_arg
       (Printf.sprintf "Lock_manager.acquire: txn %d already waits for %d" txn
          k)
   | None -> ());
+  Schedule.emit t.recorder ~key ~txn Schedule.Acquire;
   let lock = get_lock t key in
   match lock.lock_holder with
-  | Some h when h = txn -> Some { granted_txn = txn; dependencies = [] }
-  | Some _ ->
+  | Some h when h = txn ->
+    Schedule.emit t.recorder ~key ~txn (Schedule.Grant { deps = [] });
+    Some { granted_txn = txn; dependencies = [] }
+  | Some holder ->
     Queue.push txn lock.lock_waiters;
     st.waiting_for <- Some key;
+    Schedule.emit t.recorder ~key ~txn (Schedule.Wait { holder });
     None
-  | None -> Some (grant_to t lock key txn)
+  | None ->
+    let g = grant_to t lock key txn in
+    Schedule.emit t.recorder ~key ~txn
+      (Schedule.Grant { deps = g.dependencies });
+    Some g
 
 (* Wake the next waiter of a now-free lock, if any. *)
 let wake_next t key lock =
   match Queue.pop lock.lock_waiters with
   | exception Queue.Empty -> []
-  | next -> [ grant_to t lock key next ]
+  | next ->
+    let g = grant_to t lock key next in
+    Schedule.emit t.recorder ~key ~txn:next
+      (Schedule.Wake { deps = g.dependencies });
+    [ g ]
 
 let precommit t ~txn =
   let st = get_txn t txn in
@@ -78,6 +109,7 @@ let precommit t ~txn =
   | `Precommitted | `Done ->
     invalid_arg "Lock_manager.precommit: transaction not active");
   st.phase <- `Precommitted;
+  Schedule.emit t.recorder ~txn Schedule.Precommit;
   let grants =
     List.concat_map
       (fun key ->
@@ -85,6 +117,7 @@ let precommit t ~txn =
         assert (lock.lock_holder = Some txn);
         lock.lock_holder <- None;
         lock.lock_precommitted <- txn :: lock.lock_precommitted;
+        Schedule.emit t.recorder ~key ~txn Schedule.Release;
         wake_next t key lock)
       st.held
   in
@@ -97,6 +130,7 @@ let release_abort t ~txn =
   | `Precommitted | `Done ->
     invalid_arg
       "Lock_manager.release_abort: pre-committed transactions never abort");
+  Schedule.emit t.recorder ~txn Schedule.Abort;
   (* Remove any wait registration. *)
   (match st.waiting_for with
   | Some key ->
@@ -113,6 +147,7 @@ let release_abort t ~txn =
         let lock = get_lock t key in
         assert (lock.lock_holder = Some txn);
         lock.lock_holder <- None;
+        Schedule.emit t.recorder ~key ~txn Schedule.Release;
         wake_next t key lock)
       st.held
   in

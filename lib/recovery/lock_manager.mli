@@ -20,14 +20,21 @@ type grant = {
           on *)
 }
 
-val create : unit -> t
+val create : ?recorder:Schedule.recorder -> unit -> t
+(** [create ?recorder ()] — when [recorder] is given, every protocol
+    transition (acquire / grant / wait / wake / release / precommit /
+    abort) is appended to it as a {!Schedule.event} for offline auditing
+    by {!Mmdb_verify.Txn_check}.  Without it, recording costs nothing. *)
 
 val acquire : t -> txn:int -> key:int -> grant option
 (** [acquire lm ~txn ~key] tries to take the exclusive lock on [key].
     [Some grant] if granted now (with its dependency list); [None] if the
     transaction must wait (it is queued).  Re-acquiring a held lock
     returns an empty grant.  @raise Invalid_argument if [txn] already
-    waits for some lock (no multi-wait in this model). *)
+    waits for some lock (no multi-wait in this model), or if [txn] has
+    already pre-committed or finished — the paper's §5.2 invariant:
+    pre-commit releases every lock for good, so the lock set never grows
+    again. *)
 
 val precommit : t -> txn:int -> grant list
 (** Move [txn] from holder to pre-committed on every lock it holds,

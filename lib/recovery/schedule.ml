@@ -1,0 +1,72 @@
+type kind =
+  | Acquire
+  | Grant of { deps : int list }
+  | Wait of { holder : int }
+  | Wake of { deps : int list }
+  | Read
+  | Write
+  | Precommit
+  | Commit_durable
+  | Abort
+  | Release
+
+type event = {
+  time : float;
+  txn : int;
+  key : int option;
+  lsn : int option;
+  kind : kind;
+}
+
+type recorder = {
+  now : unit -> float;
+  mutable rev_events : event list;
+  mutable n : int;
+}
+
+let recorder ~now = { now; rev_events = []; n = 0 }
+
+let emit r ?at ?key ?lsn ~txn kind =
+  match r with
+  | None -> ()
+  | Some r ->
+    let time = match at with Some t -> t | None -> r.now () in
+    r.rev_events <- { time; txn; key; lsn; kind } :: r.rev_events;
+    r.n <- r.n + 1
+
+let events r = List.rev r.rev_events
+let length r = r.n
+
+let clear r =
+  r.rev_events <- [];
+  r.n <- 0
+
+let kind_name = function
+  | Acquire -> "Acquire"
+  | Grant _ -> "Grant"
+  | Wait _ -> "Wait"
+  | Wake _ -> "Wake"
+  | Read -> "Read"
+  | Write -> "Write"
+  | Precommit -> "Precommit"
+  | Commit_durable -> "CommitDurable"
+  | Abort -> "Abort"
+  | Release -> "Release"
+
+let pp_event ppf e =
+  Format.fprintf ppf "%.6f txn=%d" e.time e.txn;
+  (match e.key with
+  | Some k -> Format.fprintf ppf " key=%d" k
+  | None -> ());
+  (match e.lsn with
+  | Some l -> Format.fprintf ppf " lsn=%d" l
+  | None -> ());
+  Format.fprintf ppf " %s" (kind_name e.kind);
+  match e.kind with
+  | Grant { deps } | Wake { deps } ->
+    if deps <> [] then
+      Format.fprintf ppf " deps=[%s]"
+        (String.concat ";" (List.map string_of_int deps))
+  | Wait { holder } -> Format.fprintf ppf " holder=%d" holder
+  | Acquire | Read | Write | Precommit | Commit_durable | Abort | Release ->
+    ()

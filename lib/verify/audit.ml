@@ -11,6 +11,9 @@ type component =
              records : Mmdb_recovery.Log_record.t list }
   | Plan of { name : string; catalog : Mmdb_planner.Catalog.t;
               expr : Mmdb_planner.Algebra.expr }
+  | Schedule of { name : string;
+                  events : Mmdb_recovery.Schedule.event list;
+                  log : Mmdb_recovery.Log_record.t list }
 
 let structure_diag ~code ~what ok =
   if ok then []
@@ -31,10 +34,12 @@ let run = function
   | Pool { pool; expect_unpinned; _ } -> Pool_check.audit ~expect_unpinned pool
   | Log { complete; records; _ } -> Log_check.audit ~complete records
   | Plan { catalog; expr; _ } -> Mmdb_planner.Plan_check.check catalog expr
+  | Schedule { events; log; _ } -> Txn_check.audit ~log events
 
 let name_of = function
   | Btree (n, _) | Avl (n, _) | Paged_bst (n, _) | Heap_check (n, _) -> n
-  | Pool { name; _ } | Log { name; _ } | Plan { name; _ } -> name
+  | Pool { name; _ } | Log { name; _ } | Plan { name; _ }
+  | Schedule { name; _ } -> name
 
 let run_all components = List.map (fun c -> (name_of c, run c)) components
 

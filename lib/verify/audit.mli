@@ -19,6 +19,13 @@ type component =
              records : Mmdb_recovery.Log_record.t list }
   | Plan of { name : string; catalog : Mmdb_planner.Catalog.t;
               expr : Mmdb_planner.Algebra.expr }
+  | Schedule of { name : string;
+                  events : Mmdb_recovery.Schedule.event list;
+                  log : Mmdb_recovery.Log_record.t list }
+      (** A recorded transaction schedule (see
+          {!Mmdb_recovery.Schedule} and {!Txn_check}); [log] is the full
+          WAL submission stream cross-checked by the dependency auditor
+          ([[]] skips those checks). *)
 
 val run : component -> Mmdb_util.Diag.t list
 (** Audit one component. *)

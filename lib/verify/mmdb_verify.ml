@@ -10,9 +10,13 @@ module Diag = Mmdb_util.Diag
 module Plan_check = Mmdb_planner.Plan_check
 module Log_check = Log_check
 module Pool_check = Pool_check
+module Schedule = Mmdb_recovery.Schedule
+module Txn_check = Txn_check
+module Txn_fuzz = Txn_fuzz
 module Audit = Audit
 
 (** Every stable diagnostic code with a one-line description. *)
 let code_catalogue =
   Plan_check.code_catalogue @ Log_check.code_catalogue
-  @ Pool_check.code_catalogue @ Audit.code_catalogue
+  @ Pool_check.code_catalogue @ Txn_check.code_catalogue
+  @ Audit.code_catalogue

@@ -1,0 +1,503 @@
+module D = Mmdb_util.Diag
+module Sch = Mmdb_recovery.Schedule
+module L = Mmdb_recovery.Log_record
+module IntSet = Set.Make (Int)
+
+let path_txn txn = Printf.sprintf "txn=%d" txn
+let path_key txn key = Printf.sprintf "txn=%d key=%d" txn key
+let path_dep txn dep = Printf.sprintf "txn=%d dep=%d" txn dep
+
+(* ------------------------------------------------------------------ *)
+(* TXN001-TXN005: 2PL / pre-commit protocol conformance                *)
+(* ------------------------------------------------------------------ *)
+
+type phase = Active | Precommitted | Aborted | Finished
+
+type txn_2pl = {
+  mutable held : IntSet.t;
+  mutable released_any : bool;
+  mutable phase : phase;
+}
+
+let check_2pl events =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let txns : (int, txn_2pl) Hashtbl.t = Hashtbl.create 64 in
+  let reported : (string * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let once ~code ~txn ~key f =
+    if not (Hashtbl.mem reported (code, txn, key)) then begin
+      Hashtbl.replace reported (code, txn, key) ();
+      f ()
+    end
+  in
+  let state txn =
+    match Hashtbl.find_opt txns txn with
+    | Some s -> s
+    | None ->
+      let s = { held = IntSet.empty; released_any = false; phase = Active } in
+      Hashtbl.replace txns txn s;
+      s
+  in
+  let granted txn key =
+    let st = state txn in
+    if st.phase = Precommitted || st.phase = Finished then
+      (* Don't track the illegal key in [held]: one protocol bug should
+         not cascade into a follow-on TXN003. *)
+      once ~code:"TXN004" ~txn ~key (fun () ->
+          add
+            (D.error ~code:"TXN004" ~path:(path_key txn key)
+               (Printf.sprintf
+                  "pre-committed transaction %d acquired the lock on key %d"
+                  txn key)))
+    else begin
+      if st.released_any && not (IntSet.mem key st.held) then
+        add
+          (D.error ~code:"TXN001" ~path:(path_key txn key)
+             (Printf.sprintf
+                "transaction %d acquired key %d after its first release \
+                 (two-phase locking growing phase is over)"
+                txn key));
+      st.held <- IntSet.add key st.held
+    end
+  in
+  List.iter
+    (fun (e : Sch.event) ->
+      let txn = e.Sch.txn in
+      match (e.Sch.kind, e.Sch.key) with
+      | Sch.Acquire, Some key ->
+        let st = state txn in
+        if st.phase = Precommitted || st.phase = Finished then
+          once ~code:"TXN004" ~txn ~key (fun () ->
+              add
+                (D.error ~code:"TXN004" ~path:(path_key txn key)
+                   (Printf.sprintf
+                      "pre-committed transaction %d requested the lock on \
+                       key %d"
+                      txn key)))
+      | (Sch.Grant _ | Sch.Wake _), Some key -> granted txn key
+      | (Sch.Read | Sch.Write), Some key ->
+        let st = state txn in
+        if not (IntSet.mem key st.held) then
+          once ~code:"TXN002" ~txn ~key (fun () ->
+              add
+                (D.error ~code:"TXN002" ~path:(path_key txn key)
+                   (Printf.sprintf
+                      "transaction %d %s key %d without holding its lock" txn
+                      (match e.Sch.kind with
+                      | Sch.Read -> "read"
+                      | _ -> "wrote")
+                      key)))
+      | Sch.Release, Some key ->
+        let st = state txn in
+        st.held <- IntSet.remove key st.held;
+        st.released_any <- true
+      | Sch.Precommit, _ -> (state txn).phase <- Precommitted
+      | Sch.Abort, _ ->
+        let st = state txn in
+        if st.phase = Precommitted then
+          add
+            (D.error ~code:"TXN005" ~path:(path_txn txn)
+               (Printf.sprintf
+                  "pre-committed transaction %d aborted (pre-committed \
+                   transactions never abort)"
+                  txn));
+        st.phase <- Aborted
+      | Sch.Commit_durable, _ ->
+        let st = state txn in
+        if st.phase = Precommitted && not (IntSet.is_empty st.held) then
+          add
+            (D.error ~code:"TXN003" ~path:(path_txn txn)
+               (Printf.sprintf
+                  "transaction %d still holds key%s %s at commit durability \
+                   (pre-commit must release every lock)"
+                  txn
+                  (if IntSet.cardinal st.held = 1 then "" else "s")
+                  (String.concat ","
+                     (List.map string_of_int (IntSet.elements st.held)))));
+        st.phase <- Finished
+      | Sch.Wait _, _ ->
+        (* Queueing neither grants nor accesses anything. *)
+        ()
+      | (Sch.Grant _ | Sch.Wake _ | Sch.Acquire | Sch.Read | Sch.Write
+        | Sch.Release), None ->
+        (* A lock/access event without a key is a malformed trace entry;
+           nothing protocol-level to check. *)
+        ())
+    events;
+  Hashtbl.iter
+    (fun txn st ->
+      if st.phase = Precommitted && not (IntSet.is_empty st.held) then
+        add
+          (D.error ~code:"TXN003" ~path:(path_txn txn)
+             (Printf.sprintf
+                "transaction %d pre-committed but never released key%s %s"
+                txn
+                (if IntSet.cardinal st.held = 1 then "" else "s")
+                (String.concat ","
+                   (List.map string_of_int (IntSet.elements st.held))))))
+    txns;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* TXN006 / TXN101: waits-for deadlock detection and lock-order lint   *)
+(* ------------------------------------------------------------------ *)
+
+let check_deadlock events =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let key_holder : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let waiting : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* acquisition order per txn, newest first, for the lock-order lint *)
+  let acq_order : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let cycles_seen : (int list, unit) Hashtbl.t = Hashtbl.create 4 in
+  let report_cycle cycle =
+    (* [cycle] is [t1; t2; ...; tn] where each waits for the next and tn
+       waits for t1. *)
+    let canon = List.sort compare cycle in
+    if not (Hashtbl.mem cycles_seen canon) then begin
+      Hashtbl.replace cycles_seen canon ();
+      let hops =
+        List.mapi
+          (fun i t ->
+            let next = List.nth cycle ((i + 1) mod List.length cycle) in
+            let key =
+              match Hashtbl.find_opt waiting t with Some k -> k | None -> -1
+            in
+            Printf.sprintf "txn %d waits for key %d held by txn %d" t key
+              next)
+          cycle
+      in
+      add
+        (D.error ~code:"TXN006"
+           ~path:
+             (Printf.sprintf "cycle=%s"
+                (String.concat "->" (List.map string_of_int cycle)))
+           ("deadlock: " ^ String.concat ", " hops))
+    end
+  in
+  (* Follow the (single-valued) waits-for chain from [start]; each txn
+     waits for at most one key and each key has at most one holder, so a
+     cycle is a lasso reachable by plain chain-walking. *)
+  let detect_from start =
+    let rec walk seen t =
+      match Hashtbl.find_opt waiting t with
+      | None -> ()
+      | Some k -> (
+        match Hashtbl.find_opt key_holder k with
+        | None -> ()
+        | Some h ->
+          if List.mem h seen then begin
+            (* Cycle = the suffix of [seen] (oldest first) from [h]. *)
+            let rec suffix = function
+              | [] -> []
+              | x :: rest -> if x = h then x :: rest else suffix rest
+            in
+            report_cycle (suffix (List.rev seen))
+          end
+          else walk (h :: seen) h)
+    in
+    walk [ start ] start
+  in
+  List.iter
+    (fun (e : Sch.event) ->
+      let txn = e.Sch.txn in
+      match (e.Sch.kind, e.Sch.key) with
+      | (Sch.Grant _ | Sch.Wake _), Some key ->
+        Hashtbl.replace key_holder key txn;
+        Hashtbl.remove waiting txn;
+        let sofar =
+          match Hashtbl.find_opt acq_order txn with Some l -> l | None -> []
+        in
+        if not (List.mem key sofar) then
+          Hashtbl.replace acq_order txn (key :: sofar);
+        (* The lock changed hands: any waiter on [key] now waits for the
+           new holder, which can close a cycle. *)
+        Hashtbl.iter
+          (fun w k -> if k = key && w <> txn then detect_from w)
+          waiting
+      | Sch.Wait _, Some key ->
+        Hashtbl.replace waiting txn key;
+        detect_from txn
+      | Sch.Release, Some key -> (
+        match Hashtbl.find_opt key_holder key with
+        | Some h when h = txn -> Hashtbl.remove key_holder key
+        | Some _ | None -> ())
+      | Sch.Abort, _ -> Hashtbl.remove waiting txn
+      | _ -> ())
+    events;
+  (* Lock-order lint: the same key pair taken in both orders by
+     different transactions is a latent deadlock even if this trace got
+     lucky. *)
+  let pair_dir : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let pairs_reported : (int * int, unit) Hashtbl.t = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun txn rev_order ->
+      let order = List.rev rev_order in
+      let rec walk = function
+        | [] -> ()
+        | first :: rest ->
+          List.iter
+            (fun second ->
+              let pair = (min first second, max first second) in
+              match Hashtbl.find_opt pair_dir pair with
+              | None -> Hashtbl.replace pair_dir pair (first, txn)
+              | Some (dir_first, other_txn) ->
+                if
+                  dir_first <> first
+                  && other_txn <> txn
+                  && not (Hashtbl.mem pairs_reported pair)
+                then begin
+                  Hashtbl.replace pairs_reported pair ();
+                  add
+                    (D.warning ~code:"TXN101"
+                       ~path:(Printf.sprintf "keys=%d,%d" (fst pair) (snd pair))
+                       (Printf.sprintf
+                          "inconsistent lock order: txn %d acquires key %d \
+                           before key %d but txn %d acquires them in the \
+                           opposite order (latent deadlock)"
+                          other_txn dir_first
+                          (if dir_first = fst pair then snd pair else fst pair)
+                          txn))
+                end)
+            rest;
+          walk rest
+      in
+      walk order)
+    acq_order;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* TXN007: conflict-serializability over committed transactions        *)
+(* ------------------------------------------------------------------ *)
+
+let check_serializability events =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* Fate of each transaction: committed = reached Precommit and never
+     aborted (pre-committed transactions cannot abort; if a malformed
+     trace shows both, TXN005 catches it and we treat it as aborted
+     here). *)
+  let precommitted : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let aborted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Sch.event) ->
+      match e.Sch.kind with
+      | Sch.Precommit -> Hashtbl.replace precommitted e.Sch.txn ()
+      | Sch.Abort -> Hashtbl.replace aborted e.Sch.txn ()
+      | _ -> ())
+    events;
+  let committed txn =
+    Hashtbl.mem precommitted txn && not (Hashtbl.mem aborted txn)
+  in
+  (* Conflict edges: a -> b when a accessed a key before b and at least
+     one access was a write.  First witness per edge is kept. *)
+  let accesses : (int, (int * [ `R | `W ]) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (e : Sch.event) ->
+      match (e.Sch.kind, e.Sch.key) with
+      | (Sch.Read | Sch.Write), Some key when committed e.Sch.txn ->
+        let op = match e.Sch.kind with Sch.Read -> `R | _ -> `W in
+        let prev =
+          match Hashtbl.find_opt accesses key with Some l -> l | None -> []
+        in
+        Hashtbl.replace accesses key ((e.Sch.txn, op) :: prev)
+      | _ -> ())
+    events;
+  let edges : (int * int, int * [ `R | `W ] * [ `R | `W ]) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let succs : (int, IntSet.t) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key rev_accs ->
+      let accs = Array.of_list (List.rev rev_accs) in
+      Array.iteri
+        (fun i (ti, oi) ->
+          for j = i + 1 to Array.length accs - 1 do
+            let tj, oj = accs.(j) in
+            if ti <> tj && (oi = `W || oj = `W) then begin
+              if not (Hashtbl.mem edges (ti, tj)) then
+                Hashtbl.replace edges (ti, tj) (key, oi, oj);
+              let s =
+                match Hashtbl.find_opt succs ti with
+                | Some s -> s
+                | None -> IntSet.empty
+              in
+              Hashtbl.replace succs ti (IntSet.add tj s)
+            end
+          done)
+        accs)
+    accesses;
+  (* DFS with colors; every back edge closes a cycle, reported once per
+     canonical transaction set. *)
+  let color : (int, [ `Grey | `Black ]) Hashtbl.t = Hashtbl.create 64 in
+  let cycles_seen : (int list, unit) Hashtbl.t = Hashtbl.create 4 in
+  let op_name = function `R -> "R" | `W -> "W" in
+  let report_cycle cycle =
+    let canon = List.sort compare cycle in
+    if not (Hashtbl.mem cycles_seen canon) then begin
+      Hashtbl.replace cycles_seen canon ();
+      let hops =
+        List.mapi
+          (fun i t ->
+            let next = List.nth cycle ((i + 1) mod List.length cycle) in
+            match Hashtbl.find_opt edges (t, next) with
+            | Some (key, o1, o2) ->
+              Printf.sprintf "txn %d -[%s-%s key %d]-> txn %d" t (op_name o1)
+                (op_name o2) key next
+            | None -> Printf.sprintf "txn %d -> txn %d" t next)
+          cycle
+      in
+      add
+        (D.error ~code:"TXN007"
+           ~path:
+             (Printf.sprintf "cycle=%s"
+                (String.concat "->" (List.map string_of_int cycle)))
+           ("schedule not conflict-serializable: " ^ String.concat ", " hops))
+    end
+  in
+  let rec dfs stack t =
+    Hashtbl.replace color t `Grey;
+    let ss =
+      match Hashtbl.find_opt succs t with Some s -> s | None -> IntSet.empty
+    in
+    IntSet.iter
+      (fun n ->
+        match Hashtbl.find_opt color n with
+        | Some `Grey ->
+          (* Back edge: the cycle is the stack suffix from [n]. *)
+          let rec suffix = function
+            | [] -> []
+            | x :: rest -> if x = n then x :: rest else suffix rest
+          in
+          report_cycle (suffix (List.rev (t :: stack)))
+        | Some `Black -> ()
+        | None -> dfs (t :: stack) n)
+      ss;
+    Hashtbl.replace color t `Black
+  in
+  Hashtbl.iter (fun t _ -> if not (Hashtbl.mem color t) then dfs [] t) succs;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* TXN008: pre-commit dependency audit                                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_dependencies ?(log = []) events =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* Recorded dependencies: txn -> pre-committed txns it picked up via
+     lock grants. *)
+  let deps : (int, IntSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let durable : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Sch.event) ->
+      match e.Sch.kind with
+      | Sch.Grant { deps = ds } | Sch.Wake { deps = ds } ->
+        if ds <> [] then begin
+          let s =
+            match Hashtbl.find_opt deps e.Sch.txn with
+            | Some s -> s
+            | None -> IntSet.empty
+          in
+          Hashtbl.replace deps e.Sch.txn
+            (List.fold_left (fun s d -> IntSet.add d s) s ds)
+        end
+      | Sch.Commit_durable ->
+        if not (Hashtbl.mem durable e.Sch.txn) then
+          Hashtbl.replace durable e.Sch.txn e.Sch.time
+      | _ -> ())
+    events;
+  (* Log cross-reference: submission position of each commit record, and
+     which transactions aborted. *)
+  let commit_pos : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let abort_rec : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun i r ->
+      match r with
+      | L.Commit { txn; _ } ->
+        if not (Hashtbl.mem commit_pos txn) then
+          Hashtbl.replace commit_pos txn i
+      | L.Abort { txn; _ } -> Hashtbl.replace abort_rec txn ()
+      | L.Begin _ | L.Update _ | L.Ckpt_begin _ | L.Ckpt_end _ -> ())
+    log;
+  let dep_list =
+    Hashtbl.fold (fun txn ds acc -> (txn, IntSet.elements ds) :: acc) deps []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (txn, ds) ->
+      List.iter
+        (fun dep ->
+          (match (Hashtbl.find_opt durable txn, Hashtbl.find_opt durable dep)
+           with
+          | Some t_txn, Some t_dep ->
+            if t_dep > t_txn then
+              add
+                (D.error ~code:"TXN008" ~path:(path_dep txn dep)
+                   (Printf.sprintf
+                      "commit of txn %d durable at %.6f before its \
+                       dependency %d (durable %.6f): the group-commit \
+                       ordering invariant is broken"
+                      txn t_txn dep t_dep))
+          | Some _, None ->
+            (* The dependant is durable but the dependency never became
+               so — only checkable against the log below (a truncated
+               trace may simply not have recorded it). *)
+            ()
+          | None, _ -> ());
+          if log <> [] then begin
+            if Hashtbl.mem abort_rec dep then
+              add
+                (D.error ~code:"TXN008" ~path:(path_dep txn dep)
+                   (Printf.sprintf
+                      "txn %d depends on pre-committed txn %d, but the log \
+                       records txn %d aborting"
+                      txn dep dep))
+            else
+              match
+                (Hashtbl.find_opt commit_pos txn, Hashtbl.find_opt commit_pos dep)
+              with
+              | Some _, None ->
+                add
+                  (D.error ~code:"TXN008" ~path:(path_dep txn dep)
+                     (Printf.sprintf
+                        "txn %d committed but its dependency %d has no \
+                         commit record in the log"
+                        txn dep))
+              | Some p_txn, Some p_dep ->
+                if p_dep > p_txn then
+                  add
+                    (D.error ~code:"TXN008" ~path:(path_dep txn dep)
+                       (Printf.sprintf
+                          "commit record of dependency %d submitted after \
+                           dependant %d's (log positions %d > %d)"
+                          dep txn p_dep p_txn))
+              | None, _ -> ()
+          end)
+        ds)
+    dep_list;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+
+let audit ?log events =
+  check_2pl events @ check_deadlock events @ check_serializability events
+  @ check_dependencies ?log events
+
+let ok ?log events = not (D.has_errors (audit ?log events))
+
+let code_catalogue =
+  [
+    ("TXN001", "lock acquired after the transaction's first release (2PL)");
+    ("TXN002", "read/write of a key without holding its lock");
+    ("TXN003", "lock still held after pre-commit");
+    ("TXN004", "pre-committed transaction acquired a lock");
+    ("TXN005", "pre-committed transaction aborted");
+    ("TXN006", "deadlock: cycle in the waits-for graph");
+    ("TXN007", "schedule not conflict-serializable (precedence cycle)");
+    ("TXN008", "commit durable/logged before a recorded dependency's");
+    ("TXN101", "inconsistent lock-acquisition order across transactions \
+                (warning)");
+  ]

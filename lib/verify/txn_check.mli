@@ -1,0 +1,77 @@
+(** Transaction-schedule sanitizer: offline analyzers over a recorded
+    {!Mmdb_recovery.Schedule} trace.
+
+    Section 5.2 of the paper rests its whole recovery argument on a
+    locking protocol with pre-committed transactions: strict two-phase
+    locking until pre-commit, pre-committed transactions never abort or
+    re-acquire, and a transaction's commit record must not become durable
+    before the commit records of the pre-committed transactions it
+    depends on.  These analyzers check that the executable system's
+    actual schedules obey all of it, in the spirit of classic
+    serializability theory (Eswaran et al.) and ARIES-style protocol
+    validation.  Stable error codes:
+
+    - [TXN001] — lock granted after the transaction's first release
+      (two-phase-locking growing-phase violation)
+    - [TXN002] — read or write of a key without holding its lock
+    - [TXN003] — lock still held after pre-commit (pre-commit must
+      release every lock)
+    - [TXN004] — pre-committed transaction acquired a lock
+    - [TXN005] — pre-committed transaction aborted
+    - [TXN006] — deadlock: cycle in the waits-for graph (reported with
+      the cycle as witness)
+    - [TXN007] — conflict-serializability violation: cycle in the
+      precedence graph over committed transactions (reported with a
+      witness edge list)
+    - [TXN008] — pre-commit dependency violation: a commit became
+      durable before a recorded dependency's commit, the dependency's
+      commit record is missing from / out of order in the log, or the
+      dependency aborted
+    - [TXN101] (warning) — transactions acquire the same pair of keys in
+      opposite orders (lock-order lint: a latent deadlock)
+
+    Diagnostic paths locate the offence as ["txn=7 key=3"],
+    ["txn=7 dep=4"] or ["txn=7"]. *)
+
+val check_2pl : Mmdb_recovery.Schedule.event list -> Mmdb_util.Diag.t list
+(** 2PL / pre-commit protocol conformance: TXN001–TXN005.  Transactions
+    still active (not yet pre-committed) at the end of a trace are
+    tolerated — traces may be truncated by a crash. *)
+
+val check_deadlock :
+  Mmdb_recovery.Schedule.event list -> Mmdb_util.Diag.t list
+(** Waits-for-graph deadlock detection (TXN006, each distinct cycle
+    reported once, with the cycle's transactions and keys) plus the
+    lock-order lint (TXN101, once per conflicting key pair). *)
+
+val check_serializability :
+  Mmdb_recovery.Schedule.event list -> Mmdb_util.Diag.t list
+(** Builds the precedence (conflict) graph over committed transactions —
+    an edge [a -> b] when [a] accessed a key before [b] did and at least
+    one access was a write — and reports each cycle as TXN007 with a
+    witness.  Aborted transactions' accesses are excluded (their effects
+    are rolled back). *)
+
+val check_dependencies :
+  ?log:Mmdb_recovery.Log_record.t list ->
+  Mmdb_recovery.Schedule.event list -> Mmdb_util.Diag.t list
+(** The paper's group-commit invariant (TXN008): for every dependency
+    [d] recorded in a grant to transaction [t] — [d] was pre-committed
+    when [t] took the lock — checks that (a) when both durability times
+    are recorded, [d]'s commit became durable no later than [t]'s, and
+    (b) against [log] (submission order): [d] neither aborted nor had its
+    commit record submitted after [t]'s.  Omitting [log] (or passing
+    [[]]) skips the log cross-checks. *)
+
+val audit :
+  ?log:Mmdb_recovery.Log_record.t list ->
+  Mmdb_recovery.Schedule.event list -> Mmdb_util.Diag.t list
+(** All four analyzers, concatenated. *)
+
+val ok :
+  ?log:Mmdb_recovery.Log_record.t list ->
+  Mmdb_recovery.Schedule.event list -> bool
+(** No error-severity findings (TXN101 warnings allowed). *)
+
+val code_catalogue : (string * string) list
+(** [(code, one-line description)] for every code above. *)

@@ -1,0 +1,254 @@
+module R = Mmdb_recovery
+module S = Mmdb_storage
+module X = Mmdb_util.Xorshift
+
+type outcome = {
+  events : R.Schedule.event list;
+  log : R.Log_record.t list;
+  diags : Mmdb_util.Diag.t list;
+  committed : int;
+  aborted : int;
+  waits : int;
+  deadlocks : int;
+  crashed : bool;
+}
+
+type txn_state = Running | Waiting of int  (** the key it queued on *)
+
+type txn = {
+  id : int;
+  mutable to_acquire : (int * int) list;  (** (slot, delta) not yet locked *)
+  mutable acquired : (int * int) list;  (** newest first *)
+  mutable deps : int list;  (** pre-committed txns from grants *)
+  mutable state : txn_state;
+  will_abort : bool;
+}
+
+let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
+    ?(scramble = false) ?(crash = false) ~seed () =
+  if txns < 1 then invalid_arg "Txn_fuzz.run: txns < 1";
+  if accounts < 4 then invalid_arg "Txn_fuzz.run: accounts < 4";
+  let rng = X.create seed in
+  let clock = S.Sim_clock.create () in
+  let recorder = R.Schedule.recorder ~now:(fun () -> S.Sim_clock.now clock) in
+  let rec_opt = Some recorder in
+  let lm = R.Lock_manager.create ~recorder () in
+  let wal = R.Wal.create ~clock R.Wal.Group_commit in
+  let balances = Array.make accounts 1000 in
+  let next_lsn = ref 0 in
+  let fresh_lsn () =
+    incr next_lsn;
+    !next_lsn
+  in
+  let now () = S.Sim_clock.now clock in
+  let tick () = S.Sim_clock.advance clock (1e-5 +. X.float rng 2e-4) in
+  (* Pre-draw every transaction's plan so the workload is a pure function
+     of the seed, independent of interleaving decisions. *)
+  let plans =
+    Array.init txns (fun _ ->
+        let k = X.int_in_range rng ~lo:2 ~hi:4 in
+        let slots = X.sample_without_replacement rng ~n:accounts ~k in
+        if scramble then X.shuffle rng slots else Array.sort compare slots;
+        ( Array.to_list
+            (Array.map (fun s -> (s, X.int_in_range rng ~lo:(-50) ~hi:50)) slots),
+          X.int rng 100 < abort_pct ))
+  in
+  let next_plan = ref 0 in
+  let next_id = ref 0 in
+  let live : txn list ref = ref [] in
+  let committed = ref 0 in
+  let aborted = ref 0 in
+  let waits = ref 0 in
+  let deadlocks = ref 0 in
+  let tickets = ref [] in
+  let remove t = live := List.filter (fun u -> u.id <> t.id) !live in
+  (* Grants returned by precommit / release_abort move their waiters back
+     to Running; the key a woken transaction was queued on becomes
+     acquired, and the grant's dependency list accumulates. *)
+  let absorb_grants grants =
+    List.iter
+      (fun (g : R.Lock_manager.grant) ->
+        match List.find_opt (fun u -> u.id = g.R.Lock_manager.granted_txn) !live
+        with
+        | None -> ()
+        | Some w -> (
+          match w.state with
+          | Waiting key ->
+            let delta =
+              match List.assoc_opt key w.to_acquire with
+              | Some d -> d
+              | None -> 0
+            in
+            w.to_acquire <- List.remove_assoc key w.to_acquire;
+            w.acquired <- (key, delta) :: w.acquired;
+            w.deps <- g.R.Lock_manager.dependencies @ w.deps;
+            w.state <- Running
+          | Running -> ()))
+      grants
+  in
+  (* Perform the banking work under locks: read, update, emit Read/Write
+     schedule events, build the Update log records (oldest lock first so
+     the log reads naturally). *)
+  let do_updates t =
+    List.rev_map
+      (fun (slot, delta) ->
+        let old_value = balances.(slot) in
+        let new_value = old_value + delta in
+        let lsn = fresh_lsn () in
+        R.Schedule.emit rec_opt ~key:slot ~txn:t.id R.Schedule.Read;
+        balances.(slot) <- new_value;
+        R.Schedule.emit rec_opt ~key:slot ~lsn ~txn:t.id R.Schedule.Write;
+        R.Log_record.Update { txn = t.id; lsn; slot; old_value; new_value })
+      t.acquired
+  in
+  let finish_commit t =
+    let begin_lsn = fresh_lsn () in
+    let body = do_updates t in
+    let records =
+      (R.Log_record.Begin { txn = t.id; lsn = begin_lsn } :: body)
+      @ [ R.Log_record.Commit { txn = t.id; lsn = fresh_lsn () } ]
+    in
+    absorb_grants (R.Lock_manager.precommit lm ~txn:t.id);
+    let tkt = R.Wal.commit_txn wal ~at:(now ()) ~txn:t.id ~deps:t.deps records in
+    tickets := tkt :: !tickets;
+    incr committed;
+    remove t
+  in
+  let finish_abort t =
+    let begin_lsn = fresh_lsn () in
+    let body = do_updates t in
+    (* Roll back in memory, newest update first, with compensating log
+       records (mirrors Txn_db.transact_abort). *)
+    let compensation =
+      List.map
+        (fun r ->
+          match r with
+          | R.Log_record.Update { slot; old_value; new_value; _ } ->
+            let lsn = fresh_lsn () in
+            balances.(slot) <- old_value;
+            R.Schedule.emit rec_opt ~key:slot ~lsn ~txn:t.id R.Schedule.Write;
+            R.Log_record.Update
+              {
+                txn = t.id;
+                lsn;
+                slot;
+                old_value = new_value;
+                new_value = old_value;
+              }
+          | _ -> assert false)
+        (List.rev body)
+    in
+    absorb_grants (R.Lock_manager.release_abort lm ~txn:t.id);
+    let records =
+      (R.Log_record.Begin { txn = t.id; lsn = begin_lsn } :: body)
+      @ compensation
+      @ [ R.Log_record.Abort { txn = t.id; lsn = fresh_lsn () } ]
+    in
+    ignore (R.Wal.commit_txn wal ~at:(now ()) ~txn:t.id ~deps:[] records);
+    incr aborted;
+    remove t
+  in
+  (* A deadlock victim dies while still queued: it logs only Begin/Abort
+     (no updates happened yet — writes occur after full acquisition). *)
+  let kill_victim t =
+    absorb_grants (R.Lock_manager.release_abort lm ~txn:t.id);
+    let records =
+      [
+        R.Log_record.Begin { txn = t.id; lsn = fresh_lsn () };
+        R.Log_record.Abort { txn = t.id; lsn = fresh_lsn () };
+      ]
+    in
+    ignore (R.Wal.commit_txn wal ~at:(now ()) ~txn:t.id ~deps:[] records);
+    incr aborted;
+    remove t
+  in
+  let step_txn t =
+    match t.to_acquire with
+    | (key, delta) :: rest -> (
+      match R.Lock_manager.acquire lm ~txn:t.id ~key with
+      | Some g ->
+        t.to_acquire <- rest;
+        t.acquired <- (key, delta) :: t.acquired;
+        t.deps <- g.R.Lock_manager.dependencies @ t.deps
+      | None ->
+        (* Keep the entry in [to_acquire]: the wake-up path pops it (and
+           its delta) when the grant arrives. *)
+        ignore rest;
+        t.state <- Waiting key;
+        incr waits)
+    | [] -> if t.will_abort then finish_abort t else finish_commit t
+  in
+  let crash_after =
+    if crash then max 1 (txns * 2 / 3) else max_int (* committed+aborted *)
+  in
+  let crashed = ref false in
+  let running () = List.filter (fun t -> t.state = Running) !live in
+  (try
+     while !live <> [] || !next_plan < txns do
+       if !committed + !aborted >= crash_after then begin
+         crashed := true;
+         raise Exit
+       end;
+       tick ();
+       (* Admit new work. *)
+       if List.length !live < inflight && !next_plan < txns then begin
+         let plan, will_abort = plans.(!next_plan) in
+         incr next_plan;
+         let id = !next_id in
+         incr next_id;
+         live :=
+           {
+             id;
+             to_acquire = plan;
+             acquired = [];
+             deps = [];
+             state = Running;
+             will_abort;
+           }
+           :: !live
+       end;
+       match running () with
+       | [] ->
+         (* Everyone in flight is queued on someone else: with a finite
+            set of transactions each waiting for exactly one held key,
+            that is a waits-for cycle.  Break it by aborting a victim. *)
+         (match !live with
+         | [] -> ()
+         | l ->
+           incr deadlocks;
+           kill_victim (List.nth l (X.int rng (List.length l))))
+       | rs -> step_txn (List.nth rs (X.int rng (List.length rs)))
+     done
+   with Exit -> ());
+  if not !crashed then begin
+    tick ();
+    ignore (R.Wal.flush wal ~at:(now ()))
+  end;
+  (* Emit Commit_durable (exact completion stamps) and finalize, in
+     durability order. *)
+  let resolved =
+    List.filter_map
+      (fun tkt ->
+        match R.Wal.ticket_completion tkt with
+        | Some c when c <= now () -> Some (c, R.Wal.ticket_txn tkt)
+        | Some _ | None -> None)
+      !tickets
+    |> List.sort compare
+  in
+  List.iter
+    (fun (c, txn) ->
+      R.Schedule.emit rec_opt ~at:c ~txn R.Schedule.Commit_durable;
+      R.Lock_manager.finalize lm ~txn)
+    resolved;
+  let events = R.Schedule.events recorder in
+  let log = R.Wal.all_records wal in
+  {
+    events;
+    log;
+    diags = Txn_check.audit ~log events;
+    committed = !committed;
+    aborted = !aborted;
+    waits = !waits;
+    deadlocks = !deadlocks;
+    crashed = !crashed;
+  }

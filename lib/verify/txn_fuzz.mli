@@ -1,0 +1,56 @@
+(** Seeded interleaved-workload fuzzer for the transaction sanitizer.
+
+    Drives {!Mmdb_recovery.Lock_manager} and {!Mmdb_recovery.Wal}
+    directly with concurrent banking transactions — staged lock
+    acquisition (so transactions genuinely wait on each other), random
+    aborts with in-memory rollback, deadlock victims, optional crashes
+    mid-schedule — records everything through a
+    {!Mmdb_recovery.Schedule} recorder, and runs {!Txn_check.audit} over
+    the result.
+
+    Determinism: all randomness comes from {!Mmdb_util.Xorshift} seeded
+    with [seed]; the same parameters always produce the same schedule,
+    log, and diagnostics.
+
+    By default each transaction acquires its keys in sorted order, so the
+    run is deadlock-free and a clean build must produce {e zero}
+    error-severity diagnostics (CI gates on this).  With
+    [~scramble:true] acquisition order is shuffled per transaction:
+    deadlocks become possible, are resolved by aborting a victim, and the
+    waits-for analyzer must report each one as TXN006 (plus TXN101
+    lock-order warnings). *)
+
+type outcome = {
+  events : Mmdb_recovery.Schedule.event list;  (** the recorded trace *)
+  log : Mmdb_recovery.Log_record.t list;
+      (** every record submitted to the WAL, in order *)
+  diags : Mmdb_util.Diag.t list;  (** [Txn_check.audit ~log events] *)
+  committed : int;  (** transactions that pre-committed *)
+  aborted : int;  (** voluntary aborts plus deadlock victims *)
+  waits : int;  (** lock requests that had to queue *)
+  deadlocks : int;
+      (** victims killed because every in-flight transaction was queued
+          (may exceed distinct TXN006 cycles: a kill outside the cycle
+          forces another round) *)
+  crashed : bool;  (** the run stopped mid-schedule without a flush *)
+}
+
+val run :
+  ?txns:int ->
+  ?accounts:int ->
+  ?inflight:int ->
+  ?abort_pct:int ->
+  ?scramble:bool ->
+  ?crash:bool ->
+  seed:int ->
+  unit ->
+  outcome
+(** [run ~seed ()] executes one fuzzed workload.  Defaults: [txns] = 40
+    transfer transactions of 2–4 accounts each over [accounts] = 16
+    accounts (small on purpose — contention is the point), up to
+    [inflight] = 4 transactions interleaved, [abort_pct] = 15 percent
+    voluntary aborts, [scramble] = false (sorted, deadlock-free
+    acquisition), [crash] = false.  With [crash:true] the driver stops
+    roughly two-thirds through without flushing the log: the trace is
+    truncated (in-flight transactions never finish) and the analyzers
+    must still accept it. *)

@@ -75,9 +75,38 @@ let () =
     Mmdb.Db.create_index db ~table:"t" Mmdb.Db.Btree_index;
     db
   in
+  (* Seeded transaction-schedule fuzz runs: sorted acquisition order, so
+     every one must audit clean (the TXN analyzers gate the build). *)
+  let fuzz_components =
+    List.map
+      (fun seed ->
+        let o = V.Txn_fuzz.run ~seed () in
+        V.Audit.Schedule
+          {
+            name = Printf.sprintf "txn fuzz (seed %d)" seed;
+            events = o.V.Txn_fuzz.events;
+            log = o.V.Txn_fuzz.log;
+          })
+      [ 11; 22; 33 ]
+  in
+  let txn_db_schedule =
+    let db = Mmdb.Txn_db.create ~record_schedule:true ~nrecords:32 () in
+    for i = 0 to 9 do
+      ignore (Mmdb.Txn_db.transact db [ (i mod 8, 10); ((i + 3) mod 8, -10) ]);
+      Mmdb.Txn_db.advance db 0.0002
+    done;
+    ignore (Mmdb.Txn_db.transact_abort db [ (1, 500) ]);
+    Mmdb.Txn_db.flush db;
+    V.Audit.Schedule
+      {
+        name = "txn-db schedule";
+        events = Mmdb.Txn_db.schedule db;
+        log = Mmdb.Txn_db.log_records db;
+      }
+  in
   let results =
     V.Audit.run_all
-      [
+      ([
         V.Audit.Avl ("avl (workload)", avl);
         V.Audit.Btree ("btree (workload)", btree);
         V.Audit.Paged_bst ("paged-bst (workload)", bst);
@@ -89,7 +118,9 @@ let () =
             complete = true;
             records = recovery_log;
           };
+        txn_db_schedule;
       ]
+      @ fuzz_components)
     @ Mmdb.Db.audit db
   in
   let clean = V.Audit.report Format.std_formatter results in

@@ -6,6 +6,7 @@ module S = Mmdb_storage
 module E = Mmdb_exec
 module A = Mmdb_planner.Algebra
 module R = Mmdb_recovery
+module V = Mmdb_verify
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -326,6 +327,59 @@ let test_txn_validation () =
        false
      with Invalid_argument _ -> true)
 
+(* A slot appearing twice in one update list would hit the lock
+   manager's re-acquire path and muddy dependency accounting. *)
+let test_txn_duplicate_slot_rejected () =
+  let db = M.Txn_db.create () in
+  let dup_rejected f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument m ->
+      Alcotest.(check bool) "message names the slot" true
+        (let sub = "duplicate slot 3" in
+         let n = String.length m and k = String.length sub in
+         let rec go i = i + k <= n && (String.sub m i k = sub || go (i + 1)) in
+         go 0);
+      true
+  in
+  checkb "transact rejects duplicate slot" true
+    (dup_rejected (fun () -> M.Txn_db.transact db [ (3, 10); (4, -5); (3, -5) ]));
+  checkb "transact_abort rejects duplicate slot" true
+    (dup_rejected (fun () -> M.Txn_db.transact_abort db [ (3, 1); (3, -1) ]));
+  (* The failed calls left no residue: a normal transaction still runs. *)
+  ignore (M.Txn_db.transact db [ (3, 10); (4, -10) ]);
+  checki "balance applied" 10 (M.Txn_db.balance db 3)
+
+let test_txn_schedule_recording () =
+  let db = M.Txn_db.create () in
+  ignore (M.Txn_db.transact db [ (0, 1); (1, -1) ]);
+  Alcotest.(check (list Alcotest.reject)) "recording off by default" []
+    (M.Txn_db.schedule db);
+  let db = M.Txn_db.create ~record_schedule:true ~nrecords:16 () in
+  for i = 0 to 4 do
+    ignore (M.Txn_db.transact db [ (i, 10); (i + 5, -10) ]);
+    M.Txn_db.advance db 1e-3
+  done;
+  ignore (M.Txn_db.transact_abort db [ (2, 99) ]);
+  M.Txn_db.flush db;
+  let events = M.Txn_db.schedule db in
+  checkb "events recorded" true (events <> []);
+  let has k =
+    List.exists
+      (fun (e : R.Schedule.event) -> R.Schedule.kind_name e.R.Schedule.kind = k)
+      events
+  in
+  List.iter
+    (fun k -> checkb (k ^ " present") true (has k))
+    [
+      "Acquire"; "Grant"; "Read"; "Write"; "Precommit"; "Release"; "Abort";
+      "CommitDurable";
+    ];
+  (* The recorded schedule passes the transaction sanitizer. *)
+  checkb "sanitizer clean" true
+    (V.Txn_check.ok ~log:(M.Txn_db.log_records db) events)
+
 let () =
   Alcotest.run "mmdb_core"
     [
@@ -369,5 +423,9 @@ let () =
           Alcotest.test_case "stable immediate" `Quick
             test_txn_stable_strategy_immediate;
           Alcotest.test_case "validation" `Quick test_txn_validation;
+          Alcotest.test_case "duplicate slot rejected" `Quick
+            test_txn_duplicate_slot_rejected;
+          Alcotest.test_case "schedule recording" `Quick
+            test_txn_schedule_recording;
         ] );
     ]

@@ -250,6 +250,121 @@ let test_lock_reacquire_held () =
   Alcotest.(check (list int)) "held once" [ 5 ]
     (R.Lock_manager.locks_held lm ~txn:1)
 
+let raises_invalid f =
+  try
+    f ();
+    false
+  with Invalid_argument _ -> true
+
+(* Pre-commit releases every lock for good (§5.2): the lock set never
+   grows again, and a finished transaction id is dead. *)
+let test_lock_acquire_after_precommit_raises () =
+  let lm = R.Lock_manager.create () in
+  ignore (R.Lock_manager.acquire lm ~txn:1 ~key:5);
+  ignore (R.Lock_manager.precommit lm ~txn:1);
+  checkb "acquire after precommit rejected" true
+    (raises_invalid (fun () -> ignore (R.Lock_manager.acquire lm ~txn:1 ~key:6)));
+  R.Lock_manager.finalize lm ~txn:1;
+  checkb "acquire after finalize rejected" true
+    (raises_invalid (fun () -> ignore (R.Lock_manager.acquire lm ~txn:1 ~key:7)))
+
+let test_lock_acquire_after_abort_raises () =
+  let lm = R.Lock_manager.create () in
+  ignore (R.Lock_manager.acquire lm ~txn:1 ~key:5);
+  ignore (R.Lock_manager.release_abort lm ~txn:1);
+  checkb "acquire after abort rejected" true
+    (raises_invalid (fun () -> ignore (R.Lock_manager.acquire lm ~txn:1 ~key:5)))
+
+(* Property: every grant handed out when locks change hands (initial
+   acquire, precommit wake, abort wake) lists dependencies that are a
+   subset of the key's pre-committed set at grant time. *)
+let test_lock_wake_dependency_property () =
+  let rng = U.Xorshift.create 4242 in
+  let lm = R.Lock_manager.create () in
+  let nkeys = 6 in
+  (* waiting txn -> key it queued on *)
+  let waiting : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let subset ds key =
+    let pc = R.Lock_manager.precommitted lm ~key in
+    List.for_all (fun d -> List.mem d pc) ds
+  in
+  let check_grants grants =
+    List.iter
+      (fun (g : R.Lock_manager.grant) ->
+        let w = g.R.Lock_manager.granted_txn in
+        match Hashtbl.find_opt waiting w with
+        | Some key ->
+          Hashtbl.remove waiting w;
+          checkb
+            (Printf.sprintf "woken txn %d deps in precommitted(%d)" w key)
+            true
+            (subset g.R.Lock_manager.dependencies key)
+        | None -> Alcotest.fail "grant to a transaction that was not waiting")
+      grants
+  in
+  let live = ref [] in
+  let next = ref 0 in
+  for _ = 1 to 400 do
+    (* Keep a few transactions in flight. *)
+    if List.length !live < 4 then begin
+      live := !next :: !live;
+      incr next
+    end;
+    let l = !live in
+    let txn = List.nth l (U.Xorshift.int rng (List.length l)) in
+    if Hashtbl.mem waiting txn then ()
+    else if
+      U.Xorshift.int rng 4 = 0 && R.Lock_manager.locks_held lm ~txn <> []
+    then begin
+      (* Finish: mostly precommit (then finalize), sometimes abort. *)
+      (* Check at grant time: finalize would already have removed the
+         pre-committed transaction from the sets. *)
+      if U.Xorshift.int rng 5 = 0 then
+        check_grants (R.Lock_manager.release_abort lm ~txn)
+      else begin
+        check_grants (R.Lock_manager.precommit lm ~txn);
+        R.Lock_manager.finalize lm ~txn
+      end;
+      live := List.filter (fun t -> t <> txn) !live
+    end
+    else begin
+      let key = U.Xorshift.int rng nkeys in
+      match R.Lock_manager.acquire lm ~txn ~key with
+      | Some g ->
+        checkb
+          (Printf.sprintf "direct grant to %d deps in precommitted(%d)" txn key)
+          true
+          (subset g.R.Lock_manager.dependencies key)
+      | None -> Hashtbl.replace waiting txn key
+    end
+  done
+
+let test_lock_schedule_recording () =
+  let clock = S.Sim_clock.create () in
+  let recorder =
+    R.Schedule.recorder ~now:(fun () -> S.Sim_clock.now clock)
+  in
+  let lm = R.Lock_manager.create ~recorder () in
+  ignore (R.Lock_manager.acquire lm ~txn:1 ~key:5);
+  S.Sim_clock.advance clock 1e-3;
+  checkb "2 waits" true (R.Lock_manager.acquire lm ~txn:2 ~key:5 = None);
+  ignore (R.Lock_manager.precommit lm ~txn:1);
+  let names =
+    List.map
+      (fun (e : R.Schedule.event) -> R.Schedule.kind_name e.R.Schedule.kind)
+      (R.Schedule.events recorder)
+  in
+  Alcotest.(check (list string))
+    "protocol transitions recorded"
+    [ "Acquire"; "Grant"; "Acquire"; "Wait"; "Precommit"; "Release"; "Wake" ]
+    names;
+  (* Times come from the injected clock. *)
+  (match R.Schedule.events recorder with
+  | a :: _ -> feq "first event at t=0" 0.0 a.R.Schedule.time
+  | [] -> Alcotest.fail "no events");
+  R.Schedule.clear recorder;
+  checki "cleared" 0 (R.Schedule.length recorder)
+
 (* ------------------------------------------------------------------ *)
 (* WAL strategies                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -783,6 +898,14 @@ let () =
             test_lock_waiter_woken_on_precommit;
           Alcotest.test_case "abort releases" `Quick test_lock_abort_releases;
           Alcotest.test_case "re-acquire held" `Quick test_lock_reacquire_held;
+          Alcotest.test_case "acquire after precommit raises" `Quick
+            test_lock_acquire_after_precommit_raises;
+          Alcotest.test_case "acquire after abort raises" `Quick
+            test_lock_acquire_after_abort_raises;
+          Alcotest.test_case "wake dependency property" `Quick
+            test_lock_wake_dependency_property;
+          Alcotest.test_case "schedule recording" `Quick
+            test_lock_schedule_recording;
         ] );
       ( "wal",
         [

@@ -605,6 +605,369 @@ let test_bst_delete_basics () =
     [ 40; 60; 70; 80 ]
 
 (* ------------------------------------------------------------------ *)
+(* Txn_check: hand-built schedule corpus                               *)
+(* ------------------------------------------------------------------ *)
+
+module Sch = R.Schedule
+module TC = V.Txn_check
+
+(* Hand-built trace events: time increases with position so the traces
+   read naturally. *)
+let ev ?key ?lsn ~t ~txn kind = { Sch.time = t; txn; key; lsn; kind }
+
+let grant ?(deps = []) ~t ~txn ~key () =
+  ev ~key ~t ~txn (Sch.Grant { deps })
+
+(* A clean two-transaction schedule: t2 takes over key 1 from the
+   pre-committed t1 (becoming dependent on it) and both become durable in
+   dependency order. *)
+let clean_trace () =
+  [
+    ev ~key:1 ~t:0.001 ~txn:1 Sch.Acquire;
+    grant ~t:0.001 ~txn:1 ~key:1 ();
+    ev ~key:1 ~t:0.002 ~txn:1 Sch.Read;
+    ev ~key:1 ~lsn:2 ~t:0.002 ~txn:1 Sch.Write;
+    ev ~key:1 ~t:0.003 ~txn:2 Sch.Acquire;
+    ev ~key:1 ~t:0.003 ~txn:2 (Sch.Wait { holder = 1 });
+    ev ~t:0.004 ~txn:1 Sch.Precommit;
+    ev ~key:1 ~t:0.004 ~txn:1 Sch.Release;
+    ev ~key:1 ~t:0.004 ~txn:2 (Sch.Wake { deps = [ 1 ] });
+    ev ~key:1 ~t:0.005 ~txn:2 Sch.Read;
+    ev ~key:1 ~lsn:5 ~t:0.005 ~txn:2 Sch.Write;
+    ev ~t:0.006 ~txn:2 Sch.Precommit;
+    ev ~key:1 ~t:0.006 ~txn:2 Sch.Release;
+    ev ~t:0.010 ~txn:1 Sch.Commit_durable;
+    ev ~t:0.010 ~txn:2 Sch.Commit_durable;
+  ]
+
+let clean_log () =
+  [
+    L.Begin { txn = 1; lsn = 1 };
+    L.Update { txn = 1; lsn = 2; slot = 1; old_value = 0; new_value = 10 };
+    L.Commit { txn = 1; lsn = 3 };
+    L.Begin { txn = 2; lsn = 4 };
+    L.Update { txn = 2; lsn = 5; slot = 1; old_value = 10; new_value = 20 };
+    L.Commit { txn = 2; lsn = 6 };
+  ]
+
+let codes diags = List.sort_uniq compare (List.map (fun d -> d.D.code) diags)
+
+let test_txncheck_clean () =
+  let diags = TC.audit ~log:(clean_log ()) (clean_trace ()) in
+  Alcotest.(check (list string)) "clean schedule" [] (codes diags);
+  checkb "ok" true (TC.ok ~log:(clean_log ()) (clean_trace ()));
+  (* Truncated trace: active transactions at end are tolerated. *)
+  let truncated =
+    [
+      ev ~key:1 ~t:0.001 ~txn:1 Sch.Acquire;
+      grant ~t:0.001 ~txn:1 ~key:1 ();
+      ev ~key:1 ~lsn:2 ~t:0.002 ~txn:1 Sch.Write;
+    ]
+  in
+  Alcotest.(check (list string)) "truncated tolerated" []
+    (codes (TC.audit truncated))
+
+(* Mutation corpus: each injected protocol bug must be caught by exactly
+   its TXN code. *)
+
+(* Bug: lock released at first unlock instead of held to pre-commit — the
+   transaction then acquires another key (2PL violation) and keeps
+   touching the released one. *)
+let test_txncheck_early_release () =
+  let trace =
+    [
+      grant ~t:0.001 ~txn:1 ~key:1 ();
+      ev ~key:1 ~lsn:1 ~t:0.002 ~txn:1 Sch.Write;
+      ev ~key:1 ~t:0.003 ~txn:1 Sch.Release;
+      grant ~t:0.004 ~txn:1 ~key:2 ();
+      ev ~key:1 ~lsn:2 ~t:0.005 ~txn:1 Sch.Write;
+      ev ~t:0.006 ~txn:1 Sch.Precommit;
+      ev ~key:2 ~t:0.006 ~txn:1 Sch.Release;
+    ]
+  in
+  let cs = codes (TC.check_2pl trace) in
+  Alcotest.(check (list string)) "TXN001 + TXN002" [ "TXN001"; "TXN002" ] cs
+
+let test_txncheck_unlocked_access () =
+  let trace = [ ev ~key:9 ~t:0.001 ~txn:4 Sch.Read ] in
+  Alcotest.(check (list string)) "TXN002" [ "TXN002" ]
+    (codes (TC.check_2pl trace))
+
+(* Bug: pre-commit forgets to release (lock leak). *)
+let test_txncheck_held_after_precommit () =
+  let trace =
+    [
+      grant ~t:0.001 ~txn:1 ~key:1 ();
+      ev ~t:0.002 ~txn:1 Sch.Precommit;
+      ev ~t:0.003 ~txn:1 Sch.Commit_durable;
+    ]
+  in
+  Alcotest.(check (list string)) "TXN003" [ "TXN003" ]
+    (codes (TC.check_2pl trace));
+  (* Same leak, trace ends before durability. *)
+  let trace2 =
+    [ grant ~t:0.001 ~txn:1 ~key:1 (); ev ~t:0.002 ~txn:1 Sch.Precommit ]
+  in
+  Alcotest.(check (list string)) "TXN003 at end of trace" [ "TXN003" ]
+    (codes (TC.check_2pl trace2))
+
+let test_txncheck_precommitted_acquires () =
+  let trace =
+    [
+      grant ~t:0.001 ~txn:1 ~key:1 ();
+      ev ~t:0.002 ~txn:1 Sch.Precommit;
+      ev ~key:1 ~t:0.002 ~txn:1 Sch.Release;
+      ev ~key:2 ~t:0.003 ~txn:1 Sch.Acquire;
+      grant ~t:0.003 ~txn:1 ~key:2 ();
+    ]
+  in
+  let diags = TC.check_2pl trace in
+  Alcotest.(check (list string)) "TXN004" [ "TXN004" ] (codes diags);
+  checki "deduplicated per txn/key" 1 (List.length diags)
+
+let test_txncheck_precommitted_aborts () =
+  let trace =
+    [
+      grant ~t:0.001 ~txn:1 ~key:1 ();
+      ev ~t:0.002 ~txn:1 Sch.Precommit;
+      ev ~key:1 ~t:0.002 ~txn:1 Sch.Release;
+      ev ~t:0.003 ~txn:1 Sch.Abort;
+    ]
+  in
+  Alcotest.(check (list string)) "TXN005" [ "TXN005" ]
+    (codes (TC.check_2pl trace))
+
+let test_txncheck_deadlock_cycle () =
+  let trace =
+    [
+      grant ~t:0.001 ~txn:1 ~key:1 ();
+      grant ~t:0.002 ~txn:2 ~key:2 ();
+      ev ~key:2 ~t:0.003 ~txn:1 (Sch.Wait { holder = 2 });
+      ev ~key:1 ~t:0.004 ~txn:2 (Sch.Wait { holder = 1 });
+    ]
+  in
+  let diags = TC.check_deadlock trace in
+  checkb "TXN006 reported" true (D.has_code "TXN006" diags);
+  checki "one cycle, once" 1 (List.length diags);
+  let msg = (List.hd diags).D.message in
+  checkb "cycle witness names both hops" true
+    (contains msg "txn 1 waits for key 2 held by txn 2"
+    && contains msg "txn 2 waits for key 1 held by txn 1")
+
+let test_txncheck_lock_order_lint () =
+  (* Opposite acquisition orders but no overlap in time: no deadlock this
+     run, still a latent one. *)
+  let trace =
+    [
+      grant ~t:0.001 ~txn:1 ~key:1 ();
+      grant ~t:0.002 ~txn:1 ~key:2 ();
+      ev ~key:1 ~t:0.003 ~txn:1 Sch.Release;
+      ev ~key:2 ~t:0.003 ~txn:1 Sch.Release;
+      grant ~t:0.004 ~txn:2 ~key:2 ();
+      grant ~t:0.005 ~txn:2 ~key:1 ();
+    ]
+  in
+  let diags = TC.check_deadlock trace in
+  checkb "no deadlock" false (D.has_code "TXN006" diags);
+  checkb "TXN101 warning" true (D.has_code "TXN101" diags);
+  checkb "warning severity" false (D.has_errors diags)
+
+(* Bug: a dropped conflict edge — two committed transactions write the
+   same two keys in opposite orders (not conflict-serializable). *)
+let test_txncheck_serializability_cycle () =
+  let trace =
+    [
+      ev ~key:1 ~lsn:1 ~t:0.001 ~txn:1 Sch.Write;
+      ev ~key:1 ~lsn:2 ~t:0.002 ~txn:2 Sch.Write;
+      ev ~key:2 ~lsn:3 ~t:0.003 ~txn:2 Sch.Write;
+      ev ~key:2 ~lsn:4 ~t:0.004 ~txn:1 Sch.Write;
+      ev ~t:0.005 ~txn:1 Sch.Precommit;
+      ev ~t:0.005 ~txn:2 Sch.Precommit;
+    ]
+  in
+  let diags = TC.check_serializability trace in
+  checkb "TXN007 reported" true (D.has_code "TXN007" diags);
+  checki "one cycle" 1 (List.length diags);
+  checkb "witness edge present" true
+    (contains (List.hd diags).D.message "key 1");
+  (* If one of the two aborts instead, its accesses drop out and the
+     cycle disappears. *)
+  let aborted =
+    List.map
+      (fun (e : Sch.event) ->
+        if e.Sch.txn = 2 && e.Sch.kind = Sch.Precommit then
+          { e with Sch.kind = Sch.Abort }
+        else e)
+      trace
+  in
+  Alcotest.(check (list string)) "aborted txn excluded" []
+    (codes (TC.check_serializability aborted))
+
+(* Bug: committing a dependant before its dependency. *)
+let test_txncheck_dependency_durability () =
+  let trace =
+    [
+      grant ~t:0.001 ~txn:1 ~key:1 ();
+      ev ~t:0.002 ~txn:1 Sch.Precommit;
+      ev ~key:1 ~t:0.002 ~txn:1 Sch.Release;
+      grant ~deps:[ 1 ] ~t:0.003 ~txn:2 ~key:1 ();
+      ev ~t:0.004 ~txn:2 Sch.Precommit;
+      ev ~key:1 ~t:0.004 ~txn:2 Sch.Release;
+      (* Dependant durable first: invariant broken. *)
+      ev ~t:0.005 ~txn:2 Sch.Commit_durable;
+      ev ~t:0.007 ~txn:1 Sch.Commit_durable;
+    ]
+  in
+  let diags = TC.check_dependencies trace in
+  Alcotest.(check (list string)) "TXN008" [ "TXN008" ] (codes diags);
+  checkb "names the dependency" true
+    (contains (List.hd diags).D.message "dependency 1")
+
+let test_txncheck_dependency_log_order () =
+  let base_trace =
+    [
+      grant ~t:0.001 ~txn:1 ~key:1 ();
+      ev ~t:0.002 ~txn:1 Sch.Precommit;
+      ev ~key:1 ~t:0.002 ~txn:1 Sch.Release;
+      grant ~deps:[ 1 ] ~t:0.003 ~txn:2 ~key:1 ();
+      ev ~t:0.004 ~txn:2 Sch.Precommit;
+      ev ~key:1 ~t:0.004 ~txn:2 Sch.Release;
+    ]
+  in
+  (* Commit records submitted in the wrong order. *)
+  let bad_order =
+    [
+      L.Begin { txn = 2; lsn = 3 };
+      L.Commit { txn = 2; lsn = 4 };
+      L.Begin { txn = 1; lsn = 1 };
+      L.Commit { txn = 1; lsn = 2 };
+    ]
+  in
+  checkb "commit order violation" true
+    (D.has_code "TXN008" (TC.check_dependencies ~log:bad_order base_trace));
+  (* Dependency's commit record missing entirely. *)
+  let missing = [ L.Begin { txn = 2; lsn = 1 }; L.Commit { txn = 2; lsn = 2 } ] in
+  checkb "missing dep commit" true
+    (D.has_code "TXN008" (TC.check_dependencies ~log:missing base_trace));
+  (* Dependency aborted although a dependant committed on it. *)
+  let dep_aborted =
+    [
+      L.Begin { txn = 1; lsn = 1 };
+      L.Abort { txn = 1; lsn = 2 };
+      L.Begin { txn = 2; lsn = 3 };
+      L.Commit { txn = 2; lsn = 4 };
+    ]
+  in
+  checkb "aborted dependency" true
+    (D.has_code "TXN008" (TC.check_dependencies ~log:dep_aborted base_trace));
+  (* Correct order is clean. *)
+  let good =
+    [
+      L.Begin { txn = 1; lsn = 1 };
+      L.Commit { txn = 1; lsn = 2 };
+      L.Begin { txn = 2; lsn = 3 };
+      L.Commit { txn = 2; lsn = 4 };
+    ]
+  in
+  Alcotest.(check (list string)) "good log clean" []
+    (codes (TC.check_dependencies ~log:good base_trace))
+
+let test_txncheck_code_catalogue () =
+  let cat = TC.code_catalogue in
+  checki "nine codes" 9 (List.length cat);
+  List.iter
+    (fun c ->
+      checkb (c ^ " catalogued") true (List.mem_assoc c cat))
+    [
+      "TXN001"; "TXN002"; "TXN003"; "TXN004"; "TXN005"; "TXN006"; "TXN007";
+      "TXN008"; "TXN101";
+    ];
+  (* And the layer-wide catalogue picked them up without collisions. *)
+  let all = List.map fst V.code_catalogue in
+  checki "no duplicate codes"
+    (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+(* ------------------------------------------------------------------ *)
+(* Txn_fuzz: seeded interleaved workloads                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_clean_seeds () =
+  List.iter
+    (fun seed ->
+      let o = V.Txn_fuzz.run ~seed () in
+      checkb
+        (Printf.sprintf "seed %d: no errors" seed)
+        false
+        (D.has_errors o.V.Txn_fuzz.diags);
+      checkb
+        (Printf.sprintf "seed %d: contention exercised" seed)
+        true (o.V.Txn_fuzz.waits > 0);
+      checkb
+        (Printf.sprintf "seed %d: work done" seed)
+        true
+        (o.V.Txn_fuzz.committed > 0);
+      checki
+        (Printf.sprintf "seed %d: all transactions accounted" seed)
+        40
+        (o.V.Txn_fuzz.committed + o.V.Txn_fuzz.aborted))
+    [ 11; 22; 33; 44; 55 ]
+
+let test_fuzz_determinism () =
+  let a = V.Txn_fuzz.run ~seed:77 () in
+  let b = V.Txn_fuzz.run ~seed:77 () in
+  checkb "same schedule" true (a.V.Txn_fuzz.events = b.V.Txn_fuzz.events);
+  checkb "same log" true (a.V.Txn_fuzz.log = b.V.Txn_fuzz.log)
+
+let test_fuzz_scramble_finds_deadlocks () =
+  (* Scrambled acquisition order: the driver runs into real deadlocks and
+     the waits-for analyzer must report them. *)
+  let o = V.Txn_fuzz.run ~scramble:true ~seed:11 () in
+  checkb "driver hit deadlocks" true (o.V.Txn_fuzz.deadlocks > 0);
+  checkb "TXN006 reported" true (D.has_code "TXN006" o.V.Txn_fuzz.diags);
+  checkb "TXN101 lint fired" true (D.has_code "TXN101" o.V.Txn_fuzz.diags);
+  (* Deadlocks are the only error class a correct lock manager can
+     produce here: no 2PL / dependency / serializability violations. *)
+  List.iter
+    (fun c ->
+      checkb (c ^ " absent") false (D.has_code c o.V.Txn_fuzz.diags))
+    [ "TXN001"; "TXN002"; "TXN003"; "TXN004"; "TXN005"; "TXN008" ]
+
+let test_fuzz_crash_truncation () =
+  let o = V.Txn_fuzz.run ~crash:true ~seed:11 () in
+  checkb "crashed" true o.V.Txn_fuzz.crashed;
+  checkb "truncated trace accepted" false (D.has_errors o.V.Txn_fuzz.diags)
+
+let test_fuzz_audit_component () =
+  let o = V.Txn_fuzz.run ~seed:22 () in
+  let results =
+    V.Audit.run_all
+      [
+        V.Audit.Schedule
+          {
+            name = "fuzz schedule";
+            events = o.V.Txn_fuzz.events;
+            log = o.V.Txn_fuzz.log;
+          };
+      ]
+  in
+  checkb "audit ok" true
+    (V.Audit.ok
+       [
+         V.Audit.Schedule
+           {
+             name = "fuzz schedule";
+             events = o.V.Txn_fuzz.events;
+             log = o.V.Txn_fuzz.log;
+           };
+       ]);
+  match results with
+  | [ (name, diags) ] ->
+    Alcotest.(check string) "component name" "fuzz schedule" name;
+    checkb "no error diags" false (D.has_errors diags)
+  | _ -> Alcotest.fail "expected one component"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "mmdb verify"
@@ -665,5 +1028,43 @@ let () =
             (property_workload "bst" bst_ops 303);
           Alcotest.test_case "paged-bst delete basics" `Quick
             test_bst_delete_basics;
+        ] );
+      ( "txn-check",
+        [
+          Alcotest.test_case "clean schedule" `Quick test_txncheck_clean;
+          Alcotest.test_case "early release (TXN001/TXN002)" `Quick
+            test_txncheck_early_release;
+          Alcotest.test_case "unlocked access (TXN002)" `Quick
+            test_txncheck_unlocked_access;
+          Alcotest.test_case "held after precommit (TXN003)" `Quick
+            test_txncheck_held_after_precommit;
+          Alcotest.test_case "precommitted acquires (TXN004)" `Quick
+            test_txncheck_precommitted_acquires;
+          Alcotest.test_case "precommitted aborts (TXN005)" `Quick
+            test_txncheck_precommitted_aborts;
+          Alcotest.test_case "deadlock cycle (TXN006)" `Quick
+            test_txncheck_deadlock_cycle;
+          Alcotest.test_case "lock-order lint (TXN101)" `Quick
+            test_txncheck_lock_order_lint;
+          Alcotest.test_case "serializability cycle (TXN007)" `Quick
+            test_txncheck_serializability_cycle;
+          Alcotest.test_case "dependency durability (TXN008)" `Quick
+            test_txncheck_dependency_durability;
+          Alcotest.test_case "dependency log order (TXN008)" `Quick
+            test_txncheck_dependency_log_order;
+          Alcotest.test_case "code catalogue" `Quick
+            test_txncheck_code_catalogue;
+        ] );
+      ( "txn-fuzz",
+        [
+          Alcotest.test_case "clean seeds audit clean" `Quick
+            test_fuzz_clean_seeds;
+          Alcotest.test_case "deterministic" `Quick test_fuzz_determinism;
+          Alcotest.test_case "scramble finds deadlocks" `Quick
+            test_fuzz_scramble_finds_deadlocks;
+          Alcotest.test_case "crash truncation tolerated" `Quick
+            test_fuzz_crash_truncation;
+          Alcotest.test_case "audit component" `Quick
+            test_fuzz_audit_component;
         ] );
     ]
