@@ -545,6 +545,164 @@ let txncheck_cmd =
       const run_txncheck $ fuzz $ seed $ txns $ accounts $ scramble $ crash_run)
 
 (* ------------------------------------------------------------------ *)
+(* torture                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Mmdb_fault.Fault
+module Fault_plan = Mmdb_fault.Fault_plan
+
+let faults_doc =
+  "Comma-separated fault spec: "
+  ^ String.concat ", "
+      (List.map (fun (n, d) -> Printf.sprintf "$(b,%s) (%s)" n d)
+         Fault_plan.spec_names)
+  ^ "."
+
+let torture seed txns faults strategy points =
+  (* Validate the spec before sweeping. *)
+  (match faults with
+  | None -> ()
+  | Some s -> (
+    match Fault_plan.of_spec s with
+    | Ok _ -> ()
+    | Error m ->
+      prerr_endline ("torture: " ^ m);
+      exit 2));
+  let specs = match faults with None -> None | Some s -> Some [ s ] in
+  let strategies = Option.map (fun s -> [ s ]) strategy in
+  let r =
+    V.Torture.run ~seed ~txns ?specs ?strategies
+      ~max_points_per_combo:points ()
+  in
+  Format.printf "%a" V.Torture.pp r;
+  if V.Torture.ok r then 0 else 1
+
+let torture_cmd =
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Sweep seed (workload, fault schedule, and crash points all derive from it).")
+  in
+  let txns =
+    Arg.(value & opt int 48 & info [ "txns" ] ~doc:"Transactions per run.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~doc:(faults_doc ^ " Default: sweep every spec."))
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (some strategy_conv) None
+      & info [ "strategy" ]
+          ~doc:"Restrict to one commit strategy (see tps). Default: all four.")
+  in
+  let points =
+    Arg.(
+      value & opt int 32
+      & info [ "points" ] ~doc:"Max crash points per strategy x fault pair.")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Crash the recovery stack at every schedulable point — between \
+          arrivals, mid-log-page-write, past quiesce — for each commit \
+          strategy, with and without injected faults (torn log tails, bit \
+          flips, transient I/O errors, snapshot rot, battery droop). \
+          Exits 1 on silent corruption: an invariant violation without an \
+          unrecoverable-fault report.")
+    Term.(const torture $ seed $ txns $ faults $ strategy $ points)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exercise the instrumented storage plane — faulted disk, buffer pool
+   with scrubbing — and print the operation counters, whose media tally
+   shares the fault plan's counter record. *)
+let stats seed faults_spec pages ops =
+  let rules =
+    match Fault_plan.of_spec faults_spec with
+    | Ok r -> r
+    | Error m ->
+      prerr_endline ("stats: " ^ m);
+      exit 2
+  in
+  let env = S.Env.create () in
+  let disk = S.Disk.create ~env ~page_size:4096 in
+  let plan =
+    Fault_plan.create ~seed ~tally:env.S.Env.counters.S.Counters.fault
+      (* The spec atoms name log-plane sites; this workload exercises the
+         storage plane, so map each rule onto its disk/pool analogue
+         (battery droop has none and stays a no-op here). *)
+      (List.map
+         (fun r ->
+           let site =
+             match r.Fault_plan.site with
+             | Fault.Log_write -> Fault.Disk_write
+             | Fault.Log_read -> Fault.Disk_read
+             | Fault.Snapshot | Fault.Stable_crash -> Fault.Pool_frame
+             | (Fault.Disk_read | Fault.Disk_write | Fault.Pool_frame) as s
+               -> s
+           in
+           { r with Fault_plan.site })
+         rules)
+  in
+  S.Disk.arm disk plan;
+  let pids = Array.init pages (fun _ -> S.Disk.alloc disk) in
+  let rng = U.Xorshift.create seed in
+  Array.iter
+    (fun pid ->
+      let b = Bytes.make 4096 '\000' in
+      Bytes.set b 0 (Char.chr (pid land 0xff));
+      S.Disk.write disk ~mode:S.Disk.Seq pid b)
+    pids;
+  let pool =
+    S.Buffer_pool.create ~disk ~capacity:(max 1 (pages / 2)) S.Buffer_pool.Lru
+  in
+  let unrecoverable = ref 0 in
+  for _ = 1 to ops do
+    let pid = pids.(U.Xorshift.int rng pages) in
+    match S.Buffer_pool.get pool pid with
+    | (_ : bytes) -> ()
+    | exception Fault.Unrecoverable _ -> incr unrecoverable
+  done;
+  let repaired = S.Buffer_pool.scrub pool in
+  Printf.printf "workload:  %d pages, %d pool frames, %d random gets\n" pages
+    (S.Buffer_pool.capacity pool) ops;
+  Printf.printf "counters:  %s\n"
+    (Format.asprintf "%a" S.Counters.pp env.S.Env.counters);
+  Printf.printf "scrub:     %d frame(s) repaired from disk\n" repaired;
+  if !unrecoverable > 0 then
+    Printf.printf "unrecoverable reads: %d\n" !unrecoverable;
+  (match Fault_plan.event_counts plan with
+  | [] -> ()
+  | evs ->
+    Printf.printf "events:   ";
+    List.iter (fun (c, n) -> Printf.printf " %s=%d" c n) evs;
+    print_newline ());
+  0
+
+let stats_cmd =
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Fault-plan seed.") in
+  let faults =
+    Arg.(value & opt string "none" & info [ "faults" ] ~doc:faults_doc)
+  in
+  let pages =
+    Arg.(value & opt int 64 & info [ "pages" ] ~doc:"Disk pages to allocate.")
+  in
+  let ops =
+    Arg.(value & opt int 500 & info [ "ops" ] ~doc:"Random page reads.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a buffer-pool workload over the instrumented (optionally \
+          faulted) disk and print the operation counters, including the \
+          fault-plane media tally and a scrub pass.")
+    Term.(const stats $ seed $ faults $ pages $ ops)
+
+(* ------------------------------------------------------------------ *)
 (* repl                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -670,5 +828,5 @@ let () =
        (Cmd.group ~default info
           [
             crossover_cmd; join_cmd; tps_cmd; recover_cmd; plan_cmd; sql_cmd;
-            check_cmd; txncheck_cmd; repl_cmd;
+            check_cmd; txncheck_cmd; torture_cmd; stats_cmd; repl_cmd;
           ]))

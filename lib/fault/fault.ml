@@ -1,0 +1,109 @@
+type site =
+  | Disk_read
+  | Disk_write
+  | Pool_frame
+  | Log_write
+  | Log_read
+  | Stable_crash
+  | Snapshot
+
+let site_name = function
+  | Disk_read -> "disk.read"
+  | Disk_write -> "disk.write"
+  | Pool_frame -> "pool.frame"
+  | Log_write -> "log.write"
+  | Log_read -> "log.read"
+  | Stable_crash -> "stable.crash"
+  | Snapshot -> "snapshot"
+
+type kind =
+  | Torn_write
+  | Bit_flip_read
+  | Bit_flip_rest
+  | Io_transient of { failures : int }
+  | Battery_droop of { batches : int }
+
+let kind_name = function
+  | Torn_write -> "torn-write"
+  | Bit_flip_read -> "bitflip-read"
+  | Bit_flip_rest -> "bitflip-rest"
+  | Io_transient _ -> "io-transient"
+  | Battery_droop _ -> "battery-droop"
+
+type tally = {
+  mutable injected : int;
+  mutable detected : int;
+  mutable retried : int;
+  mutable repaired : int;
+  mutable unrecoverable : int;
+}
+
+let tally_create () =
+  { injected = 0; detected = 0; retried = 0; repaired = 0; unrecoverable = 0 }
+
+let tally_reset t =
+  t.injected <- 0;
+  t.detected <- 0;
+  t.retried <- 0;
+  t.repaired <- 0;
+  t.unrecoverable <- 0
+
+let tally_copy t =
+  {
+    injected = t.injected;
+    detected = t.detected;
+    retried = t.retried;
+    repaired = t.repaired;
+    unrecoverable = t.unrecoverable;
+  }
+
+let tally_diff ~after ~before =
+  {
+    injected = after.injected - before.injected;
+    detected = after.detected - before.detected;
+    retried = after.retried - before.retried;
+    repaired = after.repaired - before.repaired;
+    unrecoverable = after.unrecoverable - before.unrecoverable;
+  }
+
+let tally_total t =
+  t.injected + t.detected + t.retried + t.repaired + t.unrecoverable
+
+let pp_tally ppf t =
+  Format.fprintf ppf
+    "injected=%d detected=%d retried=%d repaired=%d unrecoverable=%d"
+    t.injected t.detected t.retried t.repaired t.unrecoverable
+
+type error = { code : string; site : string; detail : string }
+
+exception Io_error of error
+exception Unrecoverable of error
+
+let io_error ~code ~site detail = raise (Io_error { code; site; detail })
+
+let unrecoverable ~code ~site detail =
+  raise (Unrecoverable { code; site; detail })
+
+let error_to_string e = Printf.sprintf "%s at %s: %s" e.code e.site e.detail
+
+let code_catalogue =
+  [
+    ("FAULT001", "torn page write: only a prefix of the page persisted");
+    ("FAULT002", "checksum mismatch detected on read (bit flip)");
+    ("FAULT003", "transient I/O error injected (retried with backoff)");
+    ("FAULT004", "I/O retry budget exhausted");
+    ("FAULT005", "unknown page / sector not found");
+    ("FAULT006", "page size mismatch on write");
+    ("FAULT007", "stable-memory battery droop: newest batches lost at crash");
+    ("FAULT008", "log tail truncated at last checksum-valid record");
+    ("FAULT009", "corrupt page rebuilt from checkpoint plus log");
+    ("FAULT010", "stable-memory batch underflow (drop on empty)");
+    ("FAULT011", "unrecoverable media corruption");
+  ]
+
+(* The exception printers keep typed faults legible in test failures. *)
+let () =
+  Printexc.register_printer (function
+    | Io_error e -> Some ("Fault.Io_error " ^ error_to_string e)
+    | Unrecoverable e -> Some ("Fault.Unrecoverable " ^ error_to_string e)
+    | _ -> None)

@@ -1,0 +1,181 @@
+module U = Mmdb_util
+
+type trigger =
+  | Always
+  | Prob of float
+  | On_op of int
+  | Every of int
+
+type rule = { site : Fault.site; kind : Fault.kind; trigger : trigger }
+
+type t = {
+  plan_rules : rule list;
+  rng : U.Xorshift.t;
+  plan_tally : Fault.tally;
+  ops : (Fault.site, int) Hashtbl.t;
+  mutable event_log : Fault.error list; (* reversed *)
+  mutable event_count : int;
+}
+
+let max_events = 10_000
+
+let create ?(seed = 1) ?tally rules =
+  List.iter
+    (fun r ->
+      match r.trigger with
+      | Prob p when not (p >= 0.0 && p <= 1.0) ->
+        invalid_arg "Fault_plan.create: probability outside [0, 1]"
+      | On_op n when n <= 0 ->
+        invalid_arg "Fault_plan.create: On_op must be positive"
+      | Every n when n <= 0 ->
+        invalid_arg "Fault_plan.create: Every must be positive"
+      | Always | Prob _ | On_op _ | Every _ -> ())
+    rules;
+  {
+    plan_rules = rules;
+    rng = U.Xorshift.create seed;
+    plan_tally =
+      (match tally with Some t -> t | None -> Fault.tally_create ());
+    ops = Hashtbl.create 8;
+    event_log = [];
+    event_count = 0;
+  }
+
+let none () = create []
+
+let rules t = t.plan_rules
+let is_active t = t.plan_rules <> []
+let tally t = t.plan_tally
+
+let fires t trigger ~op =
+  match trigger with
+  | Always -> true
+  | Prob p -> U.Xorshift.float t.rng 1.0 < p
+  | On_op n -> op = n
+  | Every n -> op mod n = 0
+
+let draw t site =
+  if t.plan_rules = [] then None
+  else begin
+    let op = (try Hashtbl.find t.ops site with Not_found -> 0) + 1 in
+    Hashtbl.replace t.ops site op;
+    List.find_map
+      (fun r ->
+        if r.site = site && fires t r.trigger ~op then Some r.kind else None)
+      t.plan_rules
+  end
+
+let peek t site =
+  List.find_map
+    (fun r ->
+      let hit =
+        match r.trigger with
+        | Always | On_op 1 | Every 1 -> true
+        | Prob p -> U.Xorshift.float t.rng 1.0 < p
+        | On_op _ | Every _ -> false
+      in
+      if r.site = site && hit then Some r.kind else None)
+    t.plan_rules
+
+let rand_int t bound = U.Xorshift.int t.rng bound
+
+let log_event t ~code ~site detail =
+  if t.event_count < max_events then begin
+    t.event_log <- { Fault.code; site; detail } :: t.event_log;
+    t.event_count <- t.event_count + 1
+  end
+
+let note_injected t ~code ~site detail =
+  t.plan_tally.Fault.injected <- t.plan_tally.Fault.injected + 1;
+  log_event t ~code ~site detail
+
+let note_detected t ~code ~site detail =
+  t.plan_tally.Fault.detected <- t.plan_tally.Fault.detected + 1;
+  log_event t ~code ~site detail
+
+let note_retried t =
+  t.plan_tally.Fault.retried <- t.plan_tally.Fault.retried + 1
+
+let note_repaired t ~code ~site detail =
+  t.plan_tally.Fault.repaired <- t.plan_tally.Fault.repaired + 1;
+  log_event t ~code ~site detail
+
+let note_unrecoverable t ~code ~site detail =
+  t.plan_tally.Fault.unrecoverable <- t.plan_tally.Fault.unrecoverable + 1;
+  log_event t ~code ~site detail
+
+let events t = List.rev t.event_log
+
+let event_counts t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Fault.error) ->
+      Hashtbl.replace tbl e.Fault.code
+        ((try Hashtbl.find tbl e.Fault.code with Not_found -> 0) + 1))
+    t.event_log;
+  Hashtbl.fold (fun code n acc -> (code, n) :: acc) tbl []
+  |> List.sort compare
+
+let max_io_retries = 3
+
+let retry_backoff ~attempt =
+  if attempt <= 0 then invalid_arg "Fault_plan.retry_backoff: attempt <= 0";
+  float_of_int attempt *. 1e-3
+
+(* CLI fault-mix atoms.  The mixes are chosen so the acceptance sweep
+   ("torn-tail,bitflip") is detectable *and* lossless: torn writes only
+   tear the page in flight at the crash (never-acknowledged commits),
+   and bit flips hit the read path transiently (a reread is clean). *)
+let spec_names =
+  [
+    ("torn-tail",
+     "tear the log page in flight at the crash: only a prefix persists");
+    ("bitflip",
+     "transient bit flip on log-page reads; detected by checksum, reread");
+    ("io-error", "transient log-device I/O errors, retried with backoff");
+    ("battery-droop",
+     "stable memory loses its newest batch at crash (partial battery)");
+    ("snapshot-rot",
+     "one checkpoint snapshot page corrupts at rest; rebuilt from the log");
+    ("media",
+     "permanent bit flip in a stored log page (typically unrecoverable)");
+    ("none", "empty plan");
+  ]
+
+let rules_of_atom = function
+  | "torn-tail" ->
+    Ok [ { site = Fault.Log_write; kind = Fault.Torn_write; trigger = Always } ]
+  | "bitflip" ->
+    Ok
+      [ { site = Fault.Log_read; kind = Fault.Bit_flip_read;
+          trigger = Every 3 } ]
+  | "io-error" ->
+    Ok
+      [ { site = Fault.Log_write;
+          kind = Fault.Io_transient { failures = 2 }; trigger = Every 5 } ]
+  | "battery-droop" ->
+    Ok
+      [ { site = Fault.Stable_crash;
+          kind = Fault.Battery_droop { batches = 1 }; trigger = Always } ]
+  | "snapshot-rot" ->
+    Ok [ { site = Fault.Snapshot; kind = Fault.Bit_flip_rest;
+           trigger = On_op 1 } ]
+  | "media" ->
+    Ok [ { site = Fault.Log_write; kind = Fault.Bit_flip_rest;
+           trigger = On_op 2 } ]
+  | "none" -> Ok []
+  | atom -> Error (Printf.sprintf "unknown fault spec %S" atom)
+
+let of_spec s =
+  let atoms =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun a -> a <> "")
+  in
+  List.fold_left
+    (fun acc atom ->
+      match (acc, rules_of_atom atom) with
+      | Error _, _ -> acc
+      | Ok _, Error e -> Error e
+      | Ok rs, Ok more -> Ok (rs @ more))
+    (Ok []) atoms

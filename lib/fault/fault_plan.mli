@@ -1,0 +1,84 @@
+(** Seeded, deterministic fault-injection plans.
+
+    A plan is a list of rules: a {!Fault.site} (where), a {!Fault.kind}
+    (what), and a trigger (when).  Instrumented sites — the simulated
+    disk, the buffer pool, the log devices, stable memory, the snapshot
+    store — call {!draw} once per operation; the plan consults its
+    trigger state and its private {!Mmdb_util.Xorshift} stream and
+    answers whether (and which) fault to inject.  All randomness flows
+    through the plan's own generator, so every fault schedule is
+    reproducible from its seed and independent of workload randomness.
+
+    The plan also owns the fault {!Fault.tally} and an event log of
+    [(FAULT code, detail)] pairs; sites report injections, detections,
+    retries, repairs, and unrecoverable outcomes through the [note_*]
+    helpers so one object accumulates the whole run's fault story. *)
+
+type trigger =
+  | Always  (** fire on every operation at the site *)
+  | Prob of float  (** fire with this per-operation probability *)
+  | On_op of int  (** fire exactly on the [n]th operation (1-based) *)
+  | Every of int  (** fire on every [n]th operation *)
+
+type rule = { site : Fault.site; kind : Fault.kind; trigger : trigger }
+
+type t
+
+val create : ?seed:int -> ?tally:Fault.tally -> rule list -> t
+(** [create ~seed rules] builds a plan.  [tally] shares an external
+    counter record (e.g. {!Mmdb_storage.Counters}'s fault tally) so
+    fault counts land next to the workload's other operation counters;
+    by default the plan allocates its own. *)
+
+val none : unit -> t
+(** The empty plan: {!draw} never fires.  Useful as an explicit
+    "no faults" argument. *)
+
+val rules : t -> rule list
+val is_active : t -> bool
+(** [false] for {!none} (no rules) — fast-path guard for hot sites. *)
+
+val draw : t -> Fault.site -> Fault.kind option
+(** [draw plan site] advances the site's operation counter and returns
+    the armed fault kind if some rule for [site] fires.  The first
+    matching rule wins. *)
+
+val peek : t -> Fault.site -> Fault.kind option
+(** Like {!draw} for non-operation sites (crash-time decisions): does
+    not advance the operation counter; [Always]/[On_op 1]/[Every 1]
+    triggers fire, probabilistic ones consult the generator. *)
+
+val rand_int : t -> int -> int
+(** Uniform draw from the plan's private stream — sites use it to pick
+    torn-write cut points and bit positions deterministically. *)
+
+val tally : t -> Fault.tally
+
+val note_injected : t -> code:string -> site:string -> string -> unit
+val note_detected : t -> code:string -> site:string -> string -> unit
+val note_retried : t -> unit
+val note_repaired : t -> code:string -> site:string -> string -> unit
+val note_unrecoverable : t -> code:string -> site:string -> string -> unit
+
+val events : t -> Fault.error list
+(** Every noted event in order (capped; injection/detection/repair and
+    unrecoverable outcomes, not individual retries). *)
+
+val event_counts : t -> (string * int) list
+(** Events grouped by FAULT code, ascending code order. *)
+
+val max_io_retries : int
+(** Bounded retry budget shared by all instrumented sites. *)
+
+val retry_backoff : attempt:int -> float
+(** Simulated-clock backoff before retry [attempt] (1-based): linear,
+    [attempt * 1 ms]. *)
+
+val of_spec : string -> (rule list, string) result
+(** Parse a comma-separated fault list as accepted by
+    [mmdb_cli torture --faults] / [mmdb_cli stats --faults]:
+    ["torn-tail"], ["bitflip"], ["io-error"], ["battery-droop"],
+    ["snapshot-rot"], ["media"], or ["none"].  See {!spec_names}. *)
+
+val spec_names : (string * string) list
+(** Accepted spec atoms with one-line descriptions (CLI help text). *)

@@ -1,29 +1,52 @@
+module Fault = Mmdb_fault.Fault
+module Fault_plan = Mmdb_fault.Fault_plan
+
 type t = {
   page_io_time : float;
   records_per_page : int;
   mem : int array; (* volatile *)
   snapshot : int array; (* "disk": survives crash *)
+  snap_sums : int array; (* per-page CRC of the intended snapshot page *)
   stable : Stable_memory.t; (* dirty-page table host *)
+  faults : Fault_plan.t;
   mutable scrambled : bool;
 }
 
-let create ?(page_io_time = 10e-3) ~nrecords ~records_per_page ~stable () =
+let npages_of ~nrecords ~records_per_page =
+  (nrecords + records_per_page - 1) / records_per_page
+
+let page_sum t page =
+  let lo = page * t.records_per_page in
+  let hi = min (Array.length t.snapshot) (lo + t.records_per_page) in
+  Mmdb_util.Checksum.crc32_ints t.snapshot ~pos:lo ~len:(hi - lo)
+
+let create ?(page_io_time = 10e-3) ?faults ~nrecords ~records_per_page
+    ~stable () =
   if nrecords <= 0 then invalid_arg "Kv_store.create: nrecords <= 0";
   if records_per_page <= 0 then
     invalid_arg "Kv_store.create: records_per_page <= 0";
-  {
-    page_io_time;
-    records_per_page;
-    mem = Array.make nrecords 0;
-    snapshot = Array.make nrecords 0;
-    stable;
-    scrambled = false;
-  }
+  let t =
+    {
+      page_io_time;
+      records_per_page;
+      mem = Array.make nrecords 0;
+      snapshot = Array.make nrecords 0;
+      snap_sums = Array.make (npages_of ~nrecords ~records_per_page) 0;
+      stable;
+      faults = (match faults with Some f -> f | None -> Fault_plan.none ());
+      scrambled = false;
+    }
+  in
+  for p = 0 to Array.length t.snap_sums - 1 do
+    t.snap_sums.(p) <- page_sum t p
+  done;
+  t
 
 let nrecords t = Array.length t.mem
 
 let npages t =
-  (Array.length t.mem + t.records_per_page - 1) / t.records_per_page
+  npages_of ~nrecords:(Array.length t.mem)
+    ~records_per_page:t.records_per_page
 
 let check_slot t slot =
   if slot < 0 || slot >= Array.length t.mem then
@@ -47,21 +70,63 @@ let apply_update t ~lsn ~slot ~value =
 
 type checkpoint_stats = { pages_flushed : int; duration : float }
 
-let checkpoint t =
+(* Write one dirty page to the snapshot, recording the checksum of the
+   intended image.  A rule at the Snapshot site can rot the stored page
+   (bit flip at rest): the recorded sum then disagrees with the stored
+   data, which is how recovery detects the damage. *)
+let write_snapshot_page t page =
+  let lo = page * t.records_per_page in
+  let hi = min (Array.length t.mem) (lo + t.records_per_page) in
+  Array.blit t.mem lo t.snapshot lo (hi - lo);
+  t.snap_sums.(page) <-
+    Mmdb_util.Checksum.crc32_ints t.mem ~pos:lo ~len:(hi - lo);
+  if Fault_plan.is_active t.faults then begin
+    match Fault_plan.draw t.faults Fault.Snapshot with
+    | Some (Fault.Bit_flip_rest | Fault.Bit_flip_read) ->
+      let slot = lo + Fault_plan.rand_int t.faults (hi - lo) in
+      let bit = Fault_plan.rand_int t.faults 31 in
+      t.snapshot.(slot) <- t.snapshot.(slot) lxor (1 lsl bit);
+      Fault_plan.note_injected t.faults ~code:"FAULT002" ~site:"snapshot"
+        (Printf.sprintf "snapshot page %d slot %d bit %d flipped at rest"
+           page slot bit)
+    | Some (Fault.Torn_write | Fault.Io_transient _ | Fault.Battery_droop _)
+    | None -> ()
+  end
+
+(* Fuzzy checkpoint.  Pages are swept in sorted order (deterministic
+   across OCaml versions; Hashtbl iteration order is not).  When [now]
+   and [deadline] are given, the sweep is cut short once the next page
+   write would finish past the deadline — a crash mid-checkpoint.  Pages
+   not reached keep their dirty-table entries, so redo still covers
+   them. *)
+let checkpoint ?now ?deadline t =
   let dirty =
     Stable_memory.table_fold t.stable ~init:[] ~f:(fun acc ~key ~value ->
         ignore value;
         key :: acc)
+    |> List.sort compare
+  in
+  let written = ref 0 in
+  let cutoff =
+    match (now, deadline) with
+    | Some n, Some d -> Some (n, d)
+    | (Some _ | None), (Some _ | None) -> None
   in
   List.iter
     (fun page ->
-      let lo = page * t.records_per_page in
-      let hi = min (Array.length t.mem) (lo + t.records_per_page) in
-      Array.blit t.mem lo t.snapshot lo (hi - lo);
-      Stable_memory.table_remove t.stable ~key:page)
+      let fits =
+        match cutoff with
+        | None -> true
+        | Some (n, d) ->
+          n +. (float_of_int (!written + 1) *. t.page_io_time) <= d
+      in
+      if fits then begin
+        write_snapshot_page t page;
+        Stable_memory.table_remove t.stable ~key:page;
+        incr written
+      end)
     dirty;
-  let n = List.length dirty in
-  { pages_flushed = n; duration = float_of_int n *. t.page_io_time }
+  { pages_flushed = !written; duration = float_of_int !written *. t.page_io_time }
 
 let dirty_pages t =
   Stable_memory.table_fold t.stable ~init:0 ~f:(fun acc ~key:_ ~value:_ ->
@@ -84,13 +149,30 @@ type recover_stats = {
   redo_applied : int;
   undo_applied : int;
   snapshot_pages_read : int;
+  pages_rebuilt : int;
   recovery_time : float;
 }
 
 let recover t ~log =
-  (* Load the snapshot. *)
+  (* Load the snapshot, verifying each page against its recorded sum
+     when faults are armed.  A corrupt page is detected (FAULT002),
+     reset to its initial state, and rebuilt by replaying the *whole*
+     log for its slots (FAULT009) — the snapshot copy is untrusted, so
+     redo for that page cannot start at the checkpoint LSN. *)
   Array.blit t.snapshot 0 t.mem 0 (Array.length t.mem);
   t.scrambled <- false;
+  let corrupt = Hashtbl.create 4 in
+  if Fault_plan.is_active t.faults then
+    for page = 0 to npages t - 1 do
+      if page_sum t page <> t.snap_sums.(page) then begin
+        Fault_plan.note_detected t.faults ~code:"FAULT002" ~site:"snapshot"
+          (Printf.sprintf "snapshot page %d checksum mismatch" page);
+        Hashtbl.replace corrupt page ();
+        let lo = page * t.records_per_page in
+        let hi = min (Array.length t.mem) (lo + t.records_per_page) in
+        Array.fill t.mem lo (hi - lo) 0
+      end
+    done;
   let committed = Hashtbl.create 64 in
   (* Aborted transactions logged their own compensating updates before the
      Abort record (ARIES-style), so like committed transactions they are
@@ -127,10 +209,22 @@ let recover t ~log =
   let scanned = ref 0 in
   let redo = ref 0 in
   let scan_bytes = ref 0 in
-  (* Redo phase: reapply every update from the recovery start point. *)
+  (* Redo phase: reapply every update from the recovery start point, plus
+     every update (any LSN) touching a page being rebuilt. *)
   List.iter
     (fun r ->
-      if Log_record.lsn r >= scan_start then begin
+      let in_scan = Log_record.lsn r >= scan_start in
+      let rebuilds =
+        (not in_scan)
+        && Hashtbl.length corrupt > 0
+        &&
+        match r with
+        | Log_record.Update { slot; _ } ->
+          Hashtbl.mem corrupt (page_of t slot)
+        | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _
+        | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _ -> false
+      in
+      if in_scan || rebuilds then begin
         incr scanned;
         scan_bytes :=
           !scan_bytes + Log_record.size_bytes ~compressed:false r;
@@ -156,6 +250,15 @@ let recover t ~log =
       | Log_record.Abort _ | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _
         -> ())
     (List.rev log);
+  (* The rebuilt pages are now good: re-checkpoint them so the snapshot
+     and its sums are consistent again. *)
+  let rebuilt = Hashtbl.length corrupt in
+  Hashtbl.iter
+    (fun page () ->
+      write_snapshot_page t page;
+      Fault_plan.note_repaired t.faults ~code:"FAULT009" ~site:"snapshot"
+        (Printf.sprintf "snapshot page %d rebuilt from log replay" page))
+    corrupt;
   Stable_memory.table_clear t.stable;
   (* Log reading cost: sequential pages of ~10 ms over the scanned
      suffix. *)
@@ -166,7 +269,9 @@ let recover t ~log =
     redo_applied = !redo;
     undo_applied = !undo;
     snapshot_pages_read = npages t;
-    recovery_time = float_of_int (npages t + log_pages) *. t.page_io_time;
+    pages_rebuilt = rebuilt;
+    recovery_time =
+      float_of_int (npages t + log_pages + rebuilt) *. t.page_io_time;
   }
 
 let balances t =

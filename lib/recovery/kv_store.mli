@@ -10,12 +10,16 @@
 
 type t
 
-val create : ?page_io_time:float -> nrecords:int -> records_per_page:int ->
-  stable:Stable_memory.t -> unit -> t
+val create : ?page_io_time:float -> ?faults:Mmdb_fault.Fault_plan.t ->
+  nrecords:int -> records_per_page:int -> stable:Stable_memory.t ->
+  unit -> t
 (** All balances start at 0; the disk snapshot starts clean.  The
     dirty-page table lives in [stable] (it survives crashes).
     [page_io_time] (default 10 ms) prices checkpoint writes and recovery
-    reads. *)
+    reads.  With [faults] armed, snapshot pages carry out-of-band CRCs:
+    checkpoint writes can be rotted by a [Snapshot]-site rule, and
+    {!recover} detects (FAULT002) and rebuilds (FAULT009) damaged
+    pages. *)
 
 val nrecords : t -> int
 val npages : t -> int
@@ -30,11 +34,15 @@ val apply_update : t -> lsn:int -> slot:int -> value:int -> unit
 
 type checkpoint_stats = { pages_flushed : int; duration : float }
 
-val checkpoint : t -> checkpoint_stats
+val checkpoint : ?now:float -> ?deadline:float -> t -> checkpoint_stats
 (** Fuzzy checkpoint: "data pages are periodically written to disk by a
     background process that sweeps through data buffers to find dirty
-    pages."  Writes every dirty page to the snapshot, clears its
-    dirty-table entry, and reports cost (serial page writes). *)
+    pages."  Writes every dirty page (sorted page order) to the
+    snapshot, clears its dirty-table entry, and reports cost (serial
+    page writes).  When both [now] and [deadline] are given, the sweep
+    stops before the page write that would complete after [deadline] —
+    modelling a crash mid-checkpoint; unwritten pages keep their
+    dirty-table entries so redo still covers them. *)
 
 val dirty_pages : t -> int
 
@@ -54,6 +62,7 @@ type recover_stats = {
   redo_applied : int;
   undo_applied : int;
   snapshot_pages_read : int;
+  pages_rebuilt : int;  (** corrupt snapshot pages rebuilt from the log *)
   recovery_time : float;
 }
 
@@ -61,7 +70,9 @@ val recover : t -> log:Log_record.t list -> recover_stats
 (** Rebuild memory from the snapshot plus the durable [log] (LSN order):
     redo every update from {!recovery_start_lsn} onward, then undo, in
     reverse order, updates of transactions with no commit record in
-    [log].  Resets the dirty-page table. *)
+    [log].  Resets the dirty-page table.  With faults armed, snapshot
+    pages failing their CRC are reset and rebuilt by replaying the whole
+    log for their slots, then re-checkpointed (FAULT009). *)
 
 val balances : t -> int array
 (** Copy of the in-memory state (test oracle). *)

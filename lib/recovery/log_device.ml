@@ -1,22 +1,33 @@
-type page = { completion : float; records : Log_record.t list }
+module Fault = Mmdb_fault.Fault
+module Fault_plan = Mmdb_fault.Fault_plan
+
+type page = {
+  start : float; (* when the device began writing this page *)
+  completion : float;
+  protected : bool; (* battery-backed: durable from [start] *)
+  records : Log_record.t list;
+  image : bytes option; (* physical encoding; built when faults armed *)
+}
 
 type t = {
   page_write_time : float;
   page_size : int;
   clock : Mmdb_storage.Sim_clock.t;
+  faults : Fault_plan.t;
   mutable busy : float;
   mutable pages : page list; (* reversed *)
   mutable npages : int;
   mutable nbytes : int;
 }
 
-let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ~clock () =
+let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ?faults ~clock () =
   if page_write_time <= 0.0 then invalid_arg "Log_device: write time <= 0";
   if page_bytes <= 0 then invalid_arg "Log_device: page_bytes <= 0";
   {
     page_write_time;
     page_size = page_bytes;
     clock;
+    faults = (match faults with Some f -> f | None -> Fault_plan.none ());
     busy = 0.0;
     pages = [];
     npages = 0;
@@ -25,15 +36,76 @@ let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ~clock () =
 
 let page_bytes t = t.page_size
 
-let write_page t ~at records ~bytes =
+let encode_records ~compressed records =
+  let total =
+    List.fold_left
+      (fun acc r -> acc + Log_record.size_bytes ~compressed r)
+      0 records
+  in
+  let buf = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun r -> off := !off + Log_record.encode_into ~compressed r buf ~pos:!off)
+    records;
+  buf
+
+let flip_bit data bit =
+  let i = bit / 8 in
+  Bytes.set data i
+    (Char.chr (Char.code (Bytes.get data i) lxor (1 lsl (bit mod 8))))
+
+let write_page t ?(protected = false) ?(compressed = false) ~at records ~bytes
+    =
   if bytes > t.page_size then
     invalid_arg
       (Printf.sprintf "Log_device.write_page: %d bytes exceed page size %d"
          bytes t.page_size);
-  let start = Float.max at t.busy in
+  let armed = Fault_plan.is_active t.faults in
+  (* Transient device errors delay the write: each failed attempt waits
+     out a backoff before the controller retries. *)
+  let delay =
+    if not armed then 0.0
+    else
+      match Fault_plan.draw t.faults Fault.Log_write with
+      | Some (Fault.Io_transient { failures }) ->
+        Fault_plan.note_injected t.faults ~code:"FAULT003" ~site:"log.write"
+          (Printf.sprintf "%d transient failure(s)" failures);
+        if failures > Fault_plan.max_io_retries then
+          Fault.io_error ~code:"FAULT004" ~site:"log.write"
+            (Printf.sprintf "still failing after %d retries"
+               Fault_plan.max_io_retries)
+        else begin
+          let d = ref 0.0 in
+          for attempt = 1 to failures do
+            Fault_plan.note_retried t.faults;
+            d := !d +. Fault_plan.retry_backoff ~attempt
+          done;
+          !d
+        end
+      | Some Fault.Bit_flip_rest -> -1.0 (* sentinel: damage image below *)
+      | Some
+          (Fault.Torn_write | Fault.Bit_flip_read | Fault.Battery_droop _)
+      | None -> 0.0
+  in
+  let rot_at_rest = delay < 0.0 in
+  let delay = Float.max delay 0.0 in
+  let image =
+    if not armed then None
+    else begin
+      let img = encode_records ~compressed records in
+      if rot_at_rest && Bytes.length img > 0 then begin
+        let bit = Fault_plan.rand_int t.faults (8 * Bytes.length img) in
+        flip_bit img bit;
+        Fault_plan.note_injected t.faults ~code:"FAULT002" ~site:"log.write"
+          (Printf.sprintf "log page %d bit %d flipped at rest" t.npages bit)
+      end;
+      Some img
+    end
+  in
+  let start = Float.max (at +. delay) t.busy in
   let completion = start +. t.page_write_time in
   t.busy <- completion;
-  t.pages <- { completion; records } :: t.pages;
+  t.pages <- { start; completion; protected; records; image } :: t.pages;
   t.npages <- t.npages + 1;
   t.nbytes <- t.nbytes + bytes;
   (* Keep the shared clock monotone with device activity. *)
@@ -44,14 +116,95 @@ let busy_until t = t.busy
 let pages_written t = t.npages
 let bytes_written t = t.nbytes
 
+let page_durable p ~at =
+  p.completion <= at || (p.protected && p.start <= at)
+
 let durable_records t ~at =
   List.concat_map
-    (fun p -> if p.completion <= at then p.records else [])
+    (fun p -> if page_durable p ~at then p.records else [])
     (List.rev t.pages)
 
 let durable_pages t ~at =
   List.filter_map
-    (fun p -> if p.completion <= at then Some (p.completion, p.records) else None)
+    (fun p ->
+      if page_durable p ~at then Some (p.completion, p.records) else None)
     (List.rev t.pages)
 
 let all_records t = List.concat_map (fun p -> p.records) (List.rev t.pages)
+
+let page_spans t =
+  List.rev_map (fun p -> (p.start, p.completion)) t.pages
+
+(* Decode a (possibly damaged) page image, riding out transient read
+   faults: a checksum failure triggers a reread; if the fresh copy decodes
+   cleanly the flip was in flight (repaired), otherwise the damage is on
+   the medium and the checksum-valid prefix is all that survives. *)
+let decode_image t ~idx img =
+  let read_once ~inject =
+    let copy = Bytes.copy img in
+    (if inject && Bytes.length copy > 0 then
+       match Fault_plan.draw t.faults Fault.Log_read with
+       | Some Fault.Bit_flip_read ->
+         let bit = Fault_plan.rand_int t.faults (8 * Bytes.length copy) in
+         flip_bit copy bit;
+         Fault_plan.note_injected t.faults ~code:"FAULT002" ~site:"log.read"
+           (Printf.sprintf "log page %d bit %d flipped in flight" idx bit)
+       | Some
+           ( Fault.Torn_write | Fault.Bit_flip_rest | Fault.Io_transient _
+           | Fault.Battery_droop _ )
+       | None -> ());
+    Log_record.decode_run copy ~pos:0 ~len:(Bytes.length copy)
+  in
+  match read_once ~inject:true with
+  | records, None -> records
+  | first_records, Some err -> (
+    Fault_plan.note_detected t.faults ~code:"FAULT002" ~site:"log.read"
+      (Printf.sprintf "log page %d: %s" idx err);
+    match read_once ~inject:false with
+    | records, None ->
+      Fault_plan.note_repaired t.faults ~code:"FAULT002" ~site:"log.read"
+        (Printf.sprintf "log page %d clean on reread" idx);
+      records
+    | records, Some err2 ->
+      (* Same damage twice: it is on the medium.  Keep the valid prefix. *)
+      Fault_plan.note_unrecoverable t.faults ~code:"FAULT011" ~site:"log.read"
+        (Printf.sprintf "log page %d corrupt at rest: %s" idx err2);
+      ignore first_records;
+      records)
+
+let surviving_pages t ~at =
+  if not (Fault_plan.is_active t.faults) then durable_pages t ~at
+  else
+    let pages = List.rev t.pages in
+    List.concat
+      (List.mapi
+         (fun idx p ->
+           if page_durable p ~at then
+             match p.image with
+             | None -> [ (p.completion, p.records) ]
+             | Some img -> [ (p.completion, decode_image t ~idx img) ]
+           else if p.start <= at && at < p.completion && not p.protected then
+             (* The page in flight at the crash: with a torn-write rule
+                armed, a checksum-valid prefix of it persists. *)
+             match (Fault_plan.peek t.faults Fault.Log_write, p.image) with
+             | Some Fault.Torn_write, Some img when Bytes.length img > 0 ->
+               let cut = Fault_plan.rand_int t.faults (Bytes.length img) in
+               Fault_plan.note_injected t.faults ~code:"FAULT001"
+                 ~site:"log.write"
+                 (Printf.sprintf "log page %d torn after byte %d" idx cut);
+               let prefix = Bytes.sub img 0 cut in
+               let records, err =
+                 Log_record.decode_run prefix ~pos:0 ~len:cut
+               in
+               (match err with
+               | Some e ->
+                 Fault_plan.note_detected t.faults ~code:"FAULT008"
+                   ~site:"log.read"
+                   (Printf.sprintf
+                      "log page %d tail truncated at last valid record (%s)"
+                      idx e)
+               | None -> ());
+               [ (p.completion, records) ]
+             | _ -> []
+           else [])
+         pages)

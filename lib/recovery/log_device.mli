@@ -9,16 +9,25 @@
 type t
 
 val create : ?page_write_time:float -> ?page_bytes:int ->
-  clock:Mmdb_storage.Sim_clock.t -> unit -> t
-(** Defaults: 10 ms, 4096 bytes. *)
+  ?faults:Mmdb_fault.Fault_plan.t -> clock:Mmdb_storage.Sim_clock.t ->
+  unit -> t
+(** Defaults: 10 ms, 4096 bytes, no faults.  With [faults] armed, every
+    page also stores a physical image (checksummed per record, see
+    {!Log_record.encode}) and write/read faults fire at the device. *)
 
 val page_bytes : t -> int
 
-val write_page : t -> at:float -> Log_record.t list -> bytes:int -> float
+val write_page : t -> ?protected:bool -> ?compressed:bool -> at:float ->
+  Log_record.t list -> bytes:int -> float
 (** [write_page d ~at records ~bytes] schedules a page write issued at
     simulated time [at]; returns the completion time.  [bytes] is the
     payload size (tracked for the log-size experiments; must not exceed
-    the page size). *)
+    the page size).  [protected] marks a battery-backed write, durable
+    from issue rather than completion (the stable-drain simplification
+    documented in DESIGN.md); [compressed] selects the record encoding
+    used for the page image.
+    @raise Mmdb_fault.Fault.Io_error (FAULT004) when an injected
+    transient error outlives the retry budget. *)
 
 val busy_until : t -> float
 (** Completion time of the last scheduled write (0 if idle since start). *)
@@ -36,3 +45,17 @@ val durable_pages : t -> at:float -> (float * Log_record.t list) list
 
 val all_records : t -> Log_record.t list
 (** Every record ever scheduled (test helper). *)
+
+val page_spans : t -> (float * float) list
+(** [(start, completion)] of every page written, oldest first — the
+    torture harness derives mid-page-write crash points from these. *)
+
+val surviving_pages : t -> at:float -> (float * Log_record.t list) list
+(** What recovery actually reads after a crash at [at].  Without an
+    armed fault plan this is exactly {!durable_pages}.  With faults:
+    durable page images are decoded record by record (transient read
+    flips are detected by CRC and repaired by reread; at-rest damage
+    truncates the page at its last valid record, FAULT011), and the page
+    {e in flight} at the crash survives as a checksum-valid prefix when
+    a torn-write rule is armed (FAULT001/FAULT008) instead of vanishing
+    wholesale. *)

@@ -44,3 +44,142 @@ let pp ppf = function
       new_value
   | Ckpt_begin { lsn } -> Format.fprintf ppf "[%d] CKPT-BEGIN" lsn
   | Ckpt_end { lsn } -> Format.fprintf ppf "[%d] CKPT-END" lsn
+
+(* Wire encoding.  Each record occupies exactly [size_bytes] bytes — the
+   model sizes double as the physical layout, so byte accounting and
+   serialization can never disagree.  Fields are little-endian; the last
+   four bytes hold a CRC-32 of the record with those bytes zeroed.  The
+   tag distinguishes full (60-byte) from compressed (30-byte) updates,
+   so decoding needs no out-of-band compression flag. *)
+
+let tag_of ~compressed = function
+  | Begin _ -> 1
+  | Update _ -> if compressed then 7 else 2
+  | Commit _ -> 3
+  | Abort _ -> 4
+  | Ckpt_begin _ -> 5
+  | Ckpt_end _ -> 6
+
+let size_of_tag = function
+  | 1 | 3 | 4 | 5 | 6 -> Some 20
+  | 2 -> Some 60
+  | 7 -> Some 30
+  | _ -> None
+
+let put32 b off v =
+  for i = 0 to 3 do
+    Bytes.set b (off + i) (Char.chr ((v asr (8 * i)) land 0xFF))
+  done
+
+let get32 b off =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  (* sign-extend from 32 bits *)
+  (!v lxor 0x80000000) - 0x80000000
+
+let put64 b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i) (Char.chr ((v asr (8 * i)) land 0xFF))
+  done
+
+let get64 b off =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let encode_into ~compressed r buf ~pos =
+  let size = size_bytes ~compressed r in
+  if pos < 0 || pos + size > Bytes.length buf then
+    invalid_arg "Log_record.encode_into: out of bounds";
+  Bytes.fill buf pos size '\000';
+  Bytes.set buf pos (Char.chr (tag_of ~compressed r));
+  put32 buf (pos + 1) (lsn r);
+  put32 buf (pos + 5) (match txn r with Some t -> t | None -> 0);
+  (match r with
+  | Update { slot; old_value; new_value; _ } ->
+    put32 buf (pos + 9) slot;
+    if compressed then put64 buf (pos + 13) new_value
+    else begin
+      put64 buf (pos + 13) old_value;
+      put64 buf (pos + 21) new_value
+    end
+  | Begin _ | Commit _ | Abort _ | Ckpt_begin _ | Ckpt_end _ -> ());
+  let crc = Mmdb_util.Checksum.crc32 buf ~pos ~len:(size - 4) in
+  put32 buf (pos + size - 4) crc;
+  size
+
+let encode ~compressed r =
+  let buf = Bytes.create (size_bytes ~compressed r) in
+  ignore (encode_into ~compressed r buf ~pos:0);
+  buf
+
+let decode buf ~pos =
+  let avail = Bytes.length buf - pos in
+  if avail < 1 then Error "empty"
+  else
+    match size_of_tag (Char.code (Bytes.get buf pos)) with
+    | None -> Error (Printf.sprintf "bad tag %d" (Char.code (Bytes.get buf pos)))
+    | Some size when avail < size ->
+      Error (Printf.sprintf "truncated record: %d of %d bytes" avail size)
+    | Some size ->
+      let crc = Mmdb_util.Checksum.crc32 buf ~pos ~len:(size - 4) in
+      let stored = get32 buf (pos + size - 4) land 0xFFFFFFFF in
+      if crc <> stored then Error "checksum mismatch"
+      else begin
+        let tag = Char.code (Bytes.get buf pos) in
+        let lsn = get32 buf (pos + 1) in
+        let txn = get32 buf (pos + 5) in
+        let r =
+          match tag with
+          | 1 -> Begin { txn; lsn }
+          | 3 -> Commit { txn; lsn }
+          | 4 -> Abort { txn; lsn }
+          | 5 -> Ckpt_begin { lsn }
+          | 6 -> Ckpt_end { lsn }
+          | 2 ->
+            Update
+              {
+                txn;
+                lsn;
+                slot = get32 buf (pos + 9);
+                old_value = get64 buf (pos + 13);
+                new_value = get64 buf (pos + 21);
+              }
+          | 7 ->
+            (* Compressed: the old value was dropped (§5.4) — legal only
+               for transactions known committed, which are never undone. *)
+            Update
+              {
+                txn;
+                lsn;
+                slot = get32 buf (pos + 9);
+                old_value = 0;
+                new_value = get64 buf (pos + 13);
+              }
+          | _ -> assert false
+        in
+        Ok (r, size)
+      end
+
+let decode_run buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Log_record.decode_run: out of bounds";
+  let rec go off acc =
+    if off >= pos + len then (List.rev acc, None)
+    else if Bytes.get buf off = '\000' then (List.rev acc, None)
+      (* zero padding after the last record of a partly-filled page *)
+    else
+      match decode buf ~pos:off with
+      | Ok (r, size) when off + size <= pos + len -> go (off + size) (r :: acc)
+      | Ok _ ->
+        (* The record straddles the window's end.  The bytes past it may
+           well decode (a torn write cut at a record boundary leaves the
+           page's stale tail intact), but they are not part of this run. *)
+        (List.rev acc, Some "record truncated at end of window")
+      | Error e -> (List.rev acc, Some e)
+  in
+  go pos []

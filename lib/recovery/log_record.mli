@@ -44,3 +44,33 @@ val size_bytes : compressed:bool -> t -> int
 val is_update : t -> bool
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Wire encoding}
+
+    Each record serializes to exactly [size_bytes] bytes — the model
+    sizes double as the physical layout — with a CRC-32 of the record in
+    its last four bytes.  Log pages are runs of encoded records; a torn
+    page write leaves a prefix whose first damaged record fails its CRC,
+    which is how recovery finds the last valid record of the tail. *)
+
+val encode : compressed:bool -> t -> bytes
+(** Standalone encoding, [size_bytes ~compressed] long. *)
+
+val encode_into : compressed:bool -> t -> bytes -> pos:int -> int
+(** [encode_into ~compressed r buf ~pos] writes the encoding at [pos]
+    and returns the number of bytes written.
+    @raise Invalid_argument if the record does not fit. *)
+
+val decode : bytes -> pos:int -> (t * int, string) result
+(** [decode buf ~pos] reads one record, returning it with its encoded
+    size, or [Error] on a bad tag, truncation, or CRC mismatch.
+    Compressed updates decode with [old_value = 0]: the old value was
+    dropped (§5.4), legal only for transactions known committed, which
+    are never undone. *)
+
+val decode_run : bytes -> pos:int -> len:int -> t list * string option
+(** Decode a packed run of records, stopping at zero padding, the end of
+    the window, or the first undecodable byte.  Returns the records that
+    decoded cleanly and the error that stopped the walk, if any — the
+    torn-tail truncation primitive: everything before the error is
+    checksum-valid, everything after is discarded. *)

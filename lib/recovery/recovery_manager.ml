@@ -1,5 +1,7 @@
 module U = Mmdb_util
 module S = Mmdb_storage
+module Fault = Mmdb_fault.Fault
+module Fault_plan = Mmdb_fault.Fault_plan
 
 type config = {
   nrecords : int;
@@ -9,6 +11,8 @@ type config = {
   checkpoint_every : int option;
   strategy : Wal.strategy;
   crash_after : int option;
+  crash_at : float option;
+  faults : Fault_plan.rule list;
   seed : int;
 }
 
@@ -21,12 +25,17 @@ let default_config =
     checkpoint_every = Some 500;
     strategy = Wal.Group_commit;
     crash_after = None;
+    crash_at = None;
+    faults = [];
     seed = 7;
   }
 
 type outcome = {
   durably_committed : int;
   submitted : int;
+  acked_committed : int;
+  acked_lost : int;
+  durability_ok : bool;
   consistent : bool;
   money_conserved : bool;
   recover_stats : Kv_store.recover_stats;
@@ -36,16 +45,26 @@ type outcome = {
   log_disk_bytes : int;
   log_records : Log_record.t list;
   durable_log : Log_record.t list;
+  page_spans : (float * float) list;
+  fault_tally : Fault.tally;
+  fault_events : (string * int) list;
 }
 
 let run cfg =
   let rng = U.Xorshift.create cfg.seed in
   let clock = S.Sim_clock.create () in
-  let wal = Wal.create ~clock cfg.strategy in
+  let plan = Fault_plan.create ~seed:cfg.seed cfg.faults in
+  (* Crashes that can land mid-page-write (crash_at, or any fault rule)
+     need within-transaction page ordering: without it a straddling
+     transaction's commit record can become durable on an idle log device
+     while its update records are still in flight on a busier one.  The
+     legacy quiesce-point model keeps the seed's fully parallel timing. *)
+  let strict_page_order = cfg.crash_at <> None || cfg.faults <> [] in
+  let wal = Wal.create ~faults:plan ~strict_page_order ~clock cfg.strategy in
   let locks = Lock_manager.create () in
   let stable = Stable_memory.create ~capacity_bytes:(1 lsl 20) in
   let kv =
-    Kv_store.create ~nrecords:cfg.nrecords
+    Kv_store.create ~faults:plan ~nrecords:cfg.nrecords
       ~records_per_page:cfg.records_per_page ~stable ()
   in
   let n_submit =
@@ -56,6 +75,10 @@ let run cfg =
       k
     | None -> cfg.n_txns
   in
+  (match cfg.crash_at with
+  | Some ct when ct < 0.0 ->
+    invalid_arg "Recovery_manager: crash_at must be nonnegative"
+  | Some _ | None -> ());
   let txns =
     Workload.generate ~rng ~nrecords:cfg.nrecords
       ~updates_per_txn:cfg.updates_per_txn ~n:cfg.n_txns ()
@@ -67,11 +90,25 @@ let run cfg =
   in
   let checkpoints = ref 0 in
   let checkpoint_pages = ref 0 in
+  (* A fuzzy-checkpoint bracket stays open until some sweep finishes the
+     whole dirty set: a sweep cut short by the crash deadline must not
+     open a second bracket (nested Ckpt_begin is a LOG007 protocol
+     violation); the next attempt resumes the open one. *)
+  let ckpt_open = ref false in
   let arrival i = float_of_int i *. 1e-3 in
   let crash_time = ref 0.0 in
+  let tickets = ref [] in
+  (* With crash_at set, the crash interrupts the run at an absolute
+     simulated time: submissions at or after it never happen, and device
+     writes still in flight at that moment are lost (or torn, when a
+     torn-write rule is armed). *)
+  let submits i =
+    i < n_submit
+    && match cfg.crash_at with Some ct -> arrival i < ct | None -> true
+  in
   List.iteri
     (fun i (txn : Workload.txn) ->
-      if i < n_submit then begin
+      if submits i then begin
         let at = arrival i in
         crash_time := at;
         let deps =
@@ -110,34 +147,119 @@ let run cfg =
             ]
         in
         ignore (Lock_manager.precommit locks ~txn:txn.Workload.txn_id);
-        ignore (Wal.commit_txn wal ~at ~txn:txn.Workload.txn_id ~deps records);
+        let tkt = Wal.commit_txn wal ~at ~txn:txn.Workload.txn_id ~deps records in
+        tickets := (txn.Workload.txn_id, tkt) :: !tickets;
         (match cfg.checkpoint_every with
         | Some every when (i + 1) mod every = 0 ->
-          Wal.log_control wal ~at
-            [ Log_record.Ckpt_begin { lsn = next_lsn () } ];
-          (* WAL rule: the log is flushed before data pages go out. *)
-          ignore (Wal.flush wal ~at);
-          let st = Kv_store.checkpoint kv in
-          Wal.log_control wal ~at
-            [ Log_record.Ckpt_end { lsn = next_lsn () } ];
-          incr checkpoints;
-          checkpoint_pages := !checkpoint_pages + st.Kv_store.pages_flushed
+          if not !ckpt_open then begin
+            Wal.log_control wal ~at
+              [ Log_record.Ckpt_begin { lsn = next_lsn () } ];
+            ckpt_open := true
+          end;
+          (* WAL rule: the log is flushed before data pages go out.  The
+             flush call returns when its own page completes, but earlier
+             pages may still sit in the device queues (conventional
+             commit builds a deep one) — the sweeper must also wait for
+             those, since the page images it writes reflect updates
+             whose log records ride them. *)
+          let flush_done = Wal.flush wal ~at in
+          let log_durable = Float.max flush_done (Wal.quiesce_time wal) in
+          (match cfg.crash_at with
+          | Some ct when log_durable > ct ->
+            (* The crash lands before the log is durable: the background
+               sweeper never starts, so no data page of this checkpoint
+               reaches the snapshot and no Ckpt_end is logged.
+               Log_check tolerates the open bracket. *)
+            ()
+          | Some ct ->
+            let st = Kv_store.checkpoint ~now:log_durable ~deadline:ct kv in
+            checkpoint_pages := !checkpoint_pages + st.Kv_store.pages_flushed;
+            if Kv_store.dirty_pages kv = 0 then begin
+              (* Complete sweep: certify it. *)
+              Wal.log_control wal ~at
+                [ Log_record.Ckpt_end { lsn = next_lsn () } ];
+              ckpt_open := false;
+              incr checkpoints
+            end
+          | None ->
+            let st = Kv_store.checkpoint kv in
+            Wal.log_control wal ~at
+              [ Log_record.Ckpt_end { lsn = next_lsn () } ];
+            ckpt_open := false;
+            incr checkpoints;
+            checkpoint_pages := !checkpoint_pages + st.Kv_store.pages_flushed)
         | Some _ | None -> ())
       end)
     txns;
-  (* Crash.  With crash_after set, all scheduled device writes complete
-     (the crash hits while the system is otherwise idle) but the
-     never-scheduled buffer tail — e.g. a partially filled commit group —
-     is lost.  Without it, flush everything first (clean shutdown, then
-     crash). *)
+  (* Crash.  With crash_at, the crash hits at that exact simulated time —
+     possibly mid-drain or mid-page-write.  With crash_after, all
+     scheduled device writes complete (the crash hits while the system is
+     otherwise idle) but the never-scheduled buffer tail — e.g. a
+     partially filled commit group — is lost.  With neither, flush
+     everything first (clean shutdown, then crash). *)
   let crash_at =
-    match cfg.crash_after with
-    | Some _ -> Float.max !crash_time (Wal.quiesce_time wal)
-    | None ->
+    match (cfg.crash_at, cfg.crash_after) with
+    | Some ct, _ -> ct
+    | None, Some _ -> Float.max !crash_time (Wal.quiesce_time wal)
+    | None, None ->
       let done_at = Wal.flush wal ~at:!crash_time in
       Float.max done_at (Wal.quiesce_time wal) +. 1.0
   in
-  let durable = Wal.durable_records wal ~at:crash_at in
+  let durable = Wal.surviving_records wal ~at:crash_at in
+  (* Demote transactions whose durable record set is incomplete: media
+     damage (at-rest bit rot truncating an already-durable page) can
+     leave a commit record standing while some of the transaction's
+     update records are gone.  Redoing such a commit would replay a
+     partial transaction.  LSNs are assigned consecutively per
+     transaction here, so completeness is checkable: Begin present and
+     exactly (terminator_lsn - begin_lsn + 1) records survived.
+     Dropping the terminator turns the remnant into a loser that undo
+     reverses cleanly. *)
+  let durable =
+    let stats = Hashtbl.create 64 in
+    (* txn -> (min_lsn, max_lsn, count, has_begin, terminator_lsn opt) *)
+    List.iter
+      (fun r ->
+        match Log_record.txn r with
+        | None -> ()
+        | Some tx ->
+          let l = Log_record.lsn r in
+          let mn, mx, n, hb, term =
+            match Hashtbl.find_opt stats tx with
+            | Some s -> s
+            | None -> (l, l, 0, false, None)
+          in
+          let hb =
+            hb || match r with Log_record.Begin _ -> true | _ -> false
+          in
+          let term =
+            match r with
+            | Log_record.Commit _ | Log_record.Abort _ -> Some l
+            | _ -> term
+          in
+          Hashtbl.replace stats tx (min mn l, max mx l, n + 1, hb, term))
+      durable;
+    let incomplete tx =
+      match Hashtbl.find_opt stats tx with
+      | Some (mn, mx, n, has_begin, Some term_lsn) ->
+        (not has_begin) || mn + n - 1 <> mx || term_lsn <> mx
+      | Some (_, _, _, _, None) | None -> false
+    in
+    List.filter
+      (fun r ->
+        match r with
+        | Log_record.Commit { txn; _ } | Log_record.Abort { txn; _ } ->
+          if incomplete txn then begin
+            Fault_plan.note_detected plan ~code:"FAULT008" ~site:"log.recover"
+              (Printf.sprintf
+                 "txn %d: incomplete durable record set; demoting" txn);
+            false
+          end
+          else true
+        | Log_record.Begin _ | Log_record.Update _ | Log_record.Ckpt_begin _
+        | Log_record.Ckpt_end _ -> true)
+      durable
+  in
   Kv_store.crash kv;
   let recover_stats = Kv_store.recover kv ~log:durable in
   (* Golden state: replay exactly the durably committed transactions. *)
@@ -158,9 +280,28 @@ let run cfg =
   let recovered = Kv_store.balances kv in
   let consistent = recovered = golden in
   let money_conserved = Array.fold_left ( + ) 0 recovered = 0 in
+  (* Durability audit: a transaction acknowledged committed before the
+     crash (its ticket resolved at or before crash time) must still be
+     committed after recovery.  Only a battery-droop fault can break
+     this — the loss is then visible in the unrecoverable tally. *)
+  let acked =
+    List.filter
+      (fun (_, tkt) ->
+        match Wal.ticket_completion tkt with
+        | Some c -> c <= crash_at
+        | None -> false)
+      !tickets
+  in
+  let acked_lost =
+    List.length
+      (List.filter (fun (txn, _) -> not (Hashtbl.mem committed txn)) acked)
+  in
   {
     durably_committed = Hashtbl.length committed;
-    submitted = n_submit;
+    submitted = List.length !tickets;
+    acked_committed = List.length acked;
+    acked_lost;
+    durability_ok = acked_lost = 0;
     consistent;
     money_conserved;
     recover_stats;
@@ -170,4 +311,7 @@ let run cfg =
     log_disk_bytes = Wal.disk_bytes_written wal;
     log_records = Wal.all_records wal;
     durable_log = durable;
+    page_spans = Wal.page_spans wal;
+    fault_tally = Fault.tally_copy (Fault_plan.tally plan);
+    fault_events = Fault_plan.event_counts plan;
   }

@@ -5,7 +5,15 @@
     checkpoints — crashes at a chosen point, recovers from the disk
     snapshot plus the durable log, and verifies the recovered state
     against a golden replay of exactly the durably-committed
-    transactions. *)
+    transactions.
+
+    Crashes land at a transaction boundary ([crash_after]) or at an
+    arbitrary simulated instant ([crash_at]) — including mid-drain,
+    mid-log-page-write, and mid-checkpoint.  An armed fault plan
+    additionally models torn writes, bit flips, transient I/O errors,
+    snapshot rot, and stable-memory battery droop; the outcome then
+    reports the fault tally and a durability audit of acknowledged
+    commits. *)
 
 type config = {
   nrecords : int;
@@ -17,22 +25,41 @@ type config = {
   crash_after : int option;
       (** crash right after this many submissions (the open log buffer is
           lost); [None] = run to completion, flush, then crash *)
+  crash_at : float option;
+      (** crash at this absolute simulated time, taking precedence over
+          [crash_after]'s quiesce behaviour: device writes still in
+          flight are lost (or torn, under a torn-write rule), a
+          checkpoint whose log flush outlives the crash never writes
+          data pages (WAL rule), and an in-progress sweep is cut short
+          at the page boundary *)
+  faults : Mmdb_fault.Fault_plan.rule list;
+      (** fault-injection rules, armed with a plan seeded by [seed] *)
   seed : int;
 }
 
 val default_config : config
 (** 500 accounts, 20 records/page, 6 updates/txn, 2000 transactions,
-    checkpoint every 500, group commit, crash at the end, seed 7. *)
+    checkpoint every 500, group commit, crash at the end, no faults,
+    seed 7. *)
 
 type outcome = {
   durably_committed : int;
       (** transactions whose commit records survived the crash *)
   submitted : int;
+  acked_committed : int;
+      (** transactions acknowledged committed before the crash (commit
+          ticket resolved at or before crash time) *)
+  acked_lost : int;
+      (** acknowledged transactions missing after recovery — nonzero
+          only under stable-memory battery droop (FAULT007) *)
+  durability_ok : bool;  (** [acked_lost = 0] *)
   consistent : bool;
       (** recovered state equals the golden replay of committed txns *)
   money_conserved : bool;  (** balances still sum to zero *)
   recover_stats : Kv_store.recover_stats;
   checkpoints_taken : int;
+      (** completed (bracket-certified) checkpoints; a sweep cut short by
+          the crash is not counted *)
   checkpoint_pages : int;
   log_pages : int;
   log_disk_bytes : int;
@@ -40,6 +67,12 @@ type outcome = {
       (** everything submitted to the WAL, in order (audit input) *)
   durable_log : Log_record.t list;
       (** what survived the crash — a possibly truncated prefix *)
+  page_spans : (float * float) list;
+      (** (start, completion) of every log-page write — crash-point
+          candidates for the torture harness *)
+  fault_tally : Mmdb_fault.Fault.tally;
+  fault_events : (string * int) list;
+      (** noted fault events grouped by FAULT code *)
 }
 
 val run : config -> outcome

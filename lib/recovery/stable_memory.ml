@@ -54,11 +54,33 @@ let drop_batch t =
   match Queue.pop t.batches with
   | b -> t.used_bytes <- t.used_bytes - b.bytes
   | exception Queue.Empty ->
-    invalid_arg "Stable_memory.drop_batch: empty"
+    Mmdb_fault.Fault.io_error ~code:"FAULT010" ~site:"stable"
+      "drop_batch on empty stable memory"
 
 let records t =
   List.concat_map (fun b -> b.records)
     (List.of_seq (Queue.to_seq t.batches))
+
+let batch_count t = Queue.length t.batches
+
+(* Battery-droop view: what survives a crash in which the battery could
+   only hold up the oldest part of stable memory.  Read-only — the crash
+   itself is simulated elsewhere. *)
+let records_dropping_newest t ~batches =
+  if batches < 0 then
+    invalid_arg "Stable_memory.records_dropping_newest: negative batches";
+  let n = Queue.length t.batches in
+  let keep = max 0 (n - batches) in
+  let kept = ref [] in
+  let lost = ref 0 in
+  let i = ref 0 in
+  Queue.iter
+    (fun b ->
+      if !i < keep then kept := List.rev_append b.records !kept
+      else lost := !lost + List.length b.records;
+      incr i)
+    t.batches;
+  (List.rev !kept, !lost)
 
 let table_put t ~key ~value = Hashtbl.replace t.table key value
 let table_get t ~key = Hashtbl.find_opt t.table key

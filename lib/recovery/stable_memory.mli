@@ -29,10 +29,19 @@ val peek_batch : t -> (Log_record.t list * int) option
     drainer pack disk pages by a different (compressed) size measure. *)
 
 val drop_batch : t -> unit
-(** Remove the oldest batch.  @raise Invalid_argument when empty. *)
+(** Remove the oldest batch.
+    @raise Mmdb_fault.Fault.Io_error (FAULT010) when empty. *)
 
 val records : t -> Log_record.t list
 (** Current contents, oldest first (what survives a crash). *)
+
+val batch_count : t -> int
+(** Number of undrained batches currently held. *)
+
+val records_dropping_newest : t -> batches:int -> Log_record.t list * int
+(** [records_dropping_newest sm ~batches] is the battery-droop view of a
+    crash: the surviving records after the newest [batches] batches are
+    lost (FAULT007), with the count of records dropped.  Read-only. *)
 
 val table_put : t -> key:int -> value:int -> unit
 (** Dirty-page-table slot (Section 5.5): record the log LSN of the first

@@ -1,3 +1,6 @@
+module Fault = Mmdb_fault.Fault
+module Fault_plan = Mmdb_fault.Fault_plan
+
 type strategy =
   | Conventional
   | Group_commit
@@ -10,6 +13,13 @@ type open_page = {
   mutable op_records : Log_record.t list; (* reversed *)
   mutable op_bytes : int;
   mutable op_tickets : (ticket * int list) list; (* ticket, txn deps *)
+  mutable op_page_dep : float;
+      (* completion of the page holding earlier records of a transaction
+         that straddles into this page: this page must not be issued (and
+         so cannot become durable) before its predecessor — §5.2's
+         topological ordering applied within a transaction.  Without it,
+         a crash could preserve a straddler's commit record while its
+         update records are still in flight on another device. *)
 }
 
 type t = {
@@ -21,15 +31,22 @@ type t = {
   mutable page : open_page;
   stable : Stable_memory.t option;
   compressed : bool;
+  faults : Fault_plan.t;
+  strict : bool; (* chain straddling pages; see [append_record] *)
   txn_durable : (int, float) Hashtbl.t;
   mutable buffered : Log_record.t list; (* reversed: never-flushed oracle *)
   mutable last_at : float;
   mutable stable_last_commit : float; (* monotone stable commit stamps *)
 }
 
-let fresh_page () = { op_records = []; op_bytes = 0; op_tickets = [] }
+let fresh_page () =
+  { op_records = []; op_bytes = 0; op_tickets = []; op_page_dep = 0.0 }
 
-let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ~clock strat =
+let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ?faults
+    ?(strict_page_order = false) ~clock strat =
+  let faults =
+    match faults with Some f -> f | None -> Fault_plan.none ()
+  in
   let ndev, stable, compressed =
     match strat with
     | Conventional | Group_commit -> (1, None, false)
@@ -45,11 +62,14 @@ let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ~clock strat =
     page_size = page_bytes;
     clock;
     devices =
-      Array.init ndev (fun _ -> Log_device.create ~page_write_time ~page_bytes ~clock ());
+      Array.init ndev (fun _ ->
+          Log_device.create ~page_write_time ~page_bytes ~faults ~clock ());
     next_device = 0;
     page = fresh_page ();
     stable;
     compressed;
+    faults;
+    strict = strict_page_order;
     txn_durable = Hashtbl.create 256;
     buffered = [];
     last_at = 0.0;
@@ -83,10 +103,10 @@ let flush_page t ~at =
             acc deps)
         0.0 t.page.op_tickets
     in
-    let issue = Float.max at dep_time in
+    let issue = Float.max at (Float.max dep_time t.page.op_page_dep) in
     let dev = pick_device t in
     let completion =
-      Log_device.write_page dev ~at:issue
+      Log_device.write_page dev ~compressed:t.compressed ~at:issue
         (List.rev t.page.op_records)
         ~bytes:t.page.op_bytes
     in
@@ -101,7 +121,26 @@ let flush_page t ~at =
 
 let append_record t ~at r =
   let sz = record_size t r in
-  if t.page.op_bytes + sz > t.page_size then ignore (flush_page t ~at);
+  if t.page.op_bytes + sz > t.page_size then begin
+    (* Strict mode: does [r] continue a transaction whose earlier records
+       sit in the page about to flush?  If so the new page must chain
+       behind it — §5.2's topological ordering applied within a
+       transaction.  Without the chain, a crash landing mid-write can
+       preserve a straddler's commit record while the page holding its
+       updates is still in flight on another (busier) device.  Legacy
+       mode (the seed's timing model, where crashes only land at quiesce
+       points) keeps straddling pages fully parallel. *)
+    let straddles =
+      t.strict
+      &&
+      match Log_record.txn r with
+      | Some tx ->
+        List.exists (fun r' -> Log_record.txn r' = Some tx) t.page.op_records
+      | None -> false
+    in
+    let completion = flush_page t ~at in
+    if straddles then t.page.op_page_dep <- completion
+  end;
   t.page.op_records <- r :: t.page.op_records;
   t.page.op_bytes <- t.page.op_bytes + sz
 
@@ -140,8 +179,12 @@ let stable_drain t sm ~at ~need =
     if !page_fill = 0 then continue := false
     else begin
       let dev = pick_device t in
+      (* Drain writes are battery-backed: durable from issue (the
+         stable-drain simplification in DESIGN.md), so a crash landing
+         mid-drain cannot lose records already acknowledged committed. *)
       let completion =
-        Log_device.write_page dev ~at
+        Log_device.write_page dev ~protected:true ~compressed:t.compressed
+          ~at
           (List.rev !page_records)
           ~bytes:(min !page_fill t.page_size)
       in
@@ -249,3 +292,45 @@ let durable_records t ~at =
   on_disk @ in_stable
 
 let all_records t = List.rev t.buffered
+
+let faults t = t.faults
+
+let page_spans t =
+  Array.to_list t.devices
+  |> List.concat_map Log_device.page_spans
+  |> List.sort compare
+
+let surviving_records t ~at =
+  let on_disk =
+    Log_merge.merge
+      (Array.to_list t.devices
+      |> List.map (fun d -> Log_device.surviving_pages d ~at))
+  in
+  let in_stable =
+    match t.stable with
+    | None -> []
+    | Some sm ->
+      if not (Fault_plan.is_active t.faults) then Stable_memory.records sm
+      else begin
+        match Fault_plan.peek t.faults Fault.Stable_crash with
+        | Some (Fault.Battery_droop { batches }) ->
+          let kept, lost =
+            Stable_memory.records_dropping_newest sm ~batches
+          in
+          if lost > 0 then begin
+            Fault_plan.note_injected t.faults ~code:"FAULT007"
+              ~site:"stable.crash"
+              (Printf.sprintf "battery droop: newest %d batch(es) lost"
+                 batches);
+            Fault_plan.note_unrecoverable t.faults ~code:"FAULT007"
+              ~site:"stable.crash"
+              (Printf.sprintf "%d acknowledged record(s) lost" lost)
+          end;
+          kept
+        | Some
+            ( Fault.Torn_write | Fault.Bit_flip_read | Fault.Bit_flip_rest
+            | Fault.Io_transient _ )
+        | None -> Stable_memory.records sm
+      end
+  in
+  on_disk @ in_stable

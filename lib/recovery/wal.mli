@@ -31,7 +31,22 @@ type ticket
 (** A pending commit: resolved once the commit record is durable. *)
 
 val create : ?page_write_time:float -> ?page_bytes:int ->
+  ?faults:Mmdb_fault.Fault_plan.t -> ?strict_page_order:bool ->
   clock:Mmdb_storage.Sim_clock.t -> strategy -> t
+(** [faults] arms a fault-injection plan shared by every log device:
+    pages then carry checksummed physical images, and
+    {!surviving_records} models torn writes, read/rest bit flips, and
+    stable-memory battery droop at crash time.  Without it, behaviour is
+    identical to the unfaulted seed.
+
+    [strict_page_order] (default [false]) chains a page that continues a
+    straddling transaction behind the completion of the page holding its
+    earlier records.  Required whenever a crash can land mid-page-write
+    (the torture harness always enables it): otherwise a straddler's
+    commit record can become durable on an idle device while its update
+    records are still in flight on a busier one.  The default preserves
+    the seed's fully-parallel partitioned timing, which is safe when
+    crashes only land at quiesce points. *)
 
 val strategy : t -> strategy
 val page_bytes : t -> int
@@ -75,3 +90,20 @@ val durable_records : t -> at:float -> Log_record.t list
 
 val all_records : t -> Log_record.t list
 (** Everything submitted, including still-buffered records (test oracle). *)
+
+val faults : t -> Mmdb_fault.Fault_plan.t
+(** The armed plan ({!Mmdb_fault.Fault_plan.none} when unfaulted). *)
+
+val page_spans : t -> (float * float) list
+(** [(start, completion)] of every log-page write issued so far, sorted —
+    the torture harness crashes inside these windows to exercise
+    mid-page-write recovery. *)
+
+val surviving_records : t -> at:float -> Log_record.t list
+(** What recovery reads after a crash at [at].  Equal to
+    {!durable_records} when no fault plan is armed.  With faults: device
+    pages are decoded through their checksummed images (torn in-flight
+    pages survive as a valid prefix, transient read flips are repaired
+    by reread, at-rest damage truncates at the last valid record), and a
+    battery-droop rule drops the newest stable-memory batches
+    (FAULT007) before the merge. *)

@@ -1,3 +1,6 @@
+module Fault = Mmdb_fault.Fault
+module Fault_plan = Mmdb_fault.Fault_plan
+
 type policy =
   | Random_replacement of Mmdb_util.Xorshift.t
   | Lru
@@ -148,6 +151,23 @@ let get t pid =
   | Some frame ->
     (env t).Env.counters.Counters.pool_hits <-
       (env t).Env.counters.Counters.pool_hits + 1;
+    (* Frame rot: a resident clean frame can pick up a bit flip between
+       accesses (cosmic-ray model).  Dirty frames are never rotted — the
+       divergence from disk would be indistinguishable from legitimate
+       updates and write-back would launder the corruption. *)
+    let plan = Disk.faults t.disk in
+    if Fault_plan.is_active plan && not frame.dirty then begin
+      match Fault_plan.draw plan Fault.Pool_frame with
+      | Some (Fault.Bit_flip_rest | Fault.Bit_flip_read) ->
+        let bit = Fault_plan.rand_int plan (8 * Bytes.length frame.data) in
+        let i = bit / 8 in
+        Bytes.set frame.data i
+          (Char.chr (Char.code (Bytes.get frame.data i) lxor (1 lsl (bit mod 8))));
+        Fault_plan.note_injected plan ~code:"FAULT002" ~site:"pool.frame"
+          (Printf.sprintf "frame %d bit %d flipped in memory" frame.pid bit)
+      | Some (Fault.Torn_write | Fault.Io_transient _ | Fault.Battery_droop _)
+      | None -> ()
+    end;
     touch t frame;
     frame.data
   | None ->
@@ -217,6 +237,30 @@ let drop_all t =
   t.clock_hand <- []
 
 let iter_resident t f = Hashtbl.iter (fun pid _ -> f pid) t.frames
+
+(* Verify clean frames against the disk image and reload any that have
+   rotted.  Dirty frames are skipped: they are *supposed* to diverge.
+   Pids are visited in sorted order so repair charges are deterministic
+   across OCaml versions (Hashtbl iteration order is not). *)
+let scrub t =
+  let plan = Disk.faults t.disk in
+  let repaired = ref 0 in
+  Hashtbl.fold
+    (fun pid f acc -> if not f.dirty then (pid, f) :: acc else acc)
+    t.frames []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (pid, f) ->
+         let stored = Disk.read_nocharge t.disk pid in
+         if not (Bytes.equal f.data stored) then begin
+           Fault_plan.note_detected plan ~code:"FAULT002" ~site:"pool.frame"
+             (Printf.sprintf "frame %d diverges from disk" pid);
+           let fresh = Disk.read t.disk ~mode:Disk.Rand pid in
+           Bytes.blit fresh 0 f.data 0 (Bytes.length f.data);
+           Fault_plan.note_repaired plan ~code:"FAULT002" ~site:"pool.frame"
+             (Printf.sprintf "frame %d reloaded from disk" pid);
+           incr repaired
+         end);
+  !repaired
 
 type stats = {
   dirtied : int;

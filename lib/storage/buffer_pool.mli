@@ -72,6 +72,14 @@ val drop_all : t -> unit
 val iter_resident : t -> (int -> unit) -> unit
 (** Apply to every resident page id (used by the checkpoint sweeper). *)
 
+val scrub : t -> int
+(** Verify every {e clean} resident frame against its disk image and
+    reload (one charged random read each) any that diverge — e.g. after
+    the disk's fault plan rotted a frame in memory.  Dirty frames are
+    skipped; their divergence is legitimate.  Returns the number of
+    frames repaired; detections and repairs are tallied in the disk's
+    fault plan. *)
+
 type stats = {
   dirtied : int;  (** clean->dirty transitions since creation *)
   writebacks : int;  (** dirty frames written back (flush or eviction) *)

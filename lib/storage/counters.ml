@@ -1,3 +1,5 @@
+module F = Mmdb_fault.Fault
+
 type t = {
   mutable comparisons : int;
   mutable hashes : int;
@@ -9,6 +11,7 @@ type t = {
   mutable rand_writes : int;
   mutable faults : int;
   mutable pool_hits : int;
+  fault : F.tally;
 }
 
 let create () =
@@ -23,6 +26,7 @@ let create () =
     rand_writes = 0;
     faults = 0;
     pool_hits = 0;
+    fault = F.tally_create ();
   }
 
 let reset t =
@@ -35,7 +39,8 @@ let reset t =
   t.rand_reads <- 0;
   t.rand_writes <- 0;
   t.faults <- 0;
-  t.pool_hits <- 0
+  t.pool_hits <- 0;
+  F.tally_reset t.fault
 
 let snapshot t =
   {
@@ -49,6 +54,7 @@ let snapshot t =
     rand_writes = t.rand_writes;
     faults = t.faults;
     pool_hits = t.pool_hits;
+    fault = F.tally_copy t.fault;
   }
 
 let diff ~after ~before =
@@ -63,6 +69,7 @@ let diff ~after ~before =
     rand_writes = after.rand_writes - before.rand_writes;
     faults = after.faults - before.faults;
     pool_hits = after.pool_hits - before.pool_hits;
+    fault = F.tally_diff ~after:after.fault ~before:before.fault;
   }
 
 let total_io t = t.seq_reads + t.seq_writes + t.rand_reads + t.rand_writes
@@ -72,4 +79,6 @@ let pp ppf t =
     "comp=%d hash=%d move=%d swap=%d seqR=%d seqW=%d randR=%d randW=%d \
      faults=%d hits=%d"
     t.comparisons t.hashes t.moves t.swaps t.seq_reads t.seq_writes
-    t.rand_reads t.rand_writes t.faults t.pool_hits
+    t.rand_reads t.rand_writes t.faults t.pool_hits;
+  if F.tally_total t.fault > 0 then
+    Format.fprintf ppf " media[%a]" F.pp_tally t.fault

@@ -17,6 +17,11 @@ type t = {
   mutable rand_writes : int;
   mutable faults : int;  (** buffer-pool misses *)
   mutable pool_hits : int;  (** buffer-pool hits *)
+  fault : Mmdb_fault.Fault.tally;
+      (** media-fault tally: injected/detected/retried/repaired/
+          unrecoverable.  The field is immutable but the tally record it
+          holds is mutable; share it with a {!Mmdb_fault.Fault_plan} via
+          [Fault_plan.create ~tally] so injection sites count here. *)
 }
 
 val create : unit -> t

@@ -8,7 +8,24 @@
     movement that a simulator cannot infer from page numbers alone.
 
     Pages survive simulated crashes: a crash discards volatile state (buffer
-    pools, in-memory indexes), never disk contents. *)
+    pools, in-memory indexes), never disk contents.
+
+    {2 Faults and checksums}
+
+    Every write records an out-of-band CRC-32 of the intended page image
+    (the analogue of per-sector CRCs a controller writes alongside data).
+    When a {!Mmdb_fault.Fault_plan} is armed, reads verify against that
+    sum: a transient in-flight bit flip is detected and repaired by a
+    bounded number of rereads (each waiting out a backoff on the simulated
+    clock); a page corrupted on the medium stays bad and surfaces as
+    {!Mmdb_fault.Fault.Unrecoverable} (FAULT011) once the retry budget is
+    exhausted.  Transient I/O errors delay and re-charge the access.
+    Without an armed plan the read/write paths charge exactly what the
+    seed charged.
+
+    Lookup and size errors are typed: unknown pages raise
+    {!Mmdb_fault.Fault.Io_error} with code FAULT005, size mismatches
+    FAULT006 — never bare [Invalid_argument]. *)
 
 type t
 
@@ -16,10 +33,20 @@ type io_mode = Seq | Rand
 (** How an access is charged: [Seq] = IOseq, [Rand] = IOrand. *)
 
 val create : env:Env.t -> page_size:int -> t
-(** A disk with no allocated pages. *)
+(** A disk with no allocated pages and no armed fault plan (behaviour
+    identical to the unfaulted seed). *)
 
 val env : t -> Env.t
 val page_size : t -> int
+
+val arm : t -> Mmdb_fault.Fault_plan.t -> unit
+(** Arm a fault-injection plan; subsequent reads are checksum-verified
+    and rule-selected faults fire at the disk's sites. *)
+
+val faults : t -> Mmdb_fault.Fault_plan.t
+(** The armed plan ({!Mmdb_fault.Fault_plan.none} when unfaulted) —
+    shared with the buffer pool so frame-level faults use the same
+    seeded stream and tally. *)
 
 val page_count : t -> int
 (** Number of currently allocated pages. *)
@@ -30,18 +57,32 @@ val alloc : t -> int
 
 val read : t -> mode:io_mode -> int -> bytes
 (** [read d ~mode pid] charges one I/O and returns a copy of the page.
-    @raise Invalid_argument if [pid] was never allocated or was freed. *)
+    With faults armed the copy is checksum-verified (see above).
+    @raise Mmdb_fault.Fault.Io_error (FAULT005) if [pid] was never
+    allocated or was freed.
+    @raise Mmdb_fault.Fault.Unrecoverable (FAULT011) if the stored page
+    is corrupt beyond the retry budget. *)
 
 val write : t -> mode:io_mode -> int -> bytes -> unit
-(** [write d ~mode pid page] charges one I/O and stores a copy.
-    @raise Invalid_argument on unknown page or size mismatch. *)
+(** [write d ~mode pid page] charges one I/O and stores a copy, recording
+    its out-of-band checksum.
+    @raise Mmdb_fault.Fault.Io_error on unknown page (FAULT005), size
+    mismatch (FAULT006), or exhausted transient-error retries
+    (FAULT004). *)
 
 val free : t -> int -> unit
 (** Release a page (e.g. temporary partition files after a join). *)
 
 val read_nocharge : t -> int -> bytes
-(** Uninstrumented read for tests and recovery-inspection code paths. *)
+(** Uninstrumented, unchecked read for tests and recovery-inspection
+    code paths. *)
 
 val write_nocharge : t -> int -> bytes -> unit
 (** Uninstrumented write, used when pre-loading workloads so that setup
-    cost does not pollute an experiment's counters. *)
+    cost does not pollute an experiment's counters.  Still records the
+    page checksum. *)
+
+val checksum_ok : t -> int -> bool
+(** [checksum_ok d pid] verifies the stored page against its recorded
+    out-of-band sum without charging I/O (scrubbing support).
+    @raise Mmdb_fault.Fault.Io_error (FAULT005) on unknown page. *)

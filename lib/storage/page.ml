@@ -53,3 +53,5 @@ let iter page ~tuple_width f =
   done
 
 let clear page = set_count page 0
+
+let checksum page = Mmdb_util.Checksum.crc32_bytes page

@@ -42,3 +42,8 @@ val iter : bytes -> tuple_width:int -> (int -> bytes -> unit) -> unit
 
 val clear : bytes -> unit
 (** Reset the tuple count to zero (slots are not zeroed). *)
+
+val checksum : bytes -> int
+(** CRC-32 of the whole page image.  Stored out of band (the disk keeps a
+    per-sector side table, checkpoints keep per-page sums) rather than in
+    the 2-byte header, so page capacity arithmetic is unchanged. *)

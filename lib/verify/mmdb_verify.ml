@@ -13,6 +13,7 @@ module Pool_check = Pool_check
 module Schedule = Mmdb_recovery.Schedule
 module Txn_check = Txn_check
 module Txn_fuzz = Txn_fuzz
+module Torture = Torture
 module Audit = Audit
 
 (** Every stable diagnostic code with a one-line description. *)

@@ -1,0 +1,404 @@
+(* Fault-plane tests: CRC-32 checksums, the log wire encoding and its
+   corruption detection, torn-tail truncation at every cut point, typed
+   storage faults (transient retry, pool rot + scrub), stable-memory
+   battery droop, and the crash-point torture sweep's determinism and
+   no-silent-corruption property. *)
+
+module U = Mmdb_util
+module S = Mmdb_storage
+module R = Mmdb_recovery
+module L = R.Log_record
+module V = Mmdb_verify
+module Fault = Mmdb_fault.Fault
+module Plan = Mmdb_fault.Fault_plan
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Checksums                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_vector () =
+  (* The CRC-32/IEEE check value. *)
+  checki "123456789" 0xCBF43926 (U.Checksum.crc32_string "123456789");
+  checki "empty" 0 (U.Checksum.crc32_string "")
+
+let test_page_checksum () =
+  let p = Bytes.make 256 '\000' in
+  Bytes.set p 17 'x';
+  let sum = S.Page.checksum p in
+  checki "deterministic" sum (S.Page.checksum p);
+  Bytes.set p 200 '\001';
+  checkb "sensitive to any byte" true (sum <> S.Page.checksum p)
+
+(* ------------------------------------------------------------------ *)
+(* Log wire encoding                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sample_records =
+  [
+    L.Begin { txn = 3; lsn = 1 };
+    L.Update { txn = 3; lsn = 2; slot = 7; old_value = -41; new_value = 59 };
+    L.Update
+      { txn = 3; lsn = 3; slot = 1023; old_value = 1_000_000;
+        new_value = -1_000_000 };
+    L.Commit { txn = 3; lsn = 4 };
+    L.Begin { txn = 4; lsn = 5 };
+    L.Update { txn = 4; lsn = 6; slot = 0; old_value = 0; new_value = 1 };
+    L.Abort { txn = 4; lsn = 7 };
+    L.Ckpt_begin { lsn = 8 };
+    L.Ckpt_end { lsn = 9 };
+  ]
+
+let test_encode_roundtrip () =
+  List.iter
+    (fun r ->
+      let b = L.encode ~compressed:false r in
+      checki "declared size" (Bytes.length b)
+        (L.size_bytes ~compressed:false r);
+      match L.decode b ~pos:0 with
+      | Ok (r', n) ->
+        checki "consumed" (Bytes.length b) n;
+        checkb "roundtrip" true (r = r')
+      | Error m -> Alcotest.failf "decode failed: %s" m)
+    sample_records
+
+let test_encode_roundtrip_compressed () =
+  (* Compressed updates carry new values only (Section 5.4): the decoded
+     record has old_value = 0; everything else round-trips. *)
+  List.iter
+    (fun r ->
+      let b = L.encode ~compressed:true r in
+      match L.decode b ~pos:0 with
+      | Ok (r', _) ->
+        let expect =
+          match r with
+          | L.Update { txn; lsn; slot; old_value = _; new_value } ->
+            L.Update { txn; lsn; slot; old_value = 0; new_value }
+          | other -> other
+        in
+        checkb "roundtrip (new values only)" true (expect = r')
+      | Error m -> Alcotest.failf "decode failed: %s" m)
+    sample_records
+
+let test_decode_detects_any_bit_flip () =
+  (* CRC-32 detects every single-bit error, so no flipped copy may decode
+     to a (different) valid record. *)
+  let r = List.nth sample_records 1 in
+  let b = L.encode ~compressed:false r in
+  for byte = 0 to Bytes.length b - 1 do
+    for bit = 0 to 7 do
+      let c = Bytes.copy b in
+      Bytes.set c byte
+        (Char.chr (Char.code (Bytes.get c byte) lxor (1 lsl bit)));
+      match L.decode c ~pos:0 with
+      | Ok (r', _) ->
+        if r' <> r then
+          Alcotest.failf "byte %d bit %d decoded to a different record" byte
+            bit
+        else Alcotest.failf "byte %d bit %d: flip not detected" byte bit
+      | Error _ -> ()
+    done
+  done
+
+let test_decode_run_every_cut () =
+  (* Torn tail: whatever byte the tear lands on, decode_run recovers
+     exactly the checksum-valid prefix of whole records. *)
+  let bufs = List.map (L.encode ~compressed:false) sample_records in
+  let total = List.fold_left (fun a b -> a + Bytes.length b) 0 bufs in
+  let buf = Bytes.create total in
+  let boundaries = ref [ 0 ] in
+  let pos = ref 0 in
+  List.iter
+    (fun b ->
+      Bytes.blit b 0 buf !pos (Bytes.length b);
+      pos := !pos + Bytes.length b;
+      boundaries := !pos :: !boundaries)
+    bufs;
+  for cut = 0 to total do
+    let decoded, err = L.decode_run buf ~pos:0 ~len:cut in
+    let expect =
+      let n = ref 0 and acc = ref 0 and stopped = ref false in
+      List.iter
+        (fun b ->
+          if (not !stopped) && !acc + Bytes.length b <= cut then begin
+            incr n;
+            acc := !acc + Bytes.length b
+          end
+          else stopped := true)
+        bufs;
+      !n
+    in
+    checki (Printf.sprintf "cut %d: record prefix" cut) expect
+      (List.length decoded);
+    checkb
+      (Printf.sprintf "cut %d: whole records iff boundary" cut)
+      (List.mem cut !boundaries)
+      (err = None);
+    checkb
+      (Printf.sprintf "cut %d: prefix content" cut)
+      true
+      (decoded
+      = List.filteri (fun i _ -> i < expect) sample_records)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Typed storage faults                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_disk_transient_retry () =
+  let env = S.Env.create () in
+  let disk = S.Disk.create ~env ~page_size:128 in
+  let plan =
+    Plan.create ~seed:5
+      [
+        {
+          Plan.site = Fault.Disk_read;
+          kind = Fault.Io_transient { failures = 2 };
+          trigger = Plan.On_op 1;
+        };
+      ]
+  in
+  S.Disk.arm disk plan;
+  let pid = S.Disk.alloc disk in
+  let b = Bytes.make 128 'a' in
+  S.Disk.write disk ~mode:S.Disk.Seq pid b;
+  let got = S.Disk.read disk ~mode:S.Disk.Rand pid in
+  checkb "data intact after transient errors" true (Bytes.equal b got);
+  let t = Plan.tally plan in
+  checkb "retries counted" true (t.Fault.retried >= 2);
+  checki "nothing unrecoverable" 0 t.Fault.unrecoverable
+
+let test_disk_bitflip_read_repaired () =
+  let env = S.Env.create () in
+  let disk = S.Disk.create ~env ~page_size:128 in
+  let plan =
+    Plan.create ~seed:9
+      [
+        {
+          Plan.site = Fault.Disk_read;
+          kind = Fault.Bit_flip_read;
+          trigger = Plan.On_op 1;
+        };
+      ]
+  in
+  S.Disk.arm disk plan;
+  let pid = S.Disk.alloc disk in
+  let b = Bytes.make 128 'z' in
+  S.Disk.write disk ~mode:S.Disk.Seq pid b;
+  let got = S.Disk.read disk ~mode:S.Disk.Rand pid in
+  checkb "reread returned clean data" true (Bytes.equal b got);
+  let t = Plan.tally plan in
+  checki "injected" 1 t.Fault.injected;
+  checki "detected" 1 t.Fault.detected;
+  checki "repaired" 1 t.Fault.repaired
+
+let test_pool_rot_scrubbed () =
+  let env = S.Env.create () in
+  let disk = S.Disk.create ~env ~page_size:128 in
+  let pid = S.Disk.alloc disk in
+  let b = Bytes.make 128 'q' in
+  S.Disk.write disk ~mode:S.Disk.Seq pid b;
+  let plan =
+    Plan.create ~seed:3
+      [
+        {
+          Plan.site = Fault.Pool_frame;
+          kind = Fault.Bit_flip_rest;
+          trigger = Plan.On_op 1;
+        };
+      ]
+  in
+  S.Disk.arm disk plan;
+  let pool = S.Buffer_pool.create ~disk ~capacity:4 S.Buffer_pool.Lru in
+  ignore (S.Buffer_pool.get pool pid);
+  (* The hit path draws the Pool_frame site: the resident clean frame
+     rots in memory. *)
+  let rotted = S.Buffer_pool.get pool pid in
+  checkb "frame rotted in memory" true (not (Bytes.equal b rotted));
+  checki "scrub repaired it" 1 (S.Buffer_pool.scrub pool);
+  checkb "clean after scrub" true
+    (Bytes.equal b (S.Buffer_pool.get pool pid))
+
+let test_stable_droop_drops_newest () =
+  let sm = R.Stable_memory.create ~capacity_bytes:4096 in
+  let batch i =
+    [ L.Begin { txn = i; lsn = (2 * i) + 1 };
+      L.Commit { txn = i; lsn = (2 * i) + 2 } ]
+  in
+  List.iter
+    (fun i -> assert (R.Stable_memory.put_records sm (batch i) ~bytes:40))
+    [ 1; 2; 3 ];
+  let kept, lost = R.Stable_memory.records_dropping_newest sm ~batches:1 in
+  checki "two batches kept" 4 (List.length kept);
+  checki "newest batch records lost" 2 lost;
+  checkb "oldest survive in order" true (kept = batch 1 @ batch 2)
+
+let test_code_catalogue () =
+  let codes = List.map fst Fault.code_catalogue in
+  checki "eleven codes" 11 (List.length codes);
+  checki "unique" (List.length codes)
+    (List.length (List.sort_uniq compare codes));
+  List.iter
+    (fun c -> checkb c true (List.mem c codes))
+    [ "FAULT001"; "FAULT007"; "FAULT011" ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end torn-tail recovery                                       *)
+(* ------------------------------------------------------------------ *)
+
+let torn_cfg =
+  {
+    R.Recovery_manager.default_config with
+    R.Recovery_manager.nrecords = 64;
+    records_per_page = 8;
+    updates_per_txn = 4;
+    n_txns = 48;
+    checkpoint_every = Some 16;
+    strategy = R.Wal.Group_commit;
+    faults =
+      (match Plan.of_spec "torn-tail" with Ok r -> r | Error m -> failwith m);
+    seed = 7;
+  }
+
+(* The first page-write window of a probe run: crash instants inside it
+   tear that page. *)
+let first_span () =
+  let probe = R.Recovery_manager.run torn_cfg in
+  match probe.R.Recovery_manager.page_spans with
+  | (s, c) :: _ -> (s, c)
+  | [] -> Alcotest.fail "probe wrote no log pages"
+
+let test_torn_tail_mid_write () =
+  let s, c = first_span () in
+  let o =
+    R.Recovery_manager.run
+      { torn_cfg with R.Recovery_manager.crash_at = Some ((s +. c) /. 2.0) }
+  in
+  checkb "torn write injected" true
+    (List.mem_assoc "FAULT001" o.R.Recovery_manager.fault_events);
+  checkb "consistent" true o.R.Recovery_manager.consistent;
+  checkb "money conserved" true o.R.Recovery_manager.money_conserved;
+  checkb "no acknowledged commit lost" true o.R.Recovery_manager.durability_ok;
+  checkb "durable log audits clean" true
+    (V.Log_check.ok ~complete:false o.R.Recovery_manager.durable_log)
+
+let test_torn_tail_every_point_recoverable () =
+  (* Sweep the tear across the whole first write window: every cut must
+     truncate at a record boundary and recover cleanly. *)
+  let s, c = first_span () in
+  for i = 0 to 19 do
+    let at = s +. ((c -. s) *. (float_of_int i +. 0.5) /. 20.0) in
+    let o =
+      R.Recovery_manager.run
+        { torn_cfg with R.Recovery_manager.crash_at = Some at }
+    in
+    checkb
+      (Printf.sprintf "point %d consistent" i)
+      true o.R.Recovery_manager.consistent;
+    checkb
+      (Printf.sprintf "point %d money" i)
+      true o.R.Recovery_manager.money_conserved;
+    checkb
+      (Printf.sprintf "point %d durability" i)
+      true o.R.Recovery_manager.durability_ok;
+    checkb
+      (Printf.sprintf "point %d audit" i)
+      true
+      (V.Log_check.ok ~complete:false o.R.Recovery_manager.durable_log)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Torture sweep                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let small_sweep seed =
+  V.Torture.run ~seed ~txns:24 ~specs:[ "none"; "torn-tail,bitflip" ]
+    ~max_points_per_combo:8 ()
+
+let test_torture_seeds_clean () =
+  List.iter
+    (fun seed ->
+      let r = small_sweep seed in
+      checkb (Printf.sprintf "seed %d no silent corruption" seed) true
+        (V.Torture.ok r);
+      checkb
+        (Printf.sprintf "seed %d covers all strategies" seed)
+        true
+        (List.length r.V.Torture.combos = 2 * 4))
+    [ 7; 11; 13 ]
+
+let test_torture_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = small_sweep seed and b = small_sweep seed in
+      checkb (Printf.sprintf "seed %d combos repeat" seed) true
+        (a.V.Torture.combos = b.V.Torture.combos);
+      checkb (Printf.sprintf "seed %d tally repeats" seed) true
+        (a.V.Torture.tally = b.V.Torture.tally);
+      checkb (Printf.sprintf "seed %d events repeat" seed) true
+        (a.V.Torture.events = b.V.Torture.events))
+    [ 7; 11; 13 ]
+
+let test_torture_flags_unrecoverable_loss () =
+  (* Battery droop on the stable strategy loses acknowledged commits:
+     the sweep must classify those runs as flagged (reported), never
+     silent. *)
+  let r =
+    V.Torture.run ~seed:7 ~txns:24 ~specs:[ "battery-droop" ]
+      ~strategies:
+        [ R.Wal.Stable { devices = 2; capacity_bytes = 4096; compressed = true } ]
+      ~max_points_per_combo:12 ()
+  in
+  checkb "no silent corruption" true (V.Torture.ok r);
+  checkb "droop was exercised and flagged" true (r.V.Torture.flagged <> []);
+  checkb "FAULT007 reported" true
+    (List.mem_assoc "FAULT007" r.V.Torture.events)
+
+let () =
+  Alcotest.run "mmdb fault"
+    [
+      ( "checksum",
+        [
+          Alcotest.test_case "crc32 vector" `Quick test_crc32_vector;
+          Alcotest.test_case "page checksum" `Quick test_page_checksum;
+        ] );
+      ( "log-wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_encode_roundtrip;
+          Alcotest.test_case "roundtrip compressed" `Quick
+            test_encode_roundtrip_compressed;
+          Alcotest.test_case "any bit flip detected" `Quick
+            test_decode_detects_any_bit_flip;
+          Alcotest.test_case "every torn cut recovers a valid prefix" `Quick
+            test_decode_run_every_cut;
+        ] );
+      ( "storage-faults",
+        [
+          Alcotest.test_case "transient I/O retried" `Quick
+            test_disk_transient_retry;
+          Alcotest.test_case "read bit flip repaired by reread" `Quick
+            test_disk_bitflip_read_repaired;
+          Alcotest.test_case "pool rot found by scrub" `Quick
+            test_pool_rot_scrubbed;
+          Alcotest.test_case "battery droop drops newest batches" `Quick
+            test_stable_droop_drops_newest;
+          Alcotest.test_case "code catalogue" `Quick test_code_catalogue;
+        ] );
+      ( "torn-tail",
+        [
+          Alcotest.test_case "mid-page-write crash recovers" `Quick
+            test_torn_tail_mid_write;
+          Alcotest.test_case "every tear point recovers" `Quick
+            test_torn_tail_every_point_recoverable;
+        ] );
+      ( "torture",
+        [
+          Alcotest.test_case "seeds 7/11/13 clean" `Quick
+            test_torture_seeds_clean;
+          Alcotest.test_case "deterministic" `Quick test_torture_deterministic;
+          Alcotest.test_case "unrecoverable loss is flagged" `Quick
+            test_torture_flags_unrecoverable_loss;
+        ] );
+    ]

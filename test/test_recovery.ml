@@ -142,11 +142,12 @@ let test_stable_memory_peek_drop () =
   R.Stable_memory.drop_batch sm;
   checki "used after drop" 30 (R.Stable_memory.used sm);
   R.Stable_memory.drop_batch sm;
-  checkb "drop empty raises" true
+  checkb "drop empty raises FAULT010" true
     (try
        R.Stable_memory.drop_batch sm;
        false
-     with Invalid_argument _ -> true)
+     with Mmdb_fault.Fault.Io_error e ->
+       e.Mmdb_fault.Fault.code = "FAULT010")
 
 let test_stable_memory_table () =
   let sm = R.Stable_memory.create ~capacity_bytes:10 in

@@ -295,11 +295,11 @@ let test_disk_free () =
   let pid = S.Disk.alloc d in
   S.Disk.free d pid;
   checki "count 0" 0 (S.Disk.page_count d);
-  checkb "read freed raises" true
+  checkb "read freed raises FAULT005" true
     (try
        ignore (S.Disk.read_nocharge d pid);
        false
-     with Invalid_argument _ -> true)
+     with Mmdb_fault.Fault.Io_error e -> e.Mmdb_fault.Fault.code = "FAULT005")
 
 let test_disk_nocharge () =
   let env = S.Env.create () in

@@ -1,0 +1,8 @@
+(* Driver behind the @torture dune alias (and the CI torture gate): the
+   full default sweep — four commit strategies x every fault spec x every
+   harvested crash point — exits nonzero on any silent corruption. *)
+
+let () =
+  let r = Mmdb_verify.Torture.run ~seed:7 () in
+  Format.printf "%a@?" Mmdb_verify.Torture.pp r;
+  exit (if Mmdb_verify.Torture.ok r then 0 else 1)
