@@ -1142,6 +1142,182 @@ let bechamel_suite () =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable outputs: BENCH_model.json and the golden            *)
+(* Table 1 / Figure 1 regeneration diffed in CI (@modelcheck)           *)
+(* ------------------------------------------------------------------ *)
+
+module V = Mmdb_verify
+
+(* Hand-rolled JSON (no JSON library in the image).  Floats print as
+   %.9g: enough digits to round-trip every value these emitters produce,
+   few enough to stay platform-stable. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jfloat x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let jlist items = "[" ^ String.concat ", " items ^ "]"
+
+let jobj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> jstr k ^ ": " ^ v) fields)
+  ^ "}"
+
+let json_of_ops (o : JM.ops) seconds =
+  jobj
+    [
+      ("comps", jfloat o.JM.comps);
+      ("hashes", jfloat o.JM.hashes);
+      ("moves", jfloat o.JM.moves);
+      ("swaps", jfloat o.JM.swaps);
+      ("seq_ios", jfloat o.JM.seq_ios);
+      ("rand_ios", jfloat o.JM.rand_ios);
+      ("seconds", jfloat seconds);
+    ]
+
+let json_of_diag (d : U.Diag.t) =
+  jobj
+    [
+      ("code", jstr d.U.Diag.code);
+      ( "severity",
+        jstr
+          (match d.U.Diag.severity with
+          | U.Diag.Error -> "error"
+          | U.Diag.Warning -> "warning") );
+      ("path", jstr d.U.Diag.path);
+      ("message", jstr d.U.Diag.message);
+    ]
+
+let json_of_case (c : V.Model_check.case) =
+  let node (r : V.Model_check.node_report) =
+    jobj
+      [
+        ("path", jstr r.V.Model_check.path);
+        ("kind", jstr r.V.Model_check.kind);
+        ( "predicted",
+          json_of_ops r.V.Model_check.predicted
+            r.V.Model_check.predicted_seconds );
+        ( "observed",
+          json_of_ops r.V.Model_check.observed
+            r.V.Model_check.observed_seconds );
+        ("diags", jlist (List.map json_of_diag r.V.Model_check.diags));
+      ]
+  in
+  jobj
+    [
+      ("name", jstr c.V.Model_check.name);
+      ("nodes", jlist (List.map node c.V.Model_check.reports));
+      ("diags", jlist (List.map json_of_diag c.V.Model_check.diags));
+    ]
+
+(* E10: per-operator predicted vs observed, machine-readable. *)
+let model_json () =
+  let seed = 42 in
+  let cases = V.Model_check.run_suite ~seed ~enumerate:true () in
+  let doc =
+    jobj
+      [
+        ("seed", string_of_int seed);
+        ( "errors",
+          string_of_int
+            (List.length (U.Diag.errors (V.Model_check.suite_diags cases))) );
+        ("cases", jlist (List.map json_of_case cases));
+      ]
+  in
+  let oc = open_out "BENCH_model.json" in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_model.json (%d cases, per-operator predicted vs observed)\n"
+    (List.length cases)
+
+(* Canonical Table 1 + Figure 1 regeneration.  Printed to stdout; a dune
+   rule captures it and diffs against bench/golden/table1_figure1.json so
+   CI catches any drift in the analytic model (`dune promote` accepts an
+   intentional change). *)
+let golden_json () =
+  let table1_rows =
+    List.map
+      (fun z ->
+        jobj
+          [
+            ("z", jfloat z);
+            ( "cells",
+              jlist
+                (List.map
+                   (fun y ->
+                     jobj
+                       [
+                         ("y", jfloat y);
+                         ( "h",
+                           jfloat
+                             (AM.crossover_h { AM.default with AM.z; AM.y })
+                         );
+                       ])
+                   ys) );
+          ])
+      zs
+  in
+  let w = JM.table2_workload in
+  let rf = float_of_int w.JM.r_pages *. w.JM.cost.S.Cost.fudge in
+  let figure1_rows =
+    List.map
+      (fun ratio ->
+        let m = max (JM.min_memory w) (int_of_float (ratio *. rf)) in
+        let costs =
+          List.map
+            (fun (name, ops) -> (name, jfloat (JM.seconds w.JM.cost ops)))
+            (JM.all_four_ops w ~m)
+        in
+        jobj
+          ([
+             ("ratio", jfloat ratio);
+             ("mem_pages", string_of_int m);
+           ]
+          @ costs
+          @ [
+              ("hybrid_partitions", string_of_int (JM.hybrid_partitions w ~m));
+              ("hybrid_q", jfloat (JM.hybrid_q w ~m));
+              ("simple_passes", string_of_int (JM.simple_hash_passes w ~m));
+            ]))
+      figure1_ratios
+  in
+  print_string
+    (jobj
+       [
+         ( "table1",
+           jobj
+             [
+               ("description", jstr "fraction H resident for AVL to win");
+               ("rows", jlist table1_rows);
+             ] );
+         ( "figure1",
+           jobj
+             [
+               ( "description",
+                 jstr "analytic join costs (s), |R|=|S|=10000 pages" );
+               ("rows", jlist figure1_rows);
+             ] );
+       ]);
+  print_newline ()
+
 let experiments =
   [
     ("table1", "Table 1: AVL vs B+-tree crossover (random access)", table1);
@@ -1160,6 +1336,8 @@ let experiments =
     ("vm", "Section 6: VM paging vs explicit partitioning", vm_ablation);
     ("mvcc", "Section 6: locking vs versioning", mvcc);
     ("bulk-load", "B+-tree occupancy: 69% vs bulk-loaded", bulk_load_bench);
+    ("model-json", "write BENCH_model.json (predicted vs observed)", model_json);
+    ("golden-json", "Table 1 + Figure 1 as canonical JSON (CI golden)", golden_json);
   ]
 
 let usage () =

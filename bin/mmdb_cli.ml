@@ -614,6 +614,75 @@ let torture_cmd =
     Term.(const torture $ seed $ txns $ faults $ strategy $ points)
 
 (* ------------------------------------------------------------------ *)
+(* modelcheck                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let modelcheck seed tolerance enumerate verbose =
+  let cases =
+    V.Model_check.run_suite ~seed ~tolerance_scale:tolerance ~enumerate ()
+  in
+  let all_clean = ref true in
+  List.iter
+    (fun (c : V.Model_check.case) ->
+      let diags = V.Model_check.case_diags c in
+      if U.Diag.has_errors diags then all_clean := false;
+      if diags = [] then Format.printf "%-24s ok@." c.V.Model_check.name
+      else begin
+        Format.printf "%-24s %s@." c.V.Model_check.name (U.Diag.summary diags);
+        List.iter (fun d -> Format.printf "  %a@." U.Diag.pp d) diags
+      end;
+      if verbose then
+        List.iter
+          (fun r ->
+            Format.printf "  @[<v>%a@]@." V.Model_check.pp_report r)
+          c.V.Model_check.reports)
+    cases;
+  let total = V.Model_check.suite_diags cases in
+  Format.printf "modelcheck: %d case%s, %s%s@." (List.length cases)
+    (if List.length cases = 1 then "" else "s")
+    (U.Diag.summary total)
+    (if enumerate then "" else " (optimality lint skipped; use --enumerate)");
+  if !all_clean then 0 else 1
+
+let modelcheck_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Corpus seed (table contents derive from it).")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 1.0
+      & info [ "tolerance" ]
+          ~doc:
+            "Scale every declared tolerance band: values above 1 widen \
+             (more permissive), below 1 tighten.")
+  in
+  let enumerate =
+    Arg.(
+      value & flag
+      & info [ "enumerate" ]
+          ~doc:
+            "Also lint the optimizer: exhaustively enumerate the \
+             algorithm-assignment plan space and flag chosen plans above \
+             the enumerated minimum (MODEL008).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Print every node's predicted vs observed breakdown.")
+  in
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:
+         "Check the executable operators against the Section 3 analytic \
+          cost model: predict each operator's comparisons, hashes, moves, \
+          swaps and page I/Os symbolically, execute a seeded corpus under \
+          counter instrumentation, and flag divergence beyond declared \
+          per-operator tolerance bands (MODEL001-MODEL011). Exits 1 on \
+          any error-severity finding.")
+    Term.(const modelcheck $ seed $ tolerance $ enumerate $ verbose)
+
+(* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -828,5 +897,6 @@ let () =
        (Cmd.group ~default info
           [
             crossover_cmd; join_cmd; tps_cmd; recover_cmd; plan_cmd; sql_cmd;
-            check_cmd; txncheck_cmd; torture_cmd; stats_cmd; repl_cmd;
+            check_cmd; txncheck_cmd; torture_cmd; modelcheck_cmd; stats_cmd;
+            repl_cmd;
           ]))

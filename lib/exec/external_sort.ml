@@ -70,10 +70,10 @@ let cursor_of_runs ~schema runs =
   let io_mode = if List.length runs > 1 then S.Disk.Rand else S.Disk.Seq in
   let cmp (ta, _) (tb, _) =
     S.Env.charge_comp env;
-    S.Env.charge_swap env;
     S.Tuple.compare_keys schema ta tb
   in
-  let heap = U.Heap.create ~cmp in
+  (* comp per comparison, swap per element exchange (see Run_gen). *)
+  let heap = U.Heap.create ~on_swap:(fun () -> S.Env.charge_swap env) ~cmp () in
   List.iter
     (fun run ->
       let r = make_reader ~io_mode run in

@@ -14,14 +14,15 @@ let runs ~mem_pages rel =
   let cmp (run_a, ta) (run_b, tb) =
     match Int.compare run_a run_b with
     | 0 ->
-      (* One priority-queue step: a comparison plus the element swap it
-         drives (the paper's comp+swap pairing). *)
       S.Env.charge_comp env;
-      S.Env.charge_swap env;
       S.Tuple.compare_keys schema ta tb
     | c -> c
   in
-  let heap = U.Heap.create ~cmp in
+  (* Comparisons and exchanges are charged separately: the comparator
+     pays a comp per key comparison, the heap pays a swap only when an
+     element actually moves — matching the model's comp/swap split
+     instead of bundling a swap with every comparison. *)
+  let heap = U.Heap.create ~on_swap:(fun () -> S.Env.charge_swap env) ~cmp () in
   let out = ref [] in
   let run_id = ref 0 in
   let current_run = ref None in

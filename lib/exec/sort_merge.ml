@@ -1,15 +1,20 @@
 module S = Mmdb_storage
+module U = Mmdb_util
 
-(* Charged in-place sort of an in-memory tuple array: n log2 n priority-
-   queue steps of (comp + swap), the cost the model assigns when |M|
-   exceeds the relation (the "no I/O" regime above ratio 1.0). *)
+(* Charged heapsort of an in-memory tuple array — the model's priority
+   queue over ~n log2 n steps (the regime above ratio 1.0 where |M|
+   exceeds the relation and no run I/O is needed).  Like the external
+   path, comparisons charge comp and element exchanges charge swap, so
+   the in-memory and spilled paths share one accounting convention. *)
 let sort_in_memory env schema tuples =
   let cmp a b =
     S.Env.charge_comp env;
-    S.Env.charge_swap env;
     S.Tuple.compare_keys schema a b
   in
-  Array.sort cmp tuples
+  let heap =
+    U.Heap.of_array ~on_swap:(fun () -> S.Env.charge_swap env) ~cmp tuples
+  in
+  Array.iteri (fun i _ -> tuples.(i) <- U.Heap.pop_exn heap) tuples
 
 let join_in_memory env ~r_schema ~s_schema r s emit =
   let load rel =

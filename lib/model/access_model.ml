@@ -54,15 +54,25 @@ let resident_fraction pages m =
   let h = float_of_int m /. float_of_int pages in
   Float.min 1.0 (Float.max 0.0 h)
 
-let avl_random_cost t ~m =
+type terms = { page_reads : float; comparisons : float }
+
+let cost_of_terms t terms = (t.z *. terms.page_reads) +. terms.comparisons
+
+let avl_random_terms t ~m =
   let c = avl_comparisons t in
   let h = resident_fraction (avl_pages t) m in
-  (t.z *. c *. (1.0 -. h)) +. (t.y *. c)
+  { page_reads = c *. (1.0 -. h); comparisons = t.y *. c }
 
-let btree_random_cost t ~m =
+let btree_random_terms t ~m =
   let h' = resident_fraction (btree_pages t) m in
   let height = float_of_int (btree_height t) in
-  (t.z *. (height +. 1.0) *. (1.0 -. h')) +. btree_comparisons t
+  {
+    page_reads = (height +. 1.0) *. (1.0 -. h');
+    comparisons = btree_comparisons t;
+  }
+
+let avl_random_cost t ~m = cost_of_terms t (avl_random_terms t ~m)
+let btree_random_cost t ~m = cost_of_terms t (btree_random_terms t ~m)
 
 let avl_preferred t ~m = btree_random_cost t ~m -. avl_random_cost t ~m > 0.0
 
@@ -87,18 +97,21 @@ let crossover_h t =
     !hi
   end
 
-let avl_seq_cost t ~m ~n =
+let avl_seq_terms t ~m ~n =
   let h = resident_fraction (avl_pages t) m in
   let nf = float_of_int n in
-  (t.z *. nf *. (1.0 -. h)) +. (t.y *. nf)
+  { page_reads = nf *. (1.0 -. h); comparisons = t.y *. nf }
 
-let btree_seq_cost t ~m ~n =
+let btree_seq_terms t ~m ~n =
   let h' = resident_fraction (btree_pages t) m in
   let tuples_per_leaf =
     0.69 *. float_of_int t.page_size /. float_of_int t.tuple_width
   in
   let leaves = ceil_div_f (float_of_int n) tuples_per_leaf in
-  (t.z *. leaves *. (1.0 -. h')) +. float_of_int n
+  { page_reads = leaves *. (1.0 -. h'); comparisons = float_of_int n }
+
+let avl_seq_cost t ~m ~n = cost_of_terms t (avl_seq_terms t ~m ~n)
+let btree_seq_cost t ~m ~n = cost_of_terms t (btree_seq_terms t ~m ~n)
 
 let crossover_h_seq t ~n =
   let s = avl_pages t in

@@ -1,0 +1,183 @@
+module JM = Join_model
+
+type input = { tuples : int; pages : int; tuples_per_page : int }
+
+let input ~tuples ~pages ~tuples_per_page = { tuples; pages; tuples_per_page }
+
+let fi = float_of_int
+let log2_pos x = if x <= 1.0 then 0.0 else Float.log2 x
+let pages_of ~tuples ~tuples_per_page =
+  if tuples = 0 then 0 else ((tuples + tuples_per_page - 1) / tuples_per_page)
+
+(* Replacement selection produces runs averaging 2|M| pages. *)
+let expected_runs ~mem_pages ~pages =
+  if pages = 0 then 1
+  else max 1 (int_of_float (Float.ceil (fi pages /. (2.0 *. fi mem_pages))))
+
+let sort_ops ~mem_pages i =
+  let n = fi i.tuples and p = fi i.pages in
+  let capacity = Float.min n (fi (mem_pages * i.tuples_per_page)) in
+  let nruns = expected_runs ~mem_pages ~pages:i.pages in
+  (* Run formation: n·log2(heap) queue steps, plus one run-destination
+     comparison per replaced tuple when the input exceeds the heap. *)
+  let steps_run = n *. log2_pos capacity in
+  let dest_comps = if n > capacity then n else 0.0 in
+  (* Final merge: a selection tree over the runs. *)
+  let steps_merge = if nruns > 1 then n *. log2_pos (fi nruns) else 0.0 in
+  {
+    JM.comps = steps_run +. steps_merge +. dest_comps;
+    hashes = 0.0;
+    moves = 0.0;
+    swaps = steps_run +. steps_merge;
+    (* Runs written (~p pages), read back sequentially when a single run
+       remains, plus the sorted output written sequentially (~p pages). *)
+    seq_ios = p +. (if nruns <= 1 then p else 0.0) +. p;
+    rand_ios = (if nruns > 1 then p else 0.0);
+  }
+
+let spill_fraction ~mem_pages ~fudge ~pages =
+  let b =
+    let rf = fi pages *. fudge in
+    let m = fi mem_pages in
+    if rf <= m then 0
+    else max 1 (int_of_float (Float.ceil ((rf -. m) /. (m -. 1.0))))
+  in
+  let q =
+    if b = 0 then 1.0
+    else
+      let r0 = fi (mem_pages - b) /. fudge in
+      Float.min 1.0 (Float.max 0.0 (r0 /. fi (max 1 pages)))
+  in
+  (b, q)
+
+let aggregate_ops ~mem_pages ~fudge ~comp_specs ~groups ~out_tuples_per_page i
+    =
+  let n = fi i.tuples and p = fi i.pages in
+  let b, q = spill_fraction ~mem_pages ~fudge ~pages:i.pages in
+  let spill = if b = 0 then 0.0 else 1.0 -. q in
+  let out_pages = fi (pages_of ~tuples:groups ~tuples_per_page:out_tuples_per_page) in
+  {
+    (* One group-table lookup plus one comp per Min/Max spec per tuple. *)
+    JM.comps = n *. (1.0 +. fi comp_specs);
+    (* Every tuple is hashed once when fed to a group table; with spilling
+       the partition split hashes each tuple once more. *)
+    hashes = (n *. (if b = 0 then 1.0 else 2.0));
+    (* A move per fresh group, plus a move per spilled tuple. *)
+    moves = fi groups +. (n *. spill);
+    swaps = 0.0;
+    seq_ios =
+      (p *. spill) (* read partitions back *)
+      +. (if b <= 1 then p *. spill else 0.0) (* partition writes *)
+      +. out_pages (* result written *);
+    rand_ios = (if b > 1 then p *. spill else 0.0);
+  }
+
+let distinct_ops ~mem_pages ~fudge ~distinct ~out_tuples_per_page i =
+  let n = fi i.tuples and p = fi i.pages in
+  (* [i] describes the *projected* staging relation: dedup partitions by
+     its page count and spills its (narrower) pages. *)
+  let b, q = spill_fraction ~mem_pages ~fudge ~pages:i.pages in
+  let spill = if b = 0 then 0.0 else 1.0 -. q in
+  let out_pages =
+    fi (pages_of ~tuples:distinct ~tuples_per_page:out_tuples_per_page)
+  in
+  {
+    (* One seen-table membership comp per tuple. *)
+    JM.comps = n;
+    (* Whole-tuple hash at the split; spilled tuples hash again on
+       re-read. *)
+    hashes = n +. (n *. spill);
+    (* Projector move per tuple, plus a move per spilled tuple. *)
+    moves = n +. (n *. spill);
+    swaps = 0.0;
+    seq_ios =
+      (p *. spill)
+      +. (if b <= 1 then p *. spill else 0.0)
+      +. out_pages;
+    rand_ios = (if b > 1 then p *. spill else 0.0);
+  }
+
+let sort_distinct_ops ~mem_pages ~distinct ~out_tuples_per_page i =
+  let n = fi i.tuples in
+  let out_pages =
+    fi (pages_of ~tuples:distinct ~tuples_per_page:out_tuples_per_page)
+  in
+  let sort = sort_ops ~mem_pages i in
+  JM.add_ops sort
+    {
+      (* Projector move per tuple; run-boundary comp plus seen-table comp
+         per sorted tuple; deduped output written sequentially. *)
+      JM.comps = 2.0 *. n;
+      hashes = 0.0;
+      moves = n;
+      swaps = 0.0;
+      seq_ios = out_pages;
+      rand_ios = 0.0;
+    }
+
+type set_op_kind = Union | Intersection | Difference
+
+let set_op_ops ~mem_pages ~fudge ~kind ~out_tuples ~out_tuples_per_page l r =
+  let nl = fi l.tuples and nr = fi r.tuples in
+  let pages = fi (l.pages + r.pages) in
+  let b, _q = spill_fraction ~mem_pages ~fudge ~pages:(max l.pages r.pages) in
+  (* split_whole has no memory fraction: either everything stays resident
+     (b = 0) or both inputs spill entirely. *)
+  let spill = if b = 0 then 0.0 else 1.0 in
+  let out_pages =
+    fi (pages_of ~tuples:out_tuples ~tuples_per_page:out_tuples_per_page)
+  in
+  (* One membership comp per left tuple, plus one dedup comp per emit
+     attempt (union also re-emits the right side). *)
+  let emit_comps =
+    match kind with
+    | Union -> nl +. nr
+    | Intersection | Difference -> fi out_tuples
+  in
+  {
+    JM.comps = nl +. emit_comps;
+    hashes = nl +. nr;
+    moves = (nr (* membership table over the right side *))
+            +. ((nl +. nr) *. spill);
+    swaps = 0.0;
+    seq_ios =
+      (pages *. spill)
+      +. (if b <= 1 then pages *. spill else 0.0)
+      +. out_pages;
+    rand_ios = (if b > 1 then pages *. spill else 0.0);
+  }
+
+let division_ops ~mem_pages ~fudge ~quotient_groups ~out_tuples_per_page
+    ~divisor r =
+  let nr = fi r.tuples and ns = fi divisor.tuples in
+  let p = fi r.pages in
+  let b, _q = spill_fraction ~mem_pages ~fudge ~pages:r.pages in
+  let spill = if b = 0 then 0.0 else 1.0 in
+  let out_pages =
+    fi (pages_of ~tuples:quotient_groups ~tuples_per_page:out_tuples_per_page)
+  in
+  {
+    (* One divisor-membership comp per dividend tuple. *)
+    JM.comps = nr;
+    (* Divisor keys hashed once; each dividend tuple hashes its quotient
+       (again at the split when partitioned). *)
+    hashes = ns +. nr +. (nr *. spill);
+    moves = fi quotient_groups +. (nr *. spill);
+    swaps = 0.0;
+    seq_ios =
+      (p *. spill)
+      +. (if b <= 1 then p *. spill else 0.0)
+      +. out_pages;
+    rand_ios = (if b > 1 then p *. spill else 0.0);
+  }
+
+let nested_loop_ops outer inner =
+  {
+    JM.comps = fi outer.tuples *. fi inner.tuples;
+    hashes = 0.0;
+    moves = 0.0;
+    swaps = 0.0;
+    (* The inner relation is rescanned once per outer tuple. *)
+    seq_ios = fi outer.tuples *. fi inner.pages;
+    rand_ios = 0.0;
+  }

@@ -1,0 +1,89 @@
+(** Per-term cost predictions for the executable operators that the four
+    join formulas of {!Join_model} do not cover: external sort,
+    aggregation, duplicate elimination, set operations, division and
+    nested loops.
+
+    Each function extends the paper's Section 3 accounting conventions
+    (comps/hashes/moves/swaps, sequential vs random page transfers;
+    initial input scans are free) to one operator in [lib/exec], evaluated
+    at a given input size.  Predictions are idealized the same way the
+    paper's formulas are — e.g. a priority queue costs one comparison and
+    one exchange per [n·log2 m] step — so an implementation conforms up to
+    a small constant factor, which [Mmdb_verify.Model_check] declares
+    per-operator as its tolerance band. *)
+
+type input = {
+  tuples : int;
+  pages : int;
+  tuples_per_page : int;
+}
+
+val input : tuples:int -> pages:int -> tuples_per_page:int -> input
+
+val pages_of : tuples:int -> tuples_per_page:int -> int
+(** [⌈tuples / tuples_per_page⌉]. *)
+
+val expected_runs : mem_pages:int -> pages:int -> int
+(** Replacement-selection run count: [⌈pages / 2|M|⌉]. *)
+
+val spill_fraction : mem_pages:int -> fudge:float -> pages:int -> int * float
+(** [(B, q)] as in the hybrid join: disk-partition count and resident
+    fraction for an input of [pages] pages. *)
+
+val sort_ops : mem_pages:int -> input -> Join_model.ops
+(** External sort: run formation + n-way merge + run and output I/O. *)
+
+val aggregate_ops :
+  mem_pages:int ->
+  fudge:float ->
+  comp_specs:int ->
+  groups:int ->
+  out_tuples_per_page:int ->
+  input ->
+  Join_model.ops
+(** Hybrid hash aggregation into [groups] groups; [comp_specs] is the
+    number of Min/Max specs (each charges a comparison per tuple). *)
+
+val distinct_ops :
+  mem_pages:int ->
+  fudge:float ->
+  distinct:int ->
+  out_tuples_per_page:int ->
+  input ->
+  Join_model.ops
+(** Hybrid hash duplicate elimination; [input] describes the projected
+    staging relation (narrower tuples, fewer pages than the source). *)
+
+val sort_distinct_ops :
+  mem_pages:int -> distinct:int -> out_tuples_per_page:int -> input ->
+  Join_model.ops
+(** Sort-based duplicate elimination: project, external-sort, scan. *)
+
+type set_op_kind = Union | Intersection | Difference
+
+val set_op_ops :
+  mem_pages:int ->
+  fudge:float ->
+  kind:set_op_kind ->
+  out_tuples:int ->
+  out_tuples_per_page:int ->
+  input ->
+  input ->
+  Join_model.ops
+(** Partitioned-hash set operation over left and right inputs. *)
+
+val division_ops :
+  mem_pages:int ->
+  fudge:float ->
+  quotient_groups:int ->
+  out_tuples_per_page:int ->
+  divisor:input ->
+  input ->
+  Join_model.ops
+(** Hash division: divisor key set resident, dividend grouped by quotient
+    (partitioned hybrid-style when it overflows memory). *)
+
+val nested_loop_ops : input -> input -> Join_model.ops
+(** [nested_loop_ops outer inner]: the charged nested-loops baseline —
+    one comparison per tuple pair, the inner relation rescanned per outer
+    tuple. *)

@@ -8,6 +8,56 @@ type workload = {
   cost : C.t;
 }
 
+type ops = {
+  comps : float;
+  hashes : float;
+  moves : float;
+  swaps : float;
+  seq_ios : float;
+  rand_ios : float;
+}
+
+let zero_ops =
+  {
+    comps = 0.0;
+    hashes = 0.0;
+    moves = 0.0;
+    swaps = 0.0;
+    seq_ios = 0.0;
+    rand_ios = 0.0;
+  }
+
+let add_ops a b =
+  {
+    comps = a.comps +. b.comps;
+    hashes = a.hashes +. b.hashes;
+    moves = a.moves +. b.moves;
+    swaps = a.swaps +. b.swaps;
+    seq_ios = a.seq_ios +. b.seq_ios;
+    rand_ios = a.rand_ios +. b.rand_ios;
+  }
+
+let scale_ops k a =
+  {
+    comps = k *. a.comps;
+    hashes = k *. a.hashes;
+    moves = k *. a.moves;
+    swaps = k *. a.swaps;
+    seq_ios = k *. a.seq_ios;
+    rand_ios = k *. a.rand_ios;
+  }
+
+let seconds (c : C.t) o =
+  (o.comps *. c.C.comp) +. (o.hashes *. c.C.hash) +. (o.moves *. c.C.move)
+  +. (o.swaps *. c.C.swap)
+  +. (o.seq_ios *. c.C.io_seq)
+  +. (o.rand_ios *. c.C.io_rand)
+
+let pp_ops ppf o =
+  Format.fprintf ppf
+    "comps=%.0f hashes=%.0f moves=%.0f swaps=%.0f seq=%.0f rand=%.0f" o.comps
+    o.hashes o.moves o.swaps o.seq_ios o.rand_ios
+
 let table2_workload =
   {
     r_pages = 10_000;
@@ -36,7 +86,7 @@ let fi = float_of_int
 (* log2 clamped below at 0 (a priority queue of <= 1 element is free). *)
 let log2_pos x = if x <= 1.0 then 0.0 else Float.log2 x
 
-let sort_merge w ~m =
+let sort_merge_ops w ~m =
   validate w ~m;
   let c = w.cost in
   let rr = fi (r_tuples w) and ss = fi (s_tuples w) in
@@ -45,40 +95,51 @@ let sort_merge w ~m =
      than the relation itself). *)
   let mr = Float.min (mf *. fi w.r_tuples_per_page) rr
   and ms = Float.min (mf *. fi w.s_tuples_per_page) ss in
-  let run_formation =
-    ((rr *. log2_pos mr) +. (ss *. log2_pos ms)) *. (c.C.comp +. c.C.swap)
-  in
-  let join_pass = (rr +. ss) *. c.C.comp in
+  (* Each priority-queue step is one comparison plus one exchange. *)
+  let queue_steps = (rr *. log2_pos mr) +. (ss *. log2_pos ms) in
+  let join_comps = rr +. ss in
   if mf >= fi w.s_pages *. c.C.fudge then
     (* Everything sorts in memory: no run I/O, no merge queue. *)
-    run_formation +. join_pass
+    {
+      zero_ops with
+      comps = queue_steps +. join_comps;
+      swaps = queue_steps;
+    }
   else begin
-    let io =
-      (fi (w.r_pages + w.s_pages) *. c.C.io_seq)
-      +. (fi (w.r_pages + w.s_pages) *. c.C.io_rand)
-    in
+    let pages = fi (w.r_pages + w.s_pages) in
     (* Runs average 2|M| pages; the final merge drives a selection tree
        over all runs of both relations. *)
     let nruns_r = fi w.r_pages *. c.C.fudge /. (2.0 *. mf) in
     let nruns_s = fi w.s_pages *. c.C.fudge /. (2.0 *. mf) in
-    let merge_queue =
-      ((rr *. log2_pos (nruns_r +. nruns_s))
-      +. (ss *. log2_pos (nruns_r +. nruns_s)))
-      *. (c.C.comp +. c.C.swap)
-    in
-    run_formation +. io +. merge_queue +. join_pass
+    let merge_steps = (rr +. ss) *. log2_pos (nruns_r +. nruns_s) in
+    {
+      zero_ops with
+      comps = queue_steps +. merge_steps +. join_comps;
+      swaps = queue_steps +. merge_steps;
+      seq_ios = pages;
+      rand_ios = pages;
+    }
   end
+
+let sort_merge w ~m = seconds w.cost (sort_merge_ops w ~m)
 
 let simple_hash_passes w ~m =
   let a = Float.ceil (fi w.r_pages *. w.cost.C.fudge /. fi m) in
   max 1 (int_of_float a)
 
-let simple_hash w ~m =
+let simple_hash_ops w ~m =
   validate w ~m;
   let c = w.cost in
   let rr = fi (r_tuples w) and ss = fi (s_tuples w) in
   let a = fi (simple_hash_passes w ~m) in
-  let base = (rr *. (c.C.hash +. c.C.move)) +. (ss *. (c.C.hash +. (c.C.fudge *. c.C.comp))) in
+  let base =
+    {
+      zero_ops with
+      hashes = rr +. ss;
+      moves = rr;
+      comps = ss *. c.C.fudge;
+    }
+  in
   if a <= 1.0 then base
   else begin
     (* Pages of R absorbed per pass: |M|/F. *)
@@ -94,33 +155,49 @@ let simple_hash w ~m =
     in
     let passed_r_tuples = passed_r_pages *. fi w.r_tuples_per_page in
     let passed_s_tuples = passed_s_pages *. fi w.s_tuples_per_page in
-    base
-    +. ((passed_r_tuples +. passed_s_tuples) *. (c.C.hash +. c.C.move))
-    +. ((passed_r_pages +. passed_s_pages) *. 2.0 *. c.C.io_seq)
+    add_ops base
+      {
+        zero_ops with
+        hashes = passed_r_tuples +. passed_s_tuples;
+        moves = passed_r_tuples +. passed_s_tuples;
+        seq_ios = (passed_r_pages +. passed_s_pages) *. 2.0;
+      }
   end
+
+let simple_hash w ~m = seconds w.cost (simple_hash_ops w ~m)
 
 (* Shared second-phase + partition-phase structure of GRACE and hybrid;
    [q] is the fraction of R (and S) joined without touching disk and
    [write_seq] selects IOseq for the partition-write when there is at most
    one output buffer. *)
-let partitioned_hash_cost w ~q ~write_seq =
+let partitioned_hash_ops w ~q ~write_seq =
   let c = w.cost in
   let rr = fi (r_tuples w) and ss = fi (s_tuples w) in
   let pages = fi (w.r_pages + w.s_pages) in
-  let write_io = if write_seq then c.C.io_seq else c.C.io_rand in
-  (rr +. ss) *. c.C.hash (* partition both relations *)
-  +. ((rr +. ss) *. (1.0 -. q) *. c.C.move) (* to output buffers *)
-  +. (pages *. (1.0 -. q) *. write_io) (* write partitions *)
-  +. ((rr +. ss) *. (1.0 -. q) *. c.C.hash) (* phase-2 build/probe hash *)
-  +. (ss *. c.C.fudge *. c.C.comp) (* probe for each S tuple *)
-  +. (rr *. c.C.move) (* move R tuples into hash tables *)
-  +. (pages *. (1.0 -. q) *. c.C.io_seq) (* read partitions back *)
+  let spill = 1.0 -. q in
+  let write_pages = pages *. spill in
+  {
+    comps = ss *. c.C.fudge; (* probe for each S tuple *)
+    hashes =
+      (rr +. ss) (* partition both relations *)
+      +. ((rr +. ss) *. spill); (* phase-2 build/probe hash *)
+    moves =
+      ((rr +. ss) *. spill) (* to output buffers *)
+      +. rr; (* move R tuples into hash tables *)
+    swaps = 0.0;
+    seq_ios =
+      (if write_seq then write_pages else 0.0)
+      +. write_pages; (* read partitions back *)
+    rand_ios = (if write_seq then 0.0 else write_pages);
+  }
 
-let grace_hash w ~m =
+let grace_hash_ops w ~m =
   validate w ~m;
   (* GRACE partitions everything regardless of memory size, with |M|
      output buffers -> random writes. *)
-  partitioned_hash_cost w ~q:0.0 ~write_seq:false
+  partitioned_hash_ops w ~q:0.0 ~write_seq:false
+
+let grace_hash w ~m = seconds w.cost (grace_hash_ops w ~m)
 
 let hybrid_partitions w ~m =
   let rf = fi w.r_pages *. w.cost.C.fudge in
@@ -135,11 +212,21 @@ let hybrid_q w ~m =
     Float.min 1.0 (Float.max 0.0 (r0_pages /. fi w.r_pages))
   end
 
-let hybrid_hash w ~m =
+let hybrid_hash_ops w ~m =
   validate w ~m;
   let b = hybrid_partitions w ~m in
   let q = hybrid_q w ~m in
-  partitioned_hash_cost w ~q ~write_seq:(b <= 1)
+  partitioned_hash_ops w ~q ~write_seq:(b <= 1)
+
+let hybrid_hash w ~m = seconds w.cost (hybrid_hash_ops w ~m)
+
+let ops_of_algorithm name w ~m =
+  match name with
+  | "sort-merge" -> sort_merge_ops w ~m
+  | "simple" -> simple_hash_ops w ~m
+  | "grace" -> grace_hash_ops w ~m
+  | "hybrid" -> hybrid_hash_ops w ~m
+  | other -> invalid_arg ("Join_model.ops_of_algorithm: " ^ other)
 
 let all_four w ~m =
   [
@@ -147,4 +234,12 @@ let all_four w ~m =
     ("simple", simple_hash w ~m);
     ("grace", grace_hash w ~m);
     ("hybrid", hybrid_hash w ~m);
+  ]
+
+let all_four_ops w ~m =
+  [
+    ("sort-merge", sort_merge_ops w ~m);
+    ("simple", simple_hash_ops w ~m);
+    ("grace", grace_hash_ops w ~m);
+    ("hybrid", hybrid_hash_ops w ~m);
   ]

@@ -15,6 +15,29 @@ type workload = {
   cost : Mmdb_storage.Cost.t;  (** machine constants incl. fudge factor F *)
 }
 
+type ops = {
+  comps : float;  (** key comparisons *)
+  hashes : float;  (** hash-function applications *)
+  moves : float;  (** tuple moves into tables/buffers *)
+  swaps : float;  (** priority-queue element exchanges *)
+  seq_ios : float;  (** sequential page transfers *)
+  rand_ios : float;  (** random page transfers *)
+}
+(** Per-term operation counts — the cost breakdown behind each formula.
+    Every [*_ops] function below returns the symbolic count of abstract
+    machine operations; {!seconds} prices them under a {!Mmdb_storage.Cost}
+    vector.  [seconds w.cost (sort_merge_ops w ~m) = sort_merge w ~m]
+    (up to float associativity), and likewise for the other three. *)
+
+val zero_ops : ops
+val add_ops : ops -> ops -> ops
+val scale_ops : float -> ops -> ops
+
+val seconds : Mmdb_storage.Cost.t -> ops -> float
+(** Price an operation vector in simulated seconds. *)
+
+val pp_ops : Format.formatter -> ops -> unit
+
 val table2_workload : workload
 (** Figure 1's setting: [|R| = |S| = 10,000] pages, 40 tuples/page,
     Table 2 constants. *)
@@ -60,5 +83,19 @@ val hybrid_q : workload -> m:int -> float
 (** [q = |R0| / |R|]: fraction of R (and, by uniformity, of S) processed
     without touching disk. *)
 
+val sort_merge_ops : workload -> m:int -> ops
+val simple_hash_ops : workload -> m:int -> ops
+val grace_hash_ops : workload -> m:int -> ops
+val hybrid_hash_ops : workload -> m:int -> ops
+(** Per-term breakdowns of the four formulas; the [float] variants above
+    are [seconds cost (…_ops w ~m)]. *)
+
+val ops_of_algorithm : string -> workload -> m:int -> ops
+(** Dispatch by the {!all_four} name ("sort-merge" | "simple" | "grace" |
+    "hybrid").  @raise Invalid_argument on any other name. *)
+
 val all_four : workload -> m:int -> (string * float) list
 (** [("sort-merge", t); ("simple", t); ("grace", t); ("hybrid", t)]. *)
+
+val all_four_ops : workload -> m:int -> (string * ops) list
+(** Same order as {!all_four}, with per-term breakdowns. *)

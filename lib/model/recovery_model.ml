@@ -15,14 +15,57 @@ let gray_banking =
     page_write_time = 10e-3;
   }
 
+type log_terms = {
+  begin_end : int;
+  old_values : int;
+  new_values : int;
+}
+
+let log_terms t ~compressed =
+  {
+    begin_end = t.begin_end_bytes;
+    old_values = (if compressed then 0 else t.old_values_bytes);
+    new_values = t.new_values_bytes;
+  }
+
 let log_bytes_per_txn t ~compressed =
-  if compressed then t.begin_end_bytes + t.new_values_bytes
-  else t.begin_end_bytes + t.old_values_bytes + t.new_values_bytes
+  let lt = log_terms t ~compressed in
+  lt.begin_end + lt.old_values + lt.new_values
 
 let txns_per_page t ~compressed =
   max 1 (t.log_page_bytes / log_bytes_per_txn t ~compressed)
 
-let conventional_tps t = 1.0 /. t.page_write_time
+type tps_terms = {
+  txns_per_io : float;  (** transactions committed per log-page write *)
+  ios_per_second : float;  (** log-page writes per second, all devices *)
+}
+
+let tps_of_terms terms = terms.txns_per_io *. terms.ios_per_second
+
+let conventional_terms t =
+  { txns_per_io = 1.0; ios_per_second = 1.0 /. t.page_write_time }
+
+let group_commit_terms t =
+  {
+    txns_per_io = float_of_int (txns_per_page t ~compressed:false);
+    ios_per_second = 1.0 /. t.page_write_time;
+  }
+
+let partitioned_terms t ~devices =
+  if devices <= 0 then invalid_arg "Recovery_model.partitioned_tps: devices";
+  {
+    txns_per_io = float_of_int (txns_per_page t ~compressed:false);
+    ios_per_second = float_of_int devices /. t.page_write_time;
+  }
+
+let stable_memory_terms t ~devices ~compressed =
+  if devices <= 0 then invalid_arg "Recovery_model.stable_memory_tps: devices";
+  {
+    txns_per_io = float_of_int (txns_per_page t ~compressed);
+    ios_per_second = float_of_int devices /. t.page_write_time;
+  }
+
+let conventional_tps t = tps_of_terms (conventional_terms t)
 
 let group_commit_tps t =
   float_of_int (txns_per_page t ~compressed:false) /. t.page_write_time

@@ -19,6 +19,29 @@ type t = {
 val gray_banking : t
 (** The paper's figures: 40 + 180 + 180 bytes, 4096-byte pages, 10 ms. *)
 
+type log_terms = {
+  begin_end : int;
+  old_values : int;  (** 0 when compressed (§5.4 drops the undo half) *)
+  new_values : int;
+}
+(** Per-term breakdown of the log volume; {!log_bytes_per_txn} is the
+    field sum. *)
+
+val log_terms : t -> compressed:bool -> log_terms
+
+type tps_terms = {
+  txns_per_io : float;  (** transactions committed per log-page write *)
+  ios_per_second : float;  (** log-page writes per second, all devices *)
+}
+(** Per-term breakdown of a throughput figure;
+    [tps = txns_per_io · ios_per_second]. *)
+
+val tps_of_terms : tps_terms -> float
+val conventional_terms : t -> tps_terms
+val group_commit_terms : t -> tps_terms
+val partitioned_terms : t -> devices:int -> tps_terms
+val stable_memory_terms : t -> devices:int -> compressed:bool -> tps_terms
+
 val log_bytes_per_txn : t -> compressed:bool -> int
 (** 400 bytes uncompressed; begin/end + new values only when
     [compressed] (§5.4 stable-memory compression). *)

@@ -7,7 +7,7 @@ let temp_name prefix =
   incr temp_counter;
   Printf.sprintf "%s#%d" prefix !temp_counter
 
-let disk_of catalog plan =
+let base_relation catalog plan =
   let rec first_scan = function
     | Optimizer.P_scan name -> Some name
     | Optimizer.P_filter { input; _ }
@@ -20,20 +20,24 @@ let disk_of catalog plan =
       match first_scan left with Some n -> Some n | None -> first_scan right)
   in
   match first_scan plan with
-  | Some name -> S.Relation.disk (Catalog.find catalog name)
+  | Some name -> Catalog.find catalog name
   | None -> invalid_arg "Executor: plan references no base relation"
+
+let disk_of catalog plan = S.Relation.disk (base_relation catalog plan)
 
 let rekey rel key =
   let schema = S.Relation.schema rel in
   if S.Schema.key_index schema = S.Schema.column_index schema key then rel
   else S.Relation.with_schema rel (S.Schema.with_key schema key)
 
-let rec run catalog cfg plan =
+(* One plan node's own work; children execute through [recurse] so callers
+   can interpose instrumentation (see {!run_traced}). *)
+let run_node ~recurse catalog cfg plan =
   let disk = disk_of catalog plan in
   match plan with
   | Optimizer.P_scan name -> Catalog.find catalog name
   | Optimizer.P_filter { input; pred } ->
-    let src = run catalog cfg input in
+    let src = recurse catalog cfg input in
     let schema = S.Relation.schema src in
     let out =
       S.Relation.create ~disk ~name:(temp_name "filter") ~schema
@@ -44,7 +48,7 @@ let rec run catalog cfg plan =
     S.Relation.seal out;
     out
   | Optimizer.P_project { input; columns; distinct } ->
-    let src = run catalog cfg input in
+    let src = recurse catalog cfg input in
     if distinct then
       E.Projection.distinct ~mem_pages:cfg.Optimizer.mem_pages
         ~fudge:cfg.Optimizer.fudge ~cols:columns src
@@ -75,8 +79,8 @@ let rec run catalog cfg plan =
       out
     end
   | Optimizer.P_join { left; right; left_key; right_key; choice } ->
-    let lrel = rekey (run catalog cfg left) left_key in
-    let rrel = rekey (run catalog cfg right) right_key in
+    let lrel = rekey (recurse catalog cfg left) left_key in
+    let rrel = rekey (recurse catalog cfg right) right_key in
     let build, probe, build_is_left =
       if choice.Optimizer.swapped then (rrel, lrel, false)
       else (lrel, rrel, true)
@@ -102,11 +106,14 @@ let rec run catalog cfg plan =
     S.Relation.seal out;
     out
   | Optimizer.P_aggregate { input; group_by; aggs } ->
-    let src = rekey (run catalog cfg input) group_by in
+    let src = rekey (recurse catalog cfg input) group_by in
     E.Aggregate.hybrid ~mem_pages:cfg.Optimizer.mem_pages
       ~fudge:cfg.Optimizer.fudge src aggs
   | Optimizer.P_set_op { op; left; right } ->
-    let l = run catalog cfg left and r = run catalog cfg right in
+    (* Sequential lets: the left child must execute first so traced paths
+       ($.0 = left) are deterministic. *)
+    let l = recurse catalog cfg left in
+    let r = recurse catalog cfg right in
     let f =
       match op with
       | Algebra.Union -> E.Set_ops.union ?seed:None
@@ -115,7 +122,7 @@ let rec run catalog cfg plan =
     in
     f ~mem_pages:cfg.Optimizer.mem_pages ~fudge:cfg.Optimizer.fudge l r
   | Optimizer.P_order_by { input; column; descending } ->
-    let src = rekey (run catalog cfg input) column in
+    let src = rekey (recurse catalog cfg input) column in
     let sorted = E.External_sort.sort ~mem_pages:cfg.Optimizer.mem_pages src in
     if not descending then sorted
     else begin
@@ -131,6 +138,81 @@ let rec run catalog cfg plan =
       S.Relation.seal out;
       out
     end
+
+let rec run catalog cfg plan = run_node ~recurse:run catalog cfg plan
+
+type node_obs = {
+  path : string;
+  kind : string;
+  output_tuples : int;
+  output_pages : int;
+  output_tuples_per_page : int;
+  total : S.Counters.t;
+  self : S.Counters.t;
+  total_seconds : float;
+  self_seconds : float;
+}
+
+let kind_of = function
+  | Optimizer.P_scan name -> "scan:" ^ name
+  | Optimizer.P_filter _ -> "filter"
+  | Optimizer.P_project { distinct; _ } ->
+    if distinct then "project-distinct" else "project"
+  | Optimizer.P_join { choice; _ } ->
+    "join:" ^ E.Joiner.name choice.Optimizer.algorithm
+  | Optimizer.P_aggregate _ -> "aggregate"
+  | Optimizer.P_order_by _ -> "order-by"
+  | Optimizer.P_set_op { op; _ } -> (
+    match op with
+    | Algebra.Union -> "union"
+    | Algebra.Intersect -> "intersect"
+    | Algebra.Except -> "except")
+
+let run_traced catalog cfg plan =
+  let env = S.Relation.env (base_relation catalog plan) in
+  let acc = ref [] in
+  let rec go path plan =
+    let before = S.Counters.snapshot env.S.Env.counters in
+    let t0 = S.Env.elapsed env in
+    let child_diffs = ref [] in
+    let child_seconds = ref 0.0 in
+    let idx = ref 0 in
+    let recurse _catalog _cfg child =
+      let cb = S.Counters.snapshot env.S.Env.counters in
+      let ct0 = S.Env.elapsed env in
+      let r = go (Printf.sprintf "%s.%d" path !idx) child in
+      incr idx;
+      child_diffs :=
+        S.Counters.diff ~after:env.S.Env.counters ~before:cb :: !child_diffs;
+      child_seconds := !child_seconds +. (S.Env.elapsed env -. ct0);
+      r
+    in
+    let out = run_node ~recurse catalog cfg plan in
+    let total = S.Counters.diff ~after:env.S.Env.counters ~before in
+    let total_seconds = S.Env.elapsed env -. t0 in
+    (* The node's own work is the total minus every child's activity. *)
+    let self =
+      List.fold_left
+        (fun a c -> S.Counters.diff ~after:a ~before:c)
+        total !child_diffs
+    in
+    acc :=
+      {
+        path;
+        kind = kind_of plan;
+        output_tuples = S.Relation.ntuples out;
+        output_pages = S.Relation.npages out;
+        output_tuples_per_page = S.Relation.tuples_per_page out;
+        total;
+        self;
+        total_seconds;
+        self_seconds = total_seconds -. !child_seconds;
+      }
+      :: !acc;
+    out
+  in
+  let result = go "$" plan in
+  (result, List.rev !acc)
 
 let query catalog cfg expr = run catalog cfg (Optimizer.plan catalog cfg expr)
 

@@ -11,6 +11,26 @@ val run : Catalog.t -> Optimizer.config -> Optimizer.plan ->
 (** Execute a plan, returning the (sealed) result relation.  Its schema
     matches {!Optimizer.output_schema} of the planned expression. *)
 
+type node_obs = {
+  path : string;  (** ["$"] for the root, ["$.0"], ["$.0.1"], … below *)
+  kind : string;  (** ["scan:name"], ["filter"], ["join:hybrid"], … *)
+  output_tuples : int;
+  output_pages : int;
+  output_tuples_per_page : int;
+  total : Mmdb_storage.Counters.t;  (** node including its inputs *)
+  self : Mmdb_storage.Counters.t;  (** node alone (children subtracted) *)
+  total_seconds : float;
+  self_seconds : float;
+}
+(** Per-node observation from an instrumented execution. *)
+
+val run_traced : Catalog.t -> Optimizer.config -> Optimizer.plan ->
+  Mmdb_storage.Relation.t * node_obs list
+(** Like {!run}, but records each plan node's observed operation counters
+    and simulated seconds, in post-order.  The [self] fields isolate one
+    operator's charges so they can be checked against the cost model's
+    prediction for that node ([Mmdb_verify.Model_check]). *)
+
 val query : Catalog.t -> Optimizer.config -> Algebra.expr ->
   Mmdb_storage.Relation.t
 (** [query catalog cfg expr] = plan + run. *)

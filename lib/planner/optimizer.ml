@@ -15,6 +15,9 @@ type join_choice = {
   swapped : bool;
   est_build_pages : int;
   est_probe_pages : int;
+  est_mem_pages : int;
+  est_workload : JM.workload;
+  est_ops : JM.ops;
   est_seconds : float;
 }
 
@@ -176,23 +179,25 @@ let choose_join catalog cfg left right =
   let m = max cfg.mem_pages (JM.min_memory workload) in
   (* Hybrid first: on cost ties (e.g. everything in memory, where hybrid
      and simple coincide) the paper's preferred algorithm wins. *)
+  let price ops = (ops, JM.seconds workload.JM.cost ops) in
   let candidates =
     if cfg.allow_hash then
       [
-        (E.Joiner.Hybrid_hash_join, JM.hybrid_hash workload ~m);
-        (E.Joiner.Grace_hash_join, JM.grace_hash workload ~m);
-        (E.Joiner.Simple_hash_join, JM.simple_hash workload ~m);
-        (E.Joiner.Sort_merge_join, JM.sort_merge workload ~m);
+        (E.Joiner.Hybrid_hash_join, price (JM.hybrid_hash_ops workload ~m));
+        (E.Joiner.Grace_hash_join, price (JM.grace_hash_ops workload ~m));
+        (E.Joiner.Simple_hash_join, price (JM.simple_hash_ops workload ~m));
+        (E.Joiner.Sort_merge_join, price (JM.sort_merge_ops workload ~m));
       ]
-    else [ (E.Joiner.Sort_merge_join, JM.sort_merge workload ~m) ]
+    else
+      [ (E.Joiner.Sort_merge_join, price (JM.sort_merge_ops workload ~m)) ]
   in
-  let algorithm, est_seconds =
+  let algorithm, (est_ops, est_seconds) =
     (* Strictly-better-by-margin keeps hybrid on floating-point ties
        (hybrid and simple compute identical costs in different summation
        orders when everything fits in memory). *)
     List.fold_left
-      (fun (ba, bc) (a, c) ->
-        if c < bc *. (1.0 -. 1e-9) then (a, c) else (ba, bc))
+      (fun ((_, (_, bc)) as best) ((_, (_, c)) as cand) ->
+        if c < bc *. (1.0 -. 1e-9) then cand else best)
       (List.hd candidates) (List.tl candidates)
   in
   {
@@ -200,6 +205,9 @@ let choose_join catalog cfg left right =
     swapped;
     est_build_pages = build_pages;
     est_probe_pages = probe_pages;
+    est_mem_pages = m;
+    est_workload = workload;
+    est_ops;
     est_seconds;
   }
 
@@ -231,6 +239,28 @@ let rec estimated_cost = function
     choice.est_seconds +. estimated_cost left +. estimated_cost right
   | P_set_op { left; right; _ } ->
     estimated_cost left +. estimated_cost right
+
+let rec estimated_ops = function
+  | P_scan _ -> JM.zero_ops
+  | P_filter { input; _ } | P_project { input; _ } | P_aggregate { input; _ }
+  | P_order_by { input; _ } ->
+    estimated_ops input
+  | P_join { left; right; choice; _ } ->
+    JM.add_ops choice.est_ops
+      (JM.add_ops (estimated_ops left) (estimated_ops right))
+  | P_set_op { left; right; _ } ->
+    JM.add_ops (estimated_ops left) (estimated_ops right)
+
+let estimated_pages = est_pages
+
+let rec join_choices = function
+  | P_scan _ -> []
+  | P_filter { input; _ } | P_project { input; _ } | P_aggregate { input; _ }
+  | P_order_by { input; _ } ->
+    join_choices input
+  | P_join { left; right; choice; _ } ->
+    choice :: (join_choices left @ join_choices right)
+  | P_set_op { left; right; _ } -> join_choices left @ join_choices right
 
 let explain plan =
   let buf = Buffer.create 256 in

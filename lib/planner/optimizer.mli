@@ -27,6 +27,10 @@ type join_choice = {
   swapped : bool;  (** true when the right input becomes the build side *)
   est_build_pages : int;
   est_probe_pages : int;
+  est_mem_pages : int;  (** [max mem_pages √(|S|·F)], the priced memory *)
+  est_workload : Mmdb_model.Join_model.workload;  (** the priced workload *)
+  est_ops : Mmdb_model.Join_model.ops;
+      (** per-term breakdown of [est_seconds] *)
   est_seconds : float;  (** analytic cost under Table 2 constants *)
 }
 
@@ -59,6 +63,20 @@ val plan : Catalog.t -> config -> Algebra.expr -> plan
 
 val estimated_cost : plan -> float
 (** Sum of the join choices' analytic costs (seconds). *)
+
+val estimated_ops : plan -> Mmdb_model.Join_model.ops
+(** Per-term breakdown of {!estimated_cost}: the sum of every join
+    choice's [est_ops].  [Join_model.seconds cost (estimated_ops p)]
+    agrees with [estimated_cost p] up to float associativity — checked by
+    [Mmdb_verify.Model_check] as MODEL010. *)
+
+val estimated_pages : Catalog.t -> Algebra.expr -> int
+(** Estimated result size in pages (selectivity-scaled, at least 1) — the
+    figure {!plan} prices join workloads with, exposed so the optimality
+    lint can re-derive the plan space independently. *)
+
+val join_choices : plan -> join_choice list
+(** Every join choice in the plan, preorder. *)
 
 val explain : plan -> string
 (** Human-readable plan tree with algorithm choices and estimates. *)

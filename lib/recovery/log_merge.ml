@@ -13,7 +13,7 @@ let page_key (completion, records) =
 let merge fragments =
   let streams = List.map (fun pages -> { pages }) fragments in
   let cmp (ka, _) (kb, _) = compare ka kb in
-  let heap = U.Heap.create ~cmp in
+  let heap = U.Heap.create ~cmp () in
   List.iter
     (fun s ->
       match s.pages with

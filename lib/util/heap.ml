@@ -1,10 +1,12 @@
 type 'a t = {
   cmp : 'a -> 'a -> int;
+  on_swap : unit -> unit;
   mutable data : 'a array;
   mutable size : int;
 }
 
-let create ~cmp = { cmp; data = [||]; size = 0 }
+let nop () = ()
+let create ?(on_swap = nop) ~cmp () = { cmp; on_swap; data = [||]; size = 0 }
 let length h = h.size
 let is_empty h = h.size = 0
 
@@ -24,6 +26,7 @@ let rec sift_up h i =
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;
+      h.on_swap ();
       sift_up h parent
     end
   end
@@ -37,6 +40,7 @@ let rec sift_down h i =
     let tmp = h.data.(i) in
     h.data.(i) <- h.data.(!smallest);
     h.data.(!smallest) <- tmp;
+    h.on_swap ();
     sift_down h !smallest
   end
 
@@ -72,9 +76,9 @@ let replace_min h x =
   sift_down h 0;
   min
 
-let of_array ~cmp a =
+let of_array ?(on_swap = nop) ~cmp a =
   let data = Array.copy a in
-  let h = { cmp; data; size = Array.length a } in
+  let h = { cmp; on_swap; data; size = Array.length a } in
   for i = (h.size / 2) - 1 downto 0 do
     sift_down h i
   done;

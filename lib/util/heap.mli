@@ -7,8 +7,12 @@
 type 'a t
 (** A mutable heap of ['a]. *)
 
-val create : cmp:('a -> 'a -> int) -> 'a t
-(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+val create : ?on_swap:(unit -> unit) -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first).
+    [on_swap] is invoked once per element exchange during sifting — the
+    hook that lets executors charge [swap]s for actual data movement while
+    the comparator charges [comp]s, keeping the two counts distinct (the
+    cost-model convention of {!Mmdb_model.Join_model.ops}). *)
 
 val length : 'a t -> int
 (** Number of elements currently in the heap. *)
@@ -32,7 +36,8 @@ val replace_min : 'a t -> 'a -> 'a
     the old minimum.  One sift instead of two — the hot operation of
     replacement selection.  @raise Invalid_argument if empty. *)
 
-val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+val of_array :
+  ?on_swap:(unit -> unit) -> cmp:('a -> 'a -> int) -> 'a array -> 'a t
 (** [of_array ~cmp a] heapifies a copy of [a] in O(n). *)
 
 val to_sorted_list : 'a t -> 'a list

@@ -26,6 +26,11 @@ type component =
           {!Mmdb_recovery.Schedule} and {!Txn_check}); [log] is the full
           WAL submission stream cross-checked by the dependency auditor
           ([[]] skips those checks). *)
+  | Model of { name : string; check : unit -> Mmdb_util.Diag.t list }
+      (** A cost-model conformance check ({!Model_check}), thunked
+          because it executes a workload: [Model { name = "model suite";
+          check = fun () -> Model_check.suite_diags
+          (Model_check.run_suite ()) }]. *)
 
 val run : component -> Mmdb_util.Diag.t list
 (** Audit one component. *)

@@ -14,10 +14,11 @@ module Schedule = Mmdb_recovery.Schedule
 module Txn_check = Txn_check
 module Txn_fuzz = Txn_fuzz
 module Torture = Torture
+module Model_check = Model_check
 module Audit = Audit
 
 (** Every stable diagnostic code with a one-line description. *)
 let code_catalogue =
   Plan_check.code_catalogue @ Log_check.code_catalogue
   @ Pool_check.code_catalogue @ Txn_check.code_catalogue
-  @ Audit.code_catalogue
+  @ Audit.code_catalogue @ Model_check.code_catalogue

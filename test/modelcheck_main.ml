@@ -1,0 +1,32 @@
+(* Standalone cost-model conformance gate, wired to `dune build
+   @modelcheck`: runs the seeded Model_check suite (operator conformance,
+   optimizer optimality lint, selectivity checks) through the unified
+   Audit driver and prints its checklist report.  Exits non-zero on any
+   error-severity finding. *)
+
+module V = Mmdb_verify
+
+let () =
+  let components =
+    [
+      V.Audit.Model
+        {
+          name = "model conformance";
+          check =
+            (fun () ->
+              V.Model_check.suite_diags
+                (V.Model_check.run_suite ~seed:42 ~enumerate:true ()));
+        };
+      (* A second seed guards against a lucky corpus. *)
+      V.Audit.Model
+        {
+          name = "model conformance (seed 7)";
+          check =
+            (fun () ->
+              V.Model_check.suite_diags
+                (V.Model_check.run_suite ~seed:7 ~enumerate:true ()));
+        };
+    ]
+  in
+  let clean = V.Audit.report Format.std_formatter (V.Audit.run_all components) in
+  exit (if clean then 0 else 1)

@@ -175,7 +175,7 @@ let test_welford_matches_batch () =
 (* ------------------------------------------------------------------ *)
 
 let test_heap_basic () =
-  let h = U.Heap.create ~cmp:Int.compare in
+  let h = U.Heap.create ~cmp:Int.compare () in
   checkb "empty" true (U.Heap.is_empty h);
   U.Heap.push h 5;
   U.Heap.push h 1;
@@ -188,7 +188,7 @@ let test_heap_basic () =
   check Alcotest.(option int) "empty pop" None (U.Heap.pop h)
 
 let test_heap_pop_exn_empty () =
-  let h = U.Heap.create ~cmp:Int.compare in
+  let h = U.Heap.create ~cmp:Int.compare () in
   Alcotest.check_raises "empty" (Invalid_argument "Heap.pop_exn: empty heap")
     (fun () -> ignore (U.Heap.pop_exn h))
 
@@ -211,7 +211,7 @@ let qcheck_heapsort =
   QCheck.Test.make ~name:"heap sorts like List.sort" ~count:200
     QCheck.(list int)
     (fun xs ->
-      let h = U.Heap.create ~cmp:Int.compare in
+      let h = U.Heap.create ~cmp:Int.compare () in
       List.iter (U.Heap.push h) xs;
       U.Heap.to_sorted_list h = List.sort Int.compare xs)
 
@@ -219,7 +219,7 @@ let qcheck_heap_invariant_under_pushes =
   QCheck.Test.make ~name:"heap invariant holds under pushes" ~count:200
     QCheck.(list small_int)
     (fun xs ->
-      let h = U.Heap.create ~cmp:Int.compare in
+      let h = U.Heap.create ~cmp:Int.compare () in
       List.for_all
         (fun x ->
           U.Heap.push h x;
