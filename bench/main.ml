@@ -1248,6 +1248,61 @@ let model_json () =
     "wrote BENCH_model.json (%d cases, per-operator predicted vs observed)\n"
     (List.length cases)
 
+(* Recorder-overhead microbenchmark: the schedule recorder is the data
+   source for the race detector, so its cost when enabled — and its
+   zero-cost claim when disabled — gates whether recording can stay on
+   in fuzz/CI runs.  Wall-clock via Sys.time (no unix dependency);
+   repetitions amortise timer granularity. *)
+let schedule_overhead () =
+  let reps = 12 in
+  let time_workload ~record () =
+    let t0 = Sys.time () in
+    let events = ref 0 in
+    for rep = 1 to reps do
+      let db =
+        Mmdb.Txn_db.create ~record_schedule:record ~nrecords:256 ()
+      in
+      for i = 0 to 399 do
+        let a = (i * 7 + rep) mod 256 and b = (i * 11 + rep * 3) mod 256 in
+        if a <> b then ignore (Mmdb.Txn_db.transact db [ (a, 5); (b, -5) ]);
+        Mmdb.Txn_db.advance db 0.0002
+      done;
+      Mmdb.Txn_db.flush db;
+      events := !events + List.length (Mmdb.Txn_db.schedule db)
+    done;
+    (Sys.time () -. t0, !events)
+  in
+  (* Warm both paths once so allocation of shared structures is paid
+     before measurement. *)
+  ignore (time_workload ~record:false ());
+  ignore (time_workload ~record:true ());
+  let off_s, _ = time_workload ~record:false () in
+  let on_s, events = time_workload ~record:true () in
+  let per_event =
+    if events = 0 then 0.0 else (on_s -. off_s) /. float_of_int events
+  in
+  let doc =
+    jobj
+      [
+        ("workload", jstr "Txn_db transfer batch, 400 txns x 12 reps");
+        ("reps", string_of_int reps);
+        ("events_recorded", string_of_int events);
+        ("seconds_recording_off", jfloat off_s);
+        ("seconds_recording_on", jfloat on_s);
+        ( "overhead_ratio",
+          jfloat (if off_s > 0.0 then on_s /. off_s else 0.0) );
+        ("seconds_per_event", jfloat per_event);
+      ]
+  in
+  let oc = open_out "BENCH_schedule_overhead.json" in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_schedule_overhead.json (off %.4fs, on %.4fs over %d \
+     events; %.1f ns/event)\n"
+    off_s on_s events (per_event *. 1e9)
+
 (* Canonical Table 1 + Figure 1 regeneration.  Printed to stdout; a dune
    rule captures it and diffs against bench/golden/table1_figure1.json so
    CI catches any drift in the analytic model (`dune promote` accepts an
@@ -1337,6 +1392,7 @@ let experiments =
     ("mvcc", "Section 6: locking vs versioning", mvcc);
     ("bulk-load", "B+-tree occupancy: 69% vs bulk-loaded", bulk_load_bench);
     ("model-json", "write BENCH_model.json (predicted vs observed)", model_json);
+    ("schedule-overhead", "write BENCH_schedule_overhead.json (recorder cost)", schedule_overhead);
     ("golden-json", "Table 1 + Figure 1 as canonical JSON (CI golden)", golden_json);
   ]
 

@@ -683,6 +683,169 @@ let modelcheck_cmd =
     Term.(const modelcheck $ seed $ tolerance $ enumerate $ verbose)
 
 (* ------------------------------------------------------------------ *)
+(* racecheck                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let inject_of_spec spec =
+  let atom = function
+    | "ww" -> Ok [ `Ww ]
+    | "rw" -> Ok [ `Rw ]
+    | "unguarded" -> Ok [ `Unguarded ]
+    | "release" -> Ok [ `Release_no_acquire ]
+    | "snapshot" -> Ok [ `Snapshot ]
+    | "all" -> Ok [ `Ww; `Rw; `Unguarded; `Release_no_acquire; `Snapshot ]
+    | "" -> Ok []
+    | a -> Error a
+  in
+  List.fold_left
+    (fun acc tok ->
+      match (acc, atom (String.trim tok)) with
+      | Ok l, Ok a -> Ok (l @ a)
+      | (Error _ as e), _ -> e
+      | _, Error a -> Error a)
+    (Ok [])
+    (String.split_on_char ',' spec)
+
+let racecheck_lint () =
+  match V.Domain_lint.scan_lib () with
+  | Error m ->
+    prerr_endline ("racecheck: " ^ m);
+    false
+  | Ok (sites, parse_diags) ->
+    Format.printf "static shared-state inventory (lib/):@.";
+    V.Domain_lint.pp_inventory Format.std_formatter sites;
+    let diags = parse_diags @ V.Domain_lint.diags_of_sites sites in
+    if diags <> [] then Format.printf "@.%a@." U.Diag.pp_list diags;
+    Format.printf "lint: %d site%s, %s@." (List.length sites)
+      (if List.length sites = 1 then "" else "s")
+      (U.Diag.summary diags);
+    not (U.Diag.has_errors diags)
+
+let racecheck_fuzz ~seed ~domains ~inject =
+  let o = V.Txn_fuzz.run ~domains ~inject ~seed () in
+  Printf.printf
+    "fuzz seed %d, %d domains: %d committed, %d aborted, %d events, %d \
+     injected race%s\n"
+    seed domains o.V.Txn_fuzz.committed o.V.Txn_fuzz.aborted
+    (List.length o.V.Txn_fuzz.events)
+    (List.length o.V.Txn_fuzz.injected)
+    (if List.length o.V.Txn_fuzz.injected = 1 then "" else "s");
+  let diags = o.V.Txn_fuzz.race_diags in
+  if diags <> [] then Format.printf "%a@." U.Diag.pp_list diags;
+  let found = List.map (fun (d : U.Diag.t) -> d.U.Diag.code) diags in
+  (* Positive controls: every injected race must be flagged under its
+     expected code; a missed injection is a detector bug. *)
+  let missed =
+    List.filter (fun c -> not (List.mem c found)) o.V.Txn_fuzz.injected
+  in
+  List.iter
+    (fun c -> Printf.printf "racecheck: MISSED injected race %s\n" c)
+    missed;
+  if o.V.Txn_fuzz.injected = [] then begin
+    Printf.printf "fuzz: %s\n" (U.Diag.summary diags);
+    not (U.Diag.has_errors diags)
+  end
+  else begin
+    Printf.printf "fuzz: %d/%d injected races detected\n"
+      (List.length o.V.Txn_fuzz.injected - List.length missed)
+      (List.length o.V.Txn_fuzz.injected);
+    missed = []
+  end
+
+let racecheck_mvcc ~seed =
+  let r =
+    R.Mvcc_sim.run ~seed ~n_writers:2_000 ~record_schedule:true
+      R.Mvcc_sim.Versioning
+  in
+  let diags = V.Race_check.audit r.R.Mvcc_sim.events in
+  if diags <> [] then Format.printf "%a@." U.Diag.pp_list diags;
+  Printf.printf "mvcc: %d version-store events across %d domains, %s\n"
+    (List.length r.R.Mvcc_sim.events)
+    (List.length (V.Schedule.domains r.R.Mvcc_sim.events))
+    (U.Diag.summary diags);
+  not (U.Diag.has_errors diags)
+
+let run_racecheck lint fuzz mvcc domains inject_spec seed =
+  let inject =
+    match inject_of_spec inject_spec with
+    | Ok l -> l
+    | Error a ->
+      prerr_endline
+        ("racecheck: unknown injection `" ^ a
+       ^ "' (expected ww, rw, unguarded, release, snapshot or all)");
+      exit 2
+  in
+  (* No mode flag = the full gate: lint, clean multi-domain fuzz, MVCC. *)
+  let all = (not lint) && (not fuzz) && not mvcc in
+  let ok = ref true in
+  let part label b =
+    if not b then ok := false;
+    Printf.printf "%-6s %s\n\n" label (if b then "ok" else "FAIL")
+  in
+  if lint || all then part "lint" (racecheck_lint ());
+  if fuzz || all then part "fuzz" (racecheck_fuzz ~seed ~domains ~inject);
+  if mvcc || all then part "mvcc" (racecheck_mvcc ~seed);
+  if !ok then 0 else 1
+
+let racecheck_cmd =
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Static half only: inventory module-level mutable state under \
+             lib/ and flag sites that are neither domain-safe nor \
+             justified (RACE100-RACE103).")
+  in
+  let fuzz =
+    Arg.(
+      value & flag
+      & info [ "fuzz" ]
+          ~doc:
+            "Dynamic half only: run the multi-domain transaction fuzzer \
+             and audit the recorded schedule with the happens-before \
+             detector (RACE001-RACE005).")
+  in
+  let mvcc =
+    Arg.(
+      value & flag
+      & info [ "mvcc" ]
+          ~doc:
+            "Dynamic half, versioning engine: record the MVCC simulator's \
+             version-store accesses and audit them (snapshot discipline, \
+             RACE005).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 3
+      & info [ "domains" ]
+          ~doc:"Simulated domain count for the fuzzed workload.")
+  in
+  let inject =
+    Arg.(
+      value & opt string ""
+      & info [ "inject" ]
+          ~doc:
+            "Comma-separated positive controls seeded into the fuzzed \
+             trace: $(b,ww), $(b,rw), $(b,unguarded), $(b,release), \
+             $(b,snapshot), or $(b,all). Every injected race must be \
+             flagged under its expected code or the run fails.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Workload PRNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "racecheck"
+       ~doc:
+         "Domain-safety gate for the multicore engine: static shared-state \
+          lint over lib/ plus a FastTrack-style happens-before race \
+          detector (with Eraser lockset fallback and MVCC snapshot \
+          discipline) over recorded multi-domain schedules. With no mode \
+          flag, runs the full gate (lint + fuzz + mvcc). Exits 1 on any \
+          flagged site, detected race, or missed injection.")
+    Term.(const run_racecheck $ lint $ fuzz $ mvcc $ domains $ inject $ seed)
+
+(* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -897,6 +1060,6 @@ let () =
        (Cmd.group ~default info
           [
             crossover_cmd; join_cmd; tps_cmd; recover_cmd; plan_cmd; sql_cmd;
-            check_cmd; txncheck_cmd; torture_cmd; modelcheck_cmd; stats_cmd;
-            repl_cmd;
+            check_cmd; txncheck_cmd; torture_cmd; modelcheck_cmd;
+            racecheck_cmd; stats_cmd; repl_cmd;
           ]))

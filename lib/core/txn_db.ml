@@ -36,7 +36,7 @@ let create ?(strategy = R.Wal.Group_commit) ?(nrecords = 1000)
     locks = R.Lock_manager.create ?recorder ();
     recorder;
     stable;
-    kv = R.Kv_store.create ~nrecords ~records_per_page ~stable ();
+    kv = R.Kv_store.create ?recorder ~nrecords ~records_per_page ~stable ();
     next_txn = 0;
     next_lsn = 0;
     crashed = false;
@@ -106,12 +106,10 @@ let transact t updates =
   let body =
     List.map
       (fun (slot, delta) ->
-        let old_value = R.Kv_store.get t.kv slot in
+        let old_value = R.Kv_store.get ~txn t.kv slot in
         let new_value = old_value + delta in
         let lsn = fresh_lsn t in
-        R.Schedule.emit t.recorder ~key:slot ~txn R.Schedule.Read;
-        R.Kv_store.apply_update t.kv ~lsn ~slot ~value:new_value;
-        R.Schedule.emit t.recorder ~key:slot ~lsn ~txn R.Schedule.Write;
+        R.Kv_store.apply_update ~txn t.kv ~lsn ~slot ~value:new_value;
         R.Log_record.Update { txn; lsn; slot; old_value; new_value })
       updates
   in
@@ -142,12 +140,10 @@ let transact_abort t updates =
   let body =
     List.map
       (fun (slot, delta) ->
-        let old_value = R.Kv_store.get t.kv slot in
+        let old_value = R.Kv_store.get ~txn t.kv slot in
         let new_value = old_value + delta in
         let lsn = fresh_lsn t in
-        R.Schedule.emit t.recorder ~key:slot ~txn R.Schedule.Read;
-        R.Kv_store.apply_update t.kv ~lsn ~slot ~value:new_value;
-        R.Schedule.emit t.recorder ~key:slot ~lsn ~txn R.Schedule.Write;
+        R.Kv_store.apply_update ~txn t.kv ~lsn ~slot ~value:new_value;
         R.Log_record.Update { txn; lsn; slot; old_value; new_value })
       updates
   in
@@ -160,8 +156,7 @@ let transact_abort t updates =
         match r with
         | R.Log_record.Update { slot; old_value; new_value; _ } ->
           let lsn = fresh_lsn t in
-          R.Kv_store.apply_update t.kv ~lsn ~slot ~value:old_value;
-          R.Schedule.emit t.recorder ~key:slot ~lsn ~txn R.Schedule.Write;
+          R.Kv_store.apply_update ~txn t.kv ~lsn ~slot ~value:old_value;
           R.Log_record.Update
             { txn; lsn; slot; old_value = new_value; new_value = old_value }
         | R.Log_record.Begin _ | R.Log_record.Commit _ | R.Log_record.Abort _

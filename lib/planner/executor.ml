@@ -1,6 +1,8 @@
 module S = Mmdb_storage
 module E = Mmdb_exec
 
+(* race_check: planner-local temp-name tick, single-domain; a duplicate
+   temp name would be cosmetic, not a safety issue *)
 let temp_counter = ref 0
 
 let temp_name prefix =

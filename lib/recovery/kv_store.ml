@@ -4,6 +4,7 @@ module Fault_plan = Mmdb_fault.Fault_plan
 type t = {
   page_io_time : float;
   records_per_page : int;
+  recorder : Schedule.recorder option;
   mem : int array; (* volatile *)
   snapshot : int array; (* "disk": survives crash *)
   snap_sums : int array; (* per-page CRC of the intended snapshot page *)
@@ -20,8 +21,8 @@ let page_sum t page =
   let hi = min (Array.length t.snapshot) (lo + t.records_per_page) in
   Mmdb_util.Checksum.crc32_ints t.snapshot ~pos:lo ~len:(hi - lo)
 
-let create ?(page_io_time = 10e-3) ?faults ~nrecords ~records_per_page
-    ~stable () =
+let create ?(page_io_time = 10e-3) ?faults ?recorder ~nrecords
+    ~records_per_page ~stable () =
   if nrecords <= 0 then invalid_arg "Kv_store.create: nrecords <= 0";
   if records_per_page <= 0 then
     invalid_arg "Kv_store.create: records_per_page <= 0";
@@ -29,6 +30,7 @@ let create ?(page_io_time = 10e-3) ?faults ~nrecords ~records_per_page
     {
       page_io_time;
       records_per_page;
+      recorder;
       mem = Array.make nrecords 0;
       snapshot = Array.make nrecords 0;
       snap_sums = Array.make (npages_of ~nrecords ~records_per_page) 0;
@@ -52,17 +54,24 @@ let check_slot t slot =
   if slot < 0 || slot >= Array.length t.mem then
     invalid_arg (Printf.sprintf "Kv_store: slot %d out of range" slot)
 
-let get t slot =
+let get ?txn ?(domain = 0) t slot =
   check_slot t slot;
   if t.scrambled then
     invalid_arg "Kv_store.get: memory lost in crash (recover first)";
+  (match txn with
+  | Some txn -> Schedule.emit t.recorder ~key:slot ~domain ~txn Schedule.Read
+  | None -> ());
   t.mem.(slot)
 
 let page_of t slot = slot / t.records_per_page
 
-let apply_update t ~lsn ~slot ~value =
+let apply_update ?txn ?(domain = 0) t ~lsn ~slot ~value =
   check_slot t slot;
   t.mem.(slot) <- value;
+  (match txn with
+  | Some txn ->
+    Schedule.emit t.recorder ~key:slot ~lsn ~domain ~txn Schedule.Write
+  | None -> ());
   let page = page_of t slot in
   match Stable_memory.table_get t.stable ~key:page with
   | Some _ -> () (* already dirty; first-LSN already recorded *)

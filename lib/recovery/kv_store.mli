@@ -11,26 +11,33 @@
 type t
 
 val create : ?page_io_time:float -> ?faults:Mmdb_fault.Fault_plan.t ->
-  nrecords:int -> records_per_page:int -> stable:Stable_memory.t ->
-  unit -> t
+  ?recorder:Schedule.recorder -> nrecords:int -> records_per_page:int ->
+  stable:Stable_memory.t -> unit -> t
 (** All balances start at 0; the disk snapshot starts clean.  The
     dirty-page table lives in [stable] (it survives crashes).
     [page_io_time] (default 10 ms) prices checkpoint writes and recovery
     reads.  With [faults] armed, snapshot pages carry out-of-band CRCs:
     checkpoint writes can be rotted by a [Snapshot]-site rule, and
     {!recover} detects (FAULT002) and rebuilds (FAULT009) damaged
-    pages. *)
+    pages.  With [recorder], transactional accesses ({!get} /
+    {!apply_update} called with [~txn]) emit domain-stamped Read/Write
+    schedule events for {!Mmdb_verify.Txn_check} and
+    {!Mmdb_verify.Race_check}. *)
 
 val nrecords : t -> int
 val npages : t -> int
 
-val get : t -> int -> int
-(** Current in-memory balance.  @raise Invalid_argument on bad slot. *)
+val get : ?txn:int -> ?domain:int -> t -> int -> int
+(** Current in-memory balance.  When [txn] is given (and a recorder is
+    armed) the access is witnessed as a [Read] event stamped with
+    [domain] (default 0).  @raise Invalid_argument on bad slot. *)
 
-val apply_update : t -> lsn:int -> slot:int -> value:int -> unit
+val apply_update :
+  ?txn:int -> ?domain:int -> t -> lsn:int -> slot:int -> value:int -> unit
 (** In-memory write; marks the slot's page dirty, recording [lsn] in the
     stable dirty-page table if it is the first update since the page's
-    last checkpoint. *)
+    last checkpoint.  When [txn] is given the write is witnessed as a
+    [Write] event stamped with [domain]. *)
 
 type checkpoint_stats = { pages_flushed : int; duration : float }
 

@@ -16,10 +16,14 @@ type t = {
   locks : (int, lock) Hashtbl.t;
   txns : (int, txn_state) Hashtbl.t;
   recorder : Schedule.recorder option;
+  domain_of : int -> int;
 }
 
-let create ?recorder () =
-  { locks = Hashtbl.create 64; txns = Hashtbl.create 64; recorder }
+let create ?recorder ?(domain_of = fun _ -> 0) () =
+  { locks = Hashtbl.create 64; txns = Hashtbl.create 64; recorder; domain_of }
+
+let emit t ?key ~txn kind =
+  Schedule.emit t.recorder ?key ~domain:(t.domain_of txn) ~txn kind
 
 let get_lock t key =
   match Hashtbl.find_opt t.locks key with
@@ -75,21 +79,20 @@ let acquire t ~txn ~key =
       (Printf.sprintf "Lock_manager.acquire: txn %d already waits for %d" txn
          k)
   | None -> ());
-  Schedule.emit t.recorder ~key ~txn Schedule.Acquire;
+  emit t ~key ~txn Schedule.Acquire;
   let lock = get_lock t key in
   match lock.lock_holder with
   | Some h when h = txn ->
-    Schedule.emit t.recorder ~key ~txn (Schedule.Grant { deps = [] });
+    emit t ~key ~txn (Schedule.Grant { deps = [] });
     Some { granted_txn = txn; dependencies = [] }
   | Some holder ->
     Queue.push txn lock.lock_waiters;
     st.waiting_for <- Some key;
-    Schedule.emit t.recorder ~key ~txn (Schedule.Wait { holder });
+    emit t ~key ~txn (Schedule.Wait { holder });
     None
   | None ->
     let g = grant_to t lock key txn in
-    Schedule.emit t.recorder ~key ~txn
-      (Schedule.Grant { deps = g.dependencies });
+    emit t ~key ~txn (Schedule.Grant { deps = g.dependencies });
     Some g
 
 (* Wake the next waiter of a now-free lock, if any. *)
@@ -98,8 +101,7 @@ let wake_next t key lock =
   | exception Queue.Empty -> []
   | next ->
     let g = grant_to t lock key next in
-    Schedule.emit t.recorder ~key ~txn:next
-      (Schedule.Wake { deps = g.dependencies });
+    emit t ~key ~txn:next (Schedule.Wake { deps = g.dependencies });
     [ g ]
 
 let precommit t ~txn =
@@ -109,7 +111,7 @@ let precommit t ~txn =
   | `Precommitted | `Done ->
     invalid_arg "Lock_manager.precommit: transaction not active");
   st.phase <- `Precommitted;
-  Schedule.emit t.recorder ~txn Schedule.Precommit;
+  emit t ~txn Schedule.Precommit;
   let grants =
     List.concat_map
       (fun key ->
@@ -117,7 +119,7 @@ let precommit t ~txn =
         assert (lock.lock_holder = Some txn);
         lock.lock_holder <- None;
         lock.lock_precommitted <- txn :: lock.lock_precommitted;
-        Schedule.emit t.recorder ~key ~txn Schedule.Release;
+        emit t ~key ~txn Schedule.Release;
         wake_next t key lock)
       st.held
   in
@@ -130,7 +132,7 @@ let release_abort t ~txn =
   | `Precommitted | `Done ->
     invalid_arg
       "Lock_manager.release_abort: pre-committed transactions never abort");
-  Schedule.emit t.recorder ~txn Schedule.Abort;
+  emit t ~txn Schedule.Abort;
   (* Remove any wait registration. *)
   (match st.waiting_for with
   | Some key ->
@@ -147,7 +149,7 @@ let release_abort t ~txn =
         let lock = get_lock t key in
         assert (lock.lock_holder = Some txn);
         lock.lock_holder <- None;
-        Schedule.emit t.recorder ~key ~txn Schedule.Release;
+        emit t ~key ~txn Schedule.Release;
         wake_next t key lock)
       st.held
   in

@@ -20,11 +20,15 @@ type grant = {
           on *)
 }
 
-val create : ?recorder:Schedule.recorder -> unit -> t
-(** [create ?recorder ()] — when [recorder] is given, every protocol
-    transition (acquire / grant / wait / wake / release / precommit /
-    abort) is appended to it as a {!Schedule.event} for offline auditing
-    by {!Mmdb_verify.Txn_check}.  Without it, recording costs nothing. *)
+val create :
+  ?recorder:Schedule.recorder -> ?domain_of:(int -> int) -> unit -> t
+(** [create ?recorder ?domain_of ()] — when [recorder] is given, every
+    protocol transition (acquire / grant / wait / wake / release /
+    precommit / abort) is appended to it as a {!Schedule.event} for
+    offline auditing by {!Mmdb_verify.Txn_check} and
+    {!Mmdb_verify.Race_check}.  Without it, recording costs nothing.
+    [domain_of txn] supplies the domain stamp for each event (default:
+    everything on domain 0 — the historical single-domain behaviour). *)
 
 val acquire : t -> txn:int -> key:int -> grant option
 (** [acquire lm ~txn ~key] tries to take the exclusive lock on [key].

@@ -5,6 +5,9 @@ type scheme = Locking | Versioning
 
 type result = {
   scheme_label : string;
+  events : Schedule.event list;
+      (* domain-stamped version-store accesses (writers dom 0, readers
+         dom 1), empty unless recording was requested *)
   writer_tps : float;
   writer_p99_latency : float;
   reader_count : int;
@@ -15,14 +18,24 @@ type result = {
 let scheme_label = function Locking -> "locking" | Versioning -> "versioning"
 
 let run ?(seed = 83) ?(nrecords = 1000) ?(n_writers = 20_000)
-    ?(reader_every = 2.0) ?(reader_duration = 1.0) scheme =
+    ?(reader_every = 2.0) ?(reader_duration = 1.0)
+    ?(record_schedule = false) scheme =
   if reader_duration >= reader_every then
     invalid_arg "Mvcc_sim.run: reader_duration must be below reader_every";
   let rng = U.Xorshift.create seed in
   let clock = S.Sim_clock.create () in
   let wal = Wal.create ~clock Wal.Group_commit in
   let balances = Array.make nrecords 0 in
-  let versions = Version_store.create ~nrecords in
+  let recorder =
+    if record_schedule then
+      Some (Schedule.recorder ~now:(fun () -> S.Sim_clock.now clock))
+    else None
+  in
+  let versions = Version_store.create ?recorder ~nrecords () in
+  (* Schedule stamps: all writers execute on (simulated) domain 0, all
+     snapshot readers on domain 1; readers get txn ids above the writer
+     id space. *)
+  let reader_txn k = n_writers + k in
   let versions_peak = ref 0 in
   let txns =
     Workload.generate ~rng ~nrecords ~updates_per_txn:6 ~n:n_writers ()
@@ -57,18 +70,22 @@ let run ?(seed = 83) ?(nrecords = 1000) ?(n_writers = 20_000)
       let half = nrecords / 2 in
       let partial = ref 0 in
       for slot = 0 to half - 1 do
-        partial := !partial + Version_store.read versions ~ts ~slot
+        partial :=
+          !partial
+          + Version_store.read ~txn:(reader_txn k) ~domain:1 versions ~ts ~slot
       done;
       pending_reader := Some (k, ts, !partial)
   in
   let finish_reader () =
     match !pending_reader with
     | None -> ()
-    | Some (_, ts, partial) ->
+    | Some (k, ts, partial) ->
       let half = nrecords / 2 in
       let total = ref partial in
       for slot = half to nrecords - 1 do
-        total := !total + Version_store.read versions ~ts ~slot
+        total :=
+          !total
+          + Version_store.read ~txn:(reader_txn k) ~domain:1 versions ~ts ~slot
       done;
       if !total <> 0 then consistent := false;
       incr readers_done;
@@ -132,7 +149,8 @@ let run ?(seed = 83) ?(nrecords = 1000) ?(n_writers = 20_000)
             balances.(slot) <- new_value;
             (match scheme with
             | Versioning ->
-              Version_store.write versions ~ts:effective ~slot ~value:new_value
+              Version_store.write ~txn:txn.Workload.txn_id ~domain:0 versions
+                ~ts:effective ~slot ~value:new_value
             | Locking -> ());
             Log_record.Update
               {
@@ -174,6 +192,7 @@ let run ?(seed = 83) ?(nrecords = 1000) ?(n_writers = 20_000)
   let makespan = Float.max !last_commit done_at in
   {
     scheme_label = scheme_label scheme;
+    events = (match recorder with Some r -> Schedule.events r | None -> []);
     writer_tps = float_of_int n_writers /. Float.max 1e-9 makespan;
     writer_p99_latency = U.Stats.percentile (Array.of_list !latencies) 0.99;
     reader_count = !readers_done;

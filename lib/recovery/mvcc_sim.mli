@@ -21,6 +21,10 @@ type scheme = Locking | Versioning
 
 type result = {
   scheme_label : string;
+  events : Schedule.event list;
+      (** version-store accesses, domain-stamped (writers on domain 0,
+          snapshot readers on domain 1, [ver] = version / snapshot
+          timestamp); empty unless [record_schedule] was set *)
   writer_tps : float;
   writer_p99_latency : float;
   reader_count : int;
@@ -30,6 +34,9 @@ type result = {
 }
 
 val run : ?seed:int -> ?nrecords:int -> ?n_writers:int ->
-  ?reader_every:float -> ?reader_duration:float -> scheme -> result
+  ?reader_every:float -> ?reader_duration:float ->
+  ?record_schedule:bool -> scheme -> result
 (** Defaults: 1000 accounts, 20,000 writers at saturation, a scanning
-    reader every 2 simulated seconds holding its snapshot/lock for 1 s. *)
+    reader every 2 simulated seconds holding its snapshot/lock for 1 s.
+    [record_schedule] (default false) witnesses every version-store
+    access in [events] for {!Mmdb_verify.Race_check} auditing. *)

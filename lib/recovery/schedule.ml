@@ -15,6 +15,8 @@ type event = {
   txn : int;
   key : int option;
   lsn : int option;
+  domain : int;
+  ver : float option;
   kind : kind;
 }
 
@@ -26,12 +28,12 @@ type recorder = {
 
 let recorder ~now = { now; rev_events = []; n = 0 }
 
-let emit r ?at ?key ?lsn ~txn kind =
+let emit r ?at ?key ?lsn ?(domain = 0) ?ver ~txn kind =
   match r with
   | None -> ()
   | Some r ->
     let time = match at with Some t -> t | None -> r.now () in
-    r.rev_events <- { time; txn; key; lsn; kind } :: r.rev_events;
+    r.rev_events <- { time; txn; key; lsn; domain; ver; kind } :: r.rev_events;
     r.n <- r.n + 1
 
 let events r = List.rev r.rev_events
@@ -40,6 +42,9 @@ let length r = r.n
 let clear r =
   r.rev_events <- [];
   r.n <- 0
+
+let domains events =
+  List.sort_uniq compare (List.map (fun e -> e.domain) events)
 
 let kind_name = function
   | Acquire -> "Acquire"
@@ -55,11 +60,15 @@ let kind_name = function
 
 let pp_event ppf e =
   Format.fprintf ppf "%.6f txn=%d" e.time e.txn;
+  if e.domain <> 0 then Format.fprintf ppf " dom=%d" e.domain;
   (match e.key with
   | Some k -> Format.fprintf ppf " key=%d" k
   | None -> ());
   (match e.lsn with
   | Some l -> Format.fprintf ppf " lsn=%d" l
+  | None -> ());
+  (match e.ver with
+  | Some v -> Format.fprintf ppf " ver=%.6f" v
   | None -> ());
   Format.fprintf ppf " %s" (kind_name e.kind);
   match e.kind with

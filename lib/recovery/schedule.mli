@@ -36,6 +36,17 @@ type event = {
   txn : int;
   key : int option;  (** the locked / accessed key, where applicable *)
   lsn : int option;  (** the log record produced, where applicable *)
+  domain : int;
+      (** the (simulated or real) OCaml domain that executed the event;
+          0 for the historical single-domain emitters.  Events of one
+          domain are program-ordered by trace position; cross-domain
+          ordering exists only through lock release/grant edges — the
+          happens-before relation {!Mmdb_verify.Race_check} audits. *)
+  ver : float option;
+      (** version timestamp for multiversion (MVCC) accesses: a [Write]
+          installed a version with this commit timestamp, a [Read] ran
+          against a snapshot at this timestamp.  [None] for accesses to
+          the single-version store. *)
   kind : kind;
 }
 
@@ -46,14 +57,19 @@ val recorder : now:(unit -> float) -> recorder
     event (typically [fun () -> Sim_clock.now clock]). *)
 
 val emit :
-  recorder option -> ?at:float -> ?key:int -> ?lsn:int -> txn:int ->
-  kind -> unit
+  recorder option -> ?at:float -> ?key:int -> ?lsn:int -> ?domain:int ->
+  ?ver:float -> txn:int -> kind -> unit
 (** Append one event.  [None] recorder: no-op.  [at] overrides the
     [now]-derived stamp — used for durability events whose true time (the
-    log ticket's completion) differs from the clock at emission. *)
+    log ticket's completion) differs from the clock at emission.
+    [domain] (default 0) stamps the executing domain; [ver] marks a
+    multiversion access with its version timestamp. *)
 
 val events : recorder -> event list
 (** Everything recorded so far, in emission order. *)
+
+val domains : event list -> int list
+(** The distinct domain stamps appearing in a trace, sorted. *)
 
 val length : recorder -> int
 val clear : recorder -> unit

@@ -1,13 +1,15 @@
 type t = {
   chains : (float * int) list array; (* newest first: (commit_ts, value) *)
   mutable total_versions : int;
+  recorder : Schedule.recorder option;
 }
 
-let create ~nrecords =
+let create ?recorder ~nrecords () =
   if nrecords <= 0 then invalid_arg "Version_store.create: nrecords <= 0";
   {
     chains = Array.make nrecords [ (Float.neg_infinity, 0) ];
     total_versions = nrecords;
+    recorder;
   }
 
 let nrecords t = Array.length t.chains
@@ -16,17 +18,25 @@ let check_slot t slot =
   if slot < 0 || slot >= Array.length t.chains then
     invalid_arg "Version_store: slot out of range"
 
-let write t ~ts ~slot ~value =
+let write ?txn ?(domain = 0) t ~ts ~slot ~value =
   check_slot t slot;
   (match t.chains.(slot) with
   | (newest, _) :: _ when ts <= newest ->
     invalid_arg "Version_store.write: timestamp not newer than latest version"
   | _ -> ());
+  (match txn with
+  | Some txn ->
+    Schedule.emit t.recorder ~key:slot ~domain ~ver:ts ~txn Schedule.Write
+  | None -> ());
   t.chains.(slot) <- (ts, value) :: t.chains.(slot);
   t.total_versions <- t.total_versions + 1
 
-let read t ~ts ~slot =
+let read ?txn ?(domain = 0) t ~ts ~slot =
   check_slot t slot;
+  (match txn with
+  | Some txn ->
+    Schedule.emit t.recorder ~key:slot ~domain ~ver:ts ~txn Schedule.Read
+  | None -> ());
   let rec find = function
     | (vts, v) :: _ when vts <= ts -> v
     | _ :: rest -> find rest

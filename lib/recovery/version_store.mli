@@ -11,18 +11,26 @@
 
 type t
 
-val create : nrecords:int -> t
-(** All slots start at an initial version (timestamp −∞, value 0). *)
+val create : ?recorder:Schedule.recorder -> nrecords:int -> unit -> t
+(** All slots start at an initial version (timestamp −∞, value 0).  With
+    [recorder], accesses carrying [~txn] are witnessed as version-stamped
+    ([ver = ts]) Read/Write schedule events, so multiversion schedules
+    are auditable by {!Mmdb_verify.Txn_check} and
+    {!Mmdb_verify.Race_check} alike. *)
 
 val nrecords : t -> int
 
-val write : t -> ts:float -> slot:int -> value:int -> unit
-(** Install a version.  @raise Invalid_argument if [ts] is not newer than
-    the slot's latest version (writers are serialized by the lock
-    manager) or the slot is out of range. *)
+val write :
+  ?txn:int -> ?domain:int -> t -> ts:float -> slot:int -> value:int -> unit
+(** Install a version.  When [txn] is given the install is witnessed as a
+    [Write] event with [ver = ts], stamped with [domain] (default 0).
+    @raise Invalid_argument if [ts] is not newer than the slot's latest
+    version (writers are serialized by the lock manager) or the slot is
+    out of range. *)
 
-val read : t -> ts:float -> slot:int -> int
-(** Snapshot read: the newest value with [commit_ts <= ts]. *)
+val read : ?txn:int -> ?domain:int -> t -> ts:float -> slot:int -> int
+(** Snapshot read: the newest value with [commit_ts <= ts].  When [txn]
+    is given the access is witnessed as a [Read] event with [ver = ts]. *)
 
 val read_latest : t -> slot:int -> int
 

@@ -1,18 +1,19 @@
-(* Table-driven reflected CRC-32 (polynomial 0xEDB88320). *)
+(* Table-driven reflected CRC-32 (polynomial 0xEDB88320).  The table is
+   built eagerly at module initialisation — a lazy here would race when
+   first forced from two domains (Lazy is not domain-safe). *)
 
+(* race_check: write-once CRC table filled before any domain can spawn,
+   read-only afterwards *)
 let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
-           else c := !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+        else c := !c lsr 1
+      done;
+      !c)
 
-let step crc byte =
-  let t = Lazy.force table in
-  t.((crc lxor byte) land 0xFF) lxor (crc lsr 8)
+let step crc byte = table.((crc lxor byte) land 0xFF) lxor (crc lsr 8)
 
 let crc32 ?(init = 0) buf ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then

@@ -1,12 +1,21 @@
-type t = { mutable state : int64 }
+(* The Zipf normaliser memo lives inside the stream (not at module
+   level): streams are passed per-domain by value, so a generator owns
+   all of its mutable state and two domains never share a table. *)
+type t = {
+  mutable state : int64;
+  zeta_memo : (int * float, float) Hashtbl.t;  (* (n, theta) -> normaliser *)
+}
 
 let default_nonzero = 0x9E3779B97F4A7C15L
 
 let create seed =
   let s = Int64.of_int seed in
-  { state = (if Int64.equal s 0L then default_nonzero else s) }
+  {
+    state = (if Int64.equal s 0L then default_nonzero else s);
+    zeta_memo = Hashtbl.create 7;
+  }
 
-let copy t = { state = t.state }
+let copy t = { state = t.state; zeta_memo = Hashtbl.copy t.zeta_memo }
 
 (* xorshift64* : Vigna, "An experimental exploration of Marsaglia's xorshift
    generators, scrambled". *)
@@ -65,26 +74,24 @@ let exponential t ~mean =
 
 (* Zipf via the classic Gray et al. (SIGMOD'94) self-similar trick is not
    exact; we use the standard inverse-power CDF with a precomputed
-   normaliser cached per (n, theta).  Cache is tiny: experiments use a
-   handful of distinct configurations. *)
-let zeta_cache : (int * float, float) Hashtbl.t = Hashtbl.create 7
-
-let zeta n theta =
-  match Hashtbl.find_opt zeta_cache (n, theta) with
+   normaliser memoised per stream and (n, theta).  The memo is tiny:
+   experiments use a handful of distinct configurations. *)
+let zeta t n theta =
+  match Hashtbl.find_opt t.zeta_memo (n, theta) with
   | Some z -> z
   | None ->
     let z = ref 0.0 in
     for i = 1 to n do
       z := !z +. (1.0 /. Float.pow (float_of_int i) theta)
     done;
-    Hashtbl.replace zeta_cache (n, theta) !z;
+    Hashtbl.replace t.zeta_memo (n, theta) !z;
     !z
 
 let zipf t ~n ~theta =
   if n <= 0 then invalid_arg "Xorshift.zipf: n must be positive";
   if theta <= 0.0 then int t n
   else begin
-    let zn = zeta n theta in
+    let zn = zeta t n theta in
     let u = float t 1.0 *. zn in
     let rec find i acc =
       if i > n then n - 1

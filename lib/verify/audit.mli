@@ -31,6 +31,9 @@ type component =
           because it executes a workload: [Model { name = "model suite";
           check = fun () -> Model_check.suite_diags
           (Model_check.run_suite ()) }]. *)
+  | Race of { name : string; events : Mmdb_recovery.Schedule.event list }
+      (** A domain-stamped schedule replayed through the
+          happens-before race detector ({!Race_check}). *)
 
 val run : component -> Mmdb_util.Diag.t list
 (** Audit one component. *)

@@ -1,0 +1,312 @@
+module D = Mmdb_util.Diag
+
+(* The lint walks the compiler's own parsetree (compiler-libs), so it
+   sees exactly what the type-checker sees.  Only version-stable
+   constructors are matched (Pstr_value / Pstr_type / Pstr_module /
+   Pexp_apply / Pexp_ident / Pexp_lazy / Pexp_constraint): the scan must
+   compile across the CI compiler matrix. *)
+
+type status =
+  | Safe of string
+  | Whitelisted of string
+  | Per_instance
+  | Flagged of string  (* RACE1xx *)
+
+type site = {
+  file : string;
+  line : int;
+  name : string;
+  construct : string;
+  status : status;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expression classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+type shape =
+  | Mutable_value of string  (* ref / Hashtbl.create / ... *)
+  | Lazy_value
+  | Rng_value of string  (* shared global generator *)
+  | Safe_value of string  (* Atomic.make / Mutex.create *)
+  | Plain
+
+let rec classify_expr (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constraint (inner, _) -> classify_expr inner
+  | Parsetree.Pexp_lazy _ -> Lazy_value
+  | Parsetree.Pexp_apply (f, _) -> (
+    match f.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; _ } -> (
+      let path = Longident.flatten txt in
+      let dotted = String.concat "." path in
+      match path with
+      | _ when List.exists (fun m -> m = "Xorshift") path ->
+        Rng_value dotted
+      | [ "ref" ] -> Mutable_value "ref"
+      | [ m; "make" ] when m = "Atomic" -> Safe_value dotted
+      | [ m; "create" ] when m = "Mutex" -> Safe_value dotted
+      | [ m; "create" ]
+        when m = "Hashtbl" || m = "Buffer" || m = "Queue" || m = "Stack" ->
+        Mutable_value dotted
+      | [ m; f ]
+        when (m = "Array" || m = "Bytes")
+             && (f = "make" || f = "create" || f = "init") ->
+        Mutable_value dotted
+      | _ -> Plain)
+    | _ -> Plain)
+  | _ -> Plain
+
+(* ------------------------------------------------------------------ *)
+(* Whitelist comments                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Comments are not in the parsetree; the justification convention is
+   textual: a [(* race_check: why this is domain-safe *)] comment on the
+   binding itself or within the two lines above it. *)
+let whitelist_of ~lines ~start_line ~end_line =
+  let lo = max 1 (start_line - 2) and hi = min (Array.length lines) end_line in
+  let marker = "race_check:" in
+  let found = ref None in
+  for i = lo to hi do
+    if !found = None then begin
+      let l = lines.(i - 1) in
+      match
+        (* no Str in the image: a plain substring scan *)
+        let n = String.length l and m = String.length marker in
+        let rec go j =
+          if j + m > n then None
+          else if String.sub l j m = marker then Some (j + m)
+          else go (j + 1)
+        in
+        go 0
+      with
+      | Some j ->
+        let rest = String.sub l j (String.length l - j) in
+        (* trim the closing "*)" when the comment ends on this line *)
+        let rec close k =
+          if k + 2 > String.length rest then rest
+          else if String.sub rest k 2 = "*)" then String.sub rest 0 k
+          else close (k + 1)
+        in
+        found := Some (String.trim (close 0))
+      | None -> ()
+    end
+  done;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Structure walk                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pattern_name (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } -> txt
+  | _ -> "_"
+
+let rec scan_structure ~file ~lines acc (items : Parsetree.structure) =
+  List.fold_left (scan_item ~file ~lines) acc items
+
+and scan_item ~file ~lines acc (item : Parsetree.structure_item) =
+  match item.Parsetree.pstr_desc with
+  | Parsetree.Pstr_value (_, bindings) ->
+    List.fold_left
+      (fun acc (vb : Parsetree.value_binding) ->
+        let loc = vb.Parsetree.pvb_loc in
+        let start_line = loc.Location.loc_start.Lexing.pos_lnum in
+        let end_line = loc.Location.loc_end.Lexing.pos_lnum in
+        let name = pattern_name vb.Parsetree.pvb_pat in
+        let add construct code safe =
+          let status =
+            match safe with
+            | Some why -> Safe why
+            | None -> (
+              match whitelist_of ~lines ~start_line ~end_line with
+              | Some why -> Whitelisted why
+              | None -> Flagged code)
+          in
+          { file; line = start_line; name; construct; status } :: acc
+        in
+        match classify_expr vb.Parsetree.pvb_expr with
+        | Mutable_value c -> add c "RACE101" None
+        | Lazy_value -> add "lazy" "RACE102" None
+        | Rng_value c -> add c "RACE103" None
+        | Safe_value c -> add c "" (Some (c ^ " is domain-safe"))
+        | Plain -> acc)
+      acc bindings
+  | Parsetree.Pstr_type (_, decls) ->
+    List.fold_left
+      (fun acc (d : Parsetree.type_declaration) ->
+        match d.Parsetree.ptype_kind with
+        | Parsetree.Ptype_record labels ->
+          let mut =
+            List.filter_map
+              (fun (l : Parsetree.label_declaration) ->
+                match l.Parsetree.pld_mutable with
+                | Asttypes.Mutable -> Some l.Parsetree.pld_name.Location.txt
+                | Asttypes.Immutable -> None)
+              labels
+          in
+          if mut = [] then acc
+          else
+            {
+              file;
+              line = d.Parsetree.ptype_loc.Location.loc_start.Lexing.pos_lnum;
+              name = d.Parsetree.ptype_name.Location.txt;
+              construct =
+                Printf.sprintf "mutable field%s %s"
+                  (if List.length mut = 1 then "" else "s")
+                  (String.concat ", " mut);
+              status = Per_instance;
+            }
+            :: acc
+        | _ -> acc)
+      acc decls
+  | Parsetree.Pstr_module mb -> scan_module ~file ~lines acc mb
+  | Parsetree.Pstr_recmodule mbs ->
+    List.fold_left (scan_module ~file ~lines) acc mbs
+  | _ -> acc
+
+and scan_module ~file ~lines acc (mb : Parsetree.module_binding) =
+  match mb.Parsetree.pmb_expr.Parsetree.pmod_desc with
+  | Parsetree.Pmod_structure items -> scan_structure ~file ~lines acc items
+  | _ -> acc
+
+let scan_source ~file source =
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | items -> Ok (List.rev (scan_structure ~file ~lines [] items))
+  | exception _ ->
+    Error
+      (D.error ~code:"RACE100" ~path:file
+         "source failed to parse (lint could not inventory this file)")
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem drivers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let rec ml_files dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc e ->
+        let p = Filename.concat dir e in
+        if Sys.is_directory p then acc @ ml_files p
+        else if Filename.check_suffix e ".ml" then acc @ [ p ]
+        else acc)
+      [] entries
+  | exception Sys_error _ -> []
+
+(* Locate the library sources: the scan runs both from the repository
+   root (the CLI) and from inside dune's sandbox (_build/default/test,
+   where the alias rule materializes the sources), so walk upward until
+   a directory holding both [dune-project] and [lib/] appears. *)
+let find_root () =
+  let rec up dir n =
+    if n > 6 then None
+    else if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lib")
+      && Sys.is_directory (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent (n + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let scan_files files =
+  List.fold_left
+    (fun (sites, diags) f ->
+      match scan_source ~file:f (read_file f) with
+      | Ok s -> (sites @ s, diags)
+      | Error d -> (sites, diags @ [ d ]))
+    ([], []) files
+
+let scan_lib ?root () =
+  let root = match root with Some r -> Some r | None -> find_root () in
+  match root with
+  | None -> Error "Domain_lint: could not locate lib/ (no dune-project found)"
+  | Some r ->
+    let files = ml_files (Filename.concat r "lib") in
+    (* Report paths relative to the root so findings are stable across
+       checkouts and sandboxes. *)
+    let strip f =
+      let pre = r ^ Filename.dir_sep in
+      let n = String.length pre in
+      if String.length f > n && String.sub f 0 n = pre then
+        String.sub f n (String.length f - n)
+      else f
+    in
+    let sites, diags = scan_files files in
+    Ok
+      ( List.map (fun s -> { s with file = strip s.file }) sites,
+        List.map
+          (fun (d : D.t) -> { d with D.path = strip d.D.path })
+          diags )
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let diags_of_sites sites =
+  List.filter_map
+    (fun s ->
+      match s.status with
+      | Flagged code ->
+        let what =
+          match code with
+          | "RACE102" ->
+            "top-level lazy value (forcing from two domains is unsafe)"
+          | "RACE103" ->
+            "shared global random generator (streams must be per-domain, \
+             passed by value)"
+          | _ -> "top-level mutable state shared by every domain"
+        in
+        Some
+          (D.error ~code
+             ~path:(Printf.sprintf "%s:%d" s.file s.line)
+             (Printf.sprintf
+                "%s: `%s' (%s) — wrap in Atomic/Mutex, make it per-domain, \
+                 or justify with a (* race_check: ... *) comment"
+                what s.name s.construct))
+      | Safe _ | Whitelisted _ | Per_instance -> None)
+    sites
+
+let status_label = function
+  | Safe why -> "safe: " ^ why
+  | Whitelisted why -> "whitelisted: " ^ why
+  | Per_instance -> "per-instance (audited dynamically by Race_check)"
+  | Flagged code -> "FLAGGED " ^ code
+
+let pp_inventory ppf sites =
+  if sites = [] then
+    Format.fprintf ppf "no module-level mutable state found@."
+  else
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "%-34s %-28s %s@."
+          (Printf.sprintf "%s:%d" s.file s.line)
+          (Printf.sprintf "%s = %s" s.name s.construct)
+          (status_label s.status))
+      sites
+
+let code_catalogue =
+  [
+    ("RACE100", "source failed to parse; lint inventory incomplete");
+    ( "RACE101",
+      "unjustified top-level mutable value (ref/Hashtbl/Buffer/Queue/Array)"
+    );
+    ("RACE102", "unjustified top-level lazy value");
+    ("RACE103", "shared global random generator (must be per-domain)");
+  ]

@@ -1,0 +1,68 @@
+(** Static shared-state lint — the compile-time half of the
+    domain-safety gate in front of the multicore engine.
+
+    A [compiler-libs] parsetree scan over the library sources
+    inventories every piece of module-level mutable state: top-level
+    [ref] cells, [Hashtbl]/[Buffer]/[Queue]/[Stack] instances,
+    [Array]/[Bytes] allocations, [lazy] values, shared global PRNG
+    streams, and record types declaring [mutable] fields.  Each site is
+    classified:
+
+    - {b safe} — built on [Atomic.make] or [Mutex.create];
+    - {b whitelisted} — carries a [(* race_check: why *)] justification
+      comment on the binding or within the two lines above it;
+    - {b per-instance} — a type {e declaring} mutable fields (instances
+      may be domain-local; the dynamic {!Race_check} audits them);
+    - {b flagged} — everything else, with a stable code:
+      [RACE101] unjustified top-level mutable value,
+      [RACE102] unjustified top-level [lazy],
+      [RACE103] shared global random generator (streams must be passed
+      per-domain by value).  [RACE100] marks a file the lint could not
+      parse.
+
+    The emitted inventory is the pre-flight checklist for any PR that
+    introduces [Domain.spawn]: every flagged site must become
+    domain-safe (or justified) before real parallelism lands. *)
+
+type status =
+  | Safe of string  (** reason, e.g. ["Atomic.make is domain-safe"] *)
+  | Whitelisted of string  (** the justification comment's text *)
+  | Per_instance
+      (** mutable-field type declaration; instances audited dynamically *)
+  | Flagged of string  (** the [RACE1xx] code *)
+
+type site = {
+  file : string;
+  line : int;
+  name : string;  (** the binding or type name *)
+  construct : string;  (** e.g. ["ref"], ["Hashtbl.create"], ["lazy"] *)
+  status : status;
+}
+
+val scan_source :
+  file:string -> string -> (site list, Mmdb_util.Diag.t) result
+(** Lint one compilation unit given its source text.  [Error] carries a
+    [RACE100] diagnostic when the text does not parse. *)
+
+val scan_files : string list -> site list * Mmdb_util.Diag.t list
+(** Lint the given [.ml] paths; parse failures become [RACE100]
+    diagnostics rather than aborting the sweep. *)
+
+val scan_lib :
+  ?root:string -> unit -> (site list * Mmdb_util.Diag.t list, string) result
+(** Locate the repository root (walking up from the current directory
+    until a [dune-project] with a [lib/] sibling appears — works both
+    from a checkout and from inside dune's sandbox), then lint every
+    [.ml] under [lib/].  Site paths are reported root-relative. *)
+
+val ml_files : string -> string list
+(** All [.ml] files under a directory, sorted (deterministic sweeps). *)
+
+val diags_of_sites : site list -> Mmdb_util.Diag.t list
+(** One error per [Flagged] site; safe / whitelisted / per-instance
+    sites produce nothing. *)
+
+val pp_inventory : Format.formatter -> site list -> unit
+(** The full inventory, one line per site with its classification. *)
+
+val code_catalogue : (string * string) list

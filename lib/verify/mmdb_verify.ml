@@ -15,6 +15,8 @@ module Txn_check = Txn_check
 module Txn_fuzz = Txn_fuzz
 module Torture = Torture
 module Model_check = Model_check
+module Race_check = Race_check
+module Domain_lint = Domain_lint
 module Audit = Audit
 
 (** Every stable diagnostic code with a one-line description. *)
@@ -22,3 +24,4 @@ let code_catalogue =
   Plan_check.code_catalogue @ Log_check.code_catalogue
   @ Pool_check.code_catalogue @ Txn_check.code_catalogue
   @ Audit.code_catalogue @ Model_check.code_catalogue
+  @ Race_check.code_catalogue @ Domain_lint.code_catalogue

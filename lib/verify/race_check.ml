@@ -1,0 +1,301 @@
+module D = Mmdb_util.Diag
+module Sch = Mmdb_recovery.Schedule
+module IntSet = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Vector clocks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Clocks are dense int arrays indexed by domain index (domains are
+   discovered up front and remapped to 0..n-1).  Traces are bounded by
+   the simulators, so full vector clocks (FastTrack without the epoch
+   compression) keep the analyzer simple and obviously correct. *)
+
+let vc_fresh n = Array.make n 0
+let vc_copy = Array.copy
+
+let vc_join dst src =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+(* [first_concurrent ~d a b]: the first domain e <> d with a[e] > b[e],
+   i.e. a prior access by [e] (clock [a]) that does not happen-before the
+   current access by domain [d] (clock [b]); [None] when every prior
+   access is ordered before this one. *)
+let first_concurrent ~d a b =
+  let hit = ref None in
+  Array.iteri
+    (fun e v -> if e <> d && v > b.(e) && !hit = None then hit := Some e)
+    a;
+  !hit
+
+(* ------------------------------------------------------------------ *)
+(* Per-key access state                                                *)
+(* ------------------------------------------------------------------ *)
+
+type access = { a_txn : int; a_dom : int (* dense index *) }
+
+type key_state = {
+  wvc : int array;  (* last-write clock per domain *)
+  winfo : access option array;  (* who wrote it, per domain *)
+  rvc : int array;  (* last unversioned-read clock per domain *)
+  rinfo : access option array;
+  mutable lockset : IntSet.t option;  (* Eraser candidate set; None = fresh *)
+  mutable access_domains : IntSet.t;
+}
+
+(* Snapshot activity interval: a reader transaction's snapshot is active
+   from its first versioned read to its last (trace positions).  Version
+   discipline is judged against these intervals, not vector clocks —
+   the timestamp allocator is the synchronisation point in MVCC, so a
+   version installed {e before} the snapshot began is exactly what the
+   snapshot is supposed to read. *)
+type snapshot = {
+  s_txn : int;
+  s_dom : int;  (* dense index *)
+  s_ts : float;
+  mutable s_lo : int;
+  mutable s_hi : int;
+}
+
+type state = {
+  ndom : int;
+  dom_index : (int, int) Hashtbl.t;
+  clocks : int array array;  (* C_d per dense domain index *)
+  lock_vc : (int, int array) Hashtbl.t;  (* L_k *)
+  held : (int, IntSet.t) Hashtbl.t;  (* txn -> keys currently held *)
+  keys : (int, key_state) Hashtbl.t;
+  reported : (string * int, unit) Hashtbl.t;  (* (code, key) dedup *)
+  mutable diags : D.t list;
+}
+
+let key_state st _key =
+  {
+    wvc = vc_fresh st.ndom;
+    winfo = Array.make st.ndom None;
+    rvc = vc_fresh st.ndom;
+    rinfo = Array.make st.ndom None;
+    lockset = None;
+    access_domains = IntSet.empty;
+  }
+
+let get_key st key =
+  match Hashtbl.find_opt st.keys key with
+  | Some ks -> ks
+  | None ->
+    let ks = key_state st key in
+    Hashtbl.replace st.keys key ks;
+    ks
+
+let held st txn =
+  match Hashtbl.find_opt st.held txn with Some s -> s | None -> IntSet.empty
+
+let path_key key dom = Printf.sprintf "key=%d dom=%d" key dom
+
+let report st ~code ~key ~dom msg =
+  if not (Hashtbl.mem st.reported (code, key)) then begin
+    Hashtbl.replace st.reported (code, key) ();
+    st.diags <- D.error ~code ~path:(path_key key dom) msg :: st.diags
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Access checks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let describe { a_txn; a_dom } rev_dom =
+  Printf.sprintf "txn %d (domain %d)" a_txn rev_dom.(a_dom)
+
+(* Eraser-style lockset refinement, applied to unversioned accesses
+   only (multiversion accesses are protected by version discipline, not
+   locks).  The candidate set shrinks to the intersection of every
+   holder set; once the key is touched by two domains with an empty
+   candidate set, no lock consistently guards it. *)
+let lockset_check st ks ~key ~txn ~dom ~rev_dom =
+  let locks = held st txn in
+  ks.lockset <-
+    (match ks.lockset with
+    | None -> Some locks
+    | Some c -> Some (IntSet.inter c locks));
+  ks.access_domains <- IntSet.add dom ks.access_domains;
+  if IntSet.cardinal ks.access_domains >= 2 && ks.lockset = Some IntSet.empty
+  then
+    report st ~code:"RACE003" ~key ~dom:rev_dom.(dom)
+      (Printf.sprintf
+         "key %d is accessed by %d domains with an empty candidate lockset \
+          (no lock consistently guards it; last access by txn %d)"
+         key
+         (IntSet.cardinal ks.access_domains)
+         txn)
+
+(* Unversioned reads only: snapshot reads are judged by version
+   discipline (the snapshot-interval pass in [audit]), not locks. *)
+let on_read st ks ~key ~txn ~dom ~rev_dom =
+  let c = st.clocks.(dom) in
+  let me = { a_txn = txn; a_dom = dom } in
+  (match first_concurrent ~d:dom ks.wvc c with
+  | Some e ->
+    let who =
+      match ks.winfo.(e) with
+      | Some a -> describe a rev_dom
+      | None -> Printf.sprintf "domain %d" rev_dom.(e)
+    in
+    report st ~code:"RACE002" ~key ~dom:rev_dom.(dom)
+      (Printf.sprintf
+         "read/write race on key %d: read by %s is concurrent with the \
+          write by %s (no happens-before edge)"
+         key (describe me rev_dom) who)
+  | None -> ());
+  ks.rvc.(dom) <- c.(dom);
+  ks.rinfo.(dom) <- Some me;
+  lockset_check st ks ~key ~txn ~dom ~rev_dom
+
+let on_write st ks ~key ~txn ~dom ~ver ~rev_dom =
+  let c = st.clocks.(dom) in
+  let me = { a_txn = txn; a_dom = dom } in
+  (match first_concurrent ~d:dom ks.wvc c with
+  | Some e ->
+    let who =
+      match ks.winfo.(e) with
+      | Some a -> describe a rev_dom
+      | None -> Printf.sprintf "domain %d" rev_dom.(e)
+    in
+    report st ~code:"RACE001" ~key ~dom:rev_dom.(dom)
+      (Printf.sprintf
+         "write/write race on key %d: write by %s is concurrent with the \
+          write by %s (no happens-before edge)"
+         key (describe me rev_dom) who)
+  | None -> ());
+  (match ver with
+  | None ->
+    (match first_concurrent ~d:dom ks.rvc c with
+    | Some e ->
+      let who =
+        match ks.rinfo.(e) with
+        | Some a -> describe a rev_dom
+        | None -> Printf.sprintf "domain %d" rev_dom.(e)
+      in
+      report st ~code:"RACE002" ~key ~dom:rev_dom.(dom)
+        (Printf.sprintf
+           "read/write race on key %d: write by %s is concurrent with the \
+            read by %s (no happens-before edge)"
+           key (describe me rev_dom) who)
+    | None -> ());
+    lockset_check st ks ~key ~txn ~dom ~rev_dom
+  | Some _ -> ());
+  ks.wvc.(dom) <- c.(dom);
+  ks.winfo.(dom) <- Some me
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let audit events =
+  let domains = Sch.domains events in
+  let ndom = max 1 (List.length domains) in
+  let dom_index = Hashtbl.create 8 in
+  List.iteri (fun i d -> Hashtbl.replace dom_index d i) domains;
+  let rev_dom = Array.make ndom 0 in
+  List.iteri (fun i d -> rev_dom.(i) <- d) domains;
+  let st =
+    {
+      ndom;
+      dom_index;
+      (* Each domain starts with its own component at 1: a fresh access
+         by domain e (clock e:1) must read as concurrent to a fresh
+         access by domain d (which holds e:0 until a join). *)
+      clocks =
+        Array.init ndom (fun i ->
+            let c = vc_fresh ndom in
+            c.(i) <- 1;
+            c);
+      lock_vc = Hashtbl.create 64;
+      held = Hashtbl.create 64;
+      keys = Hashtbl.create 64;
+      reported = Hashtbl.create 16;
+      diags = [];
+    }
+  in
+  (* Snapshot machinery: active intervals per (reader txn, snapshot ts)
+     and every versioned write with its trace position. *)
+  let snapshots : (int * float, snapshot) Hashtbl.t = Hashtbl.create 16 in
+  let vwrites = ref [] in
+  List.iteri
+    (fun idx (e : Sch.event) ->
+      let dom =
+        match Hashtbl.find_opt st.dom_index e.Sch.domain with
+        | Some i -> i
+        | None -> 0
+      in
+      let txn = e.Sch.txn in
+      match (e.Sch.kind, e.Sch.key) with
+      | (Sch.Grant _ | Sch.Wake _), Some key ->
+        (* Acquisition: join the lock's release clock (the happens-before
+           edge from the previous critical section on [key]). *)
+        (match Hashtbl.find_opt st.lock_vc key with
+        | Some l -> vc_join st.clocks.(dom) l
+        | None -> ());
+        Hashtbl.replace st.held txn (IntSet.add key (held st txn))
+      | Sch.Release, Some key ->
+        let h = held st txn in
+        if not (IntSet.mem key h) then
+          report st ~code:"RACE004" ~key ~dom:rev_dom.(dom)
+            (Printf.sprintf
+               "protocol break on key %d: txn %d released a lock it never \
+                acquired"
+               key txn)
+        else begin
+          Hashtbl.replace st.held txn (IntSet.remove key h);
+          Hashtbl.replace st.lock_vc key (vc_copy st.clocks.(dom));
+          st.clocks.(dom).(dom) <- st.clocks.(dom).(dom) + 1
+        end
+      | Sch.Read, Some key -> (
+        match e.Sch.ver with
+        | Some ts -> (
+          match Hashtbl.find_opt snapshots (txn, ts) with
+          | Some s -> s.s_hi <- idx
+          | None ->
+            Hashtbl.replace snapshots (txn, ts)
+              { s_txn = txn; s_dom = dom; s_ts = ts; s_lo = idx; s_hi = idx })
+        | None -> on_read st (get_key st key) ~key ~txn ~dom ~rev_dom)
+      | Sch.Write, Some key ->
+        (match e.Sch.ver with
+        | Some ts -> vwrites := (idx, key, ts, txn, dom) :: !vwrites
+        | None -> ());
+        on_write st (get_key st key) ~key ~txn ~dom ~ver:e.Sch.ver ~rev_dom
+      | (Sch.Acquire | Sch.Wait _), _
+      | (Sch.Grant _ | Sch.Wake _ | Sch.Release | Sch.Read | Sch.Write), None
+      | (Sch.Precommit | Sch.Commit_durable | Sch.Abort), _ -> ())
+    events;
+  (* Version discipline: a write installing version [ts] races with every
+     still-active snapshot at-or-above [ts] held by another domain — the
+     scan may observe the key before and after the install, i.e. an
+     inconsistent snapshot.  Installs before the snapshot began are the
+     versions it is {e supposed} to read; installs after its last read
+     are invisible to it. *)
+  List.iter
+    (fun (idx, key, ts, txn, dom) ->
+      Hashtbl.iter
+        (fun _ s ->
+          if s.s_dom <> dom && ts <= s.s_ts && s.s_lo < idx && idx < s.s_hi
+          then
+            report st ~code:"RACE005" ~key ~dom:rev_dom.(dom)
+              (Printf.sprintf
+                 "snapshot race on key %d: write by txn %d (domain %d) \
+                  installs version %g at-or-below the concurrently active \
+                  snapshot %g held by txn %d (domain %d)"
+                 key txn rev_dom.(dom) ts s.s_ts s.s_txn rev_dom.(s.s_dom)))
+        snapshots)
+    (List.rev !vwrites);
+  List.rev st.diags
+
+let code_catalogue =
+  [
+    ("RACE001", "write/write race: concurrent unordered writes to one key");
+    ("RACE002", "read/write race: unordered read and write of one key");
+    ( "RACE003",
+      "unguarded shared access: empty candidate lockset across domains \
+       (Eraser)" );
+    ("RACE004", "lock protocol break: release without a matching acquire");
+    ( "RACE005",
+      "snapshot race: version installed at-or-below a concurrent active \
+       snapshot" );
+  ]

@@ -2,10 +2,14 @@ module R = Mmdb_recovery
 module S = Mmdb_storage
 module X = Mmdb_util.Xorshift
 
+type inject = [ `Ww | `Rw | `Unguarded | `Release_no_acquire | `Snapshot ]
+
 type outcome = {
   events : R.Schedule.event list;
   log : R.Log_record.t list;
   diags : Mmdb_util.Diag.t list;
+  race_diags : Mmdb_util.Diag.t list;
+  injected : string list;
   committed : int;
   aborted : int;
   waits : int;
@@ -25,14 +29,22 @@ type txn = {
 }
 
 let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
-    ?(scramble = false) ?(crash = false) ~seed () =
+    ?(scramble = false) ?(crash = false) ?(domains = 1)
+    ?(inject : inject list = []) ~seed () =
   if txns < 1 then invalid_arg "Txn_fuzz.run: txns < 1";
   if accounts < 4 then invalid_arg "Txn_fuzz.run: accounts < 4";
+  if domains < 1 then invalid_arg "Txn_fuzz.run: domains < 1";
   let rng = X.create seed in
   let clock = S.Sim_clock.create () in
   let recorder = R.Schedule.recorder ~now:(fun () -> S.Sim_clock.now clock) in
   let rec_opt = Some recorder in
-  let lm = R.Lock_manager.create ~recorder () in
+  (* Simulated domain placement: transaction [id] executes on domain
+     [id mod domains].  The single-threaded scheduler already interleaves
+     transactions arbitrarily, so with [domains > 1] the recorded trace
+     is a genuine multi-domain interleaving — every cross-domain ordering
+     must come from lock edges, which is exactly what Race_check audits. *)
+  let domain_of id = id mod domains in
+  let lm = R.Lock_manager.create ~recorder ~domain_of () in
   let wal = R.Wal.create ~clock R.Wal.Group_commit in
   let balances = Array.make accounts 1000 in
   let next_lsn = ref 0 in
@@ -95,9 +107,11 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
         let old_value = balances.(slot) in
         let new_value = old_value + delta in
         let lsn = fresh_lsn () in
-        R.Schedule.emit rec_opt ~key:slot ~txn:t.id R.Schedule.Read;
+        R.Schedule.emit rec_opt ~key:slot ~domain:(domain_of t.id) ~txn:t.id
+          R.Schedule.Read;
         balances.(slot) <- new_value;
-        R.Schedule.emit rec_opt ~key:slot ~lsn ~txn:t.id R.Schedule.Write;
+        R.Schedule.emit rec_opt ~key:slot ~lsn ~domain:(domain_of t.id)
+          ~txn:t.id R.Schedule.Write;
         R.Log_record.Update { txn = t.id; lsn; slot; old_value; new_value })
       t.acquired
   in
@@ -126,7 +140,8 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
           | R.Log_record.Update { slot; old_value; new_value; _ } ->
             let lsn = fresh_lsn () in
             balances.(slot) <- old_value;
-            R.Schedule.emit rec_opt ~key:slot ~lsn ~txn:t.id R.Schedule.Write;
+            R.Schedule.emit rec_opt ~key:slot ~lsn ~domain:(domain_of t.id)
+              ~txn:t.id R.Schedule.Write;
             R.Log_record.Update
               {
                 txn = t.id;
@@ -237,15 +252,60 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
   in
   List.iter
     (fun (c, txn) ->
-      R.Schedule.emit rec_opt ~at:c ~txn R.Schedule.Commit_durable;
+      R.Schedule.emit rec_opt ~at:c ~domain:(domain_of txn) ~txn
+        R.Schedule.Commit_durable;
       R.Lock_manager.finalize lm ~txn)
     resolved;
+  (* Positive controls: seeded injected races.  Each injection uses ghost
+     transactions on fresh domains and a private key above the account
+     range, so every control maps to exactly one expected RACE code and
+     controls do not interfere with each other or the real workload.
+     (Ghost accesses are lock-free by design, so they also surface as
+     TXN protocol errors in [diags]; race-gated runs assert on
+     [race_diags] only.) *)
+  let injected =
+    List.mapi
+      (fun i (kind : inject) ->
+        let key = accounts + 1 + i in
+        let da = domains + 1 + (2 * i) and db = domains + 2 + (2 * i) in
+        let ta = 1_000_000 + (2 * i) and tb = 1_000_001 + (2 * i) in
+        match kind with
+        | `Ww ->
+          R.Schedule.emit rec_opt ~key ~domain:da ~txn:ta R.Schedule.Write;
+          R.Schedule.emit rec_opt ~key ~domain:db ~txn:tb R.Schedule.Write;
+          "RACE001"
+        | `Rw ->
+          R.Schedule.emit rec_opt ~key ~domain:da ~txn:ta R.Schedule.Read;
+          R.Schedule.emit rec_opt ~key ~domain:db ~txn:tb R.Schedule.Write;
+          "RACE002"
+        | `Unguarded ->
+          (* two lock-free reads: no write/write or read/write pair, so
+             only the Eraser lockset fallback can catch it *)
+          R.Schedule.emit rec_opt ~key ~domain:da ~txn:ta R.Schedule.Read;
+          R.Schedule.emit rec_opt ~key ~domain:db ~txn:tb R.Schedule.Read;
+          "RACE003"
+        | `Release_no_acquire ->
+          R.Schedule.emit rec_opt ~key ~domain:da ~txn:ta R.Schedule.Release;
+          "RACE004"
+        | `Snapshot ->
+          (* version 99 installed mid-scan, below the active snapshot 100 *)
+          R.Schedule.emit rec_opt ~key ~domain:da ~ver:100.0 ~txn:ta
+            R.Schedule.Read;
+          R.Schedule.emit rec_opt ~key ~domain:db ~ver:99.0 ~txn:tb
+            R.Schedule.Write;
+          R.Schedule.emit rec_opt ~key ~domain:da ~ver:100.0 ~txn:ta
+            R.Schedule.Read;
+          "RACE005")
+      inject
+  in
   let events = R.Schedule.events recorder in
   let log = R.Wal.all_records wal in
   {
     events;
     log;
     diags = Txn_check.audit ~log events;
+    race_diags = Race_check.audit events;
+    injected;
     committed = !committed;
     aborted = !aborted;
     waits = !waits;

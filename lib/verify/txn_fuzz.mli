@@ -20,11 +20,21 @@
     waits-for analyzer must report each one as TXN006 (plus TXN101
     lock-order warnings). *)
 
+type inject = [ `Ww | `Rw | `Unguarded | `Release_no_acquire | `Snapshot ]
+(** Seeded positive controls: each injects one specific race into the
+    recorded trace via ghost transactions on private domains and keys,
+    mapping to exactly one expected code — [`Ww] → RACE001, [`Rw] →
+    RACE002, [`Unguarded] → RACE003 (lockset fallback only),
+    [`Release_no_acquire] → RACE004, [`Snapshot] → RACE005. *)
+
 type outcome = {
   events : Mmdb_recovery.Schedule.event list;  (** the recorded trace *)
   log : Mmdb_recovery.Log_record.t list;
       (** every record submitted to the WAL, in order *)
   diags : Mmdb_util.Diag.t list;  (** [Txn_check.audit ~log events] *)
+  race_diags : Mmdb_util.Diag.t list;  (** [Race_check.audit events] *)
+  injected : string list;
+      (** expected RACE codes, one per injection, in injection order *)
   committed : int;  (** transactions that pre-committed *)
   aborted : int;  (** voluntary aborts plus deadlock victims *)
   waits : int;  (** lock requests that had to queue *)
@@ -42,6 +52,8 @@ val run :
   ?abort_pct:int ->
   ?scramble:bool ->
   ?crash:bool ->
+  ?domains:int ->
+  ?inject:inject list ->
   seed:int ->
   unit ->
   outcome
@@ -53,4 +65,14 @@ val run :
     acquisition), [crash] = false.  With [crash:true] the driver stops
     roughly two-thirds through without flushing the log: the trace is
     truncated (in-flight transactions never finish) and the analyzers
-    must still accept it. *)
+    must still accept it.
+
+    [domains] (default 1) assigns transaction [id] to simulated domain
+    [id mod domains]; with [domains > 1] the trace is a genuine
+    multi-domain interleaving whose only cross-domain ordering comes
+    from lock edges, so a clean 2PL run must produce zero race
+    diagnostics.  [inject] appends seeded positive-control races (see
+    {!inject}); [injected] lists the codes {!Race_check.audit} is
+    expected to flag.  Injected ghost accesses are deliberately
+    lock-free, so they also surface as protocol errors in [diags] —
+    race gates assert on [race_diags] only. *)

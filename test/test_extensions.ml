@@ -231,7 +231,7 @@ let test_vm_hash_loses_to_hybrid () =
 (* ------------------------------------------------------------------ *)
 
 let test_version_store_snapshot_reads () =
-  let v = R.Version_store.create ~nrecords:4 in
+  let v = R.Version_store.create ~nrecords:4 () in
   R.Version_store.write v ~ts:1.0 ~slot:0 ~value:10;
   R.Version_store.write v ~ts:2.0 ~slot:0 ~value:20;
   R.Version_store.write v ~ts:3.0 ~slot:0 ~value:30;
@@ -242,7 +242,7 @@ let test_version_store_snapshot_reads () =
   checki "other slot untouched" 0 (R.Version_store.read v ~ts:9.0 ~slot:1)
 
 let test_version_store_write_order_enforced () =
-  let v = R.Version_store.create ~nrecords:2 in
+  let v = R.Version_store.create ~nrecords:2 () in
   R.Version_store.write v ~ts:5.0 ~slot:0 ~value:1;
   checkb "stale write rejected" true
     (try
@@ -251,7 +251,7 @@ let test_version_store_write_order_enforced () =
      with Invalid_argument _ -> true)
 
 let test_version_store_gc () =
-  let v = R.Version_store.create ~nrecords:2 in
+  let v = R.Version_store.create ~nrecords:2 () in
   for i = 1 to 10 do
     R.Version_store.write v ~ts:(float_of_int i) ~slot:0 ~value:i
   done;
@@ -267,7 +267,7 @@ let qcheck_version_store_matches_history =
   QCheck.Test.make ~name:"version store equals replayed history" ~count:100
     QCheck.(list (pair (int_range 0 4) (int_range 1 100)))
     (fun writes ->
-      let v = R.Version_store.create ~nrecords:5 in
+      let v = R.Version_store.create ~nrecords:5 () in
       let history = ref [] in
       List.iteri
         (fun i (slot, value) ->

@@ -1,0 +1,357 @@
+(* Tests for the domain-safety pass: a hand-built corpus of racy and
+   race-free schedules asserting exact RACE codes out of the
+   happens-before detector, fuzz determinism and injected positive
+   controls, the MVCC snapshot-discipline rule, and the static
+   shared-state lint over synthetic sources. *)
+
+module R = Mmdb_recovery
+module U = Mmdb_util
+module D = U.Diag
+module V = Mmdb_verify
+module Sch = R.Schedule
+module RC = V.Race_check
+module DL = V.Domain_lint
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let ev ?key ?lsn ?(domain = 0) ?ver ~t ~txn kind =
+  { Sch.time = t; txn; key; lsn; domain; ver; kind }
+
+let codes diags = List.sort_uniq compare (List.map (fun d -> d.D.code) diags)
+let check_codes msg expected diags =
+  Alcotest.(check (list string)) msg expected (codes diags)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built schedules                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The same two cross-domain writes, with and without 2PL.  Locked: the
+   release -> grant edge orders them and the shared lockset is {7}, so
+   the trace is race-free.  Unlocked: the write/write pair is unordered
+   (RACE001) and no lock guards key 7 (RACE003) — the race 2PL would
+   have prevented. *)
+let ww_locked () =
+  [
+    ev ~key:7 ~t:0.001 ~txn:1 ~domain:0 Sch.Acquire;
+    ev ~key:7 ~t:0.001 ~txn:1 ~domain:0 (Sch.Grant { deps = [] });
+    ev ~key:7 ~lsn:1 ~t:0.002 ~txn:1 ~domain:0 Sch.Write;
+    ev ~key:7 ~t:0.003 ~txn:1 ~domain:0 Sch.Release;
+    ev ~key:7 ~t:0.004 ~txn:2 ~domain:1 Sch.Acquire;
+    ev ~key:7 ~t:0.004 ~txn:2 ~domain:1 (Sch.Grant { deps = [] });
+    ev ~key:7 ~lsn:2 ~t:0.005 ~txn:2 ~domain:1 Sch.Write;
+    ev ~key:7 ~t:0.006 ~txn:2 ~domain:1 Sch.Release;
+  ]
+
+let ww_unlocked () =
+  [
+    ev ~key:7 ~lsn:1 ~t:0.002 ~txn:1 ~domain:0 Sch.Write;
+    ev ~key:7 ~lsn:2 ~t:0.005 ~txn:2 ~domain:1 Sch.Write;
+  ]
+
+let test_ww_2pl_prevents () =
+  check_codes "locked ww is clean" [] (RC.audit (ww_locked ()));
+  check_codes "unlocked ww races"
+    [ "RACE001"; "RACE003" ]
+    (RC.audit (ww_unlocked ()))
+
+let test_rw_race () =
+  let trace =
+    [
+      ev ~key:3 ~t:0.001 ~txn:1 ~domain:0 Sch.Read;
+      ev ~key:3 ~lsn:1 ~t:0.002 ~txn:2 ~domain:1 Sch.Write;
+    ]
+  in
+  check_codes "read/write race" [ "RACE002"; "RACE003" ] (RC.audit trace)
+
+(* Two lock-free reads from two domains: no conflicting pair for the
+   vector clocks, so only the Eraser lockset fallback fires. *)
+let test_lockset_fallback_only () =
+  let trace =
+    [
+      ev ~key:4 ~t:0.001 ~txn:1 ~domain:0 Sch.Read;
+      ev ~key:4 ~t:0.002 ~txn:2 ~domain:1 Sch.Read;
+    ]
+  in
+  check_codes "empty lockset" [ "RACE003" ] (RC.audit trace)
+
+(* Both writers hold a common lock on key 9 the whole time (a broken
+   lock manager granted it twice), so the candidate lockset is non-empty
+   and RACE003 stays quiet — but the writes to key 5 are unordered, so
+   the vector clocks still catch RACE001 alone. *)
+let test_ww_without_lockset_noise () =
+  let trace =
+    [
+      ev ~key:9 ~t:0.001 ~txn:1 ~domain:0 (Sch.Grant { deps = [] });
+      ev ~key:9 ~t:0.001 ~txn:2 ~domain:1 (Sch.Grant { deps = [] });
+      ev ~key:5 ~lsn:1 ~t:0.002 ~txn:1 ~domain:0 Sch.Write;
+      ev ~key:5 ~lsn:2 ~t:0.003 ~txn:2 ~domain:1 Sch.Write;
+    ]
+  in
+  check_codes "vector clocks alone" [ "RACE001" ] (RC.audit trace)
+
+let test_release_without_acquire () =
+  let trace = [ ev ~key:2 ~t:0.001 ~txn:1 ~domain:0 Sch.Release ] in
+  check_codes "protocol break" [ "RACE004" ] (RC.audit trace)
+
+(* Snapshot discipline.  A version installed below a snapshot while the
+   snapshot's scan is in flight races (the scan straddles the install);
+   the same install before the scan begins, or a higher-timestamped
+   install mid-scan, is the normal MVCC regime. *)
+let test_snapshot_discipline () =
+  let racy =
+    [
+      ev ~key:1 ~t:0.001 ~txn:10 ~domain:1 ~ver:10.0 Sch.Read;
+      ev ~key:1 ~lsn:1 ~t:0.002 ~txn:2 ~domain:0 ~ver:5.0 Sch.Write;
+      ev ~key:2 ~t:0.003 ~txn:10 ~domain:1 ~ver:10.0 Sch.Read;
+    ]
+  in
+  check_codes "install below active snapshot" [ "RACE005" ] (RC.audit racy);
+  let clean_before =
+    [
+      ev ~key:1 ~lsn:1 ~t:0.001 ~txn:2 ~domain:0 ~ver:5.0 Sch.Write;
+      ev ~key:1 ~t:0.002 ~txn:10 ~domain:1 ~ver:10.0 Sch.Read;
+      ev ~key:2 ~t:0.003 ~txn:10 ~domain:1 ~ver:10.0 Sch.Read;
+    ]
+  in
+  check_codes "install before snapshot" [] (RC.audit clean_before);
+  let clean_above =
+    [
+      ev ~key:1 ~t:0.001 ~txn:10 ~domain:1 ~ver:10.0 Sch.Read;
+      ev ~key:1 ~lsn:1 ~t:0.002 ~txn:2 ~domain:0 ~ver:15.0 Sch.Write;
+      ev ~key:2 ~t:0.003 ~txn:10 ~domain:1 ~ver:10.0 Sch.Read;
+    ]
+  in
+  check_codes "install above snapshot" [] (RC.audit clean_above)
+
+(* Single-domain traces are totally ordered: the historical (unstamped)
+   emitters must keep auditing clean whatever they interleave. *)
+let test_single_domain_clean () =
+  let trace =
+    [
+      ev ~key:1 ~lsn:1 ~t:0.001 ~txn:1 Sch.Write;
+      ev ~key:1 ~t:0.002 ~txn:2 Sch.Read;
+      ev ~key:1 ~lsn:2 ~t:0.003 ~txn:2 Sch.Write;
+      ev ~key:1 ~t:0.004 ~txn:3 Sch.Release;
+    ]
+  in
+  (* ... except a release-without-acquire, which is domain-count
+     independent. *)
+  check_codes "single domain" [ "RACE004" ] (RC.audit trace)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer integration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_clean_multi_domain () =
+  List.iter
+    (fun seed ->
+      let o = V.Txn_fuzz.run ~domains:3 ~seed () in
+      check_codes
+        (Printf.sprintf "seed %d race-free" seed)
+        [] o.V.Txn_fuzz.race_diags;
+      checkb
+        (Printf.sprintf "seed %d spans domains" seed)
+        true
+        (List.length (Sch.domains o.V.Txn_fuzz.events) >= 3))
+    [ 11; 22; 33 ]
+
+let test_fuzz_injections_detected () =
+  let o =
+    V.Txn_fuzz.run ~domains:3
+      ~inject:[ `Ww; `Rw; `Unguarded; `Release_no_acquire; `Snapshot ]
+      ~seed:11 ()
+  in
+  Alcotest.(check (list string))
+    "expected codes"
+    [ "RACE001"; "RACE002"; "RACE003"; "RACE004"; "RACE005" ]
+    (List.sort_uniq compare o.V.Txn_fuzz.injected);
+  let found = codes o.V.Txn_fuzz.race_diags in
+  List.iter
+    (fun c -> checkb (c ^ " detected") true (List.mem c found))
+    o.V.Txn_fuzz.injected
+
+let test_fuzz_seed_determinism () =
+  let run () =
+    let o = V.Txn_fuzz.run ~domains:4 ~inject:[ `Ww ] ~seed:77 () in
+    ( List.length o.V.Txn_fuzz.events,
+      o.V.Txn_fuzz.committed,
+      o.V.Txn_fuzz.aborted,
+      List.map (fun (d : D.t) -> (d.D.code, d.D.path)) o.V.Txn_fuzz.race_diags
+    )
+  in
+  checkb "same seed, same findings" true (run () = run ());
+  let o1 = V.Txn_fuzz.run ~domains:2 ~seed:5 ()
+  and o2 = V.Txn_fuzz.run ~domains:2 ~seed:6 () in
+  checkb "different seeds differ" true
+    (o1.V.Txn_fuzz.events <> o2.V.Txn_fuzz.events)
+
+let test_mvcc_trace_clean () =
+  let r =
+    R.Mvcc_sim.run ~seed:83 ~n_writers:3_000 ~record_schedule:true
+      R.Mvcc_sim.Versioning
+  in
+  checkb "events recorded" true (List.length r.R.Mvcc_sim.events > 0);
+  Alcotest.(check (list int))
+    "writers on 0, readers on 1" [ 0; 1 ]
+    (Sch.domains r.R.Mvcc_sim.events);
+  checkb "snapshots consistent" true r.R.Mvcc_sim.snapshots_consistent;
+  check_codes "clean MVCC trace" [] (RC.audit r.R.Mvcc_sim.events);
+  (* Off by default: the unstamped path stays valid. *)
+  let r0 = R.Mvcc_sim.run ~seed:83 ~n_writers:100 R.Mvcc_sim.Versioning in
+  checki "no recording by default" 0 (List.length r0.R.Mvcc_sim.events)
+
+let test_audit_race_component () =
+  let results =
+    V.Audit.run_all
+      [ V.Audit.Race { name = "ww"; events = ww_unlocked () } ]
+  in
+  match results with
+  | [ (name, diags) ] ->
+    Alcotest.(check string) "component name" "ww" name;
+    check_codes "component reports races" [ "RACE001"; "RACE003" ] diags
+  | _ -> Alcotest.fail "expected one component result"
+
+(* ------------------------------------------------------------------ *)
+(* Static lint                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let flagged sites =
+  List.filter_map
+    (fun (s : DL.site) ->
+      match s.DL.status with
+      | DL.Flagged c -> Some (s.DL.name, c)
+      | _ -> None)
+    sites
+
+let test_lint_classification () =
+  let src =
+    String.concat "\n"
+      [
+        "let counter = ref 0";
+        "";
+        "(* race_check: test-only, never shared *)";
+        "let justified = ref 0";
+        "let guarded = Mutex.create ()";
+        "let cell = Atomic.make 0";
+        "let table = lazy (Array.make 4 0)";
+        "let rng = Xorshift.create 42";
+        "let cache : (int, int) Hashtbl.t = Hashtbl.create 8";
+        "type t = { mutable x : int; y : int }";
+        "let use (v : t) = ignore counter; ignore justified; ignore guarded;";
+        "  ignore cell; ignore table; ignore rng; ignore cache; v.y";
+      ]
+  in
+  match DL.scan_source ~file:"synthetic.ml" src with
+  | Error d -> Alcotest.fail ("unexpected parse failure: " ^ d.D.message)
+  | Ok sites ->
+    Alcotest.(check (list (pair string string)))
+      "flagged sites"
+      [
+        ("counter", "RACE101"); ("table", "RACE102"); ("rng", "RACE103");
+        ("cache", "RACE101");
+      ]
+      (flagged sites);
+    let status_of name =
+      List.find_map
+        (fun (s : DL.site) -> if s.DL.name = name then Some s.DL.status else None)
+        sites
+    in
+    (match status_of "justified" with
+    | Some (DL.Whitelisted why) ->
+      checkb "justification text kept" true
+        (why = "test-only, never shared")
+    | _ -> Alcotest.fail "justified not whitelisted");
+    (match status_of "guarded" with
+    | Some (DL.Safe _) -> ()
+    | _ -> Alcotest.fail "Mutex.create not classified safe");
+    (match status_of "cell" with
+    | Some (DL.Safe _) -> ()
+    | _ -> Alcotest.fail "Atomic.make not classified safe");
+    (match status_of "t" with
+    | Some DL.Per_instance -> ()
+    | _ -> Alcotest.fail "mutable record not per-instance");
+    (* The error formatter covers flagged sites only. *)
+    checki "one diag per flagged site" 4
+      (List.length (DL.diags_of_sites sites))
+
+let test_lint_parse_failure () =
+  match DL.scan_source ~file:"broken.ml" "let = = =" with
+  | Ok _ -> Alcotest.fail "expected parse failure"
+  | Error d -> Alcotest.(check string) "RACE100" "RACE100" d.D.code
+
+let test_lint_whitelist_distance () =
+  (* The marker is honoured at most two lines above the binding. *)
+  let near =
+    "(* race_check: close enough *)\n\n\nlet x = ref 0\nlet _ = x"
+  in
+  match DL.scan_source ~file:"near.ml" near with
+  | Error _ -> Alcotest.fail "parse failure"
+  | Ok sites ->
+    Alcotest.(check (list (pair string string)))
+      "marker out of range flags" [ ("x", "RACE101") ] (flagged sites)
+
+let test_lint_repo_sources_clean () =
+  (* The live gate is `dune build @racecheck`; from the test runner the
+     sources may not be materialised, so only assert when found. *)
+  match DL.scan_lib () with
+  | Error _ -> ()
+  | Ok (sites, parse_diags) ->
+    checkb "repo has mutable-state sites" true (List.length sites > 0);
+    check_codes "repo lint clean" []
+      (parse_diags @ DL.diags_of_sites sites)
+
+let test_code_catalogue () =
+  let all = List.map fst V.code_catalogue in
+  List.iter
+    (fun c -> checkb (c ^ " catalogued") true (List.mem c all))
+    [
+      "RACE001"; "RACE002"; "RACE003"; "RACE004"; "RACE005"; "RACE100";
+      "RACE101"; "RACE102"; "RACE103";
+    ];
+  checki "codes unique" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let () =
+  Alcotest.run "racecheck"
+    [
+      ( "schedules",
+        [
+          Alcotest.test_case "ww race 2PL prevents (RACE001)" `Quick
+            test_ww_2pl_prevents;
+          Alcotest.test_case "rw race (RACE002)" `Quick test_rw_race;
+          Alcotest.test_case "lockset fallback (RACE003)" `Quick
+            test_lockset_fallback_only;
+          Alcotest.test_case "clocks without lockset noise" `Quick
+            test_ww_without_lockset_noise;
+          Alcotest.test_case "release w/o acquire (RACE004)" `Quick
+            test_release_without_acquire;
+          Alcotest.test_case "snapshot discipline (RACE005)" `Quick
+            test_snapshot_discipline;
+          Alcotest.test_case "single domain clean" `Quick
+            test_single_domain_clean;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "clean multi-domain seeds" `Quick
+            test_fuzz_clean_multi_domain;
+          Alcotest.test_case "injections all detected" `Quick
+            test_fuzz_injections_detected;
+          Alcotest.test_case "seed determinism" `Quick
+            test_fuzz_seed_determinism;
+          Alcotest.test_case "MVCC trace clean" `Quick test_mvcc_trace_clean;
+          Alcotest.test_case "audit component" `Quick
+            test_audit_race_component;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "classification" `Quick test_lint_classification;
+          Alcotest.test_case "parse failure (RACE100)" `Quick
+            test_lint_parse_failure;
+          Alcotest.test_case "whitelist distance" `Quick
+            test_lint_whitelist_distance;
+          Alcotest.test_case "repo sources clean" `Quick
+            test_lint_repo_sources_clean;
+          Alcotest.test_case "code catalogue" `Quick test_code_catalogue;
+        ] );
+    ]

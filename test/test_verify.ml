@@ -613,7 +613,8 @@ module TC = V.Txn_check
 
 (* Hand-built trace events: time increases with position so the traces
    read naturally. *)
-let ev ?key ?lsn ~t ~txn kind = { Sch.time = t; txn; key; lsn; kind }
+let ev ?key ?lsn ?(domain = 0) ?ver ~t ~txn kind =
+  { Sch.time = t; txn; key; lsn; domain; ver; kind }
 
 let grant ?(deps = []) ~t ~txn ~key () =
   ev ~key ~t ~txn (Sch.Grant { deps })
