@@ -846,6 +846,47 @@ let racecheck_cmd =
     Term.(const run_racecheck $ lint $ fuzz $ mvcc $ domains $ inject $ seed)
 
 (* ------------------------------------------------------------------ *)
+(* perflint                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_perflint quiet =
+  match V.Perf_lint.scan_lib () with
+  | Error m ->
+    prerr_endline ("perflint: " ^ m);
+    2
+  | Ok (findings, parse_diags) ->
+    if not quiet then begin
+      Format.printf "performance-hazard inventory (lib/):@.";
+      V.Perf_lint.pp_inventory Format.std_formatter findings
+    end;
+    let diags = parse_diags @ V.Perf_lint.diags_of_findings findings in
+    if diags <> [] then Format.printf "@.%a@." U.Diag.pp_list diags;
+    Format.printf "perflint: %d finding%s, %s@." (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+      (U.Diag.summary diags);
+    if U.Diag.has_errors diags then 1 else 0
+
+let perflint_cmd =
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ]
+          ~doc:
+            "Print only unjustified findings and the summary, not the \
+             full whitelisted inventory.")
+  in
+  Cmd.v
+    (Cmd.info "perflint"
+       ~doc:
+         "Static performance-hazard lint over lib/: quadratic list \
+          tail-appends (PERF101), O(n) list primitives under iteration \
+          (PERF102), polymorphic compare/hash on hot paths (PERF103), \
+          non-tail list recursion (PERF104), and string concatenation in \
+          loops (PERF105). A finding is silenced by a (* perf_lint: ... *) \
+          justification comment. Exits 1 on any unjustified finding.")
+    Term.(const run_perflint $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1061,5 +1102,5 @@ let () =
           [
             crossover_cmd; join_cmd; tps_cmd; recover_cmd; plan_cmd; sql_cmd;
             check_cmd; txncheck_cmd; torture_cmd; modelcheck_cmd;
-            racecheck_cmd; stats_cmd; repl_cmd;
+            racecheck_cmd; perflint_cmd; stats_cmd; repl_cmd;
           ]))

@@ -165,10 +165,12 @@ let audit t =
       (fun name ->
         let tbl = find_table t name in
         (match tbl.avl with
+        (* perf_lint: audit labels; one concat per table *)
         | Some ix -> [ Mmdb_verify.Audit.Avl (name ^ ".avl", ix) ]
         | None -> [])
         @
         match tbl.btree with
+        (* perf_lint: audit labels; one concat per table *)
         | Some ix -> [ Mmdb_verify.Audit.Btree (name ^ ".btree", ix) ]
         | None -> [])
       names
@@ -299,6 +301,7 @@ let save t path =
       let schema = S.Relation.schema tbl.rel in
       put_string buf name;
       let cols = S.Schema.columns schema in
+      (* perf_lint: save path; one length per table, bounded by schema *)
       put_u16 buf (List.length cols);
       List.iter
         (fun (c : S.Schema.column) ->
@@ -383,6 +386,7 @@ let load ?page_size ?mem_pages ?cost path =
     let key_index = get_u16 () in
     if key_index >= ncols then invalid_arg "Db.load: bad key index";
     let key =
+      (* perf_lint: load path; one nth per table, bounded by schema *)
       (List.nth (List.map (fun (c : S.Schema.column) -> c.S.Schema.name) cols)
          key_index)
     in

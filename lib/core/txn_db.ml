@@ -103,8 +103,11 @@ let transact t updates =
       updates
   in
   let begin_lsn = fresh_lsn t in
-  let body =
-    List.map
+  (* Newest-first accumulation ([List.rev_map] applies left to right,
+     so LSNs are still drawn in update order); one final [List.rev]
+     puts the log in natural order without a quadratic tail-append. *)
+  let rev_body =
+    List.rev_map
       (fun (slot, delta) ->
         let old_value = R.Kv_store.get ~txn t.kv slot in
         let new_value = old_value + delta in
@@ -114,8 +117,8 @@ let transact t updates =
       updates
   in
   let records =
-    (R.Log_record.Begin { txn; lsn = begin_lsn } :: body)
-    @ [ R.Log_record.Commit { txn; lsn = fresh_lsn t } ]
+    R.Log_record.Begin { txn; lsn = begin_lsn }
+    :: List.rev (R.Log_record.Commit { txn; lsn = fresh_lsn t } :: rev_body)
   in
   ignore (R.Lock_manager.precommit t.locks ~txn);
   let ticket = R.Wal.commit_txn t.wal ~at ~txn ~deps records in
@@ -135,10 +138,12 @@ let transact_abort t updates =
       | Some _ -> ()
       | None -> assert false)
     updates;
-  (* Apply, remembering old values for the rollback. *)
+  (* Apply, remembering old values for the rollback.  Accumulated
+     newest first ([List.rev_map] applies left to right, preserving
+     update/LSN order) so the final log assembly needs no tail-append. *)
   let begin_lsn = fresh_lsn t in
-  let body =
-    List.map
+  let rev_body =
+    List.rev_map
       (fun (slot, delta) ->
         let old_value = R.Kv_store.get ~txn t.kv slot in
         let new_value = old_value + delta in
@@ -149,9 +154,11 @@ let transact_abort t updates =
   in
   (* Roll back in memory, newest first, logging compensating updates so
      redo replays the rollback too (otherwise a later committed write to
-     the same slot would be clobbered by recovery's undo). *)
-  let compensation =
-    List.map
+     the same slot would be clobbered by recovery's undo).  [rev_body]
+     is already newest first; [List.rev_map] keeps that rollback order
+     while yielding the compensation records newest last. *)
+  let rev_compensation =
+    List.rev_map
       (fun r ->
         match r with
         | R.Log_record.Update { slot; old_value; new_value; _ } ->
@@ -161,13 +168,15 @@ let transact_abort t updates =
             { txn; lsn; slot; old_value = new_value; new_value = old_value }
         | R.Log_record.Begin _ | R.Log_record.Commit _ | R.Log_record.Abort _
         | R.Log_record.Ckpt_begin _ | R.Log_record.Ckpt_end _ -> assert false)
-      (List.rev body)
+      rev_body
   in
   ignore (R.Lock_manager.release_abort t.locks ~txn);
   let records =
-    (R.Log_record.Begin { txn; lsn = begin_lsn } :: body)
-    @ compensation
-    @ [ R.Log_record.Abort { txn; lsn = fresh_lsn t } ]
+    R.Log_record.Begin { txn; lsn = begin_lsn }
+    :: List.rev_append rev_body
+         (List.rev
+            (R.Log_record.Abort { txn; lsn = fresh_lsn t }
+            :: rev_compensation))
   in
   ignore (R.Wal.commit_txn t.wal ~at ~txn ~deps:[] records);
   txn

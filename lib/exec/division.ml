@@ -71,7 +71,7 @@ let divide ~mem_pages ~fudge ?(seed = 0xd1f) ~divisor_col r s =
       groups;
     List.iter
       (fun q -> S.Relation.append out (Bytes.of_string q))
-      (List.sort compare !emitted)
+      (List.sort String.compare !emitted)
   in
   (* Hybrid-style split of R by quotient hash: groups never straddle
      partitions, so each resolves independently. *)
@@ -98,6 +98,7 @@ let divide ~mem_pages ~fudge ?(seed = 0xd1f) ~divisor_col r s =
     S.Relation.iter_tuples_nocharge r (fun tuple ->
         S.Env.charge_hash env;
         let q = Bytes.to_string (project_quotient tuple) in
+        (* perf_lint: the seeded structural hash IS the partition function *)
         let i = (Hashtbl.hash (q, seed) land max_int) mod b in
         S.Env.charge_move env;
         S.Relation.append buckets.(i) tuple);

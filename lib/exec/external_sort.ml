@@ -143,7 +143,7 @@ let merge_group ~schema runs =
 
 let rec reduce_runs ~mem_pages ~limit runs =
   if limit < 1 then invalid_arg "External_sort.reduce_runs: limit < 1";
-  if List.length runs <= limit then runs
+  if List.compare_length_with runs limit <= 0 then runs
   else begin
     let schema =
       match runs with

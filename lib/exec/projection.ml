@@ -8,6 +8,7 @@ let project_schema schema ~cols =
         match S.Schema.column_index schema name with
         | i -> S.Schema.column_at schema i
         | exception Not_found ->
+          (* perf_lint: error path; raises immediately *)
           invalid_arg ("Projection: unknown column " ^ name))
       cols
   in
@@ -102,6 +103,7 @@ let distinct ~mem_pages ~fudge ?(seed = 0xd15) ~cols rel =
   (* Dedup key is the whole projected tuple. *)
   let hash_whole tuple =
     S.Env.charge_hash env;
+    (* perf_lint: the seeded structural hash IS the dedup hash function *)
     Hashtbl.hash (Bytes.to_string tuple, seed)
   in
   let emit_unique seen tuple =

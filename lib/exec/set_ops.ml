@@ -14,6 +14,7 @@ let split_whole env ~seed ~b ~write_mode rel suffix =
   let disk = S.Relation.disk rel in
   let hash_whole tuple =
     S.Env.charge_hash env;
+    (* perf_lint: the seeded structural hash IS the partition function *)
     Hashtbl.hash (Bytes.to_string tuple, seed)
   in
   if b = 0 then begin

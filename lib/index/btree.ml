@@ -610,7 +610,7 @@ let chunk_sizes ~n ~target ~minimum =
     let full = n / target and rem = n mod target in
     let sizes =
       if rem = 0 then List.init full (fun _ -> target)
-      else List.init full (fun _ -> target) @ [ rem ]
+      else List.init (full + 1) (fun i -> if i = full then rem else target)
     in
     match List.rev sizes with
     | last :: prev :: rest when last < minimum ->
@@ -689,6 +689,7 @@ let bulk_load ~env ~schema ?(page_size = 4096) ?(pointer_width = 4)
         t.root <- only;
         t.first_leaf <- fst (List.hd leaves)
       | _ ->
+        (* perf_lint: one length per level; levels shrink geometrically *)
         let nchildren = List.length level in
         let sizes =
           chunk_sizes ~n:nchildren ~target:child_target

@@ -88,6 +88,7 @@ let rec pp ppf = function
       right
   | Aggregate { input; group_by; aggs } ->
     Format.fprintf ppf "aggregate[by %s; %d aggs](%a)" group_by
+      (* perf_lint: pretty-printer; one length per aggregate node *)
       (List.length aggs) pp input
   | Order_by { input; column; descending } ->
     Format.fprintf ppf "order[%s%s](%a)" column

@@ -40,6 +40,9 @@ type plan =
   | P_order_by of { input : plan; column : string; descending : bool }
   | P_set_op of { op : Algebra.set_op; left : plan; right : plan }
 
+let unknown_column what name =
+  invalid_arg (Printf.sprintf "Optimizer: unknown %s %s" what name)
+
 let rec output_schema catalog = function
   | Algebra.Scan name -> S.Relation.schema (Catalog.find catalog name)
   | Algebra.Select { input; pred } ->
@@ -47,7 +50,7 @@ let rec output_schema catalog = function
     (* Validate the column exists. *)
     (try ignore (S.Schema.column_index schema pred.Algebra.column)
      with Not_found ->
-       invalid_arg ("Optimizer: unknown column " ^ pred.Algebra.column));
+       unknown_column "column" pred.Algebra.column);
     schema
   | Algebra.Project { input; columns; _ } ->
     E.Projection.project_schema (output_schema catalog input) ~cols:columns
@@ -55,7 +58,7 @@ let rec output_schema catalog = function
     let ls = output_schema catalog left and rs = output_schema catalog right in
     let rekey schema key =
       try S.Schema.with_key schema key
-      with Not_found -> invalid_arg ("Optimizer: unknown join column " ^ key)
+      with Not_found -> unknown_column "join column" key
     in
     Mmdb_exec.Join_common.result_schema
       ~r_schema:(rekey ls left_key)
@@ -64,13 +67,13 @@ let rec output_schema catalog = function
     let schema = output_schema catalog input in
     let rekeyed =
       try S.Schema.with_key schema group_by
-      with Not_found -> invalid_arg ("Optimizer: unknown column " ^ group_by)
+      with Not_found -> unknown_column "column" group_by
     in
     E.Aggregate.result_schema rekeyed aggs
   | Algebra.Order_by { input; column; _ } -> (
     let schema = output_schema catalog input in
     try S.Schema.with_key schema column
-    with Not_found -> invalid_arg ("Optimizer: unknown column " ^ column))
+    with Not_found -> unknown_column "column" column)
   | Algebra.Set_op { left; right; _ } ->
     let ls = output_schema catalog left and rs = output_schema catalog right in
     if S.Schema.tuple_width ls <> S.Schema.tuple_width rs then
@@ -291,6 +294,7 @@ let explain plan =
     | P_aggregate { input; group_by; aggs } ->
       Buffer.add_string buf
         (Printf.sprintf "%saggregate by %s (%d aggs)\n" pad group_by
+           (* perf_lint: explain printer; one length per aggregate node *)
            (List.length aggs));
       go (indent + 2) input
     | P_order_by { input; column; descending } ->

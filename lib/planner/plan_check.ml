@@ -19,8 +19,7 @@ let code_catalogue =
     ("PLAN104", "string literal wider than the compared column");
   ]
 
-let render_path rev_segs =
-  "$" ^ String.concat "" (List.rev_map (fun s -> "." ^ s) rev_segs)
+let render_path rev_segs = String.concat "." ("$" :: List.rev rev_segs)
 
 let ty_string = function
   | S.Schema.Int -> "int"
@@ -119,6 +118,7 @@ let check_discarded ctx ~path ~inside child =
 
 let rec dedup = function
   | [] -> []
+  (* perf_lint: projection column lists are a handful of names *)
   | x :: rest -> if List.mem x rest then dedup rest else x :: dedup rest
 
 (* Returns the node's output schema when it could be determined; [None]
@@ -146,8 +146,10 @@ let rec infer ctx path expr : S.Schema.t option =
       None
     end
     else begin
-      let dups = dedup (List.filter (fun c ->
-          List.length (List.filter (String.equal c) columns) > 1) columns)
+      let dups =
+        (* perf_lint: projection column lists are a handful of names *)
+        dedup (List.filter (fun c ->
+            List.length (List.filter (String.equal c) columns) > 1) columns)
       in
       List.iter
         (fun c ->
@@ -256,10 +258,11 @@ let rec infer ctx path expr : S.Schema.t option =
     match (ls, rs) with
     | Some lsch, Some rsch ->
       let lcols = S.Schema.columns lsch and rcols = S.Schema.columns rsch in
-      if List.length lcols <> List.length rcols then begin
+      (* perf_lint: schema widths are tiny; runs once per set-op node *)
+      let nl = List.length lcols and nr = List.length rcols in
+      if nl <> nr then begin
         err ctx ~code:"PLAN005" ~path
-          "set-operation inputs have %d and %d columns" (List.length lcols)
-          (List.length rcols);
+          "set-operation inputs have %d and %d columns" nl nr;
         None
       end
       else begin

@@ -141,8 +141,11 @@ let run ?(seed = 83) ?(nrecords = 1000) ?(n_writers = 20_000)
       in
       (* Apply updates (at the effective time) and log. *)
       let begin_lsn = next_lsn () in
-      let body =
-        List.map
+      (* Newest-first accumulation ([List.rev_map] applies left to
+         right, so updates and LSNs happen in order); one final
+         [List.rev] avoids the quadratic tail-append. *)
+      let rev_body =
+        List.rev_map
           (fun (slot, delta) ->
             let old_value = balances.(slot) in
             let new_value = old_value + delta in
@@ -164,9 +167,11 @@ let run ?(seed = 83) ?(nrecords = 1000) ?(n_writers = 20_000)
       in
       versions_peak := max !versions_peak (Version_store.version_count versions);
       let records =
-        (Log_record.Begin { txn = txn.Workload.txn_id; lsn = begin_lsn }
-         :: body)
-        @ [ Log_record.Commit { txn = txn.Workload.txn_id; lsn = next_lsn () } ]
+        Log_record.Begin { txn = txn.Workload.txn_id; lsn = begin_lsn }
+        :: List.rev
+             (Log_record.Commit
+                { txn = txn.Workload.txn_id; lsn = next_lsn () }
+             :: rev_body)
       in
       let ticket =
         Wal.commit_txn wal ~at:effective ~txn:txn.Workload.txn_id ~deps:[]

@@ -122,8 +122,11 @@ let run cfg =
             txn.Workload.updates
         in
         let begin_lsn = next_lsn () in
-        let body =
-          List.map
+        (* Newest-first accumulation ([List.rev_map] applies left to
+           right, so updates and LSNs happen in order); one final
+           [List.rev] avoids the quadratic tail-append. *)
+        let rev_body =
+          List.rev_map
             (fun (slot, delta) ->
               let old_value = Kv_store.get kv slot in
               let new_value = old_value + delta in
@@ -140,11 +143,11 @@ let run cfg =
             txn.Workload.updates
         in
         let records =
-          (Log_record.Begin { txn = txn.Workload.txn_id; lsn = begin_lsn }
-           :: body)
-          @ [
-              Log_record.Commit { txn = txn.Workload.txn_id; lsn = next_lsn () };
-            ]
+          Log_record.Begin { txn = txn.Workload.txn_id; lsn = begin_lsn }
+          :: List.rev
+               (Log_record.Commit
+                  { txn = txn.Workload.txn_id; lsn = next_lsn () }
+               :: rev_body)
         in
         ignore (Lock_manager.precommit locks ~txn:txn.Workload.txn_id);
         let tkt = Wal.commit_txn wal ~at ~txn:txn.Workload.txn_id ~deps records in

@@ -48,23 +48,30 @@ let run ?(seed = 1984) ?(nrecords = 1000) ?(updates_per_txn = 6)
         txn.Workload.updates
     in
     let begin_lsn = next_lsn () in
+    (* Newest-first accumulation ([List.rev_map] applies left to right,
+       so LSNs are drawn in update order); one final [List.rev] puts
+       the log in natural order without a quadratic tail-append. *)
+    let rev_body =
+      List.rev_map
+        (fun (slot, delta) ->
+          let old_value = balances.(slot) in
+          let new_value = old_value + delta in
+          balances.(slot) <- new_value;
+          Log_record.Update
+            {
+              txn = txn.Workload.txn_id;
+              lsn = next_lsn ();
+              slot;
+              old_value;
+              new_value;
+            })
+        txn.Workload.updates
+    in
     let records =
       Log_record.Begin { txn = txn.Workload.txn_id; lsn = begin_lsn }
-      :: List.map
-           (fun (slot, delta) ->
-             let old_value = balances.(slot) in
-             let new_value = old_value + delta in
-             balances.(slot) <- new_value;
-             Log_record.Update
-               {
-                 txn = txn.Workload.txn_id;
-                 lsn = next_lsn ();
-                 slot;
-                 old_value;
-                 new_value;
-               })
-           txn.Workload.updates
-      @ [ Log_record.Commit { txn = txn.Workload.txn_id; lsn = next_lsn () } ]
+      :: List.rev
+           (Log_record.Commit { txn = txn.Workload.txn_id; lsn = next_lsn () }
+           :: rev_body)
     in
     ignore (Lock_manager.precommit locks ~txn:txn.Workload.txn_id);
     let ticket =

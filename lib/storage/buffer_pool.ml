@@ -25,7 +25,7 @@ type t = {
   policy : policy;
   frames : (int, frame) Hashtbl.t; (* pid -> frame *)
   mutable tick : int;
-  mutable clock_hand : int list; (* pids in arrival order for Clock sweep *)
+  clock_hand : int Queue.t; (* pids in sweep order for Clock (front = hand) *)
   mutable dirtied : int; (* clean->dirty transitions *)
   mutable writebacks : int;
   mutable dropped_dirty : int; (* dirty frames lost to drop_all *)
@@ -40,7 +40,7 @@ let create ~disk ~capacity policy =
     policy;
     frames = Hashtbl.create (2 * capacity);
     tick = 0;
-    clock_hand = [];
+    clock_hand = Queue.create ();
     dirtied = 0;
     writebacks = 0;
     dropped_dirty = 0;
@@ -114,27 +114,31 @@ let evict_one t =
         t.frames;
       (match !best with Some (pid, _) -> pid | None -> assert false)
     | Clock ->
-      (* Sweep the arrival list, clearing reference bits, until an
-         unreferenced, unpinned resident page is found (pinned frames keep
-         their bit — they rejoin the scan once unpinned). *)
-      let rec sweep order =
-        match order with
-        | [] -> sweep t.clock_hand
-        | pid :: rest -> (
+      (* Classic second-chance sweep over a rotating queue (front is the
+         hand): referenced frames lose their bit and rotate to the back,
+         pinned frames keep their bit and rotate (they rejoin the scan
+         once unpinned), and the victim is simply not re-enqueued.
+         Terminates: some frame is unpinned, and its reference bit
+         survives at most one full rotation. *)
+      let rec sweep () =
+        match Queue.take_opt t.clock_hand with
+        | None -> assert false (* every resident pid is enqueued *)
+        | Some pid -> (
           match Hashtbl.find_opt t.frames pid with
-          | None -> sweep rest
+          | None -> sweep () (* stale entry for an already-evicted pid *)
           | Some f ->
-            if f.pins > 0 then sweep rest
+            if f.pins > 0 then begin
+              Queue.push pid t.clock_hand;
+              sweep ()
+            end
             else if f.referenced then begin
               f.referenced <- false;
-              sweep rest
+              Queue.push pid t.clock_hand;
+              sweep ()
             end
-            else begin
-              t.clock_hand <- rest;
-              pid
-            end)
+            else pid)
       in
-      sweep t.clock_hand
+      sweep ()
   in
   let frame = Hashtbl.find t.frames victim_pid in
   write_back t frame;
@@ -190,7 +194,9 @@ let get t pid =
     in
     touch t frame;
     Hashtbl.replace t.frames pid frame;
-    t.clock_hand <- t.clock_hand @ [ pid ];
+    (match t.policy with
+    | Clock -> Queue.push pid t.clock_hand
+    | Random_replacement _ | Lru | Fifo | Lru_2 -> ());
     data
 
 let mark_dirty t pid =
@@ -234,7 +240,7 @@ let drop_all t =
       if frame.dirty then t.dropped_dirty <- t.dropped_dirty + 1)
     t.frames;
   Hashtbl.reset t.frames;
-  t.clock_hand <- []
+  Queue.clear t.clock_hand
 
 let iter_resident t f = Hashtbl.iter (fun pid _ -> f pid) t.frames
 
@@ -248,7 +254,7 @@ let scrub t =
   Hashtbl.fold
     (fun pid f acc -> if not f.dirty then (pid, f) :: acc else acc)
     t.frames []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.iter (fun (pid, f) ->
          let stored = Disk.read_nocharge t.disk pid in
          if not (Bytes.equal f.data stored) then begin
@@ -279,7 +285,7 @@ let stats t =
     Hashtbl.fold
       (fun pid f acc -> if f.pins > 0 then (pid, f.pins) :: acc else acc)
       t.frames []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   {
     dirtied = t.dirtied;

@@ -32,6 +32,7 @@ let create ~key columns =
   Array.iter
     (fun (c : column) ->
       if Hashtbl.mem seen c.name then
+        (* perf_lint: error path; raises immediately *)
         invalid_arg ("Schema.create: duplicate column " ^ c.name);
       Hashtbl.add seen c.name ())
     cols;

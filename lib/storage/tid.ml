@@ -7,7 +7,7 @@ let compare a b =
   | 0 -> Int.compare a.slot b.slot
   | c -> c
 
-let equal a b = compare a b = 0
+let equal a b = a.page = b.page && a.slot = b.slot
 let pp ppf t = Format.fprintf ppf "(%d,%d)" t.page t.slot
 
 let encoded_width = 8

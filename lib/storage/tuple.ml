@@ -50,6 +50,10 @@ let decode_str_at buf off width =
   done;
   Bytes.sub_string buf off !len
 
+let type_error expected (c : Schema.column) =
+  invalid_arg
+    (Printf.sprintf "Tuple.encode: expected %s for %s" expected c.Schema.name)
+
 let encode schema values =
   let cols = Array.of_list (Schema.columns schema) in
   let vals = Array.of_list values in
@@ -62,10 +66,8 @@ let encode schema values =
       match (c.Schema.ty, vals.(i)) with
       | Schema.Int, VInt v -> encode_int_at buf off c.Schema.width v
       | Schema.Fixed_string, VStr s -> encode_str_at buf off c.Schema.width s
-      | Schema.Int, VStr _ ->
-        invalid_arg ("Tuple.encode: expected int for " ^ c.Schema.name)
-      | Schema.Fixed_string, VInt _ ->
-        invalid_arg ("Tuple.encode: expected string for " ^ c.Schema.name))
+      | Schema.Int, VStr _ -> type_error "int" c
+      | Schema.Fixed_string, VInt _ -> type_error "string" c)
     cols;
   buf
 

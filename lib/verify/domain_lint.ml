@@ -1,10 +1,13 @@
 module D = Mmdb_util.Diag
+module E = Lint_engine
 
-(* The lint walks the compiler's own parsetree (compiler-libs), so it
-   sees exactly what the type-checker sees.  Only version-stable
-   constructors are matched (Pstr_value / Pstr_type / Pstr_module /
-   Pexp_apply / Pexp_ident / Pexp_lazy / Pexp_constraint): the scan must
-   compile across the CI compiler matrix. *)
+(* The shared-state rule set over {!Lint_engine}: classification of
+   module-level bindings only — file discovery, parsing, whitelist
+   comments and the scan drivers live in the engine.  Only
+   version-stable constructors are matched (Pstr_value / Pstr_type /
+   Pstr_module / Pexp_apply / Pexp_ident / Pexp_lazy /
+   Pexp_constraint): the scan must compile across the CI compiler
+   matrix. *)
 
 type status =
   | Safe of string
@@ -58,53 +61,11 @@ let rec classify_expr (e : Parsetree.expression) =
   | _ -> Plain
 
 (* ------------------------------------------------------------------ *)
-(* Whitelist comments                                                  *)
-(* ------------------------------------------------------------------ *)
-
-(* Comments are not in the parsetree; the justification convention is
-   textual: a [(* race_check: why this is domain-safe *)] comment on the
-   binding itself or within the two lines above it. *)
-let whitelist_of ~lines ~start_line ~end_line =
-  let lo = max 1 (start_line - 2) and hi = min (Array.length lines) end_line in
-  let marker = "race_check:" in
-  let found = ref None in
-  for i = lo to hi do
-    if !found = None then begin
-      let l = lines.(i - 1) in
-      match
-        (* no Str in the image: a plain substring scan *)
-        let n = String.length l and m = String.length marker in
-        let rec go j =
-          if j + m > n then None
-          else if String.sub l j m = marker then Some (j + m)
-          else go (j + 1)
-        in
-        go 0
-      with
-      | Some j ->
-        let rest = String.sub l j (String.length l - j) in
-        (* trim the closing "*)" when the comment ends on this line *)
-        let rec close k =
-          if k + 2 > String.length rest then rest
-          else if String.sub rest k 2 = "*)" then String.sub rest 0 k
-          else close (k + 1)
-        in
-        found := Some (String.trim (close 0))
-      | None -> ()
-    end
-  done;
-  !found
-
-(* ------------------------------------------------------------------ *)
 (* Structure walk                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let pattern_name (p : Parsetree.pattern) =
-  match p.Parsetree.ppat_desc with
-  | Parsetree.Ppat_var { txt; _ } -> txt
-  | _ -> "_"
-
 let rec scan_structure ~file ~lines acc (items : Parsetree.structure) =
+  (* perf_lint: AST recursion; depth is bounded by module nesting *)
   List.fold_left (scan_item ~file ~lines) acc items
 
 and scan_item ~file ~lines acc (item : Parsetree.structure_item) =
@@ -115,13 +76,16 @@ and scan_item ~file ~lines acc (item : Parsetree.structure_item) =
         let loc = vb.Parsetree.pvb_loc in
         let start_line = loc.Location.loc_start.Lexing.pos_lnum in
         let end_line = loc.Location.loc_end.Lexing.pos_lnum in
-        let name = pattern_name vb.Parsetree.pvb_pat in
+        let name = E.pattern_name vb.Parsetree.pvb_pat in
         let add construct code safe =
           let status =
             match safe with
             | Some why -> Safe why
             | None -> (
-              match whitelist_of ~lines ~start_line ~end_line with
+              match
+                E.justification ~marker:"race_check:" ~lines ~start_line
+                  ~end_line
+              with
               | Some why -> Whitelisted why
               | None -> Flagged code)
           in
@@ -131,6 +95,7 @@ and scan_item ~file ~lines acc (item : Parsetree.structure_item) =
         | Mutable_value c -> add c "RACE101" None
         | Lazy_value -> add "lazy" "RACE102" None
         | Rng_value c -> add c "RACE103" None
+        (* perf_lint: one-shot label per reported binding *)
         | Safe_value c -> add c "" (Some (c ^ " is domain-safe"))
         | Plain -> acc)
       acc bindings
@@ -155,7 +120,7 @@ and scan_item ~file ~lines acc (item : Parsetree.structure_item) =
               name = d.Parsetree.ptype_name.Location.txt;
               construct =
                 Printf.sprintf "mutable field%s %s"
-                  (if List.length mut = 1 then "" else "s")
+                  (match mut with [ _ ] -> "" | _ -> "s")
                   (String.concat ", " mut);
               status = Per_instance;
             }
@@ -164,6 +129,7 @@ and scan_item ~file ~lines acc (item : Parsetree.structure_item) =
       acc decls
   | Parsetree.Pstr_module mb -> scan_module ~file ~lines acc mb
   | Parsetree.Pstr_recmodule mbs ->
+    (* perf_lint: AST recursion; depth is bounded by module nesting *)
     List.fold_left (scan_module ~file ~lines) acc mbs
   | _ -> acc
 
@@ -173,87 +139,21 @@ and scan_module ~file ~lines acc (mb : Parsetree.module_binding) =
   | _ -> acc
 
 let scan_source ~file source =
-  let lines = Array.of_list (String.split_on_char '\n' source) in
-  let lexbuf = Lexing.from_string source in
-  Lexing.set_filename lexbuf file;
-  match Parse.implementation lexbuf with
-  | items -> Ok (List.rev (scan_structure ~file ~lines [] items))
-  | exception _ ->
+  let lines = E.lines_of_source source in
+  match E.parse_structure ~file source with
+  | Ok items -> Ok (List.rev (scan_structure ~file ~lines [] items))
+  | Error _ ->
     Error
       (D.error ~code:"RACE100" ~path:file
          "source failed to parse (lint could not inventory this file)")
 
-(* ------------------------------------------------------------------ *)
-(* Filesystem drivers                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let rec ml_files dir =
-  match Sys.readdir dir with
-  | entries ->
-    Array.sort compare entries;
-    Array.fold_left
-      (fun acc e ->
-        let p = Filename.concat dir e in
-        if Sys.is_directory p then acc @ ml_files p
-        else if Filename.check_suffix e ".ml" then acc @ [ p ]
-        else acc)
-      [] entries
-  | exception Sys_error _ -> []
-
-(* Locate the library sources: the scan runs both from the repository
-   root (the CLI) and from inside dune's sandbox (_build/default/test,
-   where the alias rule materializes the sources), so walk upward until
-   a directory holding both [dune-project] and [lib/] appears. *)
-let find_root () =
-  let rec up dir n =
-    if n > 6 then None
-    else if
-      Sys.file_exists (Filename.concat dir "dune-project")
-      && Sys.file_exists (Filename.concat dir "lib")
-      && Sys.is_directory (Filename.concat dir "lib")
-    then Some dir
-    else
-      let parent = Filename.dirname dir in
-      if parent = dir then None else up parent (n + 1)
-  in
-  up (Sys.getcwd ()) 0
-
-let scan_files files =
-  List.fold_left
-    (fun (sites, diags) f ->
-      match scan_source ~file:f (read_file f) with
-      | Ok s -> (sites @ s, diags)
-      | Error d -> (sites, diags @ [ d ]))
-    ([], []) files
+let ml_files = E.ml_files
+let scan_files files = E.scan_files ~scan:scan_source files
 
 let scan_lib ?root () =
-  let root = match root with Some r -> Some r | None -> find_root () in
-  match root with
-  | None -> Error "Domain_lint: could not locate lib/ (no dune-project found)"
-  | Some r ->
-    let files = ml_files (Filename.concat r "lib") in
-    (* Report paths relative to the root so findings are stable across
-       checkouts and sandboxes. *)
-    let strip f =
-      let pre = r ^ Filename.dir_sep in
-      let n = String.length pre in
-      if String.length f > n && String.sub f 0 n = pre then
-        String.sub f n (String.length f - n)
-      else f
-    in
-    let sites, diags = scan_files files in
-    Ok
-      ( List.map (fun s -> { s with file = strip s.file }) sites,
-        List.map
-          (fun (d : D.t) -> { d with D.path = strip d.D.path })
-          diags )
+  E.scan_lib ?root ~what:"Domain_lint" ~scan:scan_source
+    ~refile:(fun strip s -> { s with file = strip s.file })
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)

@@ -1,0 +1,136 @@
+(* Shared machinery for the source-level lint passes (Domain_lint,
+   Perf_lint): file discovery, repository-root location, whitelist-
+   comment parsing and the scan drivers.  Each pass is a thin rule set
+   — a [scan_source] function — over this engine.
+
+   The passes walk the compiler's own parsetree (compiler-libs), so they
+   see exactly what the type-checker sees.  Only version-stable
+   constructors may be matched (and [Ast_iterator.default_iterator] used
+   for everything else): the scans must compile across the CI compiler
+   matrix. *)
+
+module D = Mmdb_util.Diag
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lines_of_source source = Array.of_list (String.split_on_char '\n' source)
+
+(* Sorted depth-first order, accumulator-built: the engine must itself
+   pass Perf_lint (no tail-appends). *)
+let ml_files dir =
+  let rec walk acc dir =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc e ->
+          let p = Filename.concat dir e in
+          if Sys.is_directory p then walk acc p
+          else if Filename.check_suffix e ".ml" then p :: acc
+          else acc)
+        acc entries
+    | exception Sys_error _ -> acc
+  in
+  List.rev (walk [] dir)
+
+(* Locate the library sources: the scans run both from the repository
+   root (the CLI) and from inside dune's sandbox (_build/default/test,
+   where the alias rules materialize the sources), so walk upward until
+   a directory holding both [dune-project] and [lib/] appears. *)
+let find_root () =
+  let rec up dir n =
+    if n > 6 then None
+    else if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lib")
+      && Sys.is_directory (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent (n + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+(* Comments are not in the parsetree; the justification convention is
+   textual: a [(* <marker> why *)] comment inside the [start_line ..
+   end_line] window or within the two lines above it. *)
+let justification ~marker ~lines ~start_line ~end_line =
+  let lo = max 1 (start_line - 2) and hi = min (Array.length lines) end_line in
+  let found = ref None in
+  for i = lo to hi do
+    if !found = None then begin
+      let l = lines.(i - 1) in
+      match
+        (* no Str in the image: a plain substring scan *)
+        let n = String.length l and m = String.length marker in
+        let rec go j =
+          if j + m > n then None
+          else if String.sub l j m = marker then Some (j + m)
+          else go (j + 1)
+        in
+        go 0
+      with
+      | Some j ->
+        let rest = String.sub l j (String.length l - j) in
+        (* trim the closing "*)" when the comment ends on this line *)
+        let rec close k =
+          if k + 2 > String.length rest then rest
+          else if String.sub rest k 2 = "*)" then String.sub rest 0 k
+          else close (k + 1)
+        in
+        found := Some (String.trim (close 0))
+      | None -> ()
+    end
+  done;
+  !found
+
+let pattern_name (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } -> txt
+  | _ -> "_"
+
+let parse_structure ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | items -> Ok items
+  | exception e -> Error e
+
+let scan_files ~scan files =
+  let sites, diags =
+    List.fold_left
+      (fun (sites, diags) f ->
+        match scan ~file:f (read_file f) with
+        | Ok s -> (List.rev_append s sites, diags)
+        | Error d -> (sites, d :: diags))
+      ([], []) files
+  in
+  (List.rev sites, List.rev diags)
+
+let scan_lib ?root ~what ~scan ~refile () =
+  let root = match root with Some r -> Some r | None -> find_root () in
+  match root with
+  | None ->
+    Error (what ^ ": could not locate lib/ (no dune-project found)")
+  | Some r ->
+    let files = ml_files (Filename.concat r "lib") in
+    (* Report paths relative to the root so findings are stable across
+       checkouts and sandboxes. *)
+    let strip f =
+      let pre = r ^ Filename.dir_sep in
+      let n = String.length pre in
+      if String.length f > n && String.sub f 0 n = pre then
+        String.sub f n (String.length f - n)
+      else f
+    in
+    let sites, diags = scan_files ~scan files in
+    Ok
+      ( List.map (refile strip) sites,
+        List.map
+          (fun (d : D.t) -> { d with D.path = strip d.D.path })
+          diags )

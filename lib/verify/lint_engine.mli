@@ -1,0 +1,61 @@
+(** Shared machinery for the source-level lint passes.
+
+    {!Domain_lint} (shared-state inventory, [RACE1xx]) and {!Perf_lint}
+    (performance hazards, [PERF1xx]) are thin rule sets — a
+    [scan_source] function each — over this engine, which owns
+    everything pass-independent: [.ml] discovery, repository-root
+    location (checkout and dune-sandbox alike), the textual
+    justification-comment convention, parsing, and the file/library
+    scan drivers with root-relative path reporting. *)
+
+val read_file : string -> string
+
+val lines_of_source : string -> string array
+(** Source text as a 1-indexed-by-convention line array (index [i - 1]
+    holds line [i]), for justification-comment lookups. *)
+
+val ml_files : string -> string list
+(** All [.ml] files under a directory, sorted (deterministic sweeps). *)
+
+val find_root : unit -> string option
+(** Walk up from the current directory until a [dune-project] with a
+    [lib/] sibling appears — works both from a checkout and from inside
+    dune's sandbox. *)
+
+val justification :
+  marker:string ->
+  lines:string array ->
+  start_line:int ->
+  end_line:int ->
+  string option
+(** The text of a [(* <marker> why *)] comment found inside the line
+    window or within the two lines above it ([marker] includes the
+    colon, e.g. ["race_check:"]).  Comments are not in the parsetree,
+    so the match is textual. *)
+
+val pattern_name : Parsetree.pattern -> string
+(** The bound variable name, or ["_"] for non-variable patterns. *)
+
+val parse_structure :
+  file:string -> string -> (Parsetree.structure, exn) result
+(** Parse one compilation unit's source text with [file] as the
+    reported filename. *)
+
+val scan_files :
+  scan:(file:string -> string -> ('a list, Mmdb_util.Diag.t) result) ->
+  string list ->
+  'a list * Mmdb_util.Diag.t list
+(** Run a pass over the given paths; per-file parse failures become
+    diagnostics rather than aborting the sweep. *)
+
+val scan_lib :
+  ?root:string ->
+  what:string ->
+  scan:(file:string -> string -> ('a list, Mmdb_util.Diag.t) result) ->
+  refile:((string -> string) -> 'a -> 'a) ->
+  unit ->
+  ('a list * Mmdb_util.Diag.t list, string) result
+(** Locate the repository root (or use [root]), then run a pass over
+    every [.ml] under [lib/].  [refile strip] rewrites a finding's
+    stored path with the root-stripping function so reports are stable
+    across checkouts; [what] names the pass in the no-root error. *)

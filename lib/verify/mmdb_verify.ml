@@ -16,7 +16,9 @@ module Txn_fuzz = Txn_fuzz
 module Torture = Torture
 module Model_check = Model_check
 module Race_check = Race_check
+module Lint_engine = Lint_engine
 module Domain_lint = Domain_lint
+module Perf_lint = Perf_lint
 module Audit = Audit
 
 (** Every stable diagnostic code with a one-line description. *)
@@ -25,3 +27,4 @@ let code_catalogue =
   @ Pool_check.code_catalogue @ Txn_check.code_catalogue
   @ Audit.code_catalogue @ Model_check.code_catalogue
   @ Race_check.code_catalogue @ Domain_lint.code_catalogue
+  @ Perf_lint.code_catalogue

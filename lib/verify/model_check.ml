@@ -171,9 +171,11 @@ let plan_nodes plan =
     | P.Optimizer.P_project { input; _ }
     | P.Optimizer.P_aggregate { input; _ }
     | P.Optimizer.P_order_by { input; _ } ->
+      (* perf_lint: plan paths are a few segments; audit-scale *)
       go (path ^ ".0") input
     | P.Optimizer.P_join { left; right; _ }
     | P.Optimizer.P_set_op { left; right; _ } ->
+      (* perf_lint: plan paths are a few segments; audit-scale *)
       go (path ^ ".0") left;
       go (path ^ ".1") right);
     acc := (path, p) :: !acc

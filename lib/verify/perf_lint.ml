@@ -1,0 +1,327 @@
+module D = Mmdb_util.Diag
+module E = Lint_engine
+
+(* The performance-hazard rule set over {!Lint_engine}.  Where
+   Domain_lint classifies module-level *bindings*, this pass walks every
+   *expression* (via [Ast_iterator], so unmatched constructors — whose
+   shapes vary across compiler versions — are traversed by the
+   version's own default iterator) looking for accidentally-super-linear
+   idioms on a main-memory system's per-operation paths:
+
+   - PERF101  [xs @ [x]] — building a list by tail-append.  O(|xs|)
+     per append, quadratic the moment the result feeds the next append
+     (the CLOCK-hand and log-building bugs this pass was built to
+     retire).  Flagged everywhere: even a one-shot tail-append copies
+     the whole prefix, and the idiom's cheap uses rot into hot ones.
+   - PERF102  [List.nth]/[List.length] under iteration (a loop, an
+     enclosing recursive function, or a traversal callback) — O(n) per
+     step, O(n²) per sweep.
+   - PERF103  polymorphic [compare]/[Hashtbl.hash] in the hot
+     directories (lib/exec, lib/storage, lib/index) — the generic
+     structural walk costs a call per node where a monomorphic
+     [Int.compare] inlines to a machine instruction.
+   - PERF104  non-tail self-recursion over list-structured data: a
+     recursive function that matches a [_ :: _] pattern and calls
+     itself in value-consumed position (an argument of a call or a
+     constructor, deeper than the definition site's own position) —
+     stack depth grows with unbounded input.
+   - PERF105  string concatenation ([^]) under iteration — each [^]
+     copies both operands; accumulate in a [Buffer] instead.
+
+   PERF100 marks a file the pass could not parse.  A finding is
+   silenced by a [(* perf_lint: why *)] comment on the flagged line or
+   within the two lines above it — the same textual convention as
+   Domain_lint's [race_check:] whitelist. *)
+
+type status = Whitelisted of string | Flagged
+
+type finding = {
+  file : string;
+  line : int;
+  code : string;
+  name : string;  (* enclosing binding *)
+  construct : string;
+  status : status;
+}
+
+let marker = "perf_lint:"
+
+(* PERF103 applies where polymorphic structural walks are per-operation
+   costs; paths are matched as substrings so both absolute checkout
+   paths and root-relative sandbox paths qualify. *)
+let hot_dir file =
+  let has sub =
+    let n = String.length file and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub file i m = sub || go (i + 1)) in
+    go 0
+  in
+  has "exec/" || has "storage/" || has "index/"
+
+let ident_of (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } ->
+    Some (String.concat "." (Longident.flatten txt))
+  | _ -> None
+
+(* A syntactic list literal: a cons chain of literal cells ending in
+   [[]].  [xs @ [x]] parses as [(@) xs (x :: [])]. *)
+let rec is_literal_list (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_construct ({ txt = Longident.Lident "[]"; _ }, None) ->
+    true
+  | Parsetree.Pexp_construct
+      ({ txt = Longident.Lident "::"; _ }, Some payload) -> (
+    match payload.Parsetree.pexp_desc with
+    | Parsetree.Pexp_tuple [ _; tl ] -> is_literal_list tl
+    | _ -> false)
+  | _ -> false
+
+(* Traversal callbacks: an argument of one of these runs once per
+   element, so the argument subtree counts as "under iteration". *)
+let iteration_fn name =
+  match String.rindex_opt name '.' with
+  | None -> false
+  | Some i -> (
+    match String.sub name (i + 1) (String.length name - i - 1) with
+    | "iter" | "iteri" | "iter2" | "map" | "mapi" | "map2" | "rev_map"
+    | "fold" | "fold_left" | "fold_right" | "filter" | "filteri"
+    | "filter_map" | "concat_map" | "exists" | "for_all" | "find"
+    | "find_opt" | "find_all" | "partition" | "sort" | "stable_sort"
+    | "sort_uniq" ->
+      true
+    | _ -> false)
+
+(* PERF104 bookkeeping: one scope per [let rec] binding group member,
+   live while its group's bodies are scanned.  [base] records the
+   consumed-position depth at the group's definition site, so a tail
+   call inside e.g. an iterator callback that lexically *encloses* the
+   whole definition is not mistaken for a non-tail self-call. *)
+type rec_scope = {
+  fname : string;
+  base : int;
+  mutable has_list_match : bool;
+  mutable calls : (int * string) list;  (* (line, construct), newest first *)
+}
+
+let scan_source ~file source =
+  let lines = E.lines_of_source source in
+  let in_hot_dir = hot_dir file in
+  let findings = ref [] in
+  let loop_depth = ref 0 in
+  let consumed = ref 0 in
+  let rec_scopes : rec_scope list ref = ref [] in
+  let cur_name = ref "_" in
+  let under_iteration () = !loop_depth > 0 || !rec_scopes <> [] in
+  let emit ~line ~code ~construct =
+    let status =
+      match
+        E.justification ~marker ~lines ~start_line:line ~end_line:line
+      with
+      | Some why -> Whitelisted why
+      | None -> Flagged
+    in
+    findings := { file; line; code; name = !cur_name; construct; status }
+                :: !findings
+  in
+  let line_of (e : Parsetree.expression) =
+    e.Parsetree.pexp_loc.Location.loc_start.Lexing.pos_lnum
+  in
+  let super = Ast_iterator.default_iterator in
+  (* Rule checks fire at each node; context (loops, consumed position,
+     recursive scopes) is mutable state saved/restored around the
+     recursive visits. *)
+  let rec expr it (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; _ } ->
+      (match Longident.flatten txt with
+      | ([ "compare" ] | [ "Stdlib"; "compare" ] | [ "Pervasives"; "compare" ])
+        when in_hot_dir ->
+        emit ~line:(line_of e) ~code:"PERF103" ~construct:"compare"
+      | [ "Hashtbl"; "hash" ] when in_hot_dir ->
+        emit ~line:(line_of e) ~code:"PERF103" ~construct:"Hashtbl.hash"
+      | _ -> ());
+      super.Ast_iterator.expr it e
+    | Parsetree.Pexp_while _ | Parsetree.Pexp_for _ ->
+      incr loop_depth;
+      super.Ast_iterator.expr it e;
+      decr loop_depth
+    | Parsetree.Pexp_let (rf, vbs, body) ->
+      bindings it ~recursive:(rf = Asttypes.Recursive) vbs;
+      expr it body
+    | Parsetree.Pexp_apply (f, args) ->
+      (match ident_of f with
+      | Some ("@" | "Stdlib.@" | "List.append") -> (
+        match List.rev args with
+        | (_, last) :: _ when is_literal_list last ->
+          emit ~line:(line_of e) ~code:"PERF101" ~construct:"xs @ [x]"
+        | _ -> ())
+      | Some (("List.nth" | "List.nth_opt" | "List.length") as n)
+        when under_iteration () ->
+        emit ~line:(line_of e) ~code:"PERF102" ~construct:n
+      | Some ("^" | "Stdlib.^") when under_iteration () ->
+        emit ~line:(line_of e) ~code:"PERF105" ~construct:"s ^ t"
+      | Some n -> (
+        match List.find_opt (fun s -> s.fname = n) !rec_scopes with
+        | Some s when !consumed > s.base ->
+          s.calls <-
+            (line_of e, Printf.sprintf "%s _ (non-tail)" n) :: s.calls
+        | Some _ | None -> ())
+      | _ -> ());
+      expr it f;
+      let iterated =
+        match ident_of f with Some n -> iteration_fn n | None -> false
+      in
+      if iterated then incr loop_depth;
+      incr consumed;
+      (* perf_lint: AST recursion; depth is bounded by source nesting *)
+      List.iter (fun (_, a) -> expr it a) args;
+      decr consumed;
+      if iterated then decr loop_depth
+    | Parsetree.Pexp_construct (_, Some payload) ->
+      incr consumed;
+      (* perf_lint: AST recursion; depth is bounded by source nesting *)
+      expr it payload;
+      decr consumed
+    | _ -> super.Ast_iterator.expr it e
+  (* A binding group: recursive groups open PERF104 scopes for every
+     member (so mutual recursion is covered), flushed — gated on a
+     [_ :: _] pattern appearing in a member body, i.e. recursion over
+     list-structured data — when the group closes. *)
+  and bindings it ~recursive vbs =
+    let scan_vb (vb : Parsetree.value_binding) =
+      let saved = !cur_name in
+      let n = E.pattern_name vb.Parsetree.pvb_pat in
+      if n <> "_" then cur_name := n;
+      it.Ast_iterator.pat it vb.Parsetree.pvb_pat;
+      expr it vb.Parsetree.pvb_expr;
+      cur_name := saved
+    in
+    if not recursive then List.iter scan_vb vbs
+    else begin
+      let scopes =
+        List.map
+          (fun (vb : Parsetree.value_binding) ->
+            {
+              fname = E.pattern_name vb.Parsetree.pvb_pat;
+              base = !consumed;
+              has_list_match = false;
+              calls = [];
+            })
+          vbs
+      in
+      let saved_scopes = !rec_scopes in
+      rec_scopes := List.rev_append scopes saved_scopes;
+      List.iter scan_vb vbs;
+      rec_scopes := saved_scopes;
+      List.iter
+        (fun s ->
+          if s.has_list_match then
+            List.iter
+              (fun (line, construct) -> emit ~line ~code:"PERF104" ~construct)
+              (List.rev s.calls))
+        scopes
+    end
+  in
+  let pat it (p : Parsetree.pattern) =
+    (match p.Parsetree.ppat_desc with
+    | Parsetree.Ppat_construct ({ txt = Longident.Lident "::"; _ }, _) ->
+      List.iter (fun s -> s.has_list_match <- true) !rec_scopes
+    | _ -> ());
+    super.Ast_iterator.pat it p
+  in
+  let structure_item it (si : Parsetree.structure_item) =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_value (rf, vbs) ->
+      bindings it ~recursive:(rf = Asttypes.Recursive) vbs
+    | _ -> super.Ast_iterator.structure_item it si
+  in
+  let it =
+    {
+      super with
+      Ast_iterator.expr;
+      Ast_iterator.pat;
+      Ast_iterator.structure_item;
+    }
+  in
+  match E.parse_structure ~file source with
+  | Ok items ->
+    it.Ast_iterator.structure it items;
+    Ok
+      (List.sort
+         (fun a b ->
+           match compare a.line b.line with
+           | 0 -> compare a.code b.code
+           | c -> c)
+         !findings)
+  | Error _ ->
+    Error
+      (D.error ~code:"PERF100" ~path:file
+         "source failed to parse (perf lint could not scan this file)")
+
+let ml_files = E.ml_files
+let scan_files files = E.scan_files ~scan:scan_source files
+
+let scan_lib ?root () =
+  E.scan_lib ?root ~what:"Perf_lint" ~scan:scan_source
+    ~refile:(fun strip f -> { f with file = strip f.file })
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let describe = function
+  | "PERF101" ->
+    "list built by tail-append (O(n) copy per append, quadratic under \
+     accumulation) — cons and List.rev once, or use a Queue"
+  | "PERF102" ->
+    "O(n) list primitive under iteration (O(n\xc2\xb2) per sweep) — use an \
+     array, a counter, or List.compare_length_with"
+  | "PERF103" ->
+    "polymorphic compare/hash on a hot path — use a monomorphic \
+     comparator (Int.compare, a record comparator)"
+  | "PERF104" ->
+    "non-tail self-recursion over list-structured data (stack grows \
+     with input) — use an accumulator"
+  | "PERF105" ->
+    "string concatenation under iteration (copies both operands each \
+     time) — accumulate in a Buffer"
+  | _ -> "performance hazard"
+
+let diags_of_findings fs =
+  List.filter_map
+    (fun f ->
+      match f.status with
+      | Whitelisted _ -> None
+      | Flagged ->
+        Some
+          (D.error ~code:f.code
+             ~path:(Printf.sprintf "%s:%d" f.file f.line)
+             (Printf.sprintf
+                "%s: `%s' in %s — fix it or justify with a \
+                 (* perf_lint: ... *) comment"
+                (describe f.code) f.construct f.name)))
+    fs
+
+let pp_inventory ppf fs =
+  if fs = [] then Format.fprintf ppf "no performance hazards found@."
+  else
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "%-34s %-24s %s@."
+          (Printf.sprintf "%s:%d" f.file f.line)
+          (Printf.sprintf "%s in %s" f.construct f.name)
+          (match f.status with
+          | Whitelisted why -> Printf.sprintf "whitelisted: %s" why
+          | Flagged -> Printf.sprintf "FLAGGED %s" f.code))
+      fs
+
+let code_catalogue =
+  [
+    ("PERF100", "source failed to parse; perf lint scan incomplete");
+    ("PERF101", "list built by tail-append (xs @ [x]); quadratic under accumulation");
+    ("PERF102", "List.nth/List.length under iteration (O(n) per step)");
+    ("PERF103", "polymorphic compare/Hashtbl.hash on a hot path (exec/storage/index)");
+    ("PERF104", "non-tail self-recursion over list-structured data");
+    ("PERF105", "string concatenation (^) under iteration");
+  ]

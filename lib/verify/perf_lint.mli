@@ -1,0 +1,70 @@
+(** Static performance-hazard lint — the paper's "eliminate
+    per-operation overheads" claim, enforced mechanically.
+
+    A [compiler-libs] parsetree scan (an [Ast_iterator] over every
+    expression, so it composes with any compiler version's constructor
+    set) over the library sources flags accidentally-super-linear
+    idioms with stable codes:
+
+    - [PERF101] list built by tail-append ([xs @ [x]]) — O(n) copy per
+      append, quadratic under accumulation (flagged everywhere: cheap
+      uses rot into hot ones);
+    - [PERF102] [List.nth]/[List.length] under iteration — inside a
+      [for]/[while] loop, an enclosing recursive function, or a
+      traversal callback ([List.iter]-family argument);
+    - [PERF103] polymorphic [compare]/[Hashtbl.hash] in the hot
+      directories ([lib/exec], [lib/storage], [lib/index]);
+    - [PERF104] non-tail self-recursion over list-structured data: a
+      [let rec] that matches a [_ :: _] pattern and calls itself (or a
+      group sibling) in value-consumed position;
+    - [PERF105] string concatenation ([^]) under iteration.
+
+    [PERF100] marks a file the pass could not parse.  A finding is
+    silenced by a [(* perf_lint: why *)] comment on the flagged line or
+    within the two lines above it — the same textual convention as
+    {!Domain_lint}'s [race_check:] whitelist; the justification text is
+    echoed in the inventory. *)
+
+type status =
+  | Whitelisted of string  (** the justification comment's text *)
+  | Flagged
+
+type finding = {
+  file : string;
+  line : int;
+  code : string;  (** the [PERF1xx] code *)
+  name : string;  (** the enclosing binding *)
+  construct : string;  (** e.g. ["xs @ [x]"], ["List.nth"] *)
+  status : status;
+}
+
+val scan_source :
+  file:string -> string -> (finding list, Mmdb_util.Diag.t) result
+(** Lint one compilation unit given its source text, findings sorted by
+    line.  [file] decides PERF103 applicability (hot-directory paths).
+    [Error] carries a [PERF100] diagnostic when the text does not
+    parse. *)
+
+val scan_files : string list -> finding list * Mmdb_util.Diag.t list
+(** Lint the given [.ml] paths; parse failures become [PERF100]
+    diagnostics rather than aborting the sweep. *)
+
+val scan_lib :
+  ?root:string ->
+  unit ->
+  (finding list * Mmdb_util.Diag.t list, string) result
+(** Lint every [.ml] under [lib/] (root located as in
+    {!Lint_engine.find_root}); finding paths are reported
+    root-relative. *)
+
+val ml_files : string -> string list
+(** Re-export of {!Lint_engine.ml_files}. *)
+
+val diags_of_findings : finding list -> Mmdb_util.Diag.t list
+(** One error per [Flagged] finding; whitelisted findings produce
+    nothing. *)
+
+val pp_inventory : Format.formatter -> finding list -> unit
+(** The full inventory, one line per finding with its status. *)
+
+val code_catalogue : (string * string) list

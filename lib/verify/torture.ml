@@ -135,6 +135,7 @@ let run ?(seed = 7) ?(txns = 48) ?(specs = default_specs)
           let rules =
             match Fault_plan.of_spec spec with
             | Ok r -> r
+            (* perf_lint: error path; raises immediately *)
             | Error m -> invalid_arg ("Torture: bad fault spec: " ^ m)
           in
           let cfg = base_config ~seed ~txns strategy rules in

@@ -156,10 +156,11 @@ let check_deadlock events =
     let canon = List.sort compare cycle in
     if not (Hashtbl.mem cycles_seen canon) then begin
       Hashtbl.replace cycles_seen canon ();
+      let arr = Array.of_list cycle in
       let hops =
         List.mapi
           (fun i t ->
-            let next = List.nth cycle ((i + 1) mod List.length cycle) in
+            let next = arr.((i + 1) mod Array.length arr) in
             let key =
               match Hashtbl.find_opt waiting t with Some k -> k | None -> -1
             in
@@ -338,10 +339,11 @@ let check_serializability events =
     let canon = List.sort compare cycle in
     if not (Hashtbl.mem cycles_seen canon) then begin
       Hashtbl.replace cycles_seen canon ();
+      let arr = Array.of_list cycle in
       let hops =
         List.mapi
           (fun i t ->
-            let next = List.nth cycle ((i + 1) mod List.length cycle) in
+            let next = arr.((i + 1) mod Array.length arr) in
             match Hashtbl.find_opt edges (t, next) with
             | Some (key, o1, o2) ->
               Printf.sprintf "txn %d -[%s-%s key %d]-> txn %d" t (op_name o1)
@@ -373,6 +375,7 @@ let check_serializability events =
           in
           report_cycle (suffix (List.rev (t :: stack)))
         | Some `Black -> ()
+        (* perf_lint: DFS depth is bounded by the distinct txns seen *)
         | None -> dfs (t :: stack) n)
       ss;
     Hashtbl.replace color t `Black

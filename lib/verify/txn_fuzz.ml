@@ -99,10 +99,13 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
       grants
   in
   (* Perform the banking work under locks: read, update, emit Read/Write
-     schedule events, build the Update log records (oldest lock first so
-     the log reads naturally). *)
+     schedule events, build the Update log records.  [t.acquired] is
+     newest lock first and [List.map] applies left to right, so effects
+     keep that order; the result is also newest first, and each caller
+     does one final [List.rev] when assembling the log (oldest lock
+     first so it reads naturally) instead of a quadratic tail-append. *)
   let do_updates t =
-    List.rev_map
+    List.map
       (fun (slot, delta) ->
         let old_value = balances.(slot) in
         let new_value = old_value + delta in
@@ -117,10 +120,11 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
   in
   let finish_commit t =
     let begin_lsn = fresh_lsn () in
-    let body = do_updates t in
+    let rev_body = do_updates t in
     let records =
-      (R.Log_record.Begin { txn = t.id; lsn = begin_lsn } :: body)
-      @ [ R.Log_record.Commit { txn = t.id; lsn = fresh_lsn () } ]
+      R.Log_record.Begin { txn = t.id; lsn = begin_lsn }
+      :: List.rev (R.Log_record.Commit { txn = t.id; lsn = fresh_lsn () }
+                  :: rev_body)
     in
     absorb_grants (R.Lock_manager.precommit lm ~txn:t.id);
     let tkt = R.Wal.commit_txn wal ~at:(now ()) ~txn:t.id ~deps:t.deps records in
@@ -130,11 +134,13 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
   in
   let finish_abort t =
     let begin_lsn = fresh_lsn () in
-    let body = do_updates t in
+    let rev_body = do_updates t in
     (* Roll back in memory, newest update first, with compensating log
-       records (mirrors Txn_db.transact_abort). *)
-    let compensation =
-      List.map
+       records (mirrors Txn_db.transact_abort).  [rev_body] is already
+       newest first, so [List.rev_map] walks it in rollback order while
+       yielding the compensation records newest last. *)
+    let rev_compensation =
+      List.rev_map
         (fun r ->
           match r with
           | R.Log_record.Update { slot; old_value; new_value; _ } ->
@@ -151,13 +157,15 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
                 new_value = old_value;
               }
           | _ -> assert false)
-        (List.rev body)
+        rev_body
     in
     absorb_grants (R.Lock_manager.release_abort lm ~txn:t.id);
     let records =
-      (R.Log_record.Begin { txn = t.id; lsn = begin_lsn } :: body)
-      @ compensation
-      @ [ R.Log_record.Abort { txn = t.id; lsn = fresh_lsn () } ]
+      R.Log_record.Begin { txn = t.id; lsn = begin_lsn }
+      :: List.rev_append rev_body
+           (List.rev
+              (R.Log_record.Abort { txn = t.id; lsn = fresh_lsn () }
+              :: rev_compensation))
     in
     ignore (R.Wal.commit_txn wal ~at:(now ()) ~txn:t.id ~deps:[] records);
     incr aborted;
@@ -206,7 +214,8 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
        end;
        tick ();
        (* Admit new work. *)
-       if List.length !live < inflight && !next_plan < txns then begin
+       if List.compare_length_with !live inflight < 0 && !next_plan < txns
+       then begin
          let plan, will_abort = plans.(!next_plan) in
          incr next_plan;
          let id = !next_id in
@@ -231,8 +240,11 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
          | [] -> ()
          | l ->
            incr deadlocks;
-           kill_victim (List.nth l (X.int rng (List.length l))))
-       | rs -> step_txn (List.nth rs (X.int rng (List.length rs)))
+           let arr = Array.of_list l in
+           kill_victim arr.(X.int rng (Array.length arr)))
+       | rs ->
+         let arr = Array.of_list rs in
+         step_txn arr.(X.int rng (Array.length arr))
      done
    with Exit -> ());
   if not !crashed then begin

@@ -1,0 +1,111 @@
+(* Performance-hazard gate, wired to `dune build @perflint` (and the CI
+   perflint step): the static Perf_lint pass over lib/ must find every
+   hazard fixed or justified, and the stable-code catalogues in code
+   and in DESIGN.md must agree (both directions), so the docs cannot
+   silently rot.  Exits non-zero on any unjustified finding or
+   catalogue drift. *)
+
+module V = Mmdb_verify
+
+let failures = ref 0
+
+let part name ok =
+  Format.printf "%-28s %s@." name (if ok then "ok" else "FAIL");
+  if not ok then incr failures
+
+(* ------------------------------------------------------------------ *)
+(* Static perf lint over lib/                                          *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  match V.Perf_lint.scan_lib () with
+  | Error m ->
+    Format.printf "%s@." m;
+    part "perf lint" false
+  | Ok (findings, parse_diags) ->
+    let diags = parse_diags @ V.Perf_lint.diags_of_findings findings in
+    List.iter (fun d -> Format.printf "  %a@." V.Diag.pp d) diags;
+    Format.printf "  (%d finding%s inventoried)@." (List.length findings)
+      (match findings with [ _ ] -> "" | _ -> "s");
+    part "perf lint" (not (V.Diag.has_errors diags))
+
+(* ------------------------------------------------------------------ *)
+(* Catalogue drift: code vs DESIGN.md                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A stable code: two-plus uppercase letters then one-plus digits
+   (TXN006, FAULT011, PERF101, ...). *)
+let is_code s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && s.[!i] >= 'A' && s.[!i] <= 'Z' do
+    incr i
+  done;
+  let letters = !i in
+  while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+    incr i
+  done;
+  letters >= 2 && n > letters && !i = n
+
+(* Codes cited in DESIGN.md's markdown catalogue tables: the first cell
+   of any `| CODE | ... |` row. *)
+let doc_codes design =
+  String.split_on_char '\n' design
+  |> List.filter_map (fun line ->
+         match String.split_on_char '|' line with
+         | _ :: cell :: _ :: _ ->
+           let c = String.trim cell in
+           if is_code c then Some c else None
+         | _ -> None)
+
+let () =
+  match V.Lint_engine.find_root () with
+  | None -> part "catalogue drift" false
+  | Some root -> (
+    match V.Lint_engine.read_file (Filename.concat root "DESIGN.md") with
+    | exception Sys_error m ->
+      Format.printf "  %s@." m;
+      part "catalogue drift" false
+    | design ->
+      let in_doc = doc_codes design in
+      let in_code =
+        List.map fst
+          (V.code_catalogue @ Mmdb_fault.Fault.code_catalogue)
+      in
+      let missing_in_doc =
+        List.filter (fun c -> not (List.mem c in_doc)) in_code
+      in
+      (* The reverse direction holds for the families whose single
+         source of truth is a programmatic catalogue. *)
+      let tracked = [ "TXN"; "FAULT"; "MODEL"; "RACE"; "PERF" ] in
+      let prefix_of c =
+        let rec len i =
+          if i < String.length c && c.[i] >= 'A' && c.[i] <= 'Z' then
+            len (i + 1)
+          else i
+        in
+        String.sub c 0 (len 0)
+      in
+      let missing_in_code =
+        List.filter
+          (fun c ->
+            List.mem (prefix_of c) tracked && not (List.mem c in_code))
+          in_doc
+      in
+      List.iter
+        (fun c -> Format.printf "  %s emitted in code, absent from DESIGN.md@." c)
+        missing_in_doc;
+      List.iter
+        (fun c -> Format.printf "  %s documented in DESIGN.md, absent from code@." c)
+        missing_in_code;
+      Format.printf "  (%d codes in code, %d cited in DESIGN.md)@."
+        (List.length in_code) (List.length in_doc);
+      part "catalogue drift" (missing_in_doc = [] && missing_in_code = []))
+
+let () =
+  Format.printf "perflint: %s@."
+    (if !failures = 0 then "all clean"
+     else
+       Printf.sprintf "%d gate%s failed" !failures
+         (if !failures = 1 then "" else "s"));
+  exit (if !failures = 0 then 0 else 1)
