@@ -1515,6 +1515,86 @@ let golden_json () =
        ]);
   print_newline ()
 
+(* Recovery-time-vs-workers ladder (the PR's persistent perf trajectory):
+   one crash-recovery run per (workers x logging mode) cell of a fixed
+   seeded workload, emitting the modelled recovery time and the replay
+   work breakdown.  CI regenerates the file and checks its schema. *)
+let recovery_json () =
+  let cell ~workers ~mode ~label =
+    let cfg =
+      {
+        R.Recovery_manager.default_config with
+        R.Recovery_manager.n_txns = 2000;
+        checkpoint_every = Some 500;
+        crash_after = Some 1999;
+        seed = 7;
+        replay =
+          {
+            R.Recovery_manager.workers;
+            use_domains = false;
+            logging = mode;
+            crash_steps = None;
+            record_replay = false;
+          };
+      }
+    in
+    let o = R.Recovery_manager.run cfg in
+    let st = o.R.Recovery_manager.recover_stats in
+    if not (o.R.Recovery_manager.consistent
+            && o.R.Recovery_manager.money_conserved) then
+      failwith
+        (Printf.sprintf "recovery-json: inconsistent cell %s w=%d" label
+           workers);
+    jobj
+      [
+        ("workers", string_of_int workers);
+        ("logging", jstr label);
+        ("recovery_seconds", jfloat st.R.Kv_store.recovery_time);
+        ("redo_ops", string_of_int st.R.Kv_store.redo_applied);
+        ("local_value_ops", string_of_int st.R.Kv_store.local_value_ops);
+        ("local_command_ops", string_of_int st.R.Kv_store.local_command_ops);
+        ("barrier_ops", string_of_int st.R.Kv_store.barrier_ops);
+        ("barriers", string_of_int st.R.Kv_store.barriers);
+        ("undo_ops", string_of_int st.R.Kv_store.undo_applied);
+        ("pages_written_back", string_of_int st.R.Kv_store.pages_written_back);
+        ("log_bytes_scanned", string_of_int st.R.Kv_store.log_bytes_scanned);
+        ("log_disk_bytes",
+         string_of_int o.R.Recovery_manager.log_disk_bytes);
+        ("command_txns", string_of_int o.R.Recovery_manager.command_txns);
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun (mode, label) ->
+        List.map
+          (fun workers -> cell ~workers ~mode ~label)
+          [ 1; 2; 4; 8 ])
+      [
+        (R.Recovery_manager.Value_logging, "value");
+        (R.Recovery_manager.Command_logging, "command");
+        (R.Recovery_manager.Adaptive_logging, "adaptive");
+      ]
+  in
+  let doc =
+    jobj
+      [
+        ("schema", jstr "mmdb.bench.recovery.v1");
+        ( "workload",
+          jstr
+            "500 accounts, 20 records/page, 6 updates/txn, 2000 txns, \
+             checkpoint every 500, crash after 1999, seed 7" );
+        ("rows", jlist rows);
+      ]
+  in
+  let oc = open_out "BENCH_recovery.json" in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_recovery.json (%d cells: workers 1/2/4/8 x \
+     value/command/adaptive)\n"
+    (List.length rows)
+
 let experiments =
   [
     ("table1", "Table 1: AVL vs B+-tree crossover (random access)", table1);
@@ -1537,6 +1617,7 @@ let experiments =
     ("schedule-overhead", "write BENCH_schedule_overhead.json (recorder cost)", schedule_overhead);
     ("hotpath-json", "write BENCH_hotpath.json (hot-path remediation wins)", hotpath_json);
     ("golden-json", "Table 1 + Figure 1 as canonical JSON (CI golden)", golden_json);
+    ("recovery-json", "write BENCH_recovery.json (parallel-replay ladder)", recovery_json);
   ]
 
 let usage () =

@@ -159,7 +159,8 @@ let tps_cmd =
 (* recover                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let recover strategy txns checkpoint crash_after audit =
+let recover strategy txns checkpoint crash_after audit parallel logging
+    use_domains replay_crash =
   let cfg =
     {
       R.Recovery_manager.default_config with
@@ -167,6 +168,14 @@ let recover strategy txns checkpoint crash_after audit =
       R.Recovery_manager.n_txns = txns;
       R.Recovery_manager.checkpoint_every = checkpoint;
       R.Recovery_manager.crash_after;
+      replay =
+        {
+          R.Recovery_manager.workers = parallel;
+          use_domains;
+          logging;
+          crash_steps = replay_crash;
+          record_replay = false;
+        };
     }
   in
   let o = R.Recovery_manager.run cfg in
@@ -174,12 +183,24 @@ let recover strategy txns checkpoint crash_after audit =
   Printf.printf "durably committed:   %d\n" o.R.Recovery_manager.durably_committed;
   Printf.printf "checkpoints:         %d (%d pages)\n"
     o.R.Recovery_manager.checkpoints_taken o.R.Recovery_manager.checkpoint_pages;
-  Printf.printf "log:                 %d pages, %d bytes\n"
-    o.R.Recovery_manager.log_pages o.R.Recovery_manager.log_disk_bytes;
+  Printf.printf "log:                 %d pages, %d bytes (%d command txns)\n"
+    o.R.Recovery_manager.log_pages o.R.Recovery_manager.log_disk_bytes
+    o.R.Recovery_manager.command_txns;
   let rs = o.R.Recovery_manager.recover_stats in
   Printf.printf "recovery:            redo %d, undo %d, %d records scanned, %.3f s\n"
     rs.R.Kv_store.redo_applied rs.R.Kv_store.undo_applied
     rs.R.Kv_store.records_scanned rs.R.Kv_store.recovery_time;
+  Printf.printf
+    "replay:              %d worker(s)%s, %d local ops, %d barrier ops \
+     across %d barriers, %d pages written back\n"
+    rs.R.Kv_store.workers
+    (if rs.R.Kv_store.used_domains then " (domains)" else "")
+    (rs.R.Kv_store.local_value_ops + rs.R.Kv_store.local_command_ops)
+    rs.R.Kv_store.barrier_ops rs.R.Kv_store.barriers
+    rs.R.Kv_store.pages_written_back;
+  if o.R.Recovery_manager.recovery_attempts > 1 then
+    Printf.printf "recovery attempts:   %d (crashed mid-replay, restarted)\n"
+      o.R.Recovery_manager.recovery_attempts;
   Printf.printf "consistent:          %b\nmoney conserved:     %b\n"
     o.R.Recovery_manager.consistent o.R.Recovery_manager.money_conserved;
   let audit_ok =
@@ -235,9 +256,51 @@ let recover_cmd =
       value & flag
       & info [ "audit" ] ~doc:"Run the WAL protocol auditor on the logs.")
   in
+  let parallel =
+    Arg.(
+      value & opt int 1
+      & info [ "parallel" ]
+          ~doc:"Replay partitions (log is partitioned by page).")
+  in
+  let logging =
+    let logging_conv =
+      Arg.enum
+        [
+          ("value", R.Recovery_manager.Value_logging);
+          ("command", R.Recovery_manager.Command_logging);
+          ("adaptive", R.Recovery_manager.Adaptive_logging);
+        ]
+    in
+    Arg.(
+      value
+      & opt logging_conv R.Recovery_manager.Value_logging
+      & info [ "logging" ]
+          ~doc:
+            "Log record choice: $(b,value), $(b,command), or $(b,adaptive) \
+             (per-transaction, priced by the recovery-time model).")
+  in
+  let use_domains =
+    Arg.(
+      value & flag
+      & info [ "domains" ]
+          ~doc:
+            "Replay partitions on real domains (OCaml 5; falls back to the \
+             deterministic scheduler elsewhere).")
+  in
+  let replay_crash =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay-crash" ]
+          ~doc:
+            "Crash the recovery itself after N replay steps, then restart \
+             it (restart-crash resilience demo).")
+  in
   Cmd.v
     (Cmd.info "recover" ~doc:"Sections 5.3-5.5: crash, recover, verify.")
-    Term.(const recover $ strategy $ txns $ checkpoint $ crash $ audit)
+    Term.(
+      const recover $ strategy $ txns $ checkpoint $ crash $ audit $ parallel
+      $ logging $ use_domains $ replay_crash)
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
@@ -945,6 +1008,10 @@ let stats seed faults_spec pages ops =
     (S.Buffer_pool.capacity pool) ops;
   Printf.printf "counters:  %s\n"
     (Format.asprintf "%a" S.Counters.pp env.S.Env.counters);
+  Printf.printf "io retry:  %d transient retr%s, %.1f ms total backoff\n"
+    (S.Counters.io_retries env.S.Env.counters)
+    (if S.Counters.io_retries env.S.Env.counters = 1 then "y" else "ies")
+    (S.Counters.io_retry_backoff env.S.Env.counters *. 1e3);
   Printf.printf "scrub:     %d frame(s) repaired from disk\n" repaired;
   if !unrecoverable > 0 then
     Printf.printf "unrecoverable reads: %d\n" !unrecoverable;

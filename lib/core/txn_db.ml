@@ -166,8 +166,10 @@ let transact_abort t updates =
           R.Kv_store.apply_update ~txn t.kv ~lsn ~slot ~value:old_value;
           R.Log_record.Update
             { txn; lsn; slot; old_value = new_value; new_value = old_value }
+        (* interactive transactions log value records only *)
         | R.Log_record.Begin _ | R.Log_record.Commit _ | R.Log_record.Abort _
-        | R.Log_record.Ckpt_begin _ | R.Log_record.Ckpt_end _ -> assert false)
+        | R.Log_record.Command _ | R.Log_record.Ckpt_begin _
+        | R.Log_record.Ckpt_end _ -> assert false)
       rev_body
   in
   ignore (R.Lock_manager.release_abort t.locks ~txn);
@@ -220,8 +222,9 @@ let committed_txns t =
     (fun r ->
       match r with
       | R.Log_record.Commit { txn; _ } -> Some txn
-      | R.Log_record.Begin _ | R.Log_record.Update _ | R.Log_record.Abort _
-      | R.Log_record.Ckpt_begin _ | R.Log_record.Ckpt_end _ -> None)
+      | R.Log_record.Begin _ | R.Log_record.Update _ | R.Log_record.Command _
+      | R.Log_record.Abort _ | R.Log_record.Ckpt_begin _
+      | R.Log_record.Ckpt_end _ -> None)
     log
 
 let schedule t =

@@ -36,17 +36,28 @@ type tally = {
   mutable retried : int;
   mutable repaired : int;
   mutable unrecoverable : int;
+  mutable retry_backoff : float;
+      (* simulated seconds spent in retry backoff, accumulated alongside
+         [retried] *)
 }
 
 let tally_create () =
-  { injected = 0; detected = 0; retried = 0; repaired = 0; unrecoverable = 0 }
+  {
+    injected = 0;
+    detected = 0;
+    retried = 0;
+    repaired = 0;
+    unrecoverable = 0;
+    retry_backoff = 0.0;
+  }
 
 let tally_reset t =
   t.injected <- 0;
   t.detected <- 0;
   t.retried <- 0;
   t.repaired <- 0;
-  t.unrecoverable <- 0
+  t.unrecoverable <- 0;
+  t.retry_backoff <- 0.0
 
 let tally_copy t =
   {
@@ -55,6 +66,7 @@ let tally_copy t =
     retried = t.retried;
     repaired = t.repaired;
     unrecoverable = t.unrecoverable;
+    retry_backoff = t.retry_backoff;
   }
 
 let tally_diff ~after ~before =
@@ -64,6 +76,7 @@ let tally_diff ~after ~before =
     retried = after.retried - before.retried;
     repaired = after.repaired - before.repaired;
     unrecoverable = after.unrecoverable - before.unrecoverable;
+    retry_backoff = after.retry_backoff -. before.retry_backoff;
   }
 
 let tally_total t =
@@ -72,7 +85,9 @@ let tally_total t =
 let pp_tally ppf t =
   Format.fprintf ppf
     "injected=%d detected=%d retried=%d repaired=%d unrecoverable=%d"
-    t.injected t.detected t.retried t.repaired t.unrecoverable
+    t.injected t.detected t.retried t.repaired t.unrecoverable;
+  if t.retry_backoff > 0.0 then
+    Format.fprintf ppf " backoff=%.1fms" (t.retry_backoff *. 1e3)
 
 type error = { code : string; site : string; detail : string }
 
@@ -99,6 +114,7 @@ let code_catalogue =
     ("FAULT009", "corrupt page rebuilt from checkpoint plus log");
     ("FAULT010", "stable-memory batch underflow (drop on empty)");
     ("FAULT011", "unrecoverable media corruption");
+    ("FAULT012", "crash during recovery replay; recovery restarted");
   ]
 
 (* The exception printers keep typed faults legible in test failures. *)

@@ -51,6 +51,9 @@ type tally = {
   mutable retried : int;
   mutable repaired : int;
   mutable unrecoverable : int;
+  mutable retry_backoff : float;
+      (** simulated seconds spent waiting out transient-I/O retry
+          backoff, accumulated alongside [retried] *)
 }
 
 val tally_create : unit -> tally

@@ -93,8 +93,10 @@ let note_detected t ~code ~site detail =
   t.plan_tally.Fault.detected <- t.plan_tally.Fault.detected + 1;
   log_event t ~code ~site detail
 
-let note_retried t =
-  t.plan_tally.Fault.retried <- t.plan_tally.Fault.retried + 1
+let note_retried t ~backoff =
+  t.plan_tally.Fault.retried <- t.plan_tally.Fault.retried + 1;
+  t.plan_tally.Fault.retry_backoff <-
+    t.plan_tally.Fault.retry_backoff +. backoff
 
 let note_repaired t ~code ~site detail =
   t.plan_tally.Fault.repaired <- t.plan_tally.Fault.repaired + 1;

@@ -56,7 +56,7 @@ val tally : t -> Fault.tally
 
 val note_injected : t -> code:string -> site:string -> string -> unit
 val note_detected : t -> code:string -> site:string -> string -> unit
-val note_retried : t -> unit
+val note_retried : t -> backoff:float -> unit
 val note_repaired : t -> code:string -> site:string -> string -> unit
 val note_unrecoverable : t -> code:string -> site:string -> string -> unit
 

@@ -66,3 +66,63 @@ val stable_memory_tps : t -> devices:int -> compressed:bool -> float
 val log_compression_ratio : t -> float
 (** Disk-log bytes with compression / without — ~0.55 for the paper's
     figures ("approximately half"). *)
+
+(** {1 Parallel-replay recovery time}
+
+    Amdahl-style recovery-time model for partitioned parallel replay:
+    snapshot/log reads and partition-local applies divide by the worker
+    count; the write-back of recovered pages and the serial portions of
+    replay (cross-partition command re-execution, undo) do not. *)
+
+val value_apply_time : float
+(** Seconds to re-install one value (after-image) record: a memory
+    store, 1 µs. *)
+
+val command_apply_time : float
+(** Seconds to re-execute one command (operation) record: procedure
+    re-execution, 50 µs — the adaptive-logging trade: ~50x slower to
+    replay, ~7x smaller to log. *)
+
+type replay_terms = {
+  parallel_io : float;  (** snapshot + log-suffix reads, divisible by W *)
+  parallel_apply : float;  (** partition-local redo applies *)
+  serial_io : float;  (** end-of-recovery page write-back *)
+  serial_apply : float;  (** barrier command replay + undo *)
+  workers : int;
+}
+(** [replay_seconds = (parallel_io + parallel_apply)/workers
+                      + serial_io + serial_apply]. *)
+
+val replay_terms :
+  page_io_time:float ->
+  log_page_bytes:int ->
+  workers:int ->
+  snapshot_pages:int ->
+  log_bytes:int ->
+  local_value_ops:int ->
+  local_command_ops:int ->
+  serial_command_ops:int ->
+  undo_ops:int ->
+  writeback_pages:int ->
+  replay_terms
+(** Price a recovery run from its observable counters (the fields of
+    [Kv_store.recover_stats]).  @raise Invalid_argument on
+    [workers <= 0] or [log_page_bytes <= 0]. *)
+
+val replay_seconds : replay_terms -> float
+
+val value_bytes_per_txn : t -> updates_per_txn:int -> int
+(** Wire bytes a value-logged transaction writes: begin/commit plus a
+    60-byte update record per write. *)
+
+val command_bytes_per_txn : t -> updates_per_txn:int -> int
+(** Wire bytes a command-logged transaction writes: begin/commit plus a
+    20-byte command header and 8 bytes per op. *)
+
+val adaptive_command_wins :
+  t -> workers:int -> updates_per_txn:int -> cross_partition:bool -> bool
+(** The adaptive-logging rule: [true] when command logging's predicted
+    per-transaction recovery cost (smaller log, slow serial replay when
+    [cross_partition]) beats value logging's at [workers] replay
+    partitions.  Cross-partition commands replay at the serial
+    rendezvous, so the rule flips to value logging as [workers] grows. *)

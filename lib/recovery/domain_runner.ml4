@@ -1,0 +1,11 @@
+(* OCaml < 5.0 fallback: no Domain module, so workers run sequentially
+   in index order.  Selected by a dune copy rule; the multicore
+   implementation lives in domain_runner.ml5. *)
+
+let available = false
+
+let run ~n f =
+  if n < 0 then invalid_arg "Domain_runner.run: n < 0";
+  for i = 0 to n - 1 do
+    f i
+  done

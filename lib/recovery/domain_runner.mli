@@ -1,0 +1,18 @@
+(** Real-parallelism shim for the replay engine.
+
+    On OCaml 5 this wraps [Domain.spawn]/[Domain.join]; on OCaml 4 it
+    degrades to a sequential loop (the build selects the implementation
+    — see the copy rules in this directory's [dune]).  {!Replay} uses it
+    only for wall-clock runs; the deterministic simulated scheduler
+    never spawns domains, so tests and torture sweeps behave
+    identically on both compilers. *)
+
+val available : bool
+(** [true] iff [run] executes its workers in parallel domains. *)
+
+val run : n:int -> (int -> unit) -> unit
+(** [run ~n f] executes [f 0 .. f (n-1)], in parallel domains when
+    {!available} (worker 0 runs on the calling domain), sequentially in
+    index order otherwise.  Returns when every worker has finished.
+    The workers must touch disjoint mutable state: the shim adds no
+    synchronisation beyond the final join. *)

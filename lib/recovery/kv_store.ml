@@ -6,8 +6,20 @@ type t = {
   records_per_page : int;
   recorder : Schedule.recorder option;
   mem : int array; (* volatile *)
+  mem_lsn : int array; (* volatile: per-page max LSN applied to mem *)
   snapshot : int array; (* "disk": survives crash *)
   snap_sums : int array; (* per-page CRC of the intended snapshot page *)
+  snap_lsn : int array;
+  (* "disk" metadata: per-page redo high-water of the stored image.  A
+     log record with lsn <= snap_lsn.(p) touching page p is already in
+     the snapshot, so redo must skip it — the gate that makes replaying
+     non-idempotent command records safe. *)
+  resolved_lsn : int array;
+  (* "disk" metadata: per-page fully-resolved floor, advanced only by
+     the end-of-recovery write-back.  Records at or below it are both
+     redone (winners) and undone (losers) in the stored image, so a
+     recovery that crashes and restarts never double-applies either
+     phase. *)
   stable : Stable_memory.t; (* dirty-page table host *)
   faults : Fault_plan.t;
   mutable scrambled : bool;
@@ -26,14 +38,19 @@ let create ?(page_io_time = 10e-3) ?faults ?recorder ~nrecords
   if nrecords <= 0 then invalid_arg "Kv_store.create: nrecords <= 0";
   if records_per_page <= 0 then
     invalid_arg "Kv_store.create: records_per_page <= 0";
+  let npages = npages_of ~nrecords ~records_per_page in
   let t =
     {
       page_io_time;
       records_per_page;
       recorder;
       mem = Array.make nrecords 0;
+      (* min_int = "minus infinity": no record has touched the page *)
+      mem_lsn = Array.make npages min_int;
       snapshot = Array.make nrecords 0;
-      snap_sums = Array.make (npages_of ~nrecords ~records_per_page) 0;
+      snap_sums = Array.make npages 0;
+      snap_lsn = Array.make npages min_int;
+      resolved_lsn = Array.make npages min_int;
       stable;
       faults = (match faults with Some f -> f | None -> Fault_plan.none ());
       scrambled = false;
@@ -73,6 +90,7 @@ let apply_update ?txn ?(domain = 0) t ~lsn ~slot ~value =
     Schedule.emit t.recorder ~key:slot ~lsn ~domain ~txn Schedule.Write
   | None -> ());
   let page = page_of t slot in
+  if lsn > t.mem_lsn.(page) then t.mem_lsn.(page) <- lsn;
   match Stable_memory.table_get t.stable ~key:page with
   | Some _ -> () (* already dirty; first-LSN already recorded *)
   | None -> Stable_memory.table_put t.stable ~key:page ~value:lsn
@@ -89,6 +107,7 @@ let write_snapshot_page t page =
   Array.blit t.mem lo t.snapshot lo (hi - lo);
   t.snap_sums.(page) <-
     Mmdb_util.Checksum.crc32_ints t.mem ~pos:lo ~len:(hi - lo);
+  t.snap_lsn.(page) <- t.mem_lsn.(page);
   if Fault_plan.is_active t.faults then begin
     match Fault_plan.draw t.faults Fault.Snapshot with
     | Some (Fault.Bit_flip_rest | Fault.Bit_flip_read) ->
@@ -150,6 +169,7 @@ let recovery_start_lsn t =
 let crash t =
   (* Volatile contents are gone; make any premature read fail loudly. *)
   Array.fill t.mem 0 (Array.length t.mem) min_int;
+  Array.fill t.mem_lsn 0 (Array.length t.mem_lsn) min_int;
   t.scrambled <- true
 
 type recover_stats = {
@@ -160,15 +180,28 @@ type recover_stats = {
   snapshot_pages_read : int;
   pages_rebuilt : int;
   recovery_time : float;
+  workers : int;
+  local_value_ops : int;
+  local_command_ops : int;
+  barrier_ops : int;
+  barriers : int;
+  pages_written_back : int;
+  log_bytes_scanned : int;
+  used_domains : bool;
 }
 
-let recover t ~log =
+exception Crashed_during_recovery
+
+let recover ?(workers = 1) ?(use_domains = false) ?crash_after_steps
+    ?replay_recorder t ~log =
+  if workers <= 0 then invalid_arg "Kv_store.recover: workers <= 0";
   (* Load the snapshot, verifying each page against its recorded sum
      when faults are armed.  A corrupt page is detected (FAULT002),
      reset to its initial state, and rebuilt by replaying the *whole*
      log for its slots (FAULT009) — the snapshot copy is untrusted, so
      redo for that page cannot start at the checkpoint LSN. *)
   Array.blit t.snapshot 0 t.mem 0 (Array.length t.mem);
+  Array.blit t.snap_lsn 0 t.mem_lsn 0 (Array.length t.mem_lsn);
   t.scrambled <- false;
   let corrupt = Hashtbl.create 4 in
   if Fault_plan.is_active t.faults then
@@ -179,9 +212,24 @@ let recover t ~log =
         Hashtbl.replace corrupt page ();
         let lo = page * t.records_per_page in
         let hi = min (Array.length t.mem) (lo + t.records_per_page) in
-        Array.fill t.mem lo (hi - lo) 0
+        Array.fill t.mem lo (hi - lo) 0;
+        t.mem_lsn.(page) <- min_int
       end
     done;
+  (* Snapshot-time replay gates.  Redo applies a record to a page only
+     above the page's snapshot high-water (so non-idempotent command
+     deltas are never double-applied); undo reverses a loser's record
+     only above the page's resolved floor (so a recovery that already
+     wrote the page back — then crashed and restarted — does not undo
+     it twice).  A corrupt page loses both floors: its slots rebuild
+     from the whole log. *)
+  let redo_gate = Array.copy t.snap_lsn in
+  let undo_gate = Array.copy t.resolved_lsn in
+  Hashtbl.iter
+    (fun page () ->
+      redo_gate.(page) <- min_int;
+      undo_gate.(page) <- min_int)
+    corrupt;
   let committed = Hashtbl.create 64 in
   (* Aborted transactions logged their own compensating updates before the
      Abort record (ARIES-style), so like committed transactions they are
@@ -194,8 +242,8 @@ let recover t ~log =
         Hashtbl.replace committed txn ();
         Hashtbl.replace terminated txn ()
       | Log_record.Abort { txn; _ } -> Hashtbl.replace terminated txn ()
-      | Log_record.Begin _ | Log_record.Update _ | Log_record.Ckpt_begin _
-      | Log_record.Ckpt_end _ -> ())
+      | Log_record.Begin _ | Log_record.Update _ | Log_record.Command _
+      | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _ -> ())
     log;
   (* The scan starts at the oldest of (a) the dirty-page table's minimum
      first-update LSN (§5.5: "the oldest entry in the table determines the
@@ -215,11 +263,37 @@ let recover t ~log =
       max_int log
   in
   let scan_start = min table_start undo_start in
+  (* Unified progress counter for restart-crash injection: every redo
+     apply, undo apply, and write-back page write is one step.  Nothing
+     durable changes before the write-back phase, so a crash at any
+     step leaves a state the next recovery handles. *)
+  let steps = ref 0 in
+  let step () =
+    incr steps;
+    match crash_after_steps with
+    | Some n when !steps >= n -> raise Crashed_during_recovery
+    | Some _ | None -> ()
+  in
   let scanned = ref 0 in
-  let redo = ref 0 in
   let scan_bytes = ref 0 in
-  (* Redo phase: reapply every update from the recovery start point, plus
-     every update (any LSN) touching a page being rebuilt. *)
+  let value_ops = ref 0 in
+  let cmd_local = ref 0 in
+  let cmd_barrier = ref 0 in
+  let barriers = ref 0 in
+  (* page -> max LSN applied by this recovery (write-back worklist) *)
+  let touched = Hashtbl.create 64 in
+  let touch page lsn =
+    match Hashtbl.find_opt touched page with
+    | Some m when m >= lsn -> ()
+    | Some _ | None -> Hashtbl.replace touched page lsn
+  in
+  let partition_of slot = page_of t slot mod workers in
+  (* Redo worklist: every eligible update from the recovery start point
+     (plus any-LSN records touching a page being rebuilt), partitioned
+     by page for the replay engine.  Eligibility is judged against the
+     snapshot-time gates captured above — the arrays themselves move
+     during replay. *)
+  let rev_items = ref [] in
   List.iter
     (fun r ->
       let in_scan = Log_record.lsn r >= scan_start in
@@ -230,6 +304,9 @@ let recover t ~log =
         match r with
         | Log_record.Update { slot; _ } ->
           Hashtbl.mem corrupt (page_of t slot)
+        | Log_record.Command { ops; _ } ->
+          List.exists (fun (slot, _) -> Hashtbl.mem corrupt (page_of t slot))
+            ops
         | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _
         | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _ -> false
       in
@@ -238,49 +315,155 @@ let recover t ~log =
         scan_bytes :=
           !scan_bytes + Log_record.size_bytes ~compressed:false r;
         match r with
-        | Log_record.Update { slot; new_value; _ } ->
-          t.mem.(slot) <- new_value;
-          incr redo
+        | Log_record.Update { txn; lsn; slot; new_value; _ } ->
+          if lsn > redo_gate.(page_of t slot) then begin
+            incr value_ops;
+            touch (page_of t slot) lsn;
+            rev_items :=
+              Replay.Op { txn; lsn; slot; action = Replay.Set new_value }
+              :: !rev_items
+          end
+        | Log_record.Command { txn; lsn; ops } -> (
+          let eligible =
+            List.filter (fun (slot, _) -> lsn > redo_gate.(page_of t slot))
+              ops
+          in
+          if eligible <> [] then begin
+            List.iter (fun (slot, _) -> touch (page_of t slot) lsn) eligible;
+            let parts =
+              List.sort_uniq compare
+                (List.map (fun (slot, _) -> partition_of slot) eligible)
+            in
+            match parts with
+            | [] | [ _ ] ->
+              (* perf_lint: command op lists are <= max_command_ops (255),
+                 in practice updates_per_txn (<10) *)
+              cmd_local := !cmd_local + List.length eligible;
+              List.iter
+                (fun (slot, delta) ->
+                  rev_items :=
+                    Replay.Op { txn; lsn; slot; action = Replay.Add delta }
+                    :: !rev_items)
+                eligible
+            | _ :: _ :: _ ->
+              incr barriers;
+              (* perf_lint: command op lists are <= max_command_ops (255),
+                 in practice updates_per_txn (<10) *)
+              cmd_barrier := !cmd_barrier + List.length eligible;
+              rev_items :=
+                Replay.Barrier { txn; lsn; ops = eligible } :: !rev_items
+          end)
         | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _
         | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _ -> ()
       end)
     log;
-  (* Undo phase: reverse updates of transactions that never terminated,
-     newest first (all such records are >= scan_start by construction). *)
+  let items = List.rev !rev_items in
+  let on_step =
+    match crash_after_steps with Some _ -> Some step | None -> None
+  in
+  let rstats =
+    Replay.run ?recorder:replay_recorder ~use_domains ?on_step ~workers
+      ~partition_of
+      ~apply:(fun ~slot action ->
+        match action with
+        | Replay.Set v -> t.mem.(slot) <- v
+        | Replay.Add d -> t.mem.(slot) <- t.mem.(slot) + d)
+      items
+  in
+  (* Undo phase: reverse records of transactions that never terminated,
+     newest first (all such records are >= scan_start by construction),
+     gated per page so a restarted recovery skips already-resolved
+     work.  Serial: undo order matters and volumes are small. *)
   let undo = ref 0 in
+  let emit_undo ~txn ~lsn ~slot =
+    match replay_recorder with
+    | None -> ()
+    | Some _ ->
+      Schedule.emit replay_recorder ~key:slot ~txn
+        (Schedule.Grant { deps = [] });
+      Schedule.emit replay_recorder ~key:slot ~lsn ~txn Schedule.Write;
+      Schedule.emit replay_recorder ~key:slot ~txn Schedule.Release
+  in
   List.iter
     (fun r ->
       match r with
-      | Log_record.Update { txn; slot; old_value; _ }
+      | Log_record.Update { txn; lsn; slot; old_value; _ }
         when not (Hashtbl.mem terminated txn) ->
-        t.mem.(slot) <- old_value;
-        incr undo
-      | Log_record.Update _ | Log_record.Begin _ | Log_record.Commit _
-      | Log_record.Abort _ | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _
-        -> ())
+        if lsn > undo_gate.(page_of t slot) then begin
+          emit_undo ~txn ~lsn ~slot;
+          t.mem.(slot) <- old_value;
+          touch (page_of t slot) lsn;
+          incr undo;
+          step ()
+        end
+      | Log_record.Command { txn; lsn; ops }
+        when not (Hashtbl.mem terminated txn) ->
+        List.iter
+          (fun (slot, delta) ->
+            if lsn > undo_gate.(page_of t slot) then begin
+              emit_undo ~txn ~lsn ~slot;
+              t.mem.(slot) <- t.mem.(slot) - delta;
+              touch (page_of t slot) lsn;
+              incr undo;
+              step ()
+            end)
+          ops
+      | Log_record.Update _ | Log_record.Command _ | Log_record.Begin _
+      | Log_record.Commit _ | Log_record.Abort _ | Log_record.Ckpt_begin _
+      | Log_record.Ckpt_end _ -> ())
     (List.rev log);
-  (* The rebuilt pages are now good: re-checkpoint them so the snapshot
-     and its sums are consistent again. *)
-  let rebuilt = Hashtbl.length corrupt in
+  (* Raise the in-memory high-waters to what replay actually applied
+     (undo never exceeds them: a loser's record was either redone just
+     now or already inside the snapshot image). *)
   Hashtbl.iter
-    (fun page () ->
+    (fun page lsn -> if lsn > t.mem_lsn.(page) then t.mem_lsn.(page) <- lsn)
+    touched;
+  Hashtbl.iter (fun page () -> touch page min_int) corrupt;
+  (* Write-back: re-checkpoint every page recovery touched, advancing
+     both durable floors, so (a) a crash immediately after recovery
+     loses nothing, and (b) a crash *during* this loop leaves each
+     written page self-describing — the next recovery skips exactly the
+     records it already holds.  Sorted order keeps the step numbering
+     deterministic. *)
+  let rebuilt = Hashtbl.length corrupt in
+  let wb_pages =
+    Hashtbl.fold (fun page _ acc -> page :: acc) touched []
+    |> List.sort compare
+  in
+  List.iter
+    (fun page ->
       write_snapshot_page t page;
-      Fault_plan.note_repaired t.faults ~code:"FAULT009" ~site:"snapshot"
-        (Printf.sprintf "snapshot page %d rebuilt from log replay" page))
-    corrupt;
+      t.resolved_lsn.(page) <- t.mem_lsn.(page);
+      if Hashtbl.mem corrupt page then
+        Fault_plan.note_repaired t.faults ~code:"FAULT009" ~site:"snapshot"
+          (Printf.sprintf "snapshot page %d rebuilt from log replay" page);
+      step ())
+    wb_pages;
   Stable_memory.table_clear t.stable;
-  (* Log reading cost: sequential pages of ~10 ms over the scanned
-     suffix. *)
-  let log_pages = (!scan_bytes + 4095) / 4096 in
+  let pages_written_back = List.length wb_pages in
+  let terms =
+    Mmdb_model.Recovery_model.replay_terms ~page_io_time:t.page_io_time
+      ~log_page_bytes:4096 ~workers ~snapshot_pages:(npages t)
+      ~log_bytes:!scan_bytes ~local_value_ops:!value_ops
+      ~local_command_ops:!cmd_local ~serial_command_ops:!cmd_barrier
+      ~undo_ops:!undo ~writeback_pages:pages_written_back
+  in
   {
     start_lsn = (if scan_start = max_int then 0 else scan_start);
     records_scanned = !scanned;
-    redo_applied = !redo;
+    redo_applied = !value_ops + !cmd_local + !cmd_barrier;
     undo_applied = !undo;
     snapshot_pages_read = npages t;
     pages_rebuilt = rebuilt;
-    recovery_time =
-      float_of_int (npages t + log_pages + rebuilt) *. t.page_io_time;
+    recovery_time = Mmdb_model.Recovery_model.replay_seconds terms;
+    workers;
+    local_value_ops = !value_ops;
+    local_command_ops = !cmd_local;
+    barrier_ops = !cmd_barrier;
+    barriers = !barriers;
+    pages_written_back;
+    log_bytes_scanned = !scan_bytes;
+    used_domains = rstats.Replay.used_domains;
   }
 
 let balances t =

@@ -66,20 +66,60 @@ val crash : t -> unit
 type recover_stats = {
   start_lsn : int;
   records_scanned : int;
-  redo_applied : int;
+  redo_applied : int;  (** total redo ops: local + barrier *)
   undo_applied : int;
   snapshot_pages_read : int;
   pages_rebuilt : int;  (** corrupt snapshot pages rebuilt from the log *)
   recovery_time : float;
+      (** modelled cost ({!Mmdb_model.Recovery_model.replay_seconds}):
+          snapshot/log reads and local applies divided by [workers],
+          plus serial barrier replay, undo, and page write-back *)
+  workers : int;  (** replay partitions used *)
+  local_value_ops : int;  (** value (after-image) ops applied in-partition *)
+  local_command_ops : int;  (** command ops whose record stayed in-partition *)
+  barrier_ops : int;  (** command ops replayed at cross-partition barriers *)
+  barriers : int;  (** cross-partition command records *)
+  pages_written_back : int;  (** end-of-recovery re-checkpointed pages *)
+  log_bytes_scanned : int;
+  used_domains : bool;  (** real [Domain.spawn] workers ran the replay *)
 }
 
-val recover : t -> log:Log_record.t list -> recover_stats
+exception Crashed_during_recovery
+(** Raised when [crash_after_steps] expires.  The store's volatile state
+    is mid-replay garbage; the durable state is valid (pages written
+    back so far carry their advanced redo/undo floors).  Protocol: call
+    {!crash}, then {!recover} again. *)
+
+val recover :
+  ?workers:int ->
+  ?use_domains:bool ->
+  ?crash_after_steps:int ->
+  ?replay_recorder:Schedule.recorder ->
+  t ->
+  log:Log_record.t list ->
+  recover_stats
 (** Rebuild memory from the snapshot plus the durable [log] (LSN order):
-    redo every update from {!recovery_start_lsn} onward, then undo, in
-    reverse order, updates of transactions with no commit record in
-    [log].  Resets the dirty-page table.  With faults armed, snapshot
-    pages failing their CRC are reset and rebuilt by replaying the whole
-    log for their slots, then re-checkpointed (FAULT009). *)
+    redo every eligible record from {!recovery_start_lsn} onward, then
+    undo, in reverse order, records of transactions with no commit
+    record in [log]; finally write every touched page back to the
+    snapshot and reset the dirty-page table.
+
+    Redo is partitioned by page across [workers] (default 1) replay
+    partitions ({!Replay}): per-page LSN gates make both value and
+    non-idempotent command records safe to replay, and make the whole
+    recovery restartable — if it crashes mid-way
+    ({!Crashed_during_recovery}, injected via [crash_after_steps]: the
+    unified count of redo applies + undo applies + write-back page
+    writes), running it again from the surviving durable state is
+    correct.  [use_domains] runs partitions as real domains on OCaml 5
+    (ignored when [crash_after_steps] or [replay_recorder] forces the
+    deterministic scheduler).  [replay_recorder] witnesses every replay
+    write as domain-stamped Grant/Write/Release events for
+    {!Mmdb_verify.Race_check}.
+
+    With faults armed, snapshot pages failing their CRC are reset and
+    rebuilt by replaying the whole log for their slots (FAULT002 /
+    FAULT009). *)
 
 val balances : t -> int array
 (** Copy of the in-memory state (test oracle). *)

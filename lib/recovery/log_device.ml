@@ -77,8 +77,9 @@ let write_page t ?(protected = false) ?(compressed = false) ~at records ~bytes
         else begin
           let d = ref 0.0 in
           for attempt = 1 to failures do
-            Fault_plan.note_retried t.faults;
-            d := !d +. Fault_plan.retry_backoff ~attempt
+            let wait = Fault_plan.retry_backoff ~attempt in
+            Fault_plan.note_retried t.faults ~backoff:wait;
+            d := !d +. wait
           done;
           !d
         end

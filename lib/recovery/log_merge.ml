@@ -1,17 +1,25 @@
 module U = Mmdb_util
 
 type stream = {
+  index : int; (* position in the input fragment list *)
   mutable pages : (float * Log_record.t list) list; (* ascending *)
 }
 
-let page_key (completion, records) =
+(* Pages are ordered by (completion, min LSN, fragment index).  The
+   fragment index makes ties deterministic: two pages can share a
+   completion timestamp (devices finishing in the same simulated
+   instant) and a record-free page has no LSN at all (min_lsn folds to
+   max_int), and the underlying binary heap is not stable, so without
+   the third component the merged order would depend on heap
+   internals. *)
+let page_key ~index (completion, records) =
   let min_lsn =
     List.fold_left (fun acc r -> min acc (Log_record.lsn r)) max_int records
   in
-  (completion, min_lsn)
+  (completion, min_lsn, index)
 
 let merge fragments =
-  let streams = List.map (fun pages -> { pages }) fragments in
+  let streams = List.mapi (fun index pages -> { index; pages }) fragments in
   let cmp (ka, _) (kb, _) = compare ka kb in
   let heap = U.Heap.create ~cmp () in
   List.iter
@@ -19,7 +27,7 @@ let merge fragments =
       match s.pages with
       | page :: rest ->
         s.pages <- rest;
-        U.Heap.push heap (page_key page, (page, s))
+        U.Heap.push heap (page_key ~index:s.index page, (page, s))
       | [] -> ())
     streams;
   let out = ref [] in
@@ -31,7 +39,7 @@ let merge fragments =
       (match s.pages with
       | page :: rest ->
         s.pages <- rest;
-        U.Heap.push heap (page_key page, (page, s))
+        U.Heap.push heap (page_key ~index:s.index page, (page, s))
       | [] -> ());
       drain ()
   in

@@ -7,18 +7,20 @@ type t =
       old_value : int;
       new_value : int;
     }
+  | Command of { txn : int; lsn : int; ops : (int * int) list }
   | Commit of { txn : int; lsn : int }
   | Abort of { txn : int; lsn : int }
   | Ckpt_begin of { lsn : int }
   | Ckpt_end of { lsn : int }
 
 let lsn = function
-  | Begin { lsn; _ } | Update { lsn; _ } | Commit { lsn; _ } | Abort { lsn; _ }
-  | Ckpt_begin { lsn } | Ckpt_end { lsn } -> lsn
+  | Begin { lsn; _ } | Update { lsn; _ } | Command { lsn; _ }
+  | Commit { lsn; _ } | Abort { lsn; _ } | Ckpt_begin { lsn }
+  | Ckpt_end { lsn } -> lsn
 
 let txn = function
-  | Begin { txn; _ } | Update { txn; _ } | Commit { txn; _ } | Abort { txn; _ }
-    -> Some txn
+  | Begin { txn; _ } | Update { txn; _ } | Command { txn; _ }
+  | Commit { txn; _ } | Abort { txn; _ } -> Some txn
   | Ckpt_begin _ | Ckpt_end _ -> None
 
 (* Sizes chosen so the paper's "typical" banking transaction (begin + 6
@@ -30,9 +32,10 @@ let txn = function
 let size_bytes ~compressed = function
   | Begin _ | Commit _ | Abort _ | Ckpt_begin _ | Ckpt_end _ -> 20
   | Update _ -> if compressed then 30 else 60
+  | Command { ops; _ } -> 20 + (8 * List.length ops)
 
 let is_update = function
-  | Update _ -> true
+  | Update _ | Command _ -> true
   | Begin _ | Commit _ | Abort _ | Ckpt_begin _ | Ckpt_end _ -> false
 
 let pp ppf = function
@@ -42,6 +45,9 @@ let pp ppf = function
   | Update { txn; lsn; slot; old_value; new_value } ->
     Format.fprintf ppf "[%d] UPDATE t%d slot=%d %d->%d" lsn txn slot old_value
       new_value
+  | Command { txn; lsn; ops } ->
+    Format.fprintf ppf "[%d] COMMAND t%d" lsn txn;
+    List.iter (fun (slot, delta) -> Format.fprintf ppf " %d%+d" slot delta) ops
   | Ckpt_begin { lsn } -> Format.fprintf ppf "[%d] CKPT-BEGIN" lsn
   | Ckpt_end { lsn } -> Format.fprintf ppf "[%d] CKPT-END" lsn
 
@@ -59,12 +65,17 @@ let tag_of ~compressed = function
   | Abort _ -> 4
   | Ckpt_begin _ -> 5
   | Ckpt_end _ -> 6
+  | Command _ -> 8
 
+(* Tag 8 (command records) is variable-size: the size needs the op-count
+   byte at offset 9, so [decode] computes it from the header instead. *)
 let size_of_tag = function
   | 1 | 3 | 4 | 5 | 6 -> Some 20
   | 2 -> Some 60
   | 7 -> Some 30
   | _ -> None
+
+let max_command_ops = 255
 
 let put32 b off v =
   for i = 0 to 3 do
@@ -107,6 +118,16 @@ let encode_into ~compressed r buf ~pos =
       put64 buf (pos + 13) old_value;
       put64 buf (pos + 21) new_value
     end
+  | Command { ops; _ } ->
+    let nops = List.length ops in
+    if nops > max_command_ops then
+      invalid_arg "Log_record.encode_into: too many command ops";
+    Bytes.set buf (pos + 9) (Char.chr nops);
+    List.iteri
+      (fun i (slot, delta) ->
+        put32 buf (pos + 10 + (8 * i)) slot;
+        put32 buf (pos + 14 + (8 * i)) delta)
+      ops
   | Begin _ | Commit _ | Abort _ | Ckpt_begin _ | Ckpt_end _ -> ());
   let crc = Mmdb_util.Checksum.crc32 buf ~pos ~len:(size - 4) in
   put32 buf (pos + size - 4) crc;
@@ -121,16 +142,26 @@ let decode buf ~pos =
   let avail = Bytes.length buf - pos in
   if avail < 1 then Error "empty"
   else
-    match size_of_tag (Char.code (Bytes.get buf pos)) with
-    | None -> Error (Printf.sprintf "bad tag %d" (Char.code (Bytes.get buf pos)))
-    | Some size when avail < size ->
+    let tag = Char.code (Bytes.get buf pos) in
+    let sized =
+      match size_of_tag tag with
+      | Some s -> Ok s
+      | None ->
+        if tag <> 8 then Error (Printf.sprintf "bad tag %d" tag)
+        else if avail < 10 then
+          (* Command header (through the op-count byte) torn off. *)
+          Error (Printf.sprintf "truncated record: %d of %d bytes" avail 20)
+        else Ok (20 + (8 * Char.code (Bytes.get buf (pos + 9))))
+    in
+    match sized with
+    | Error e -> Error e
+    | Ok size when avail < size ->
       Error (Printf.sprintf "truncated record: %d of %d bytes" avail size)
-    | Some size ->
+    | Ok size ->
       let crc = Mmdb_util.Checksum.crc32 buf ~pos ~len:(size - 4) in
       let stored = get32 buf (pos + size - 4) land 0xFFFFFFFF in
       if crc <> stored then Error "checksum mismatch"
       else begin
-        let tag = Char.code (Bytes.get buf pos) in
         let lsn = get32 buf (pos + 1) in
         let txn = get32 buf (pos + 5) in
         let r =
@@ -159,6 +190,17 @@ let decode buf ~pos =
                 slot = get32 buf (pos + 9);
                 old_value = 0;
                 new_value = get64 buf (pos + 13);
+              }
+          | 8 ->
+            let nops = Char.code (Bytes.get buf (pos + 9)) in
+            Command
+              {
+                txn;
+                lsn;
+                ops =
+                  List.init nops (fun i ->
+                      ( get32 buf (pos + 10 + (8 * i)),
+                        get32 buf (pos + 14 + (8 * i)) ));
               }
           | _ -> assert false
         in

@@ -22,6 +22,15 @@ type t =
       old_value : int;
       new_value : int;
     }
+  | Command of { txn : int; lsn : int; ops : (int * int) list }
+      (** Command (logical) logging: the transaction's whole effect as
+          [(slot, delta)] operations, re-executed at replay.  One
+          command record replaces the transaction's update records —
+          much smaller on disk (8 bytes per operation vs 60), but replay
+          must re-run the operations, and a command whose slots span
+          replay partitions forces a cross-partition rendezvous (see
+          {!Replay}).  Undo of a non-terminated command subtracts its
+          deltas. *)
   | Commit of { txn : int; lsn : int }
   | Abort of { txn : int; lsn : int }
   | Ckpt_begin of { lsn : int }
@@ -39,9 +48,16 @@ val size_bytes : compressed:bool -> t -> int
 (** Begin/Commit/Abort and checkpoint markers: 20 bytes each (the paper's
     40 for begin+end).  Update: 60 bytes full (30 old value + 30 new
     value), 30 compressed (old value dropped — §5.4: "approximately half
-    of the size of the log stores the old values"). *)
+    of the size of the log stores the old values").  Command: 20-byte
+    header plus 8 bytes per operation, in both modes (a command carries
+    no old values to drop). *)
 
 val is_update : t -> bool
+(** [true] for data-carrying body records: [Update] and [Command]. *)
+
+val max_command_ops : int
+(** Operation-count ceiling of the command wire format (one count
+    byte): 255. *)
 
 val pp : Format.formatter -> t -> unit
 

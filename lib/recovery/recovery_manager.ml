@@ -3,6 +3,25 @@ module S = Mmdb_storage
 module Fault = Mmdb_fault.Fault
 module Fault_plan = Mmdb_fault.Fault_plan
 
+type logging_mode = Value_logging | Command_logging | Adaptive_logging
+
+type replay_config = {
+  workers : int;
+  use_domains : bool;
+  logging : logging_mode;
+  crash_steps : int option;
+  record_replay : bool;
+}
+
+let default_replay =
+  {
+    workers = 1;
+    use_domains = false;
+    logging = Value_logging;
+    crash_steps = None;
+    record_replay = false;
+  }
+
 type config = {
   nrecords : int;
   records_per_page : int;
@@ -14,6 +33,7 @@ type config = {
   crash_at : float option;
   faults : Fault_plan.rule list;
   seed : int;
+  replay : replay_config;
 }
 
 let default_config =
@@ -28,6 +48,7 @@ let default_config =
     crash_at = None;
     faults = [];
     seed = 7;
+    replay = default_replay;
   }
 
 type outcome = {
@@ -39,6 +60,9 @@ type outcome = {
   consistent : bool;
   money_conserved : bool;
   recover_stats : Kv_store.recover_stats;
+  recovery_attempts : int;
+  command_txns : int;
+  replay_events : Schedule.event list;
   checkpoints_taken : int;
   checkpoint_pages : int;
   log_pages : int;
@@ -83,6 +107,35 @@ let run cfg =
     Workload.generate ~rng ~nrecords:cfg.nrecords
       ~updates_per_txn:cfg.updates_per_txn ~n:cfg.n_txns ()
   in
+  (* Per-transaction-class logging choice (adaptive logging): command
+     records are ~7x smaller but replay serially when the transaction
+     spans replay partitions, so the model's decision rule flips to
+     value records for cross-partition transactions as the worker count
+     grows.  Partitioning here must mirror Kv_store.recover's:
+     page mod workers. *)
+  let replay_workers = max 1 cfg.replay.workers in
+  let partition_of_slot slot = slot / cfg.records_per_page mod replay_workers in
+  let command_logged (txn : Workload.txn) =
+    List.compare_length_with txn.Workload.updates Log_record.max_command_ops
+    <= 0
+    &&
+    match cfg.replay.logging with
+    | Value_logging -> false
+    | Command_logging -> true
+    | Adaptive_logging ->
+      let parts =
+        List.sort_uniq compare
+          (List.map (fun (s, _) -> partition_of_slot s) txn.Workload.updates)
+      in
+      let cross_partition =
+        match parts with [] | [ _ ] -> false | _ :: _ :: _ -> true
+      in
+      Mmdb_model.Recovery_model.adaptive_command_wins
+        Mmdb_model.Recovery_model.gray_banking ~workers:replay_workers
+        ~updates_per_txn:(List.length txn.Workload.updates)
+        ~cross_partition
+  in
+  let command_txns = ref 0 in
   let lsn = ref 0 in
   let next_lsn () =
     incr lsn;
@@ -122,32 +175,59 @@ let run cfg =
             txn.Workload.updates
         in
         let begin_lsn = next_lsn () in
-        (* Newest-first accumulation ([List.rev_map] applies left to
-           right, so updates and LSNs happen in order); one final
-           [List.rev] avoids the quadratic tail-append. *)
-        let rev_body =
-          List.rev_map
-            (fun (slot, delta) ->
-              let old_value = Kv_store.get kv slot in
-              let new_value = old_value + delta in
-              let l = next_lsn () in
-              Kv_store.apply_update kv ~lsn:l ~slot ~value:new_value;
-              Log_record.Update
-                {
-                  txn = txn.Workload.txn_id;
-                  lsn = l;
-                  slot;
-                  old_value;
-                  new_value;
-                })
-            txn.Workload.updates
-        in
         let records =
-          Log_record.Begin { txn = txn.Workload.txn_id; lsn = begin_lsn }
-          :: List.rev
-               (Log_record.Commit
-                  { txn = txn.Workload.txn_id; lsn = next_lsn () }
-               :: rev_body)
+          if command_logged txn then begin
+            (* Command logging: one operation record for the whole
+               transaction.  All ops share the command's LSN, so the
+               per-transaction LSN run stays consecutive (Begin L,
+               Command L+1, Commit L+2) and the demotion completeness
+               check below still works. *)
+            incr command_txns;
+            let cmd_lsn = next_lsn () in
+            let ops =
+              List.map
+                (fun (slot, delta) ->
+                  let old_value = Kv_store.get kv slot in
+                  Kv_store.apply_update kv ~lsn:cmd_lsn ~slot
+                    ~value:(old_value + delta);
+                  (slot, delta))
+                txn.Workload.updates
+            in
+            [
+              Log_record.Begin { txn = txn.Workload.txn_id; lsn = begin_lsn };
+              Log_record.Command
+                { txn = txn.Workload.txn_id; lsn = cmd_lsn; ops };
+              Log_record.Commit
+                { txn = txn.Workload.txn_id; lsn = next_lsn () };
+            ]
+          end
+          else begin
+            (* Newest-first accumulation ([List.rev_map] applies left to
+               right, so updates and LSNs happen in order); one final
+               [List.rev] avoids the quadratic tail-append. *)
+            let rev_body =
+              List.rev_map
+                (fun (slot, delta) ->
+                  let old_value = Kv_store.get kv slot in
+                  let new_value = old_value + delta in
+                  let l = next_lsn () in
+                  Kv_store.apply_update kv ~lsn:l ~slot ~value:new_value;
+                  Log_record.Update
+                    {
+                      txn = txn.Workload.txn_id;
+                      lsn = l;
+                      slot;
+                      old_value;
+                      new_value;
+                    })
+                txn.Workload.updates
+            in
+            Log_record.Begin { txn = txn.Workload.txn_id; lsn = begin_lsn }
+            :: List.rev
+                 (Log_record.Commit
+                    { txn = txn.Workload.txn_id; lsn = next_lsn () }
+                 :: rev_body)
+          end
         in
         ignore (Lock_manager.precommit locks ~txn:txn.Workload.txn_id);
         let tkt = Wal.commit_txn wal ~at ~txn:txn.Workload.txn_id ~deps records in
@@ -259,20 +339,50 @@ let run cfg =
             false
           end
           else true
-        | Log_record.Begin _ | Log_record.Update _ | Log_record.Ckpt_begin _
-        | Log_record.Ckpt_end _ -> true)
+        | Log_record.Begin _ | Log_record.Update _ | Log_record.Command _
+        | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _ -> true)
       durable
   in
   Kv_store.crash kv;
-  let recover_stats = Kv_store.recover kv ~log:durable in
+  (* Recovery, optionally parallel, optionally crashing mid-replay.  A
+     restart-crash (FAULT012) loses the volatile replay state; the
+     durable snapshot pages written back before the crash carry their
+     advanced redo/undo floors, so running recovery again from scratch
+     is correct — that is the property the torture sweep's
+     restart-crash points check. *)
+  let replay_recorder =
+    if cfg.replay.record_replay then
+      Some (Schedule.recorder ~now:(fun () -> 0.0))
+    else None
+  in
+  let recovery_attempts = ref 1 in
+  let do_recover ?crash_after_steps () =
+    Kv_store.recover kv ~workers:replay_workers
+      ~use_domains:cfg.replay.use_domains ?crash_after_steps ?replay_recorder
+      ~log:durable
+  in
+  let recover_stats =
+    match cfg.replay.crash_steps with
+    | None -> do_recover ()
+    | Some n -> (
+      try do_recover ~crash_after_steps:n ()
+      with Kv_store.Crashed_during_recovery ->
+        incr recovery_attempts;
+        Fault_plan.note_detected plan ~code:"FAULT012" ~site:"recovery.replay"
+          (Printf.sprintf
+             "crash after %d replay steps; restarting recovery" n);
+        Kv_store.crash kv;
+        do_recover ())
+  in
   (* Golden state: replay exactly the durably committed transactions. *)
   let committed = Hashtbl.create 256 in
   List.iter
     (fun r ->
       match r with
       | Log_record.Commit { txn; _ } -> Hashtbl.replace committed txn ()
-      | Log_record.Begin _ | Log_record.Update _ | Log_record.Abort _
-      | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _ -> ())
+      | Log_record.Begin _ | Log_record.Update _ | Log_record.Command _
+      | Log_record.Abort _ | Log_record.Ckpt_begin _ | Log_record.Ckpt_end _
+        -> ())
     durable;
   let golden = Array.make cfg.nrecords 0 in
   List.iter
@@ -308,6 +418,12 @@ let run cfg =
     consistent;
     money_conserved;
     recover_stats;
+    recovery_attempts = !recovery_attempts;
+    command_txns = !command_txns;
+    replay_events =
+      (match replay_recorder with
+      | Some r -> Schedule.events r
+      | None -> []);
     checkpoints_taken = !checkpoints;
     checkpoint_pages = !checkpoint_pages;
     log_pages = Wal.pages_written wal;

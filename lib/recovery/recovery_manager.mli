@@ -15,6 +15,37 @@
     reports the fault tally and a durability audit of acknowledged
     commits. *)
 
+type logging_mode =
+  | Value_logging  (** after-image update records: big log, cheap replay *)
+  | Command_logging
+      (** one operation record per transaction: ~7x smaller log, replay
+          re-executes the deltas (50x slower per op, serially when the
+          transaction spans replay partitions) *)
+  | Adaptive_logging
+      (** per-transaction choice by
+          {!Mmdb_model.Recovery_model.adaptive_command_wins}:
+          cross-partition transactions flip to value records as the
+          worker count grows *)
+
+type replay_config = {
+  workers : int;  (** replay partitions (>= 1) for {!Kv_store.recover} *)
+  use_domains : bool;
+      (** run partitions as real [Domain.spawn] workers (OCaml 5;
+          ignored when [crash_steps] or [record_replay] needs the
+          deterministic scheduler) *)
+  logging : logging_mode;
+  crash_steps : int option;
+      (** crash recovery itself after this many replay steps, then
+          restart it once from the surviving durable state (FAULT012) *)
+  record_replay : bool;
+      (** capture the replay's domain-stamped Grant/Write/Release trace
+          in [replay_events] for {!Mmdb_verify.Race_check} *)
+}
+
+val default_replay : replay_config
+(** 1 worker, simulated scheduler, value logging, no mid-recovery
+    crash, no trace. *)
+
 type config = {
   nrecords : int;
   records_per_page : int;
@@ -35,12 +66,13 @@ type config = {
   faults : Mmdb_fault.Fault_plan.rule list;
       (** fault-injection rules, armed with a plan seeded by [seed] *)
   seed : int;
+  replay : replay_config;
 }
 
 val default_config : config
 (** 500 accounts, 20 records/page, 6 updates/txn, 2000 transactions,
     checkpoint every 500, group commit, crash at the end, no faults,
-    seed 7. *)
+    seed 7, {!default_replay}. *)
 
 type outcome = {
   durably_committed : int;
@@ -57,6 +89,13 @@ type outcome = {
       (** recovered state equals the golden replay of committed txns *)
   money_conserved : bool;  (** balances still sum to zero *)
   recover_stats : Kv_store.recover_stats;
+  recovery_attempts : int;
+      (** 1, or 2 when [replay.crash_steps] fired mid-recovery and the
+          restarted recovery completed *)
+  command_txns : int;
+      (** transactions logged as command records (logging-mode choice) *)
+  replay_events : Schedule.event list;
+      (** the replay schedule trace; [[]] unless [replay.record_replay] *)
   checkpoints_taken : int;
       (** completed (bracket-certified) checkpoints; a sweep cut short by
           the crash is not counted *)

@@ -1,0 +1,227 @@
+(* Partitioned parallel redo.  See replay.mli for the scheduling
+   contract; the short version: partition-local ops replay in log order
+   within their partition, cross-partition commands rendezvous as
+   barriers, and the simulated and domains modes produce the same final
+   state because per-slot order is identical in both. *)
+
+type action = Set of int | Add of int
+
+type item =
+  | Op of { txn : int; lsn : int; slot : int; action : action }
+  | Barrier of { txn : int; lsn : int; ops : (int * int) list }
+
+type stats = {
+  workers : int;
+  local_ops : int;
+  barrier_ops : int;
+  barriers : int;
+  used_domains : bool;
+}
+
+(* A compiled per-partition queue entry.  Cross-partition commands are
+   interned once in [cmds] and referenced by index from every touched
+   queue, so "all heads agree" is one integer comparison per queue. *)
+type entry =
+  | E_op of { txn : int; lsn : int; slot : int; action : action }
+  | E_bar of int
+
+type cmd = {
+  c_txn : int;
+  c_lsn : int;
+  c_ops : (int * int) list;
+  c_touched : int list;  (* sorted, distinct, length >= 2 *)
+}
+
+let sort_uniq_parts parts = List.sort_uniq compare parts
+
+(* Compile the item stream into per-partition queues.  A Barrier whose
+   ops land in a single partition (or that is empty) degrades to plain
+   local ops — only genuinely cross-partition commands pay the
+   rendezvous. *)
+let compile ~workers ~part items =
+  let queues = Array.make workers [] in
+  let cmds = ref [] in
+  let ncmds = ref 0 in
+  let local_ops = ref 0 in
+  let barrier_ops = ref 0 in
+  let push p e = queues.(p) <- e :: queues.(p) in
+  let push_op ~txn ~lsn ~slot action =
+    incr local_ops;
+    push (part slot) (E_op { txn; lsn; slot; action })
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Op { txn; lsn; slot; action } -> push_op ~txn ~lsn ~slot action
+      | Barrier { txn; lsn; ops } -> (
+          let touched = sort_uniq_parts (List.map (fun (s, _) -> part s) ops) in
+          match touched with
+          | [] -> ()
+          | [ _ ] ->
+              List.iter
+                (fun (slot, d) -> push_op ~txn ~lsn ~slot (Add d))
+                ops
+          | _ :: _ ->
+              let id = !ncmds in
+              incr ncmds;
+              (* perf_lint: command op lists are <= max_command_ops (255),
+                 in practice updates_per_txn (<10) *)
+              barrier_ops := !barrier_ops + List.length ops;
+              cmds :=
+                { c_txn = txn; c_lsn = lsn; c_ops = ops; c_touched = touched }
+                :: !cmds;
+              List.iter (fun p -> push p (E_bar id)) touched))
+    items;
+  let queues = Array.map (fun q -> Array.of_list (List.rev q)) queues in
+  let cmds = Array.of_list (List.rev !cmds) in
+  (queues, cmds, !local_ops, !barrier_ops)
+
+(* Deterministic round-robin interleaving of the partition queues, one
+   entry per partition per round.  Emits the lock-protocol trace
+   (Grant/Write/Release per applied op, stamped with the partition as
+   the acting domain) when a recorder is armed, and calls [on_step]
+   after every applied op so the store can crash mid-replay. *)
+let run_simulated ~recorder ~on_step ~apply queues cmds =
+  let workers = Array.length queues in
+  let pos = Array.make workers 0 in
+  let tick = ref 0 in
+  let stamp () =
+    incr tick;
+    float_of_int !tick *. 1e-6
+  in
+  let step () = match on_step with Some f -> f () | None -> () in
+  let apply_local ~dom ~txn ~lsn ~slot action =
+    (match recorder with
+    | None -> ()
+    | Some _ ->
+        Schedule.emit recorder ~at:(stamp ()) ~key:slot ~domain:dom ~txn
+          (Schedule.Grant { deps = [] });
+        Schedule.emit recorder ~at:(stamp ()) ~key:slot ~lsn ~domain:dom ~txn
+          Schedule.Write;
+        Schedule.emit recorder ~at:(stamp ()) ~key:slot ~domain:dom ~txn
+          Schedule.Release);
+    apply ~slot action;
+    step ()
+  in
+  let apply_barrier ~dom (c : cmd) =
+    (* 2PL shape: take every touched key, write them all, release them
+       all.  The per-key Release->Grant edges order the barrier after
+       each owning partition's preceding ops and before its following
+       ones, which is exactly the happens-before the rendezvous
+       enforces. *)
+    (match recorder with
+    | None -> ()
+    | Some _ ->
+        List.iter
+          (fun (slot, _) ->
+            Schedule.emit recorder ~at:(stamp ()) ~key:slot ~domain:dom
+              ~txn:c.c_txn
+              (Schedule.Grant { deps = [] }))
+          c.c_ops);
+    List.iter
+      (fun (slot, d) ->
+        (match recorder with
+        | None -> ()
+        | Some _ ->
+            Schedule.emit recorder ~at:(stamp ()) ~key:slot ~lsn:c.c_lsn
+              ~domain:dom ~txn:c.c_txn Schedule.Write);
+        apply ~slot (Add d);
+        step ())
+      c.c_ops;
+    match recorder with
+    | None -> ()
+    | Some _ ->
+        List.iter
+          (fun (slot, _) ->
+            Schedule.emit recorder ~at:(stamp ()) ~key:slot ~domain:dom
+              ~txn:c.c_txn Schedule.Release)
+          c.c_ops
+  in
+  let head_is_bar q id =
+    pos.(q) < Array.length queues.(q)
+    &&
+    match queues.(q).(pos.(q)) with E_bar i -> i = id | E_op _ -> false
+  in
+  let finished () =
+    let all = ref true in
+    for p = 0 to workers - 1 do
+      if pos.(p) < Array.length queues.(p) then all := false
+    done;
+    !all
+  in
+  let rec loop () =
+    let progress = ref false in
+    for p = 0 to workers - 1 do
+      if pos.(p) < Array.length queues.(p) then
+        match queues.(p).(pos.(p)) with
+        | E_op { txn; lsn; slot; action } ->
+            apply_local ~dom:p ~txn ~lsn ~slot action;
+            pos.(p) <- pos.(p) + 1;
+            progress := true
+        | E_bar id ->
+            let c = cmds.(id) in
+            if
+              p = List.hd c.c_touched
+              && List.for_all (fun q -> head_is_bar q id) c.c_touched
+            then begin
+              apply_barrier ~dom:p c;
+              List.iter (fun q -> pos.(q) <- pos.(q) + 1) c.c_touched;
+              progress := true
+            end
+    done;
+    if not (finished ()) then
+      if !progress then loop ()
+      else
+        (* Unreachable for queues built by [compile]: barriers appear in
+           LSN order in every touched queue, so the lowest-LSN blocked
+           barrier's queues can always drain to it. *)
+        failwith "Replay.run: barrier rendezvous deadlock"
+  in
+  loop ()
+
+(* Epoch execution: run every partition's pending local ops as real
+   domain workers (disjoint pages, so no synchronisation needed beyond
+   the join), then apply the next cross-partition command serially on
+   the calling domain. *)
+let run_domains ~workers ~part ~apply items =
+  let pending = Array.make workers [] in
+  let flush () =
+    Domain_runner.run ~n:workers (fun p ->
+        List.iter (fun (slot, action) -> apply ~slot action)
+          (List.rev pending.(p)));
+    Array.fill pending 0 workers []
+  in
+  let local (slot, action) = pending.(part slot) <- (slot, action) :: pending.(part slot) in
+  List.iter
+    (fun item ->
+      match item with
+      | Op { slot; action; _ } -> local (slot, action)
+      | Barrier { ops; _ } -> (
+          match sort_uniq_parts (List.map (fun (s, _) -> part s) ops) with
+          | [] -> ()
+          | [ _ ] -> List.iter (fun (s, d) -> local (s, Add d)) ops
+          | _ :: _ ->
+              flush ();
+              List.iter (fun (slot, d) -> apply ~slot (Add d)) ops))
+    items;
+  flush ()
+
+let run ?recorder ?(use_domains = false) ?on_step ~workers ~partition_of
+    ~apply items =
+  if workers <= 0 then invalid_arg "Replay.run: workers <= 0";
+  let part slot = ((partition_of slot mod workers) + workers) mod workers in
+  (* Recording and crash injection are deterministic-mode features. *)
+  let domains_ok =
+    use_domains
+    && (match (recorder, on_step) with None, None -> true | _ -> false)
+  in
+  let queues, cmds, local_ops, barrier_ops = compile ~workers ~part items in
+  if domains_ok then run_domains ~workers ~part ~apply items
+  else run_simulated ~recorder ~on_step ~apply queues cmds;
+  {
+    workers;
+    local_ops;
+    barrier_ops;
+    barriers = Array.length cmds;
+    used_domains = domains_ok && Domain_runner.available;
+  }

@@ -1,0 +1,62 @@
+(** Partitioned parallel log replay (redo engine).
+
+    The merged redo stream is split across [workers] partitions by page
+    ([partition_of slot]); each partition replays its own ops in log
+    order, so per-slot ordering is preserved no matter how partitions
+    interleave.  Cross-partition command records cannot be split — a
+    {!item.Barrier} is enqueued in {e every} partition it touches and is
+    applied exactly once, when it is at the head of all of them, by the
+    lowest-numbered touched partition.  Because barriers appear in LSN
+    order in every queue this rendezvous cannot deadlock.
+
+    Two execution modes produce the identical final state:
+
+    - {b simulated} (default): a deterministic round-robin scheduler
+      interleaves partitions one op at a time on the calling domain.
+      This mode can stamp a {!Schedule} recorder (each applied op emits
+      Grant/Write/Release under its slot key, stamped with its
+      partition as the acting domain, so {!Race_check} can audit the
+      interleaving) and can crash mid-replay via [on_step].
+    - {b domains} ([use_domains:true] on OCaml >= 5): the stream is cut
+      into epochs at each barrier; within an epoch the partitions run
+      as real {!Domain_runner} workers over disjoint pages, then the
+      barrier command is applied serially.  Recording and crash
+      injection are rejected in this mode (they would be
+      nondeterministic), so passing either forces simulated mode. *)
+
+type action =
+  | Set of int  (** value record: store the after-image *)
+  | Add of int  (** command record: re-execute the delta *)
+
+type item =
+  | Op of { txn : int; lsn : int; slot : int; action : action }
+      (** partition-local work: a value-record update, or one op of a
+          command record whose eligible ops all land in one partition *)
+  | Barrier of { txn : int; lsn : int; ops : (int * int) list }
+      (** a command record whose eligible [(slot, delta)] ops span
+          partitions; applied serially at the rendezvous *)
+
+type stats = {
+  workers : int;  (** partition count actually used (>= 1) *)
+  local_ops : int;  (** ops applied inside a single partition *)
+  barrier_ops : int;  (** ops applied serially at barriers *)
+  barriers : int;  (** cross-partition commands encountered *)
+  used_domains : bool;  (** true iff real domains ran the epochs *)
+}
+
+val run :
+  ?recorder:Schedule.recorder ->
+  ?use_domains:bool ->
+  ?on_step:(unit -> unit) ->
+  workers:int ->
+  partition_of:(int -> int) ->
+  apply:(slot:int -> action -> unit) ->
+  item list ->
+  stats
+(** [run ~workers ~partition_of ~apply items] replays [items] (already
+    in log order) and returns what it did.  [apply] must only mutate
+    state owned by the slot's partition (in domains mode it runs
+    concurrently; barrier ops are always applied serially between
+    epochs).  [on_step] is invoked after every applied op — the hook
+    the store uses to count progress and crash mid-recovery; supplying
+    it, or [recorder], forces the simulated scheduler. *)

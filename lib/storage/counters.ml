@@ -82,3 +82,6 @@ let pp ppf t =
     t.rand_reads t.rand_writes t.faults t.pool_hits;
   if F.tally_total t.fault > 0 then
     Format.fprintf ppf " media[%a]" F.pp_tally t.fault
+
+let io_retries t = t.fault.F.retried
+let io_retry_backoff t = t.fault.F.retry_backoff

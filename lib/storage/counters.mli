@@ -39,3 +39,11 @@ val total_io : t -> int
 (** All page reads and writes, sequential and random. *)
 
 val pp : Format.formatter -> t -> unit
+
+val io_retries : t -> int
+(** Transient-I/O attempts that were retried (media-fault tally's
+    [retried] field — FAULT003 rides). *)
+
+val io_retry_backoff : t -> float
+(** Simulated seconds spent waiting out retry backoff before those
+    retries succeeded. *)

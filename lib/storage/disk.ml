@@ -65,8 +65,9 @@ let charge_write t mode =
   | Rand -> Env.charge_io_rand_write t.env
 
 let backoff t ~attempt =
-  Fault_plan.note_retried t.faults;
-  Sim_clock.advance t.env.Env.clock (Fault_plan.retry_backoff ~attempt)
+  let wait = Fault_plan.retry_backoff ~attempt in
+  Fault_plan.note_retried t.faults ~backoff:wait;
+  Sim_clock.advance t.env.Env.clock wait
 
 (* A transient fault fails [failures] consecutive attempts; each failed
    attempt still occupies the device (charged) and waits out a backoff

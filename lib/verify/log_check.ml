@@ -30,7 +30,7 @@ let audit ?(complete = false) records =
         if Hashtbl.mem txns txn then
           err r ~code:"LOG005" "duplicate Begin for transaction %d" txn
         else Hashtbl.replace txns txn Active
-      | L.Update { txn; _ } -> (
+      | L.Update { txn; _ } | L.Command { txn; _ } -> (
         match Hashtbl.find_opt txns txn with
         | None ->
           err r ~code:"LOG002" "Update before Begin for transaction %d" txn

@@ -564,6 +564,120 @@ let run_suite ?(seed = 42) ?(tolerance_scale = 1.0) ?(enumerate = true) () =
       (join ~left_key:"k" ~right_key:"k" (scan "r") (scan "t"));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Recovery-time conformance (MODEL012)                                *)
+(* ------------------------------------------------------------------ *)
+
+module RM = Mmdb_recovery.Recovery_manager
+module RMod = Mmdb_model.Recovery_model
+
+(* The store prices each recovery with Recovery_model.replay_seconds
+   over its own observable counters; re-derive the prediction from the
+   reported recover_stats and demand agreement (a tight band: both
+   sides must use the same terms — this catches the two drifting
+   apart).  Additionally, on the value-logged workload the parallel
+   terms dominate, so recovery time must not increase with the worker
+   count. *)
+let recovery_time_band = band ~abs:1e-9 0.999 1.001
+
+let check_recovery ?(seed = 7) () =
+  let base =
+    {
+      RM.default_config with
+      RM.nrecords = 200;
+      records_per_page = 10;
+      updates_per_txn = 4;
+      n_txns = 300;
+      checkpoint_every = Some 100;
+      crash_after = Some 260;
+      seed;
+    }
+  in
+  let run ~logging ~workers =
+    RM.run
+      {
+        base with
+        RM.replay = { RM.default_replay with RM.workers; logging };
+      }
+  in
+  let check_one ~label ~workers (o : RM.outcome) =
+    let st = o.RM.recover_stats in
+    let path = Printf.sprintf "recovery/%s/workers=%d" label workers in
+    let terms =
+      RMod.replay_terms ~page_io_time:10e-3 ~log_page_bytes:4096
+        ~workers:st.Mmdb_recovery.Kv_store.workers
+        ~snapshot_pages:st.Mmdb_recovery.Kv_store.snapshot_pages_read
+        ~log_bytes:st.Mmdb_recovery.Kv_store.log_bytes_scanned
+        ~local_value_ops:st.Mmdb_recovery.Kv_store.local_value_ops
+        ~local_command_ops:st.Mmdb_recovery.Kv_store.local_command_ops
+        ~serial_command_ops:st.Mmdb_recovery.Kv_store.barrier_ops
+        ~undo_ops:st.Mmdb_recovery.Kv_store.undo_applied
+        ~writeback_pages:st.Mmdb_recovery.Kv_store.pages_written_back
+    in
+    let invariants =
+      if o.RM.consistent && o.RM.money_conserved then []
+      else
+        [
+          D.error ~code:"MODEL012" ~path
+            "recovery run violated consistency while measuring its time";
+        ]
+    in
+    invariants
+    @ check_class ~path ~kind:"recovery" ~code:"MODEL012"
+        ~label:"recovery seconds" recovery_time_band
+        ~predicted:(RMod.replay_seconds terms)
+        ~observed:st.Mmdb_recovery.Kv_store.recovery_time
+  in
+  let worker_ladder = [ 1; 2; 4 ] in
+  let modes =
+    [
+      ("value", RM.Value_logging);
+      ("command", RM.Command_logging);
+      ("adaptive", RM.Adaptive_logging);
+    ]
+  in
+  List.concat_map
+    (fun (label, logging) ->
+      let runs =
+        List.map (fun workers -> (workers, run ~logging ~workers))
+          worker_ladder
+      in
+      let conformance =
+        List.concat_map
+          (fun (workers, o) -> check_one ~label ~workers o)
+          runs
+      in
+      let monotone =
+        if label <> "value" then []
+        else
+          let times =
+            List.map
+              (fun (w, (o : RM.outcome)) ->
+                ( w,
+                  o.RM.recover_stats.Mmdb_recovery.Kv_store.recovery_time ))
+              runs
+          in
+          let rec pairs = function
+            | (w1, t1) :: ((w2, t2) :: _ as rest) ->
+              (if t2 > t1 +. 1e-9 then
+                 [
+                   D.error ~code:"MODEL012"
+                     ~path:(Printf.sprintf "recovery/%s" label)
+                     (Printf.sprintf
+                        "recovery time not monotone in workers: %.6gs at \
+                         W=%d vs %.6gs at W=%d"
+                        t2 w2 t1 w1);
+                 ]
+               else [])
+              (* perf_lint: the worker ladder has 3 entries *)
+              @ pairs rest
+            | [ _ ] | [] -> []
+          in
+          pairs times
+      in
+      conformance @ monotone)
+    modes
+
 let code_catalogue =
   [
     ("MODEL001", "observed comparisons diverge from the cost model");
@@ -577,4 +691,5 @@ let code_catalogue =
     ("MODEL009", "selectivity estimate diverges from actual cardinality");
     ("MODEL010", "plan cost annotation inconsistent with its per-term ops");
     ("MODEL011", "workload outside model validity; conformance skipped");
+    ("MODEL012", "recovery time diverges from the parallel-replay model");
   ]

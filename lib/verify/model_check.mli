@@ -160,5 +160,17 @@ val suite_diags : case list -> Mmdb_util.Diag.t list
 val suite_ok : case list -> bool
 (** No error-severity diagnostics anywhere in the suite. *)
 
+(** {1 Recovery-time conformance} *)
+
+val check_recovery : ?seed:int -> unit -> Mmdb_util.Diag.t list
+(** MODEL012: run a seeded crash-recovery workload under each logging
+    mode (value / command / adaptive) at 1, 2, and 4 replay workers;
+    demand (a) the reported recovery time re-derives exactly from the
+    run's own counters via {!Mmdb_model.Recovery_model.replay_terms}
+    (tight band — catches the store and the model drifting apart),
+    (b) recovery stays consistent while being measured, and (c) on the
+    value-logged workload recovery time is non-increasing in the worker
+    count (the parallel terms dominate there). *)
+
 val code_catalogue : (string * string) list
 (** Every MODEL code with a one-line description. *)

@@ -12,6 +12,7 @@ type failure = {
   f_strategy : string;
   f_spec : string;
   f_crash_at : float;
+  f_crash_steps : int option;
   f_violations : string list;
 }
 
@@ -28,6 +29,7 @@ type combo = {
 type report = {
   combos : combo list;
   total_runs : int;
+  restart_runs : int;
   silent : failure list;
   flagged : failure list;
   tally : Fault.tally;
@@ -45,6 +47,19 @@ let default_strategies =
     R.Wal.Partitioned { devices = 2 };
     R.Wal.Stable { devices = 2; capacity_bytes = 8192; compressed = true };
   ]
+
+(* Sweep under the hardest replay configuration: four partitions with
+   adaptive logging, so every crash point also exercises barrier
+   rendezvous and the value/command decision.  Simulated scheduler keeps
+   the sweep deterministic in [seed]. *)
+let default_replay =
+  {
+    R.Recovery_manager.workers = 4;
+    use_domains = false;
+    logging = R.Recovery_manager.Adaptive_logging;
+    crash_steps = None;
+    record_replay = false;
+  }
 
 (* Small, contended workload: every run is milliseconds, so the sweep can
    afford hundreds of crash points. *)
@@ -117,14 +132,31 @@ let add_tally ~into (t : Fault.tally) =
   into.Fault.detected <- into.Fault.detected + t.Fault.detected;
   into.Fault.retried <- into.Fault.retried + t.Fault.retried;
   into.Fault.repaired <- into.Fault.repaired + t.Fault.repaired;
-  into.Fault.unrecoverable <- into.Fault.unrecoverable + t.Fault.unrecoverable
+  into.Fault.unrecoverable <- into.Fault.unrecoverable + t.Fault.unrecoverable;
+  into.Fault.retry_backoff <- into.Fault.retry_backoff +. t.Fault.retry_backoff
+
+(* Up to [k] crash points spread evenly across [points] (first, interior,
+   last): the late points sit past quiesce, where the merged log is
+   longest and a mid-replay crash interrupts the most work. *)
+let spread_points k points =
+  let arr = Array.of_list points in
+  let n = Array.length arr in
+  if n = 0 || k <= 0 then []
+  else begin
+    let k = min k n in
+    List.init k (fun i -> arr.(i * (n - 1) / max 1 (k - 1)))
+    |> List.sort_uniq compare
+  end
 
 let run ?(seed = 7) ?(txns = 48) ?(specs = default_specs)
-    ?(strategies = default_strategies) ?(max_points_per_combo = 32) () =
+    ?(strategies = default_strategies) ?(max_points_per_combo = 32)
+    ?(replay = default_replay) ?(restart_points_per_combo = 3)
+    ?(restart_steps = [ 1; 8; 64 ]) () =
   let combos = ref [] in
   let silent = ref [] in
   let flagged = ref [] in
   let total = ref 0 in
+  let restarts = ref 0 in
   let tally = Fault.tally_create () in
   let events = Hashtbl.create 16 in
   List.iter
@@ -138,7 +170,10 @@ let run ?(seed = 7) ?(txns = 48) ?(specs = default_specs)
             (* perf_lint: error path; raises immediately *)
             | Error m -> invalid_arg ("Torture: bad fault spec: " ^ m)
           in
-          let cfg = base_config ~seed ~txns strategy rules in
+          let cfg =
+            { (base_config ~seed ~txns strategy rules) with
+              R.Recovery_manager.replay }
+          in
           let probe = R.Recovery_manager.run cfg in
           let points =
             crash_points probe ~txns ~max_points:max_points_per_combo
@@ -154,49 +189,65 @@ let run ?(seed = 7) ?(txns = 48) ?(specs = default_specs)
                 cb_silent = 0;
               }
           in
+          let exec ~ct ~steps =
+            let o =
+              R.Recovery_manager.run
+                { cfg with
+                  R.Recovery_manager.crash_at = Some ct;
+                  replay =
+                    { cfg.R.Recovery_manager.replay with
+                      R.Recovery_manager.crash_steps = steps };
+                }
+            in
+            incr total;
+            restarts :=
+              !restarts + max 0 (o.R.Recovery_manager.recovery_attempts - 1);
+            add_tally ~into:tally o.R.Recovery_manager.fault_tally;
+            List.iter
+              (fun (code, n) ->
+                Hashtbl.replace events code
+                  (n + Option.value ~default:0 (Hashtbl.find_opt events code)))
+              o.R.Recovery_manager.fault_events;
+            let fail v =
+              {
+                f_strategy = label;
+                f_spec = spec;
+                f_crash_at = ct;
+                f_crash_steps = steps;
+                f_violations = v;
+              }
+            in
+            match evaluate o with
+            | Clean ->
+              cb := { !cb with cb_runs = !cb.cb_runs + 1;
+                      cb_clean = !cb.cb_clean + 1 }
+            | Repaired ->
+              cb := { !cb with cb_runs = !cb.cb_runs + 1;
+                      cb_repaired = !cb.cb_repaired + 1 }
+            | Flagged v ->
+              flagged := fail v :: !flagged;
+              cb := { !cb with cb_runs = !cb.cb_runs + 1;
+                      cb_flagged = !cb.cb_flagged + 1 }
+            | Silent v ->
+              silent := fail v :: !silent;
+              cb := { !cb with cb_runs = !cb.cb_runs + 1;
+                      cb_silent = !cb.cb_silent + 1 }
+          in
+          List.iter (fun ct -> exec ~ct ~steps:None) points;
+          (* Restart-crash runs: crash at [ct], then crash {e again} after
+             [n] replay/write-back steps of the resulting recovery, restart,
+             and demand the same no-silent-corruption property. *)
           List.iter
             (fun ct ->
-              let o =
-                R.Recovery_manager.run
-                  { cfg with R.Recovery_manager.crash_at = Some ct }
-              in
-              incr total;
-              add_tally ~into:tally o.R.Recovery_manager.fault_tally;
-              List.iter
-                (fun (code, n) ->
-                  Hashtbl.replace events code
-                    (n + Option.value ~default:0 (Hashtbl.find_opt events code)))
-                o.R.Recovery_manager.fault_events;
-              let fail v =
-                {
-                  f_strategy = label;
-                  f_spec = spec;
-                  f_crash_at = ct;
-                  f_violations = v;
-                }
-              in
-              match evaluate o with
-              | Clean ->
-                cb := { !cb with cb_runs = !cb.cb_runs + 1;
-                        cb_clean = !cb.cb_clean + 1 }
-              | Repaired ->
-                cb := { !cb with cb_runs = !cb.cb_runs + 1;
-                        cb_repaired = !cb.cb_repaired + 1 }
-              | Flagged v ->
-                flagged := fail v :: !flagged;
-                cb := { !cb with cb_runs = !cb.cb_runs + 1;
-                        cb_flagged = !cb.cb_flagged + 1 }
-              | Silent v ->
-                silent := fail v :: !silent;
-                cb := { !cb with cb_runs = !cb.cb_runs + 1;
-                        cb_silent = !cb.cb_silent + 1 })
-            points;
+              List.iter (fun n -> exec ~ct ~steps:(Some n)) restart_steps)
+            (spread_points restart_points_per_combo points);
           combos := !cb :: !combos)
         specs)
     strategies;
   {
     combos = List.rev !combos;
     total_runs = !total;
+    restart_runs = !restarts;
     silent = List.rev !silent;
     flagged = List.rev !flagged;
     tally;
@@ -208,8 +259,11 @@ let run ?(seed = 7) ?(txns = 48) ?(specs = default_specs)
 let ok r = r.silent = []
 
 let pp_failure ppf f =
-  Format.fprintf ppf "%-14s %-20s crash_at=%.6f: %s" f.f_strategy f.f_spec
+  Format.fprintf ppf "%-14s %-20s crash_at=%.6f%s: %s" f.f_strategy f.f_spec
     f.f_crash_at
+    (match f.f_crash_steps with
+    | None -> ""
+    | Some n -> Printf.sprintf " crash_steps=%d" n)
     (String.concat "; " f.f_violations)
 
 let pp ppf r =
@@ -221,8 +275,9 @@ let pp ppf r =
         cb.cb_spec cb.cb_runs cb.cb_clean cb.cb_repaired cb.cb_flagged
         cb.cb_silent)
     r.combos;
-  Format.fprintf ppf "@.%d crash-recovery runs; faults %a@." r.total_runs
-    Fault.pp_tally r.tally;
+  Format.fprintf ppf
+    "@.%d crash-recovery runs (%d mid-replay restarts); faults %a@."
+    r.total_runs r.restart_runs Fault.pp_tally r.tally;
   if r.events <> [] then begin
     Format.fprintf ppf "fault events:";
     List.iter (fun (c, n) -> Format.fprintf ppf " %s=%d" c n) r.events;

@@ -28,6 +28,9 @@ type failure = {
   f_strategy : string;
   f_spec : string;
   f_crash_at : float;
+  f_crash_steps : int option;
+      (** [Some n]: recovery itself was crashed after [n] replay steps
+          and restarted before this verdict was taken *)
   f_violations : string list;
 }
 
@@ -44,6 +47,10 @@ type combo = {
 type report = {
   combos : combo list;  (** one row per strategy x fault-spec pair *)
   total_runs : int;
+  restart_runs : int;
+      (** recoveries that were crashed mid-replay and restarted
+          (FAULT012); a restart run whose crash budget outlasts the
+          replay counts zero *)
   silent : failure list;  (** the sweep fails iff nonempty *)
   flagged : failure list;
   tally : Mmdb_fault.Fault.tally;  (** aggregated over all runs *)
@@ -57,16 +64,32 @@ val default_strategies : Mmdb_recovery.Wal.strategy list
 (** Conventional, group commit, partitioned-2, and compressed stable
     memory (small capacity, so drains happen under torture). *)
 
+val default_replay : Mmdb_recovery.Recovery_manager.replay_config
+(** Four replay partitions, adaptive logging, simulated scheduler: the
+    hardest deterministic replay configuration, so every harvested crash
+    point also exercises barrier rendezvous and the value-vs-command
+    logging decision. *)
+
 val run :
   ?seed:int -> ?txns:int -> ?specs:string list ->
   ?strategies:Mmdb_recovery.Wal.strategy list -> ?max_points_per_combo:int ->
+  ?replay:Mmdb_recovery.Recovery_manager.replay_config ->
+  ?restart_points_per_combo:int -> ?restart_steps:int list ->
   unit -> report
 (** [run ()] sweeps every strategy x spec pair.  Crash points are
     harvested from a crash-free probe run of the same configuration
     (its page-write spans and arrival times), capped at
     [max_points_per_combo] (default 32) per pair.  Deterministic in
     [seed] (default 7): workload, fault schedule, and crash points are
-    all derived from it. *)
+    all derived from it.
+
+    Every run replays under [replay] (default {!default_replay}).  On
+    top of the plain sweep, [restart_points_per_combo] (default 3) crash
+    points spread across each combo's range are re-run once per entry of
+    [restart_steps] (default [[1; 8; 64]]) with the {e recovery itself}
+    crashed after that many replay/write-back steps and restarted — the
+    restart-crash matrix.  Those runs obey the same no-silent-corruption
+    property and are counted in [report.restart_runs]. *)
 
 val ok : report -> bool
 (** No silent-corruption failures. *)

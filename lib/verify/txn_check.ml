@@ -423,7 +423,8 @@ let check_dependencies ?(log = []) events =
         if not (Hashtbl.mem commit_pos txn) then
           Hashtbl.replace commit_pos txn i
       | L.Abort { txn; _ } -> Hashtbl.replace abort_rec txn ()
-      | L.Begin _ | L.Update _ | L.Ckpt_begin _ | L.Ckpt_end _ -> ())
+      | L.Begin _ | L.Update _ | L.Command _ | L.Ckpt_begin _ | L.Ckpt_end _
+        -> ())
     log;
   let dep_list =
     Hashtbl.fold (fun txn ds acc -> (txn, IntSet.elements ds) :: acc) deps []

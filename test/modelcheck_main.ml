@@ -26,6 +26,12 @@ let () =
               V.Model_check.suite_diags
                 (V.Model_check.run_suite ~seed:7 ~enumerate:true ()));
         };
+      (* Parallel-replay recovery-time conformance (MODEL012). *)
+      V.Audit.Model
+        {
+          name = "recovery-time conformance";
+          check = (fun () -> V.Model_check.check_recovery ~seed:7 ());
+        };
     ]
   in
   let clean = V.Audit.report Format.std_formatter (V.Audit.run_all components) in

@@ -61,6 +61,41 @@ let () =
   let diags = V.Race_check.audit r.Mmdb_recovery.Mvcc_sim.events in
   List.iter (fun d -> Format.printf "  %a@." V.Diag.pp d) diags;
   part "clean MVCC trace" (not (V.Diag.has_errors diags));
+  (* Parallel replay: a 4-partition adaptive-logging recovery records its
+     domain-stamped Grant/Write/Release schedule; the happens-before
+     detector must find no conflicting cross-partition access outside a
+     barrier's mutual-exclusion window. *)
+  let module RM = Mmdb_recovery.Recovery_manager in
+  let o =
+    RM.run
+      {
+        RM.default_config with
+        RM.nrecords = 200;
+        records_per_page = 10;
+        updates_per_txn = 4;
+        n_txns = 300;
+        checkpoint_every = Some 100;
+        crash_after = Some 260;
+        seed = 29;
+        replay =
+          {
+            RM.workers = 4;
+            use_domains = false;
+            logging = RM.Adaptive_logging;
+            crash_steps = None;
+            record_replay = true;
+          };
+      }
+  in
+  let diags = V.Race_check.audit o.RM.replay_events in
+  List.iter (fun d -> Format.printf "  %a@." V.Diag.pp d) diags;
+  Format.printf "  (%d replay events over %d workers)@."
+    (List.length o.RM.replay_events)
+    o.RM.recover_stats.Mmdb_recovery.Kv_store.workers;
+  part "parallel replay schedule"
+    (o.RM.replay_events <> []
+    && o.RM.consistent
+    && not (V.Diag.has_errors diags));
   Format.printf "racecheck: %s@."
     (if !failures = 0 then "all clean"
      else Printf.sprintf "%d gate%s failed" !failures

@@ -41,6 +41,51 @@ let test_log_merge_empty () =
   checki "no fragments" 0 (List.length (R.Log_merge.merge []));
   checki "empty fragments" 0 (List.length (R.Log_merge.merge [ []; [] ]))
 
+let test_log_merge_tie_break_fragment_order () =
+  (* Equal timestamps and no LSN evidence (one page holds no records):
+     fragment position decides, so the order is a pure function of the
+     input and two runs of recovery see the same merged log. *)
+  let frag_a = [ (0.010, []) ] in
+  let frag_b = [ (0.010, [ rec_ 7 ]) ] in
+  Alcotest.(check (list int))
+    "a-then-b layout" [ 7 ]
+    (lsns (R.Log_merge.merge [ frag_a; frag_b ]));
+  Alcotest.(check (list int))
+    "b-then-a layout" [ 7 ]
+    (lsns (R.Log_merge.merge [ frag_b; frag_a ]));
+  (* Fully tied non-empty pages: lower fragment index drains first. *)
+  let tied_a = [ (0.010, [ rec_ 4 ]) ] in
+  let tied_b = [ (0.010, [ rec_ 4 ]) ] in
+  Alcotest.(check (list int))
+    "tied pages keep fragment order" [ 4; 4 ]
+    (lsns (R.Log_merge.merge [ tied_a; tied_b ]))
+
+(* Property: the roll-backward order is exactly the reverse of the
+   forward merge, including under timestamp ties and empty pages. *)
+let qcheck_log_merge_backward_is_reverse =
+  QCheck.Test.make ~name:"backward is reverse of merge" ~count:80
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 4)
+        (list_of_size
+           Gen.(int_range 0 6)
+           (pair (int_range 0 3) (int_range 0 2))))
+    (fun device_pages ->
+      let lsn = ref 0 in
+      let fragments =
+        List.map
+          (List.mapi (fun i (size, ts_bucket) ->
+               let records =
+                 List.init size (fun _ ->
+                     incr lsn;
+                     rec_ !lsn)
+               in
+               (* Coarse timestamps manufacture cross-device ties. *)
+               (float_of_int (i + ts_bucket) *. 0.01, records)))
+          device_pages
+      in
+      R.Log_merge.backward fragments = List.rev (R.Log_merge.merge fragments))
+
 let test_wal_partitioned_merge_preserves_conflict_order () =
   (* Dependent transactions' records must appear after their dependency's
      in the merged durable log, whatever the device layout. *)
@@ -542,9 +587,12 @@ let () =
           Alcotest.test_case "tie-break by lsn" `Quick
             test_log_merge_tie_break_by_lsn;
           Alcotest.test_case "empty" `Quick test_log_merge_empty;
+          Alcotest.test_case "tie-break by fragment order" `Quick
+            test_log_merge_tie_break_fragment_order;
           Alcotest.test_case "conflict order preserved" `Quick
             test_wal_partitioned_merge_preserves_conflict_order;
           QCheck_alcotest.to_alcotest qcheck_log_merge_complete_and_stable;
+          QCheck_alcotest.to_alcotest qcheck_log_merge_backward_is_reverse;
         ] );
       ( "aborts",
         [

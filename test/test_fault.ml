@@ -49,6 +49,11 @@ let sample_records =
     L.Abort { txn = 4; lsn = 7 };
     L.Ckpt_begin { lsn = 8 };
     L.Ckpt_end { lsn = 9 };
+    L.Command { txn = 5; lsn = 10; ops = [] };
+    L.Command { txn = 5; lsn = 11; ops = [ (7, -41) ] };
+    L.Command
+      { txn = 5; lsn = 12;
+        ops = [ (0, 1); (1023, -1_000_000); (512, 999_999) ] };
   ]
 
 let test_encode_roundtrip () =
@@ -237,12 +242,12 @@ let test_stable_droop_drops_newest () =
 
 let test_code_catalogue () =
   let codes = List.map fst Fault.code_catalogue in
-  checki "eleven codes" 11 (List.length codes);
+  checki "twelve codes" 12 (List.length codes);
   checki "unique" (List.length codes)
     (List.length (List.sort_uniq compare codes));
   List.iter
     (fun c -> checkb c true (List.mem c codes))
-    [ "FAULT001"; "FAULT007"; "FAULT011" ]
+    [ "FAULT001"; "FAULT007"; "FAULT011"; "FAULT012" ]
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end torn-tail recovery                                       *)

@@ -870,6 +870,132 @@ let qcheck_crash_consistency =
       let o = run_with cfg in
       o.R.Recovery_manager.consistent && o.R.Recovery_manager.money_conserved)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel replay, adaptive logging, restart-crash resilience         *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cfg ?(workers = 4) ?(logging = R.Recovery_manager.Value_logging)
+    ?crash_steps () =
+  {
+    R.Recovery_manager.workers;
+    use_domains = false;
+    logging;
+    crash_steps;
+    record_replay = false;
+  }
+
+let para_cfg ?(crash_after = 170) ?(faults = []) replay =
+  {
+    R.Recovery_manager.default_config with
+    R.Recovery_manager.nrecords = 120;
+    records_per_page = 10;
+    updates_per_txn = 4;
+    n_txns = 200;
+    checkpoint_every = Some 60;
+    crash_after = Some crash_after;
+    faults;
+    seed = 5;
+    replay;
+  }
+
+let test_command_logging_consistent_and_smaller () =
+  let value = run_with (para_cfg (replay_cfg ())) in
+  let command =
+    run_with
+      (para_cfg (replay_cfg ~logging:R.Recovery_manager.Command_logging ()))
+  in
+  check_consistent "value" value;
+  check_consistent "command" command;
+  checki "value mode logs no command txns" 0
+    value.R.Recovery_manager.command_txns;
+  checkb "command mode logs command txns" true
+    (command.R.Recovery_manager.command_txns > 0);
+  checkb "command log is smaller on disk" true
+    (command.R.Recovery_manager.log_disk_bytes
+    < value.R.Recovery_manager.log_disk_bytes)
+
+let test_adaptive_mixes_record_kinds () =
+  (* At 4 workers the model prices cross-partition command replay (a
+     serial barrier) above parallel value replay, so adaptive logging
+     demotes cross-partition transactions to value records while keeping
+     single-partition ones as commands. *)
+  let o =
+    run_with
+      (para_cfg (replay_cfg ~logging:R.Recovery_manager.Adaptive_logging ()))
+  in
+  check_consistent "adaptive" o;
+  checkb "some txns command-logged" true
+    (o.R.Recovery_manager.command_txns > 0);
+  checkb "some txns value-logged" true
+    (o.R.Recovery_manager.command_txns < o.R.Recovery_manager.submitted)
+
+let test_parallel_replay_equivalence () =
+  let w1 = run_with (para_cfg (replay_cfg ~workers:1 ())) in
+  let w4 = run_with (para_cfg (replay_cfg ~workers:4 ())) in
+  check_consistent "1 worker" w1;
+  check_consistent "4 workers" w4;
+  checki "same redo work"
+    w1.R.Recovery_manager.recover_stats.R.Kv_store.redo_applied
+    w4.R.Recovery_manager.recover_stats.R.Kv_store.redo_applied;
+  checkb "replay time shrinks with workers" true
+    (w4.R.Recovery_manager.recover_stats.R.Kv_store.recovery_time
+    < w1.R.Recovery_manager.recover_stats.R.Kv_store.recovery_time)
+
+let test_restart_crash_matrix () =
+  (* Crash point x second crash during replay x fault spec: every cell
+     must come back with full invariants after the restarted recovery. *)
+  List.iter
+    (fun spec ->
+      let rules =
+        match Mmdb_fault.Fault_plan.of_spec spec with
+        | Ok r -> r
+        | Error m -> Alcotest.fail m
+      in
+      List.iter
+        (fun crash_after ->
+          List.iter
+            (fun steps ->
+              let o =
+                run_with
+                  (para_cfg ~crash_after ~faults:rules
+                     (replay_cfg ~logging:R.Recovery_manager.Adaptive_logging
+                        ~crash_steps:steps ()))
+              in
+              let name =
+                Printf.sprintf "%s crash@%d steps=%d" spec crash_after steps
+              in
+              check_consistent name o;
+              checkb (name ^ ": durable") true
+                o.R.Recovery_manager.durability_ok)
+            [ 1; 8; 64 ])
+        [ 40; 170; 200 ])
+    [ "none"; "torn-tail" ]
+
+let test_crash_at_last_writeback_step () =
+  (* The nastiest restart point: the crash budget expires exactly at the
+     last write-back page write, right before the dirty-page table
+     clears — the restarted recovery must see fully-advanced redo/undo
+     floors and still converge. *)
+  let clean =
+    run_with
+      (para_cfg (replay_cfg ~logging:R.Recovery_manager.Adaptive_logging ()))
+  in
+  let st = clean.R.Recovery_manager.recover_stats in
+  let total =
+    st.R.Kv_store.redo_applied + st.R.Kv_store.undo_applied
+    + st.R.Kv_store.pages_written_back
+  in
+  checkb "clean run does replay work" true (total > 0);
+  let o =
+    run_with
+      (para_cfg
+         (replay_cfg ~logging:R.Recovery_manager.Adaptive_logging
+            ~crash_steps:total ()))
+  in
+  checki "restart happened" 2 o.R.Recovery_manager.recovery_attempts;
+  check_consistent "crash at end of write-back" o;
+  checkb "durable" true o.R.Recovery_manager.durability_ok
+
 let () =
   Alcotest.run "mmdb_recovery"
     [
@@ -978,5 +1104,18 @@ let () =
           Alcotest.test_case "compression shrinks log" `Quick
             test_recovery_compression_shrinks_log;
           QCheck_alcotest.to_alcotest qcheck_crash_consistency;
+        ] );
+      ( "parallel_replay",
+        [
+          Alcotest.test_case "command logging consistent and smaller" `Quick
+            test_command_logging_consistent_and_smaller;
+          Alcotest.test_case "adaptive mixes record kinds" `Quick
+            test_adaptive_mixes_record_kinds;
+          Alcotest.test_case "worker-count equivalence" `Quick
+            test_parallel_replay_equivalence;
+          Alcotest.test_case "restart-crash matrix" `Slow
+            test_restart_crash_matrix;
+          Alcotest.test_case "crash at last write-back step" `Quick
+            test_crash_at_last_writeback_step;
         ] );
     ]

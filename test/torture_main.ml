@@ -1,8 +1,16 @@
 (* Driver behind the @torture dune alias (and the CI torture gate): the
    full default sweep — four commit strategies x every fault spec x every
-   harvested crash point — exits nonzero on any silent corruption. *)
+   harvested crash point, replayed in four partitions under adaptive
+   logging, plus the restart-crash matrix (recovery crashed mid-replay
+   and restarted) — exits nonzero on any silent corruption.  A second,
+   reduced seed guards against a lucky crash-point harvest. *)
 
 let () =
-  let r = Mmdb_verify.Torture.run ~seed:7 () in
-  Format.printf "%a@?" Mmdb_verify.Torture.pp r;
-  exit (if Mmdb_verify.Torture.ok r then 0 else 1)
+  let r7 = Mmdb_verify.Torture.run ~seed:7 () in
+  Format.printf "== seed 7 ==@.%a@?" Mmdb_verify.Torture.pp r7;
+  let r11 =
+    Mmdb_verify.Torture.run ~seed:11 ~max_points_per_combo:8 ()
+  in
+  Format.printf "@.== seed 11 (reduced) ==@.%a@?" Mmdb_verify.Torture.pp r11;
+  exit
+    (if Mmdb_verify.Torture.ok r7 && Mmdb_verify.Torture.ok r11 then 0 else 1)
