@@ -950,6 +950,50 @@ let perflint_cmd =
     Term.(const run_perflint $ quiet)
 
 (* ------------------------------------------------------------------ *)
+(* exnlint                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_exnlint quiet =
+  match V.Exn_flow.scan_lib () with
+  | Error m ->
+    prerr_endline ("exnlint: " ^ m);
+    2
+  | Ok (findings, parse_diags) ->
+    if not quiet then begin
+      Format.printf "exception-flow / resource-discipline inventory (lib/):@.";
+      V.Exn_flow.pp_inventory Format.std_formatter findings
+    end;
+    let diags = parse_diags @ V.Exn_flow.diags_of_findings findings in
+    if diags <> [] then Format.printf "@.%a@." U.Diag.pp_list diags;
+    Format.printf "exnlint: %d finding%s, %s@." (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+      (U.Diag.summary diags);
+    if U.Diag.has_errors diags then 1 else 0
+
+let exnlint_cmd =
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ]
+          ~doc:
+            "Print only unjustified findings and the summary, not the \
+             full whitelisted inventory.")
+  in
+  Cmd.v
+    (Cmd.info "exnlint"
+       ~doc:
+         "Interprocedural exception-flow and resource-discipline lint \
+          over lib/: catch-alls swallowing fault-family exceptions \
+          (EXN101), exceptions escaping exported APIs with no @raise \
+          declaration (EXN102), partial stdlib calls reachable from \
+          recovery/exec entry points (EXN103), backtrace-dropping \
+          re-raises (EXN104), failwith on recovery paths (EXN105), and \
+          pin/lock acquire-release pairing (RES101-RES104). A finding is \
+          silenced by a (* exn_flow: ... *) justification comment. Exits \
+          1 on any unjustified finding.")
+    Term.(const run_exnlint $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1169,5 +1213,5 @@ let () =
           [
             crossover_cmd; join_cmd; tps_cmd; recover_cmd; plan_cmd; sql_cmd;
             check_cmd; txncheck_cmd; torture_cmd; modelcheck_cmd;
-            racecheck_cmd; perflint_cmd; stats_cmd; repl_cmd;
+            racecheck_cmd; perflint_cmd; exnlint_cmd; stats_cmd; repl_cmd;
           ]))

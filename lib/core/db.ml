@@ -180,6 +180,8 @@ let audit t =
 let explain t expr =
   P.Optimizer.explain (P.Optimizer.plan t.cat t.planner_cfg expr)
 
+(* exn_flow: Parse_error is caught at Sql.parse_statement's own tail
+   (lexical-model false positive; parse_exn raises Invalid_argument). *)
 let sql t text = query_rows t (P.Sql.parse_exn text)
 let sql_explain t text = explain t (P.Sql.parse_exn text)
 
@@ -318,11 +320,11 @@ let save t path =
           Buffer.add_bytes buf tuple))
     names;
   let oc = open_out_bin path in
-  (try Buffer.output_buffer oc buf
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Buffer.output_buffer oc buf;
+      close_out oc)
 
 let load ?page_size ?mem_pages ?cost path =
   let ic = open_in_bin path in

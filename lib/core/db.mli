@@ -21,7 +21,9 @@ val mem_pages : t -> int
 val catalog : t -> Mmdb_planner.Catalog.t
 
 val create_table : t -> name:string -> schema:Mmdb_storage.Schema.t -> unit
-(** @raise Invalid_argument if the name is taken. *)
+(** @raise Invalid_argument if the name is taken.
+    @raise Mmdb_fault.Fault.Io_error from the storage layer when a
+    fault plan is armed (registration touches pages). *)
 
 val table_names : t -> string list
 
@@ -54,7 +56,10 @@ val range : t -> table:string -> lo:Mmdb_storage.Tuple.value ->
 val query : t -> Mmdb_planner.Algebra.expr -> Mmdb_storage.Relation.t
 (** Statically check ({!Mmdb_planner.Plan_check}), optimize, and execute.
     @raise Invalid_argument with the rendered diagnostics when the plan is
-    ill-formed (use {!check} to inspect them structurally). *)
+    ill-formed (use {!check} to inspect them structurally).
+    @raise Mmdb_fault.Fault.Io_error and
+    @raise Mmdb_fault.Fault.Unrecoverable from the storage layer when a
+    fault plan is armed (execution reads pages). *)
 
 val check : t -> Mmdb_planner.Algebra.expr -> Mmdb_util.Diag.t list
 (** Static plan diagnostics against this database's catalog, without

@@ -66,6 +66,8 @@ let retire t ~at =
         | Some c when c <= at ->
           let txn = R.Wal.ticket_txn tkt in
           R.Schedule.emit t.recorder ~at:c ~txn R.Schedule.Commit_durable;
+          (* exn_flow: 2PL hands release to commit retirement — these
+             locks were acquired in [transact], not in this function. *)
           R.Lock_manager.finalize t.locks ~txn;
           false
         | Some _ | None -> true)
@@ -97,6 +99,8 @@ let transact t updates =
   let deps =
     List.concat_map
       (fun (slot, _) ->
+        (* exn_flow: 2PL — locks release at commit retirement ([retire]);
+           a mid-txn raise means crash, which resets the lock table. *)
         match R.Lock_manager.acquire t.locks ~txn ~key:slot with
         | Some g -> g.R.Lock_manager.dependencies
         | None -> assert false)
@@ -134,6 +138,8 @@ let transact_abort t updates =
   t.next_txn <- txn + 1;
   List.iter
     (fun (slot, _) ->
+      (* exn_flow: released via [release_abort] below, after the rollback
+         — auto-release without the rollback would break 2PL. *)
       match R.Lock_manager.acquire t.locks ~txn ~key:slot with
       | Some _ -> ()
       | None -> assert false)

@@ -40,7 +40,9 @@ val transact : t -> (int * int) list -> commit_outcome
     pairs at the current simulated time: locks, in-memory update, log
     append, pre-commit.  @raise Invalid_argument on bad slots, an empty
     update list, or a slot appearing twice in one update list (the
-    re-acquire path would muddy pre-commit dependency accounting). *)
+    re-acquire path would muddy pre-commit dependency accounting).
+    @raise Mmdb_fault.Fault.Io_error from the log device when a fault
+    plan is armed. *)
 
 val transact_abort : t -> (int * int) list -> int
 (** Run a transaction that aborts {e before} pre-commit (the paper's
@@ -63,7 +65,11 @@ val crash : t -> unit
 
 val recover : t -> Mmdb_recovery.Kv_store.recover_stats
 (** Rebuild memory from the snapshot and the durable log.
-    @raise Invalid_argument unless crashed. *)
+    @raise Invalid_argument unless crashed.
+    @raise Mmdb_recovery.Kv_store.Crashed_during_recovery when the
+    store's crash hook fires mid-replay (restart-crash testing).
+    @raise Mmdb_recovery.Replay.Rendezvous_deadlock defensively if the
+    parallel-replay barrier invariant is ever broken. *)
 
 val committed_txns : t -> int list
 (** Transaction ids whose commit records are currently durable. *)

@@ -119,9 +119,9 @@ let check_run_count ~mem_pages runs =
 (* Merge one group of runs into a single longer run (charged writes). *)
 let merge_group ~schema runs =
   match runs with
+  | [] -> invalid_arg "External_sort.merge_group: no runs to merge"
   | [ single ] -> single
-  | _ ->
-    let first = List.hd runs in
+  | first :: _ ->
     let out =
       S.Relation.create
         ~disk:(S.Relation.disk first)

@@ -1,18 +1,20 @@
 module S = Mmdb_storage
 
 let project_schema schema ~cols =
-  if cols = [] then invalid_arg "Projection: empty column list";
-  let picked =
-    List.map
-      (fun name ->
-        match S.Schema.column_index schema name with
-        | i -> S.Schema.column_at schema i
-        | exception Not_found ->
-          (* perf_lint: error path; raises immediately *)
-          invalid_arg ("Projection: unknown column " ^ name))
-      cols
-  in
-  S.Schema.create ~key:(List.hd cols) picked
+  match cols with
+  | [] -> invalid_arg "Projection: empty column list"
+  | key :: _ ->
+    let picked =
+      List.map
+        (fun name ->
+          match S.Schema.column_index schema name with
+          | i -> S.Schema.column_at schema i
+          | exception Not_found ->
+            (* perf_lint: error path; raises immediately *)
+            invalid_arg ("Projection: unknown column " ^ name))
+        cols
+    in
+    S.Schema.create ~key picked
 
 let projector schema ~cols out_schema =
   let idxs = List.map (S.Schema.column_index schema) cols in

@@ -80,10 +80,10 @@ exception Unrecoverable of error
     surviving redundancy (no checkpoint + log to rebuild from). *)
 
 val io_error : code:string -> site:string -> string -> 'a
-(** Raise {!Io_error}. *)
+(** @raise Io_error always (this is the raising helper). *)
 
 val unrecoverable : code:string -> site:string -> string -> 'a
-(** Raise {!Unrecoverable}. *)
+(** @raise Unrecoverable always (this is the raising helper). *)
 
 val error_to_string : error -> string
 

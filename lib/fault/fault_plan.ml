@@ -57,7 +57,7 @@ let fires t trigger ~op =
 let draw t site =
   if t.plan_rules = [] then None
   else begin
-    let op = (try Hashtbl.find t.ops site with Not_found -> 0) + 1 in
+    let op = 1 + Option.value ~default:0 (Hashtbl.find_opt t.ops site) in
     Hashtbl.replace t.ops site op;
     List.find_map
       (fun r ->
@@ -113,7 +113,7 @@ let event_counts t =
   List.iter
     (fun (e : Fault.error) ->
       Hashtbl.replace tbl e.Fault.code
-        ((try Hashtbl.find tbl e.Fault.code with Not_found -> 0) + 1))
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.Fault.code)))
     t.event_log;
   Hashtbl.fold (fun code n acc -> (code, n) :: acc) tbl []
   |> List.sort compare

@@ -22,7 +22,9 @@ val create : unit -> t
 
 val register : t -> Mmdb_storage.Relation.t -> unit
 (** Add (or replace) a table under its relation name, computing stats with
-    one uncharged scan. *)
+    one uncharged scan.
+    @raise Mmdb_fault.Fault.Io_error from the storage layer when a fault
+    plan is armed (the stats scan reads pages). *)
 
 val find : t -> string -> Mmdb_storage.Relation.t
 (** @raise Not_found on unknown table names. *)

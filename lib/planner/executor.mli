@@ -9,7 +9,10 @@
 val run : Catalog.t -> Optimizer.config -> Optimizer.plan ->
   Mmdb_storage.Relation.t
 (** Execute a plan, returning the (sealed) result relation.  Its schema
-    matches {!Optimizer.output_schema} of the planned expression. *)
+    matches {!Optimizer.output_schema} of the planned expression.
+    @raise Mmdb_fault.Fault.Io_error and
+    @raise Mmdb_fault.Fault.Unrecoverable from the storage layer when a
+    fault plan is armed (execution reads and spills pages). *)
 
 type node_obs = {
   path : string;  (** ["$"] for the root, ["$.0"], ["$.0.1"], … below *)

@@ -198,10 +198,13 @@ let choose_join catalog cfg left right =
     (* Strictly-better-by-margin keeps hybrid on floating-point ties
        (hybrid and simple compute identical costs in different summation
        orders when everything fits in memory). *)
-    List.fold_left
-      (fun ((_, (_, bc)) as best) ((_, (_, c)) as cand) ->
-        if c < bc *. (1.0 -. 1e-9) then cand else best)
-      (List.hd candidates) (List.tl candidates)
+    match candidates with
+    | [] -> invalid_arg "Optimizer: empty join-candidate list"
+    | first :: rest ->
+      List.fold_left
+        (fun ((_, (_, bc)) as best) ((_, (_, c)) as cand) ->
+          if c < bc *. (1.0 -. 1e-9) then cand else best)
+        first rest
   in
   {
     algorithm;

@@ -118,6 +118,8 @@ type statement =
 
 exception Parse_error of string
 
+(* exn_flow: Parse_error only leaves the [fail] closure, called under the
+   [with Parse_error m -> Error m] handler at this function's tail. *)
 let parse_statement input =
   match tokenize input with
   | Error e -> Error e

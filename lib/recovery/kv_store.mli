@@ -119,7 +119,12 @@ val recover :
 
     With faults armed, snapshot pages failing their CRC are reset and
     rebuilt by replaying the whole log for their slots (FAULT002 /
-    FAULT009). *)
+    FAULT009).
+
+    @raise Crashed_during_recovery when [crash_after_steps] expires
+    mid-replay (restart-crash testing).
+    @raise Replay.Rendezvous_deadlock defensively if the parallel-replay
+    barrier invariant is ever broken. *)
 
 val balances : t -> int array
 (** Copy of the in-memory state (test oracle). *)

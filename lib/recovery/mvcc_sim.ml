@@ -192,7 +192,10 @@ let run ?(seed = 83) ?(nrecords = 1000) ?(n_writers = 20_000)
       | Some c ->
         latencies := (c -. arrival) :: !latencies;
         last_commit := Float.max !last_commit c
-      | None -> failwith "Mvcc_sim: unresolved ticket after flush")
+      | None ->
+        raise
+          (Wal.Unresolved_ticket
+             { sim = "Mvcc_sim"; txn = Wal.ticket_txn ticket }))
     !tickets;
   let makespan = Float.max !last_commit done_at in
   {

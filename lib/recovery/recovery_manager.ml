@@ -167,6 +167,7 @@ let run cfg =
         let deps =
           List.concat_map
             (fun (slot, _) ->
+              (* exn_flow: 2PL — locks finalize at commit retirement. *)
               match
                 Lock_manager.acquire locks ~txn:txn.Workload.txn_id ~key:slot
               with

@@ -115,3 +115,12 @@ type outcome = {
 }
 
 val run : config -> outcome
+(** Drive the whole workload → crash → recover cycle described by
+    [config].
+    @raise Mmdb_fault.Fault.Io_error from the log or snapshot device
+    when the armed fault plan exhausts the retry budget.
+    @raise Kv_store.Crashed_during_recovery when [crash_after_steps]
+    fires mid-replay (restart-crash testing; the driver re-runs
+    recovery).
+    @raise Replay.Rendezvous_deadlock defensively if the parallel-replay
+    barrier invariant is ever broken. *)

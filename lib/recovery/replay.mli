@@ -36,6 +36,12 @@ type item =
       (** a command record whose eligible [(slot, delta)] ops span
           partitions; applied serially at the rendezvous *)
 
+exception Rendezvous_deadlock
+(** No blocked barrier can rendezvous.  Unreachable for queues the
+    compiler builds (barriers appear in LSN order in every touched
+    queue), kept as a typed defensive check so a broken invariant
+    surfaces classifiably instead of as a stringly [Failure]. *)
+
 type stats = {
   workers : int;  (** partition count actually used (>= 1) *)
   local_ops : int;  (** ops applied inside a single partition *)
@@ -59,4 +65,6 @@ val run :
     concurrently; barrier ops are always applied serially between
     epochs).  [on_step] is invoked after every applied op — the hook
     the store uses to count progress and crash mid-recovery; supplying
-    it, or [recorder], forces the simulated scheduler. *)
+    it, or [recorder], forces the simulated scheduler.
+    @raise Rendezvous_deadlock if the barrier invariant is broken
+    (defensive; unreachable for compiled queues). *)

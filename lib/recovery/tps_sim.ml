@@ -39,6 +39,8 @@ let run ?(seed = 1984) ?(nrecords = 1000) ?(updates_per_txn = 6)
     let deps =
       List.concat_map
         (fun (slot, _) ->
+          (* exn_flow: 2PL — execution is instantaneous and locks
+             finalize at commit retirement, never inside this closure. *)
           match Lock_manager.acquire locks ~txn:txn.Workload.txn_id ~key:slot with
           | Some g -> g.Lock_manager.dependencies
           | None ->
@@ -105,7 +107,10 @@ let run ?(seed = 1984) ?(nrecords = 1000) ?(updates_per_txn = 6)
       | Some c ->
         latencies := (c -. arrival) :: !latencies;
         last_completion := Float.max !last_completion c
-      | None -> failwith "Tps_sim: unresolved ticket after flush")
+      | None ->
+        raise
+          (Wal.Unresolved_ticket
+             { sim = "Tps_sim"; txn = Wal.ticket_txn tkt }))
     !tickets;
   let makespan = Float.max 1e-9 !last_completion in
   {

@@ -9,6 +9,21 @@ type strategy =
 
 type ticket = { tkt_txn : int; mutable completion : float option }
 
+(* A simulator flushed its WAL yet a commit ticket never resolved —
+   the flush contract is broken.  Typed (with the offending simulator
+   and transaction) so the torture harness can classify it. *)
+exception Unresolved_ticket of { sim : string; txn : int }
+
+let () =
+  Printexc.register_printer (function
+    | Unresolved_ticket { sim; txn } ->
+      Some
+        (Printf.sprintf
+           "Wal.Unresolved_ticket { sim = %S; txn = %d } (commit ticket \
+            unresolved after flush)"
+           sim txn)
+    | _ -> None)
+
 type open_page = {
   mutable op_records : Log_record.t list; (* reversed *)
   mutable op_bytes : int;

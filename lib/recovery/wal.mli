@@ -30,6 +30,12 @@ type t
 type ticket
 (** A pending commit: resolved once the commit record is durable. *)
 
+exception Unresolved_ticket of { sim : string; txn : int }
+(** A commit ticket survived a full flush unresolved — the flush
+    contract is broken.  Raised by the simulators ({!Tps_sim},
+    {!Mvcc_sim}) rather than a stringly [Failure] so the torture
+    harness can classify it. *)
+
 val create : ?page_write_time:float -> ?page_bytes:int ->
   ?faults:Mmdb_fault.Fault_plan.t -> ?strict_page_order:bool ->
   clock:Mmdb_storage.Sim_clock.t -> strategy -> t
@@ -57,7 +63,9 @@ val commit_txn : t -> at:float -> txn:int -> deps:int list ->
     (its whole record list, commit/abort record last) at simulated time
     [at].  [deps] are the pre-committed transactions it read from (lock
     manager grants); their commit groups must be durable first.
-    Transactions must be submitted in nondecreasing [at] order. *)
+    Transactions must be submitted in nondecreasing [at] order.
+    @raise Mmdb_fault.Fault.Io_error from the log device when a fault
+    plan is armed and a page write exhausts the retry budget. *)
 
 val log_control : t -> at:float -> Log_record.t list -> unit
 (** Append non-transactional records (checkpoint brackets) to the log

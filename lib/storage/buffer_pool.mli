@@ -38,7 +38,11 @@ val get : t -> int -> bytes
     fault counted) if absent; a hit counts [pool_hits] and costs nothing.
     The returned bytes are the live frame: callers that mutate it must call
     {!mark_dirty}.  Eviction of a dirty frame writes it back (one random
-    write). *)
+    write).
+    @raise Mmdb_fault.Fault.Io_error when an armed fault plan makes the
+    fault-in read (or dirty write-back) exhaust its retry budget.
+    @raise Mmdb_fault.Fault.Unrecoverable when detected frame corruption
+    cannot be rebuilt from any surviving redundancy. *)
 
 val mark_dirty : t -> int -> unit
 (** Flag a resident page as modified.  @raise Invalid_argument if the page

@@ -26,7 +26,9 @@ val tuples_per_page : t -> int
 
 val append : t -> bytes -> unit
 (** Charged append: a page spill costs one write in the relation's write
-    mode (sequential unless changed with {!set_write_mode}). *)
+    mode (sequential unless changed with {!set_write_mode}).
+    @raise Mmdb_fault.Fault.Io_error when an armed fault plan makes the
+    spill write exhaust its retry budget. *)
 
 val set_write_mode : t -> Disk.io_mode -> unit
 (** How charged spills are priced.  Partitioning with many output buffers
@@ -45,7 +47,11 @@ val page_ids : t -> int array
 
 val iter_pages : ?mode:Disk.io_mode -> t -> (bytes -> unit) -> unit
 (** [iter_pages t f] seals then reads each page in order, charging one I/O
-    per page ([mode] defaults to [Seq]). *)
+    per page ([mode] defaults to [Seq]).
+    @raise Mmdb_fault.Fault.Io_error and
+    @raise Mmdb_fault.Fault.Unrecoverable from the read path when a fault
+    plan is armed (transient failures past the retry budget, or detected
+    corruption with no redundancy to rebuild from). *)
 
 val iter_tuples : ?mode:Disk.io_mode -> t -> (bytes -> unit) -> unit
 (** Page-wise scan delivering tuple copies; charges I/O per page only. *)

@@ -37,6 +37,10 @@ type component =
   | Perf of { name : string; root : string option }
       (** The static performance-hazard lint ({!Perf_lint}) over
           [lib/]; [root] overrides repository-root discovery. *)
+  | Exn of { name : string; root : string option }
+      (** The interprocedural exception-flow and resource-discipline
+          lint ({!Exn_flow}) over [lib/]; [root] overrides
+          repository-root discovery. *)
 
 val run : component -> Mmdb_util.Diag.t list
 (** Audit one component. *)

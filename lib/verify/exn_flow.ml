@@ -1,0 +1,945 @@
+module D = Mmdb_util.Diag
+module E = Lint_engine
+module SSet = Set.Make (String)
+
+(* Interprocedural exception-flow and resource-discipline analysis over
+   {!Lint_engine}.  Where Domain_lint and Perf_lint are per-file rule
+   sets, this pass is whole-program: it collects one record per
+   top-level [let] binding across every [.ml] under lib/, builds a call
+   graph (ident-resolution heuristic: an unqualified name resolves into
+   the enclosing module, a dotted path by its last two components after
+   per-file [module X = Path] alias expansion), and computes a fixpoint
+   of per-function summaries — the set of exception constructors each
+   function may let escape, with handler subtraction (a [try]'s
+   unguarded cases remove their constructors; a catch-all that does not
+   re-raise removes everything).
+
+   Diagnostic families (EXN100 marks a file the pass could not parse):
+
+   - EXN101  a handler that swallows: a catch-all whose protected body
+     can raise a fault-family exception ([Fault.Io_error],
+     [Fault.Unrecoverable], [Kv_store.Crashed_during_recovery]) per the
+     interprocedural summaries, or a [try <lookup> with Not_found -> e]
+     over a lookup with a total [_opt] variant whose handler raises
+     nothing.
+   - EXN102  an exception escaping a module's exported API (under
+     lib/storage, lib/recovery, lib/core, lib/fault, lib/planner)
+     whose [.mli] does not carry an [@raise <Exn>] line for it.
+   - EXN103  a partial stdlib call ([List.hd]/[List.tl]/[Option.get])
+     in a function reachable from a recovery/exec entry point.
+   - EXN104  [raise v] of a handler-bound exception — re-raise that
+     drops the original backtrace; use
+     [Printexc.raise_with_backtrace] (or [Fun.protect]).
+   - EXN105  [failwith] reachable from a recovery/exec entry point —
+     a stringly-typed [Failure] the torture harness cannot classify.
+
+   - RES101  [Buffer_pool.pin] with no [unpin] in the same function.
+   - RES102  [Lock_manager.acquire] with no release-set call
+     ([precommit]/[release_abort]/[finalize]) in the same function.
+   - RES103  an acquire/release (or pin/unpin) pair whose span contains
+     a possibly-raising site, with no [Fun.protect] in the function —
+     an exception unwinds past the release.
+   - RES104  release-without-acquire ([unpin] with no [pin], a
+     release-set call with no [acquire]).
+
+   The RES rules are per-function protocol lints, deliberately blind
+   inside the resource's own module; a protocol that hands the release
+   to another function (2PL holds locks to commit/abort by design) is
+   silenced with the justification convention: a
+   [(* exn_flow: why *)] comment on the flagged line or within the two
+   lines above it. *)
+
+type status = Whitelisted of string | Flagged
+
+type finding = {
+  file : string;
+  line : int;
+  code : string;
+  name : string;  (* enclosing function, Module.fn *)
+  construct : string;
+  status : status;
+}
+
+let marker = "exn_flow:"
+let fault_family = [ "Io_error"; "Unrecoverable"; "Crashed_during_recovery" ]
+
+(* Stdlib exceptions a summary may carry but that no [.mli] is asked to
+   document (EXN102 would otherwise demand [@raise Failure] on half the
+   tree; EXN103/EXN105 own the partial/stringly cases). *)
+let generic_exns =
+  SSet.of_list
+    [
+      "Failure"; "Invalid_argument"; "Not_found"; "Exit"; "End_of_file";
+      "Division_by_zero"; "Sys_error"; "Assert_failure"; "Match_failure";
+      "Stack_overflow"; "Out_of_memory"; "Scan_failure"; "Undefined";
+    ]
+
+(* Partial lookups with a total [_opt] twin, for the EXN101 lookup leg. *)
+let opt_lookups =
+  [
+    "Hashtbl.find"; "List.find"; "List.assoc"; "List.assq"; "Sys.getenv";
+    "String.index"; "String.rindex";
+  ]
+
+let has_sub file sub =
+  let n = String.length file and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub file i m = sub || go (i + 1)) in
+  go 0
+
+let entry_dir file = has_sub file "recovery/" || has_sub file "exec/"
+
+let declared_scope file =
+  List.exists (has_sub file)
+    [ "storage/"; "recovery/"; "core/"; "fault/"; "planner/" ]
+
+(* ------------------------------------------------------------------ *)
+(* Collection: one record per top-level binding                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A handler frame: the constructor names one [try]'s unguarded cases
+   subtract from everything raised under it ("*" = a catch-all that
+   does not re-raise).  Frames carry identity ([==]) so the EXN101
+   check can ask "does the body raise, ignoring the frame under
+   judgment?". *)
+type frame = { fr_names : string list }
+
+type rsite = { r_line : int; r_exn : string; r_frames : frame list }
+type csite = { c_line : int; c_raw : string; c_frames : frame list }
+type res_kind = Pin | Unpin | Acquire | Release
+
+type swallow_kind =
+  | Catch_all of { body_lo : int; body_hi : int }
+  | Lookup of { lookup : string; hand_lo : int; hand_hi : int }
+
+type swallow = { w_line : int; w_frame : frame; w_kind : swallow_kind }
+
+type fn = {
+  f_module : string;
+  f_name : string;
+  f_file : string;
+  f_line : int;
+  mutable f_raises : rsite list;
+  mutable f_calls : csite list;
+  mutable f_partials : (int * string) list;
+  mutable f_failwiths : int list;
+  mutable f_swallows : swallow list;
+  mutable f_res : (int * res_kind) list;
+  mutable f_protect : bool;
+  mutable f_reraises : (int * string) list;
+  mutable f_summary : SSet.t;
+}
+
+let ident_of (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } ->
+    Some (String.concat "." (Longident.flatten txt))
+  | _ -> None
+
+let last_two raw =
+  match List.rev (String.split_on_char '.' raw) with
+  | a :: b :: _ -> b ^ "." ^ a
+  | _ -> raw
+
+let last_component raw =
+  match List.rev (String.split_on_char '.' raw) with
+  | a :: _ -> a
+  | [] -> raw
+
+let line_of (e : Parsetree.expression) =
+  e.Parsetree.pexp_loc.Location.loc_start.Lexing.pos_lnum
+
+let end_line_of (e : Parsetree.expression) =
+  e.Parsetree.pexp_loc.Location.loc_end.Lexing.pos_lnum
+
+(* The constructor names a handler case covers ("*" for a catch-all
+   variable/wildcard); an unrecognized pattern covers nothing
+   (conservative: the exception may still escape). *)
+let rec case_names (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_construct ({ txt; _ }, _) ->
+    [ last_component (String.concat "." (Longident.flatten txt)) ]
+  | Parsetree.Ppat_or (a, b) -> case_names a @ case_names b
+  | Parsetree.Ppat_alias (inner, _) -> case_names inner
+  | Parsetree.Ppat_var _ | Parsetree.Ppat_any -> [ "*" ]
+  | _ -> []
+
+let bound_var (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } -> Some txt
+  | Parsetree.Ppat_alias (_, { txt; _ }) -> Some txt
+  | _ -> None
+
+(* Does [rhs] re-raise the handler-bound variable [v] (by [raise],
+   [raise_notrace] or [Printexc.raise_with_backtrace])? *)
+let reraises_var v rhs =
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_apply (f, (_, arg) :: _) -> (
+      match (ident_of f, arg.Parsetree.pexp_desc) with
+      | ( Some
+            ( "raise" | "Stdlib.raise" | "raise_notrace"
+            | "Stdlib.raise_notrace" | "Printexc.raise_with_backtrace" ),
+          Parsetree.Pexp_ident { txt = Longident.Lident x; _ } )
+        when x = v ->
+        found := true
+      | _ -> ())
+    | _ -> ());
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.expr it rhs;
+  !found
+
+type collect_ctx = {
+  cx_module : string;
+  cx_file : string;
+  cx_fns : (string, fn) Hashtbl.t;
+  cx_declared : SSet.t ref;
+  cx_aliases : (string, string) Hashtbl.t;
+  mutable cx_cur : fn option;
+  mutable cx_frames : frame list;
+  mutable cx_caught : string list;
+  mutable cx_anon : int;
+}
+
+let fresh_fn cx ~name ~line =
+  let key =
+    if name = "_" then begin
+      cx.cx_anon <- cx.cx_anon + 1;
+      Printf.sprintf "%s._init_%d" cx.cx_module cx.cx_anon
+    end
+    else cx.cx_module ^ "." ^ name
+  in
+  match Hashtbl.find_opt cx.cx_fns key with
+  | Some f -> f
+  | None ->
+    let f =
+      {
+        f_module = cx.cx_module;
+        f_name = name;
+        f_file = cx.cx_file;
+        f_line = line;
+        f_raises = [];
+        f_calls = [];
+        f_partials = [];
+        f_failwiths = [];
+        f_swallows = [];
+        f_res = [];
+        f_protect = false;
+        f_reraises = [];
+        f_summary = SSet.empty;
+      }
+    in
+    Hashtbl.replace cx.cx_fns key f;
+    f
+
+let with_cur cx f k =
+  match cx.cx_cur with
+  | Some _ -> k ()  (* nested let: merge into the enclosing binding *)
+  | None ->
+    cx.cx_cur <- Some f;
+    k ();
+    cx.cx_cur <- None
+
+let in_fn cx k =
+  match cx.cx_cur with Some f -> k f | None -> ()
+
+let normalize cx raw =
+  match String.index_opt raw '.' with
+  | None -> raw
+  | Some i -> (
+    let head = String.sub raw 0 i in
+    match Hashtbl.find_opt cx.cx_aliases head with
+    | Some expansion -> expansion ^ String.sub raw i (String.length raw - i)
+    | None -> raw)
+
+let record_raise cx ~line exn =
+  in_fn cx (fun f ->
+      f.f_raises <-
+        { r_line = line; r_exn = exn; r_frames = cx.cx_frames } :: f.f_raises)
+
+let record_call cx ~line raw =
+  in_fn cx (fun f ->
+      f.f_calls <-
+        { c_line = line; c_raw = raw; c_frames = cx.cx_frames } :: f.f_calls)
+
+let record_res cx ~line kind =
+  in_fn cx (fun f -> f.f_res <- (line, kind) :: f.f_res)
+
+let collect ~file source ~fns ~declared =
+  let cx =
+    {
+      cx_module = E.module_of_file file;
+      cx_file = file;
+      cx_fns = fns;
+      cx_declared = declared;
+      cx_aliases = Hashtbl.create 8;
+      cx_cur = None;
+      cx_frames = [];
+      cx_caught = [];
+      cx_anon = 0;
+    }
+  in
+  let super = Ast_iterator.default_iterator in
+  let own_module m = cx.cx_module = m in
+  let rec expr it (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident _ ->
+      (match ident_of e with
+      | Some raw -> record_call cx ~line:(line_of e) (normalize cx raw)
+      | None -> ());
+      super.Ast_iterator.expr it e
+    | Parsetree.Pexp_apply (f, args) ->
+      apply it e f args
+    | Parsetree.Pexp_try (body, cases) ->
+      handler it ~line:(line_of e) ~protected:[ body ] ~cases
+        ~lookup_body:(Some body)
+    | Parsetree.Pexp_match (scrut, cases)
+      when List.exists
+             (fun (c : Parsetree.case) ->
+               match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+               | Parsetree.Ppat_exception _ -> true
+               | _ -> false)
+             cases ->
+      (* [match e with … | exception P -> …]: the exception cases guard
+         the scrutinee only; value cases run unprotected. *)
+      let exn_cases, value_cases =
+        List.partition
+          (fun (c : Parsetree.case) ->
+            match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+            | Parsetree.Ppat_exception _ -> true
+            | _ -> false)
+          cases
+      in
+      let exn_cases =
+        List.map
+          (fun (c : Parsetree.case) ->
+            match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+            | Parsetree.Ppat_exception p -> { c with Parsetree.pc_lhs = p }
+            | _ -> c)
+          exn_cases
+      in
+      handler it ~line:(line_of e) ~protected:[ scrut ] ~cases:exn_cases
+        ~lookup_body:(Some scrut);
+      (* perf_lint: AST recursion; depth bounded by source nesting *)
+      List.iter (case it) value_cases
+    | _ -> super.Ast_iterator.expr it e
+  and apply it e f args =
+    let line = line_of e in
+    let raw = Option.map (normalize cx) (ident_of f) in
+    (match raw with
+    | None -> ()
+    | Some raw -> (
+      record_call cx ~line raw;
+      (match raw with
+      | "raise" | "Stdlib.raise" | "raise_notrace" | "Stdlib.raise_notrace"
+      | "Printexc.raise_with_backtrace" -> (
+        match args with
+        | (_, arg) :: _ -> (
+          match arg.Parsetree.pexp_desc with
+          | Parsetree.Pexp_construct ({ txt; _ }, _) ->
+            record_raise cx ~line
+              (last_component (String.concat "." (Longident.flatten txt)))
+          | Parsetree.Pexp_ident { txt = Longident.Lident v; _ }
+            when List.mem v cx.cx_caught ->
+            (* a re-raise: the summary frame logic already accounts for
+               it; plain [raise v] additionally loses the backtrace *)
+            if raw = "raise" || raw = "Stdlib.raise" then
+              in_fn cx (fun fn -> fn.f_reraises <- (line, v) :: fn.f_reraises)
+          | _ -> ())
+        | [] -> ())
+      | "failwith" | "Stdlib.failwith" ->
+        record_raise cx ~line "Failure";
+        in_fn cx (fun fn -> fn.f_failwiths <- line :: fn.f_failwiths)
+      | "invalid_arg" | "Stdlib.invalid_arg" ->
+        record_raise cx ~line "Invalid_argument"
+      | "Fun.protect" | "Stdlib.Fun.protect" ->
+        in_fn cx (fun fn -> fn.f_protect <- true)
+      | _ -> ());
+      match last_two raw with
+      | ("List.hd" | "List.tl") as p ->
+        record_raise cx ~line "Failure";
+        in_fn cx (fun fn -> fn.f_partials <- (line, p) :: fn.f_partials)
+      | "Option.get" ->
+        record_raise cx ~line "Invalid_argument";
+        in_fn cx (fun fn ->
+            fn.f_partials <- (line, "Option.get") :: fn.f_partials)
+      | "Buffer_pool.pin" when not (own_module "Buffer_pool") ->
+        record_res cx ~line Pin
+      | "Buffer_pool.unpin" when not (own_module "Buffer_pool") ->
+        record_res cx ~line Unpin
+      | "Lock_manager.acquire" when not (own_module "Lock_manager") ->
+        record_res cx ~line Acquire
+      | ("Lock_manager.precommit" | "Lock_manager.release_abort"
+        | "Lock_manager.finalize")
+        when not (own_module "Lock_manager") ->
+        record_res cx ~line Release
+      | _ -> ()));
+    (match f.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident _ -> ()  (* recorded above *)
+    | _ -> expr it f);
+    (* perf_lint: AST recursion; depth bounded by source nesting *)
+    List.iter (fun (_, a) -> expr it a) args
+  (* One [try]/[match-exception]: build the subtraction frame from the
+     unguarded cases, classify swallow candidates, walk the protected
+     expressions under the frame and the handler bodies outside it. *)
+  and handler it ~line ~protected ~cases ~lookup_body =
+    let unguarded =
+      List.filter
+        (fun (c : Parsetree.case) -> c.Parsetree.pc_guard = None)
+        cases
+    in
+    let named =
+      List.concat_map
+        (fun (c : Parsetree.case) ->
+          List.filter
+            (fun n -> n <> "*")
+            (case_names c.Parsetree.pc_lhs))
+        unguarded
+    in
+    let catch_all =
+      List.find_opt
+        (fun (c : Parsetree.case) ->
+          List.mem "*" (case_names c.Parsetree.pc_lhs))
+        unguarded
+    in
+    let catch_all_swallows =
+      match catch_all with
+      | None -> false
+      | Some c -> (
+        match bound_var c.Parsetree.pc_lhs with
+        | Some v -> not (reraises_var v c.Parsetree.pc_rhs)
+        | None -> true (* [with _ ->] cannot re-raise *))
+    in
+    let frame =
+      { fr_names = (if catch_all_swallows then "*" :: named else named) }
+    in
+    let body_lo =
+      List.fold_left
+        (fun acc b -> min acc (line_of b))
+        max_int protected
+    in
+    let body_hi =
+      List.fold_left (fun acc b -> max acc (end_line_of b)) 0 protected
+    in
+    (match (catch_all, catch_all_swallows) with
+    | Some _, true ->
+      in_fn cx (fun fn ->
+          fn.f_swallows <-
+            { w_line = line; w_frame = frame;
+              w_kind = Catch_all { body_lo; body_hi } }
+            :: fn.f_swallows)
+    | _ -> ());
+    (match (lookup_body, catch_all) with
+    | Some body, None when List.mem "Not_found" frame.fr_names -> (
+      let head =
+        match body.Parsetree.pexp_desc with
+        | Parsetree.Pexp_apply (hd, _) -> ident_of hd
+        | _ -> None
+      in
+      match head with
+      | Some raw when List.mem (last_two (normalize cx raw)) opt_lookups ->
+        let nf_case =
+          List.find_opt
+            (fun (c : Parsetree.case) ->
+              List.mem "Not_found" (case_names c.Parsetree.pc_lhs))
+            unguarded
+        in
+        (match nf_case with
+        | Some c ->
+          in_fn cx (fun fn ->
+              fn.f_swallows <-
+                {
+                  w_line = line;
+                  w_frame = frame;
+                  w_kind =
+                    Lookup
+                      {
+                        lookup = last_two (normalize cx raw);
+                        hand_lo = line_of c.Parsetree.pc_rhs;
+                        hand_hi = end_line_of c.Parsetree.pc_rhs;
+                      };
+                }
+                :: fn.f_swallows)
+        | None -> ())
+      | _ -> ())
+    | _ -> ());
+    let saved = cx.cx_frames in
+    cx.cx_frames <- frame :: saved;
+    (* perf_lint: AST recursion; depth bounded by source nesting *)
+    List.iter (expr it) protected;
+    cx.cx_frames <- saved;
+    (* perf_lint: AST recursion; depth bounded by source nesting *)
+    List.iter (case it) cases
+  and case it (c : Parsetree.case) =
+    let saved = cx.cx_caught in
+    (match bound_var c.Parsetree.pc_lhs with
+    | Some v -> cx.cx_caught <- v :: saved
+    | None -> ());
+    it.Ast_iterator.pat it c.Parsetree.pc_lhs;
+    (* perf_lint: AST recursion; depth bounded by source nesting *)
+    Option.iter (expr it) c.Parsetree.pc_guard;
+    expr it c.Parsetree.pc_rhs;
+    cx.cx_caught <- saved
+  in
+  let value_binding it (vb : Parsetree.value_binding) =
+    match cx.cx_cur with
+    | Some _ -> super.Ast_iterator.value_binding it vb
+    | None ->
+      let name = E.pattern_name vb.Parsetree.pvb_pat in
+      let line =
+        vb.Parsetree.pvb_loc.Location.loc_start.Lexing.pos_lnum
+      in
+      let f = fresh_fn cx ~name ~line in
+      with_cur cx f (fun () -> super.Ast_iterator.value_binding it vb)
+  in
+  let structure_item it (si : Parsetree.structure_item) =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_module mb ->
+      (match
+         (mb.Parsetree.pmb_name.Asttypes.txt,
+          mb.Parsetree.pmb_expr.Parsetree.pmod_desc)
+       with
+      | Some name, Parsetree.Pmod_ident { txt; _ } ->
+        Hashtbl.replace cx.cx_aliases name
+          (String.concat "." (Longident.flatten txt))
+      | _ -> ());
+      super.Ast_iterator.structure_item it si
+    | Parsetree.Pstr_exception te ->
+      cx.cx_declared :=
+        SSet.add
+          te.Parsetree.ptyexn_constructor.Parsetree.pext_name.Asttypes.txt
+          !(cx.cx_declared);
+      super.Ast_iterator.structure_item it si
+    | _ -> super.Ast_iterator.structure_item it si
+  in
+  let it =
+    {
+      super with
+      Ast_iterator.expr;
+      Ast_iterator.case;
+      Ast_iterator.value_binding;
+      Ast_iterator.structure_item;
+    }
+  in
+  match E.parse_structure ~file source with
+  | Ok items ->
+    it.Ast_iterator.structure it items;
+    Ok ()
+  | Error _ ->
+    Error
+      (D.error ~code:"EXN100" ~path:file
+         "source failed to parse (exception-flow scan incomplete)")
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program analysis                                              *)
+(* ------------------------------------------------------------------ *)
+
+let survives frames e =
+  List.for_all
+    (fun fr -> not (List.mem "*" fr.fr_names || List.mem e fr.fr_names))
+    frames
+
+let resolve fns ~cur_module raw =
+  if String.contains raw '.' then
+    let k = last_two raw in
+    if Hashtbl.mem fns k then Some k else None
+  else
+    let k = cur_module ^ "." ^ raw in
+    if Hashtbl.mem fns k then Some k else None
+
+let fn_keys fns =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) fns [])
+
+let fixpoint fns keys =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun k ->
+        let f = Hashtbl.find fns k in
+        let s =
+          List.fold_left
+            (fun acc (r : rsite) ->
+              if survives r.r_frames r.r_exn then SSet.add r.r_exn acc
+              else acc)
+            SSet.empty f.f_raises
+        in
+        let s =
+          List.fold_left
+            (fun acc (c : csite) ->
+              match resolve fns ~cur_module:f.f_module c.c_raw with
+              | None -> acc
+              | Some k' ->
+                let g = Hashtbl.find fns k' in
+                SSet.fold
+                  (fun e acc ->
+                    if survives c.c_frames e then SSet.add e acc else acc)
+                  g.f_summary acc)
+            s f.f_calls
+        in
+        if not (SSet.equal s f.f_summary) then begin
+          f.f_summary <- s;
+          changed := true
+        end)
+      keys
+  done
+
+(* Entry points: the exported functions (all top-level bindings when a
+   module has no [.mli]) of modules under lib/recovery and lib/exec —
+   the surfaces the torture/recovery harness drives. *)
+let entry_points fns keys mli_exports =
+  List.filter
+    (fun k ->
+      let f = Hashtbl.find fns k in
+      f.f_name <> "_"
+      && entry_dir f.f_file
+      &&
+      match Hashtbl.find_opt mli_exports f.f_module with
+      | Some exports -> List.mem f.f_name exports
+      | None -> true)
+    keys
+
+let reachable fns entries =
+  let witness = Hashtbl.create 64 in
+  let rec visit entry k =
+    if not (Hashtbl.mem witness k) then begin
+      Hashtbl.replace witness k entry;
+      match Hashtbl.find_opt fns k with
+      | None -> ()
+      | Some f ->
+        List.iter
+          (fun (c : csite) ->
+            match resolve fns ~cur_module:f.f_module c.c_raw with
+            | Some k' -> visit entry k'
+            | None -> ())
+          f.f_calls
+    end
+  in
+  List.iter (fun e -> visit e e) entries;
+  witness
+
+let analyze ~mls ~mlis =
+  let fns : (string, fn) Hashtbl.t = Hashtbl.create 512 in
+  let declared = ref SSet.empty in
+  let diags = ref [] in
+  let file_lines = Hashtbl.create 64 in
+  List.iter
+    (fun (file, source) ->
+      Hashtbl.replace file_lines file (E.lines_of_source source);
+      match collect ~file source ~fns ~declared with
+      | Ok () -> ()
+      | Error d -> diags := d :: !diags)
+    mls;
+  (* module -> (mli path, mli source, exported val names) *)
+  let mli_tbl = Hashtbl.create 32 in
+  let mli_exports = Hashtbl.create 32 in
+  List.iter
+    (fun (file, source) ->
+      match E.parse_interface ~file source with
+      | Ok items ->
+        let exports = E.exported_values items in
+        Hashtbl.replace mli_tbl (E.module_of_file file)
+          (file, source, exports);
+        Hashtbl.replace mli_exports (E.module_of_file file) exports
+      | Error _ ->
+        diags :=
+          D.error ~code:"EXN100" ~path:file
+            "interface failed to parse (exception-flow scan incomplete)"
+          :: !diags)
+    mlis;
+  let keys = fn_keys fns in
+  fixpoint fns keys;
+  let witness = reachable fns (entry_points fns keys mli_exports) in
+  let interesting e =
+    (not (SSet.mem e generic_exns))
+    && (SSet.mem e !declared || List.mem e fault_family)
+  in
+  let findings = ref [] in
+  let emit ~file ~line ~code ~name ~construct =
+    let status =
+      match Hashtbl.find_opt file_lines file with
+      | Some lines -> (
+        match
+          E.justification ~marker ~lines ~start_line:line ~end_line:line
+        with
+        | Some why -> Whitelisted why
+        | None -> Flagged)
+      | None -> Flagged
+    in
+    findings := { file; line; code; name; construct; status } :: !findings
+  in
+  let summary_of_call (f : fn) (c : csite) =
+    match resolve fns ~cur_module:f.f_module c.c_raw with
+    | None -> SSet.empty
+    | Some k -> (Hashtbl.find fns k).f_summary
+  in
+  List.iter
+    (fun k ->
+      let f = Hashtbl.find fns k in
+      let emit ~line ~code ~construct =
+        emit ~file:f.f_file ~line ~code ~name:k ~construct
+      in
+      (* EXN101: swallowing handlers *)
+      List.iter
+        (fun w ->
+          match w.w_kind with
+          | Catch_all { body_lo; body_hi } ->
+            let minus_self frames =
+              List.filter (fun fr -> not (fr == w.w_frame)) frames
+            in
+            let escapes =
+              List.fold_left
+                (fun acc (r : rsite) ->
+                  if
+                    r.r_line >= body_lo && r.r_line <= body_hi
+                    && List.mem r.r_exn fault_family
+                    && survives (minus_self r.r_frames) r.r_exn
+                  then SSet.add r.r_exn acc
+                  else acc)
+                SSet.empty f.f_raises
+            in
+            let escapes =
+              List.fold_left
+                (fun acc (c : csite) ->
+                  if c.c_line >= body_lo && c.c_line <= body_hi then
+                    SSet.fold
+                      (fun e acc ->
+                        if
+                          List.mem e fault_family
+                          && survives (minus_self c.c_frames) e
+                        then SSet.add e acc
+                        else acc)
+                      (summary_of_call f c) acc
+                  else acc)
+                escapes f.f_calls
+            in
+            if not (SSet.is_empty escapes) then
+              emit ~line:w.w_line ~code:"EXN101"
+                ~construct:
+                  (Printf.sprintf "catch-all swallows %s"
+                     (String.concat ", " (SSet.elements escapes)))
+          | Lookup { lookup; hand_lo; hand_hi } ->
+            let handler_raises =
+              List.exists
+                (fun (r : rsite) ->
+                  r.r_line >= hand_lo && r.r_line <= hand_hi)
+                f.f_raises
+              || List.exists
+                   (fun (c : csite) ->
+                     c.c_line >= hand_lo && c.c_line <= hand_hi
+                     && not (SSet.is_empty (summary_of_call f c)))
+                   f.f_calls
+            in
+            if not handler_raises then
+              emit ~line:w.w_line ~code:"EXN101"
+                ~construct:
+                  (Printf.sprintf "try %s with Not_found (use %s_opt)"
+                     lookup lookup))
+        f.f_swallows;
+      (* EXN104: backtrace-dropping re-raise *)
+      List.iter
+        (fun (line, v) ->
+          emit ~line ~code:"EXN104"
+            ~construct:(Printf.sprintf "raise %s (backtrace lost)" v))
+        (List.sort compare f.f_reraises);
+      (* EXN103 / EXN105: partial & stringly sites on live paths *)
+      (match Hashtbl.find_opt witness k with
+      | None -> ()
+      | Some entry ->
+        List.iter
+          (fun (line, p) ->
+            emit ~line ~code:"EXN103"
+              ~construct:(Printf.sprintf "%s (reachable from %s)" p entry))
+          (List.sort compare f.f_partials);
+        List.iter
+          (fun line ->
+            emit ~line ~code:"EXN105"
+              ~construct:(Printf.sprintf "failwith (reachable from %s)" entry))
+          (List.sort compare f.f_failwiths));
+      (* RES101-RES104: per-function resource protocol *)
+      let res = List.sort compare (List.rev f.f_res) in
+      let count kind =
+        List.fold_left (fun n (_, k) -> if k = kind then n + 1 else n) 0 res
+      in
+      let first kind =
+        match List.find_opt (fun (_, k) -> k = kind) res with
+        | Some (l, _) -> l
+        | None -> 0
+      in
+      let pair ~acq ~rel ~what ~acq_name ~rel_name =
+        let na = count acq and nr = count rel in
+        if na > 0 && nr = 0 then
+          emit ~line:(first acq) ~code:(if acq = Pin then "RES101" else "RES102")
+            ~construct:
+              (Printf.sprintf "%s with no %s on some path" acq_name rel_name)
+        else if nr > 0 && na = 0 then
+          emit ~line:(first rel) ~code:"RES104"
+            ~construct:
+              (Printf.sprintf "%s with no preceding %s" rel_name acq_name)
+        else if na > 0 && nr > 0 && not f.f_protect then begin
+          let lo = first acq in
+          let hi =
+            List.fold_left
+              (fun acc (l, k) -> if k = rel then max acc l else acc)
+              0 res
+          in
+          let raiser =
+            let direct =
+              List.find_opt
+                (fun (r : rsite) -> r.r_line > lo && r.r_line < hi)
+                f.f_raises
+            in
+            match direct with
+            | Some r -> Some r.r_exn
+            | None ->
+              List.find_map
+                (fun (c : csite) ->
+                  if c.c_line > lo && c.c_line < hi then
+                    SSet.min_elt_opt (summary_of_call f c)
+                  else None)
+                f.f_calls
+          in
+          match raiser with
+          | Some e ->
+            emit ~line:lo ~code:"RES103"
+              ~construct:
+                (Printf.sprintf
+                   "%s span can raise %s with no Fun.protect" what e)
+          | None -> ()
+        end
+      in
+      pair ~acq:Pin ~rel:Unpin ~what:"pin..unpin" ~acq_name:"Buffer_pool.pin"
+        ~rel_name:"Buffer_pool.unpin";
+      pair ~acq:Acquire ~rel:Release ~what:"acquire..release"
+        ~acq_name:"Lock_manager.acquire" ~rel_name:"a release-set call")
+    keys;
+  (* EXN102: undeclared exception escape of an exported API, one
+     finding per (module, exception), anchored at the first offending
+     exported function. *)
+  let exn102 = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      let f = Hashtbl.find fns k in
+      if f.f_name <> "_" && declared_scope f.f_file then
+        match Hashtbl.find_opt mli_tbl f.f_module with
+        | Some (mli_path, mli_src, exports) when List.mem f.f_name exports ->
+          SSet.iter
+            (fun e ->
+              if interesting e then begin
+                let declares =
+                  List.exists
+                    (fun l -> has_sub l "@raise" && has_sub l e)
+                    (String.split_on_char '\n' mli_src)
+                in
+                if not declares then
+                  (* perf_lint: two short names, once per escaping exn *)
+                  let key = f.f_module ^ "/" ^ e in
+                  match Hashtbl.find_opt exn102 key with
+                  | Some (_, _, line, _) when line <= f.f_line -> ()
+                  | _ ->
+                    Hashtbl.replace exn102 key (f, e, f.f_line, mli_path)
+              end)
+            f.f_summary
+        | _ -> ())
+    keys;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) exn102 []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (_, ((f : fn), e, line, mli_path)) ->
+         emit ~file:f.f_file ~line ~code:"EXN102"
+           (* perf_lint: two short names, once per EXN102 finding *)
+           ~name:(f.f_module ^ "." ^ f.f_name)
+           ~construct:
+             (Printf.sprintf "%s escapes %s.%s (no @raise in %s)" e
+                f.f_module f.f_name mli_path));
+  let sorted =
+    List.sort
+      (fun a b ->
+        match String.compare a.file b.file with
+        | 0 -> (
+          match compare a.line b.line with
+          | 0 -> String.compare a.code b.code
+          | c -> c)
+        | c -> c)
+      !findings
+  in
+  (sorted, List.rev !diags)
+
+let scan_lib ?root () =
+  match E.lib_sources ?root ~what:"Exn_flow" () with
+  | Error m -> Error m
+  | Ok (mls, mlis) -> Ok (analyze ~mls ~mlis)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let describe = function
+  | "EXN101" ->
+    "handler swallows a fault-family exception (or a partial lookup \
+     with a total _opt variant) — let it propagate, match it \
+     explicitly, or use the _opt lookup"
+  | "EXN102" ->
+    "exception escapes an exported API with no @raise declaration in \
+     the .mli — document the contract"
+  | "EXN103" ->
+    "partial stdlib call reachable from a recovery/exec entry point — \
+     replace with an explicit match carrying a diagnostic"
+  | "EXN104" ->
+    "re-raise by plain raise drops the original backtrace — use \
+     Printexc.raise_with_backtrace or Fun.protect"
+  | "EXN105" ->
+    "failwith reachable from a recovery/exec entry point — raise a \
+     typed exception the torture harness can classify"
+  | "RES101" -> "Buffer_pool.pin with no unpin in the same function"
+  | "RES102" ->
+    "Lock_manager.acquire with no release-set call in the same function"
+  | "RES103" ->
+    "acquire/release span can raise with no Fun.protect — the \
+     exception unwinds past the release"
+  | "RES104" -> "resource release with no acquire in the same function"
+  | _ -> "exception-flow hazard"
+
+let diags_of_findings fs =
+  List.filter_map
+    (fun f ->
+      match f.status with
+      | Whitelisted _ -> None
+      | Flagged ->
+        Some
+          (D.error ~code:f.code
+             ~path:(Printf.sprintf "%s:%d" f.file f.line)
+             (Printf.sprintf
+                "%s: `%s' in %s — fix it or justify with a \
+                 (* exn_flow: ... *) comment"
+                (describe f.code) f.construct f.name)))
+    fs
+
+let pp_inventory ppf fs =
+  if fs = [] then Format.fprintf ppf "no exception-flow hazards found@."
+  else
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "%-34s %-44s %s@."
+          (Printf.sprintf "%s:%d" f.file f.line)
+          (Printf.sprintf "%s in %s" f.construct f.name)
+          (match f.status with
+          | Whitelisted why -> Printf.sprintf "whitelisted: %s" why
+          | Flagged -> Printf.sprintf "FLAGGED %s" f.code))
+      fs
+
+let code_catalogue =
+  [
+    ("EXN100", "source failed to parse; exception-flow scan incomplete");
+    ("EXN101", "catch-all handler can swallow a fault-family exception (or partial lookup with a total _opt variant)");
+    ("EXN102", "exception escapes an exported API with no @raise declaration in the .mli");
+    ("EXN103", "partial stdlib call (List.hd/List.tl/Option.get) reachable from a recovery/exec entry point");
+    ("EXN104", "re-raise by plain raise drops the original backtrace");
+    ("EXN105", "failwith reachable from a recovery/exec entry point (untyped Failure)");
+    ("RES101", "Buffer_pool.pin not matched by unpin in the same function");
+    ("RES102", "Lock_manager.acquire not matched by a release-set call");
+    ("RES103", "exception-unsafe acquire/release pairing (needs Fun.protect)");
+    ("RES104", "resource release without a matching acquire");
+  ]

@@ -1,0 +1,87 @@
+(** Interprocedural exception-flow and resource-discipline lint.
+
+    The fault subsystem's guarantees hold only if [Fault.Io_error],
+    [Fault.Unrecoverable] and [Kv_store.Crashed_during_recovery]
+    propagate to the recovery/torture harness, and if every
+    [Buffer_pool.pin] / [Lock_manager.acquire] is released on every
+    path.  This pass checks both statically, whole-program: it collects
+    one summary per top-level binding across [lib/] (exceptions
+    possibly raised, with handler subtraction; calls; resource events),
+    closes the summaries over the call graph (idents resolved by the
+    enclosing module for unqualified names and by the last two dotted
+    components after [module X = Path] alias expansion), and reports
+    with stable codes:
+
+    - [EXN101] a swallowing handler: a catch-all whose protected body
+      can raise a fault-family exception per the interprocedural
+      summaries (a handler that re-raises its binding is exempt), or a
+      [try lookup with Not_found -> e] over a lookup with a total
+      [_opt] twin whose handler raises nothing;
+    - [EXN102] an exception escaping an exported function of a module
+      under [lib/storage], [lib/recovery], [lib/core], [lib/fault] or
+      [lib/planner] whose [.mli] has no [@raise <Exn>] line for it
+      (generic stdlib exceptions are exempt — EXN103/EXN105 own the
+      partial/stringly cases);
+    - [EXN103] a partial stdlib call ([List.hd]/[List.tl]/[Option.get])
+      in a function reachable from a recovery/exec entry point (an
+      exported function of a module under [lib/recovery] or
+      [lib/exec]);
+    - [EXN104] [raise v] of a handler-bound exception — a re-raise
+      that drops the original backtrace;
+    - [EXN105] [failwith] reachable from a recovery/exec entry point;
+    - [RES101] [Buffer_pool.pin] with no [unpin] in the same function;
+    - [RES102] [Lock_manager.acquire] with no release-set call
+      ([precommit]/[release_abort]/[finalize]);
+    - [RES103] an acquire/release pair whose span contains a
+      possibly-raising site and no [Fun.protect];
+    - [RES104] a release with no acquire in the same function.
+
+    [EXN100] marks a file (implementation or interface) the pass could
+    not parse.  A finding is silenced by an [(* exn_flow: why *)]
+    comment on the flagged line or within the two lines above it — the
+    same textual convention as the [race_check:]/[perf_lint:]
+    whitelists.  The RES rules judge one function at a time and are
+    blind inside the resource's own module; protocols that hand the
+    release to another function (2PL holds locks to commit/abort) are
+    justified, not rewritten. *)
+
+type status =
+  | Whitelisted of string  (** the justification comment's text *)
+  | Flagged
+
+type finding = {
+  file : string;
+  line : int;
+  code : string;  (** the [EXN1xx]/[RES1xx] code *)
+  name : string;  (** the enclosing function, [Module.fn] *)
+  construct : string;  (** what was found, with its witness *)
+  status : status;
+}
+
+val analyze :
+  mls:(string * string) list ->
+  mlis:(string * string) list ->
+  finding list * Mmdb_util.Diag.t list
+(** Whole-program analysis over [(path, source)] pairs — the [.mli]s
+    supply export lists and [@raise] declarations.  Findings are sorted
+    by (file, line, code); the diagnostics are [EXN100] parse failures
+    (the rest of the sweep still runs). *)
+
+val scan_lib :
+  ?root:string ->
+  unit ->
+  ((finding list * Mmdb_util.Diag.t list), string) result
+(** {!analyze} over every [.ml]/[.mli] under [lib/] (root located as in
+    {!Lint_engine.find_root}); paths are reported root-relative. *)
+
+val describe : string -> string
+(** One-line description of a code, used in diagnostics. *)
+
+val diags_of_findings : finding list -> Mmdb_util.Diag.t list
+(** One error per [Flagged] finding; whitelisted findings produce
+    nothing. *)
+
+val pp_inventory : Format.formatter -> finding list -> unit
+(** The full inventory, one line per finding with its status. *)
+
+val code_catalogue : (string * string) list

@@ -22,7 +22,7 @@ let lines_of_source source = Array.of_list (String.split_on_char '\n' source)
 
 (* Sorted depth-first order, accumulator-built: the engine must itself
    pass Perf_lint (no tail-appends). *)
-let ml_files dir =
+let files_with_suffix suffix dir =
   let rec walk acc dir =
     match Sys.readdir dir with
     | entries ->
@@ -31,12 +31,18 @@ let ml_files dir =
         (fun acc e ->
           let p = Filename.concat dir e in
           if Sys.is_directory p then walk acc p
-          else if Filename.check_suffix e ".ml" then p :: acc
+          else if Filename.check_suffix e suffix then p :: acc
           else acc)
         acc entries
     | exception Sys_error _ -> acc
   in
   List.rev (walk [] dir)
+
+let ml_files dir = files_with_suffix ".ml" dir
+let mli_files dir = files_with_suffix ".mli" dir
+
+let module_of_file path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
 
 (* Locate the library sources: the scans run both from the repository
    root (the CLI) and from inside dune's sandbox (_build/default/test,
@@ -101,6 +107,24 @@ let parse_structure ~file source =
   | items -> Ok items
   | exception e -> Error e
 
+let parse_interface ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.interface lexbuf with
+  | items -> Ok items
+  | exception e -> Error e
+
+(* Only top-level [val] names: values exported through nested module
+   signatures keep their own module path and are resolved (or dropped)
+   by the interprocedural passes' name heuristics. *)
+let exported_values items =
+  List.filter_map
+    (fun (si : Parsetree.signature_item) ->
+      match si.Parsetree.psig_desc with
+      | Parsetree.Psig_value vd -> Some vd.Parsetree.pval_name.Asttypes.txt
+      | _ -> None)
+    items
+
 let scan_files ~scan files =
   let sites, diags =
     List.fold_left
@@ -112,6 +136,30 @@ let scan_files ~scan files =
   in
   (List.rev sites, List.rev diags)
 
+(* Report paths relative to the root so findings are stable across
+   checkouts and sandboxes. *)
+let strip_prefix ~root f =
+  let pre = root ^ Filename.dir_sep in
+  let n = String.length pre in
+  if String.length f > n && String.sub f 0 n = pre then
+    String.sub f n (String.length f - n)
+  else f
+
+let locate_root ?root ~what () =
+  match (match root with Some r -> Some r | None -> find_root ()) with
+  | None -> Error (what ^ ": could not locate lib/ (no dune-project found)")
+  | Some r -> Ok r
+
+let lib_sources ?root ~what () =
+  match locate_root ?root ~what () with
+  | Error m -> Error m
+  | Ok r ->
+    let dir = Filename.concat r "lib" in
+    let load files =
+      List.map (fun f -> (strip_prefix ~root:r f, read_file f)) files
+    in
+    Ok (load (ml_files dir), load (mli_files dir))
+
 let scan_lib ?root ~what ~scan ~refile () =
   let root = match root with Some r -> Some r | None -> find_root () in
   match root with
@@ -119,15 +167,7 @@ let scan_lib ?root ~what ~scan ~refile () =
     Error (what ^ ": could not locate lib/ (no dune-project found)")
   | Some r ->
     let files = ml_files (Filename.concat r "lib") in
-    (* Report paths relative to the root so findings are stable across
-       checkouts and sandboxes. *)
-    let strip f =
-      let pre = r ^ Filename.dir_sep in
-      let n = String.length pre in
-      if String.length f > n && String.sub f 0 n = pre then
-        String.sub f n (String.length f - n)
-      else f
-    in
+    let strip f = strip_prefix ~root:r f in
     let sites, diags = scan_files ~scan files in
     Ok
       ( List.map (refile strip) sites,

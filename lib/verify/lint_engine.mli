@@ -14,8 +14,19 @@ val lines_of_source : string -> string array
 (** Source text as a 1-indexed-by-convention line array (index [i - 1]
     holds line [i]), for justification-comment lookups. *)
 
+val files_with_suffix : string -> string -> string list
+(** [files_with_suffix suffix dir]: all files ending in [suffix] under
+    [dir], sorted depth-first (deterministic sweeps). *)
+
 val ml_files : string -> string list
 (** All [.ml] files under a directory, sorted (deterministic sweeps). *)
+
+val mli_files : string -> string list
+(** All [.mli] files under a directory, sorted. *)
+
+val module_of_file : string -> string
+(** The OCaml module a source path compiles to: capitalized basename
+    without its extension ([lib/fault/fault_plan.ml] → ["Fault_plan"]). *)
 
 val find_root : unit -> string option
 (** Walk up from the current directory until a [dune-project] with a
@@ -40,6 +51,33 @@ val parse_structure :
   file:string -> string -> (Parsetree.structure, exn) result
 (** Parse one compilation unit's source text with [file] as the
     reported filename. *)
+
+val parse_interface :
+  file:string -> string -> (Parsetree.signature, exn) result
+(** Parse one interface's source text with [file] as the reported
+    filename. *)
+
+val exported_values : Parsetree.signature -> string list
+(** The names of an interface's top-level [val] items, in order —
+    the exported-function set the interprocedural passes treat as a
+    module's public surface. *)
+
+val strip_prefix : root:string -> string -> string
+(** Rewrite an absolute path under [root] to a root-relative one (the
+    stable spelling used in findings); other paths pass through. *)
+
+val locate_root : ?root:string -> what:string -> unit -> (string, string) result
+(** [root] when given, otherwise {!find_root}; [Error] carries the
+    pass-named message used by the lib scans. *)
+
+val lib_sources :
+  ?root:string ->
+  what:string ->
+  unit ->
+  ((string * string) list * (string * string) list, string) result
+(** Every [.ml] and [.mli] under [lib/] as [(root-relative path, source
+    text)] pairs — the whole-program input of the interprocedural
+    passes.  Root located as in {!locate_root}. *)
 
 val scan_files :
   scan:(file:string -> string -> ('a list, Mmdb_util.Diag.t) result) ->

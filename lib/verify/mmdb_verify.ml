@@ -19,6 +19,7 @@ module Race_check = Race_check
 module Lint_engine = Lint_engine
 module Domain_lint = Domain_lint
 module Perf_lint = Perf_lint
+module Exn_flow = Exn_flow
 module Audit = Audit
 
 (** Every stable diagnostic code with a one-line description. *)
@@ -27,4 +28,4 @@ let code_catalogue =
   @ Pool_check.code_catalogue @ Txn_check.code_catalogue
   @ Audit.code_catalogue @ Model_check.code_catalogue
   @ Race_check.code_catalogue @ Domain_lint.code_catalogue
-  @ Perf_lint.code_catalogue
+  @ Perf_lint.code_catalogue @ Exn_flow.code_catalogue

@@ -188,6 +188,8 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
   let step_txn t =
     match t.to_acquire with
     | (key, delta) :: rest -> (
+      (* exn_flow: staged acquisition across fuzzer steps; releases
+         happen in the abort/commit steps ([abort_txn], [kill_victim]). *)
       match R.Lock_manager.acquire lm ~txn:t.id ~key with
       | Some g ->
         t.to_acquire <- rest;

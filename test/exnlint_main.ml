@@ -1,0 +1,97 @@
+(* Exception-flow gate, wired to `dune build @exnlint` (and the CI
+   exnlint step): the interprocedural Exn_flow pass over lib/ must find
+   every EXN/RES hazard fixed or justified, and a seeded fault-injection
+   property must show that pin/unpin spans guarded the way the lint
+   demands (Fun.protect) never leak a pinned frame when the device
+   raises Fault.Io_error mid-span — Pool_check is the oracle.  Exits
+   non-zero on any unjustified finding or a leaked pin. *)
+
+module V = Mmdb_verify
+
+let failures = ref 0
+
+let part name ok =
+  Format.printf "%-28s %s@." name (if ok then "ok" else "FAIL");
+  if not ok then incr failures
+
+(* ------------------------------------------------------------------ *)
+(* Static exception-flow lint over lib/                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  match V.Exn_flow.scan_lib () with
+  | Error m ->
+    Format.printf "%s@." m;
+    part "exn-flow lint" false
+  | Ok (findings, parse_diags) ->
+    let diags = parse_diags @ V.Exn_flow.diags_of_findings findings in
+    List.iter (fun d -> Format.printf "  %a@." V.Diag.pp d) diags;
+    Format.printf "  (%d finding%s inventoried)@." (List.length findings)
+      (match findings with [ _ ] -> "" | _ -> "s");
+    part "exn-flow lint" (not (V.Diag.has_errors diags))
+
+(* ------------------------------------------------------------------ *)
+(* Pin/unpin under injected Io_error: Fun.protect keeps the pool clean *)
+(* ------------------------------------------------------------------ *)
+
+(* The dynamic counterpart of RES103: drive random pin/read/unpin spans
+   (the shape the lint demands — release in a Fun.protect finally)
+   against a disk armed to throw Fault.Io_error past the retry budget,
+   catch the fault at the top like the torture harness does, and ask
+   Pool_check whether any frame stayed pinned. *)
+let pin_property ~seed =
+  let module S = Mmdb_storage in
+  let module F = Mmdb_fault in
+  let env = S.Env.create () in
+  let disk = S.Disk.create ~env ~page_size:256 in
+  let pids = Array.init 16 (fun _ -> S.Disk.alloc disk) in
+  Array.iteri
+    (fun i pid ->
+      S.Disk.write disk ~mode:S.Disk.Seq pid
+        (Bytes.make 256 (Char.chr (65 + (i mod 26)))))
+    pids;
+  (* Arm after seeding so the transient failures (deeper than the retry
+     budget, so they surface as Fault.Io_error) hit only the pin-path
+     reads. *)
+  let plan =
+    F.Fault_plan.create ~seed
+      [
+        {
+          F.Fault_plan.site = F.Fault.Disk_read;
+          kind = F.Fault.Io_transient { failures = 10 };
+          trigger = F.Fault_plan.Prob 0.25;
+        };
+      ]
+  in
+  S.Disk.arm disk plan;
+  let pool = S.Buffer_pool.create ~disk ~capacity:8 S.Buffer_pool.Lru in
+  let rng = Mmdb_util.Xorshift.create (0x5eed + seed) in
+  let io_errors = ref 0 in
+  for _ = 1 to 200 do
+    let pid = pids.(Mmdb_util.Xorshift.int rng 16) in
+    match
+      let frame = S.Buffer_pool.pin pool pid in
+      Fun.protect
+        ~finally:(fun () -> S.Buffer_pool.unpin pool pid)
+        (fun () -> ignore (Bytes.get frame 0))
+    with
+    | () -> ()
+    | exception F.Fault.Io_error _ -> incr io_errors
+  done;
+  let diags = V.Pool_check.audit ~expect_unpinned:true pool in
+  Format.printf "  seed %d: %d spans, %d io errors ridden, %s@." seed 200
+    !io_errors
+    (V.Diag.summary diags);
+  (not (V.Diag.has_errors diags)) && !io_errors > 0
+
+let () =
+  part "pin safety under Io_error (seed 7)" (pin_property ~seed:7);
+  part "pin safety under Io_error (seed 11)" (pin_property ~seed:11)
+
+let () =
+  Format.printf "exnlint: %s@."
+    (if !failures = 0 then "all clean"
+     else
+       Printf.sprintf "%d gate%s failed" !failures
+         (if !failures = 1 then "" else "s"));
+  exit (if !failures = 0 then 0 else 1)
