@@ -1535,6 +1535,7 @@ let recovery_json () =
             logging = mode;
             crash_steps = None;
             record_replay = false;
+            serve_stale = false;
           };
       }
     in
@@ -1595,6 +1596,137 @@ let recovery_json () =
      value/command/adaptive)\n"
     (List.length rows)
 
+(* Overload-resilience curves: four open-loop cells over the same seeded
+   Poisson arrival process — a calm protected baseline, the protected
+   service under a 10x spike (with and without a transient-fault storm),
+   and the unprotected control (no admission, no in-service deadline
+   aborts) under the same assault.  The failwith asserts encode the
+   acceptance bar: protected goodput under spike + storm stays >= 50% of
+   the calm baseline while the unprotected service collapses below 50%.
+   CI regenerates the file and checks its schema. *)
+let overload_json () =
+  let module OS = Mmdb.Overload_sim in
+  let cell ~label ~spike ~storm ~protected =
+    let cfg =
+      {
+        OS.default_config with
+        OS.seed = 7;
+        OS.duration = 4.0;
+        OS.spike_mult = (if spike then 10.0 else 1.0);
+        OS.storm = storm;
+        OS.admission = protected;
+        OS.enforce_deadlines = protected;
+      }
+    in
+    let o = OS.run cfg in
+    if not o.OS.money_conserved then
+      failwith ("overload-json: money not conserved in cell " ^ label);
+    let bucket (b : OS.bucket) =
+      jobj
+        [
+          ("t", jfloat b.OS.b_start);
+          ("arrivals", string_of_int b.OS.b_arrivals);
+          ("goodput", string_of_int b.OS.b_goodput);
+          ("shed", string_of_int b.OS.b_shed);
+          ("timed_out", string_of_int b.OS.b_timed_out);
+          ("late", string_of_int b.OS.b_late);
+          ("p99_ms", jfloat (b.OS.b_p99_latency *. 1e3));
+        ]
+    in
+    let row =
+      jobj
+        [
+          ("label", jstr label);
+          ("admission", string_of_bool cfg.OS.admission);
+          ("deadlines_enforced", string_of_bool cfg.OS.enforce_deadlines);
+          ("spike_mult", jfloat cfg.OS.spike_mult);
+          ("storm", string_of_bool storm);
+          ("arrivals", string_of_int o.OS.arrivals);
+          ("goodput_txns", string_of_int o.OS.goodput_txns);
+          ("goodput_tps", jfloat o.OS.goodput_tps);
+          ("committed", string_of_int o.OS.committed);
+          ("late", string_of_int o.OS.late);
+          ("shed", string_of_int o.OS.shed);
+          ("timed_out", string_of_int o.OS.timed_out);
+          ("io_failures", string_of_int o.OS.io_failures);
+          ("p50_ms", jfloat (o.OS.p50_latency *. 1e3));
+          ("p99_ms", jfloat (o.OS.p99_latency *. 1e3));
+          ( "shed_codes",
+            jobj
+              (List.map
+                 (fun (c, n) -> (c, string_of_int n))
+                 o.OS.shed_codes) );
+          ("breaker_trips", string_of_int o.OS.breaker_trips);
+          ("breaker_reopens", string_of_int o.OS.breaker_reopens);
+          ("breaker_final", jstr o.OS.breaker_final);
+          ("buckets", jlist (List.map bucket o.OS.buckets));
+        ]
+    in
+    (o, row)
+  in
+  let base, jbase =
+    cell ~label:"baseline" ~spike:false ~storm:false ~protected:true
+  in
+  let _, jspike =
+    cell ~label:"protected-spike" ~spike:true ~storm:false ~protected:true
+  in
+  let prot, jprot =
+    cell ~label:"protected-spike-storm" ~spike:true ~storm:true
+      ~protected:true
+  in
+  let unprot, junprot =
+    cell ~label:"unprotected-spike-storm" ~spike:true ~storm:true
+      ~protected:false
+  in
+  let module OS = Mmdb.Overload_sim in
+  let ratio o = o.OS.goodput_tps /. base.OS.goodput_tps in
+  if ratio prot < 0.5 then
+    failwith
+      (Printf.sprintf
+         "overload-json: protected goodput collapsed (%.2f of baseline)"
+         (ratio prot));
+  if ratio unprot >= 0.5 then
+    failwith
+      (Printf.sprintf
+         "overload-json: unprotected control failed to collapse (%.2f of \
+          baseline)"
+         (ratio unprot));
+  if prot.OS.breaker_trips < 1 then
+    failwith "overload-json: storm never tripped the breaker";
+  let doc =
+    jobj
+      [
+        ("schema", jstr "mmdb.bench.overload.v1");
+        ( "workload",
+          jstr
+            "open loop, 4s of Poisson arrivals at 700/s (10x spike in \
+             [1,2)s), 512 accounts, 2 updates/txn at 250us each, 50ms \
+             deadlines, 15% analytic, group commit, storm = transient \
+             log faults over a write window, seed 7" );
+        ( "acceptance",
+          jobj
+            [
+              ("baseline_goodput_tps", jfloat base.OS.goodput_tps);
+              ("protected_ratio", jfloat (ratio prot));
+              ("unprotected_ratio", jfloat (ratio unprot));
+              ( "bar",
+                jstr
+                  "protected spike+storm goodput >= 0.5 x calm baseline; \
+                   unprotected control < 0.5 (collapse)" );
+            ] );
+        ("rows", jlist [ jbase; jspike; jprot; junprot ]);
+      ]
+  in
+  let oc = open_out "BENCH_overload.json" in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_overload.json (baseline %.0f tps; protected spike+storm \
+     %.0f tps = %.2fx; unprotected %.0f tps = %.2fx)\n"
+    base.OS.goodput_tps prot.OS.goodput_tps (ratio prot)
+    unprot.OS.goodput_tps (ratio unprot)
+
 let experiments =
   [
     ("table1", "Table 1: AVL vs B+-tree crossover (random access)", table1);
@@ -1618,6 +1750,7 @@ let experiments =
     ("hotpath-json", "write BENCH_hotpath.json (hot-path remediation wins)", hotpath_json);
     ("golden-json", "Table 1 + Figure 1 as canonical JSON (CI golden)", golden_json);
     ("recovery-json", "write BENCH_recovery.json (parallel-replay ladder)", recovery_json);
+    ("overload-json", "write BENCH_overload.json (overload-resilience curves)", overload_json);
   ]
 
 let usage () =

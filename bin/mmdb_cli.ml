@@ -160,7 +160,7 @@ let tps_cmd =
 (* ------------------------------------------------------------------ *)
 
 let recover strategy txns checkpoint crash_after audit parallel logging
-    use_domains replay_crash =
+    use_domains replay_crash serve_stale =
   let cfg =
     {
       R.Recovery_manager.default_config with
@@ -175,6 +175,7 @@ let recover strategy txns checkpoint crash_after audit parallel logging
           logging;
           crash_steps = replay_crash;
           record_replay = false;
+          serve_stale;
         };
     }
   in
@@ -201,6 +202,12 @@ let recover strategy txns checkpoint crash_after audit parallel logging
   if o.R.Recovery_manager.recovery_attempts > 1 then
     Printf.printf "recovery attempts:   %d (crashed mid-replay, restarted)\n"
       o.R.Recovery_manager.recovery_attempts;
+  if serve_stale then
+    Printf.printf
+      "stale service:       %d reads answered from the checkpoint image \
+       during replay (%d already current)\n"
+      o.R.Recovery_manager.stale_reads_served
+      o.R.Recovery_manager.stale_reads_current;
   Printf.printf "consistent:          %b\nmoney conserved:     %b\n"
     o.R.Recovery_manager.consistent o.R.Recovery_manager.money_conserved;
   let audit_ok =
@@ -296,11 +303,20 @@ let recover_cmd =
             "Crash the recovery itself after N replay steps, then restart \
              it (restart-crash resilience demo).")
   in
+  let serve_stale =
+    Arg.(
+      value & flag
+      & info [ "serve-stale" ]
+          ~doc:
+            "Degraded read-only mode: while replay is in flight, serve a \
+             modelled read stream from the surviving checkpoint image and \
+             report its staleness.")
+  in
   Cmd.v
     (Cmd.info "recover" ~doc:"Sections 5.3-5.5: crash, recover, verify.")
     Term.(
       const recover $ strategy $ txns $ checkpoint $ crash $ audit $ parallel
-      $ logging $ use_domains $ replay_crash)
+      $ logging $ use_domains $ replay_crash $ serve_stale)
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
@@ -1087,6 +1103,108 @@ let stats_cmd =
     Term.(const stats $ seed $ faults $ pages $ ops)
 
 (* ------------------------------------------------------------------ *)
+(* overload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let overload spike deadline_ms no_admission no_deadlines storm seed duration =
+  let module OS = Mmdb.Overload_sim in
+  let cfg =
+    {
+      OS.default_config with
+      OS.seed;
+      OS.spike_mult = spike;
+      OS.deadline_budget = deadline_ms /. 1000.0;
+      OS.admission = not no_admission;
+      OS.enforce_deadlines = not no_deadlines;
+      OS.storm;
+      OS.duration;
+    }
+  in
+  let o = OS.run cfg in
+  Printf.printf "run:        %s, %.1fs at %.0f/s base, %gx spike, %.0f ms \
+                 deadlines%s\n"
+    o.OS.label cfg.OS.duration cfg.OS.base_rate cfg.OS.spike_mult deadline_ms
+    (if storm then ", storm armed" else "");
+  Printf.printf "arrivals:   %d\n" o.OS.arrivals;
+  Printf.printf "goodput:    %d txns (%.0f tps) durable within deadline\n"
+    o.OS.goodput_txns o.OS.goodput_tps;
+  Printf.printf "committed:  %d total (%d late past their deadline)\n"
+    o.OS.committed o.OS.late;
+  Printf.printf "shed:       %d typed rejections\n" o.OS.shed;
+  Printf.printf "timed out:  %d typed deadline expiries\n" o.OS.timed_out;
+  if o.OS.io_failures > 0 then
+    Printf.printf "io failed:  %d\n" o.OS.io_failures;
+  Printf.printf "latency:    p50 %.1f ms, p99 %.1f ms\n"
+    (o.OS.p50_latency *. 1e3) (o.OS.p99_latency *. 1e3);
+  if o.OS.shed_codes <> [] then begin
+    Printf.printf "codes:     ";
+    List.iter (fun (c, n) -> Printf.printf " %s=%d" c n) o.OS.shed_codes;
+    print_newline ()
+  end;
+  Printf.printf "breaker:    %d trip(s), %d reopen(s), final %s\n"
+    o.OS.breaker_trips o.OS.breaker_reopens o.OS.breaker_final;
+  Printf.printf "money:      %s\n"
+    (if o.OS.money_conserved then "conserved" else "NOT CONSERVED");
+  if o.OS.money_conserved then 0 else 1
+
+let overload_cmd =
+  let spike =
+    Arg.(
+      value & opt float 10.0
+      & info [ "spike" ] ~doc:"Arrival-rate multiplier during the spike window.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 50.0
+      & info [ "deadline" ] ~doc:"Per-transaction deadline in milliseconds.")
+  in
+  let no_admission =
+    Arg.(
+      value & flag
+      & info [ "no-admission" ]
+          ~doc:
+            "Disarm admission control (the collapse control: every arrival \
+             is admitted and queues behind the log device).")
+  in
+  let no_deadlines =
+    Arg.(
+      value & flag
+      & info [ "no-deadlines" ]
+          ~doc:
+            "Disarm in-service deadline enforcement: expired transactions \
+             run to commit anyway (clients just observe the lateness), so \
+             the backlog snowballs.")
+  in
+  let storm =
+    Arg.(
+      value & flag
+      & info [ "storm" ]
+          ~doc:
+            "Arm the $(b,storm) fault spec: a burst of transient log-device \
+             faults that trips the circuit breaker.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload PRNG seed.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 3.0
+      & info [ "duration" ] ~doc:"Simulated seconds of arrivals.")
+  in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Open-loop overload experiment: Poisson arrivals with a rate \
+          spike (optionally plus a transient-fault storm) against the \
+          transactional service, with admission control, deadlines, \
+          circuit breaker and typed load shedding — or without, to watch \
+          the unprotected service collapse. Exits 1 if money is not \
+          conserved.")
+    Term.(
+      const overload $ spike $ deadline $ no_admission $ no_deadlines $ storm
+      $ seed $ duration)
+
+(* ------------------------------------------------------------------ *)
 (* repl                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1213,5 +1331,6 @@ let () =
           [
             crossover_cmd; join_cmd; tps_cmd; recover_cmd; plan_cmd; sql_cmd;
             check_cmd; txncheck_cmd; torture_cmd; modelcheck_cmd;
-            racecheck_cmd; perflint_cmd; exnlint_cmd; stats_cmd; repl_cmd;
+            racecheck_cmd; perflint_cmd; exnlint_cmd; stats_cmd;
+            overload_cmd; repl_cmd;
           ]))

@@ -1,0 +1,81 @@
+(** Open-loop overload experiment over the transactional service.
+
+    Arrivals follow a Poisson process at the offered rate — they keep
+    coming whether or not the service keeps up, which is the regime
+    where an unprotected main-memory DBMS collapses: the log device
+    (§5.2's bottleneck) queues every admitted commit, its backlog only
+    grows, and soon {e every} transaction misses its deadline.  With the
+    service layer armed (admission control, per-transaction deadlines,
+    circuit breaker, degraded modes), excess offered load is shed with
+    typed OVLD rejections and the admitted work still completes in
+    time — graceful degradation instead of collapse. *)
+
+type config = {
+  seed : int;
+  nrecords : int;
+  duration : float;  (** simulated seconds of arrivals *)
+  base_rate : float;  (** offered arrivals/second outside the spike *)
+  spike_mult : float;  (** rate multiplier inside [spike_window] *)
+  spike_window : float * float;
+  deadline_budget : float;  (** per-transaction time budget, seconds *)
+  analytic_fraction : float;  (** fraction of arrivals in the analytic class *)
+  updates_per_txn : int;
+  work_per_update : float;  (** simulated CPU seconds per applied update *)
+  admission : bool;  (** arm the admission controller *)
+  enforce_deadlines : bool;
+      (** abort expired transactions in the service (OVLD004/6); when
+          off, deadlines exist only in the client's eyes — late commits
+          still count against goodput, and nothing stops the backlog
+          from snowballing (the collapse control) *)
+  rate_limit : float;  (** token-bucket refill rate (admitted txns/s) *)
+  burst : float;  (** token-bucket capacity *)
+  max_lag : float;  (** admission's log-backlog bound, seconds *)
+  storm : bool;  (** arm the [storm] fault spec (transient log faults) *)
+  retry_budget : int option;  (** per-transaction transient-retry budget *)
+  strategy : Mmdb_recovery.Wal.strategy;
+  record_schedule : bool;  (** audit the run with Txn_check afterwards *)
+}
+
+val default_config : config
+(** 3 s at 700/s with a 10x spike in [1,2) s, 50 ms deadlines, 15%
+    analytic, admission armed at 900/s, no storm, group commit. *)
+
+type bucket = {
+  b_start : float;
+  b_arrivals : int;
+  b_goodput : int;  (** committed and durable within deadline *)
+  b_shed : int;
+  b_timed_out : int;
+  b_late : int;  (** committed but durable past the deadline *)
+  b_p99_latency : float;  (** of durable commits arriving in this bucket *)
+}
+(** One 100 ms slice of the run (the degradation curve). *)
+
+type outcome = {
+  label : string;
+  arrivals : int;
+  committed : int;
+  goodput_txns : int;  (** commits durable within their deadline *)
+  goodput_tps : float;
+  shed : int;  (** typed admission rejections (OVLD001/2/3/7/9) *)
+  timed_out : int;  (** typed deadline expiries (OVLD004/5/6) *)
+  late : int;  (** committed but durable past the deadline *)
+  io_failures : int;  (** Io_error escapes (retry rides exhausted) *)
+  p50_latency : float;
+  p99_latency : float;
+  shed_codes : (string * int) list;  (** OVLD code histogram, sorted *)
+  tally : Mmdb_overload.Overload.tally;
+  breaker_trips : int;
+  breaker_reopens : int;
+  breaker_final : string;  (** "closed" / "open" / "half-open" at the end *)
+  buckets : bucket list;
+  money_conserved : bool;  (** balances still sum to zero *)
+  audit_errors : int;
+      (** Txn_check errors over the recorded schedule; 0 when
+          [record_schedule] was off (nothing to audit) *)
+}
+
+val run : config -> outcome
+(** Drive one open-loop run and classify every arrival: goodput, late,
+    shed (by OVLD code), timed out, or lost to I/O.
+    @raise Invalid_argument on a non-positive duration or base rate. *)

@@ -1,5 +1,7 @@
 module R = Mmdb_recovery
 module S = Mmdb_storage
+module F = Mmdb_fault.Fault_plan
+module O = Mmdb_overload.Overload
 
 type commit_outcome = {
   txn_id : int;
@@ -14,6 +16,12 @@ type t = {
   recorder : R.Schedule.recorder option;
   stable : R.Stable_memory.t;
   kv : R.Kv_store.t;
+  admission : O.Admission.t option;
+  ovld : O.tally;
+  work_per_update : float;
+  faults : F.t option;
+  retry_budget : int option;
+  tickets : (int, R.Wal.ticket) Hashtbl.t;
   mutable next_txn : int;
   mutable next_lsn : int;
   mutable crashed : bool;
@@ -22,7 +30,13 @@ type t = {
 
 let create ?(strategy = R.Wal.Group_commit) ?(nrecords = 1000)
     ?(records_per_page = 20) ?(stable_bytes = 1 lsl 20)
-    ?(record_schedule = false) () =
+    ?(record_schedule = false) ?admission ?(work_per_update = 0.0) ?faults
+    ?breaker ?retry_budget () =
+  if work_per_update < 0.0 then
+    invalid_arg "Txn_db.create: work_per_update < 0";
+  (match retry_budget with
+  | Some n when n < 0 -> invalid_arg "Txn_db.create: retry_budget < 0"
+  | Some _ | None -> ());
   let clock = S.Sim_clock.create () in
   let stable = R.Stable_memory.create ~capacity_bytes:stable_bytes in
   let recorder =
@@ -30,13 +44,27 @@ let create ?(strategy = R.Wal.Group_commit) ?(nrecords = 1000)
       Some (R.Schedule.recorder ~now:(fun () -> S.Sim_clock.now clock))
     else None
   in
+  (* An attached breaker also informs admission: while it is open the
+     analytic class is shed (the shed-analytics degraded mode). *)
+  (match (admission, breaker) with
+  | Some a, Some b -> O.Admission.register_breaker a b
+  | (Some _ | None), _ -> ());
   {
     clock;
-    wal = R.Wal.create ~clock strategy;
+    wal = R.Wal.create ~clock ?faults ?breaker strategy;
     locks = R.Lock_manager.create ?recorder ();
     recorder;
     stable;
     kv = R.Kv_store.create ?recorder ~nrecords ~records_per_page ~stable ();
+    admission;
+    ovld =
+      (match admission with
+      | Some a -> O.Admission.tally a
+      | None -> O.tally_create ());
+    work_per_update;
+    faults;
+    retry_budget;
+    tickets = Hashtbl.create 256;
     next_txn = 0;
     next_lsn = 0;
     crashed = false;
@@ -45,8 +73,22 @@ let create ?(strategy = R.Wal.Group_commit) ?(nrecords = 1000)
 
 let nrecords t = R.Kv_store.nrecords t.kv
 let balance t slot = R.Kv_store.get t.kv slot
+
+let balance_stale t slot = R.Kv_store.snapshot_read t.kv slot
+
 let now t = S.Sim_clock.now t.clock
 let advance t dt = S.Sim_clock.advance t.clock dt
+let overload_tally t = t.ovld
+let admission t = t.admission
+
+(* Seconds of log-device backlog at [now]: the admission controller's
+   congestion signal (writes queue behind [Wal.quiesce_time]). *)
+let log_lag t = Float.max 0.0 (R.Wal.quiesce_time t.wal -. now t)
+
+let completion t ~txn =
+  match Hashtbl.find_opt t.tickets txn with
+  | Some tkt -> R.Wal.ticket_completion tkt
+  | None -> None
 
 let check_alive t =
   if t.crashed then invalid_arg "Txn_db: crashed; recover first"
@@ -90,45 +132,156 @@ let check_slots ~what updates =
     invalid_arg (Printf.sprintf "%s: duplicate slot %d in update list" what s)
   | None -> ()
 
-let transact t updates =
+(* Per-transaction I/O retry budget: installed on the shared fault plan
+   for the duration of one transaction, so every transient-retry ride it
+   triggers (log device, disk) draws from the same pool. *)
+let install_budget t =
+  match (t.retry_budget, t.faults) with
+  | Some n, Some plan -> F.set_retry_budget plan (Some (O.Retry.budget n))
+  | (Some _ | None), (Some _ | None) -> ()
+
+let clear_budget t =
+  match t.faults with
+  | Some plan -> F.set_retry_budget plan None
+  | None -> ()
+
+let shed_expired t ~txn ~code ~site d =
+  O.note_code t.ovld code;
+  O.shed ~code ~site
+    (Printf.sprintf "txn %d exceeded its deadline by %.6f s" txn
+       (now t -. O.Deadline.expires d))
+
+(* Deadline blew before the transaction touched memory: release whatever
+   it holds, log an empty Begin/Abort pair so the durable log and the
+   schedule audit both see a complete (aborted) transaction, then raise
+   the typed shed. *)
+let abort_expired_locking t ~txn ~code ~site d =
+  (* exn_flow: release half of the timeout-abort path; the locks were
+     acquired by [transact]'s staged lock loop, which calls this. *)
+  ignore (R.Lock_manager.release_abort t.locks ~txn);
+  let begin_lsn = fresh_lsn t in
+  let records =
+    [
+      R.Log_record.Begin { txn; lsn = begin_lsn };
+      R.Log_record.Abort { txn; lsn = fresh_lsn t };
+    ]
+  in
+  ignore (R.Wal.commit_txn t.wal ~at:(now t) ~txn ~deps:[] records);
+  shed_expired t ~txn ~code ~site d
+
+let transact ?(priority = O.Oltp) ?deadline t updates =
+  (* Degraded read-only mode: while recovery replay is pending, an
+     admission-governed service sheds writes with a typed OVLD009 instead
+     of failing the caller with an untyped invalid-arg. *)
+  (match t.admission with
+  | Some a when t.crashed && O.Admission.mode a = O.Admission.Read_only ->
+    O.note_code t.ovld "OVLD009";
+    O.shed ~code:"OVLD009" ~site:"txn.begin"
+      "service is read-only until recovery replay completes (use \
+       balance_stale for snapshot reads)"
+  | Some _ | None -> ());
   check_alive t;
   check_slots ~what:"Txn_db.transact" updates;
   let at = now t in
+  (match t.admission with
+  | Some a ->
+    O.Admission.admit a ~now:at ~priority ~lag:(log_lag t)
+      ~inflight:(List.length t.open_tickets)
+  | None -> ());
   let txn = t.next_txn in
   t.next_txn <- txn + 1;
-  let deps =
-    List.concat_map
-      (fun (slot, _) ->
-        (* exn_flow: 2PL — locks release at commit retirement ([retire]);
-           a mid-txn raise means crash, which resets the lock table. *)
-        match R.Lock_manager.acquire t.locks ~txn ~key:slot with
-        | Some g -> g.R.Lock_manager.dependencies
-        | None -> assert false)
-      updates
-  in
-  let begin_lsn = fresh_lsn t in
-  (* Newest-first accumulation ([List.rev_map] applies left to right,
-     so LSNs are still drawn in update order); one final [List.rev]
-     puts the log in natural order without a quadratic tail-append. *)
-  let rev_body =
-    List.rev_map
-      (fun (slot, delta) ->
-        let old_value = R.Kv_store.get ~txn t.kv slot in
-        let new_value = old_value + delta in
-        let lsn = fresh_lsn t in
-        R.Kv_store.apply_update ~txn t.kv ~lsn ~slot ~value:new_value;
-        R.Log_record.Update { txn; lsn; slot; old_value; new_value })
-      updates
-  in
-  let records =
-    R.Log_record.Begin { txn; lsn = begin_lsn }
-    :: List.rev (R.Log_record.Commit { txn; lsn = fresh_lsn t } :: rev_body)
-  in
-  ignore (R.Lock_manager.precommit t.locks ~txn);
-  let ticket = R.Wal.commit_txn t.wal ~at ~txn ~deps records in
-  t.open_tickets <- ticket :: t.open_tickets;
-  retire t ~at;
-  { txn_id = txn; submitted_at = at; durable_at = R.Wal.ticket_completion ticket }
+  install_budget t;
+  Fun.protect
+    ~finally:(fun () -> clear_budget t)
+    (fun () ->
+      let expired d = O.Deadline.expired d ~now:(now t) in
+      let deps =
+        List.concat_map
+          (fun (slot, _) ->
+            (match deadline with
+            | Some d when expired d ->
+              abort_expired_locking t ~txn ~code:"OVLD004" ~site:"txn.lock" d
+            | Some _ | None -> ());
+            (* exn_flow: 2PL — locks release at commit retirement
+               ([retire]); a mid-txn raise means crash, which resets the
+               lock table. *)
+            match R.Lock_manager.acquire ?deadline t.locks ~txn ~key:slot with
+            | Some g -> g.R.Lock_manager.dependencies
+            | None -> assert false)
+          updates
+      in
+      let begin_lsn = fresh_lsn t in
+      (* Newest-first accumulation ([List.rev_map] applies left to right,
+         so LSNs are still drawn in update order); one final [List.rev]
+         puts the log in natural order without a quadratic tail-append.
+         Each update costs [work_per_update] of simulated time, which is
+         what makes a mid-transaction deadline expiry reachable. *)
+      let rev_body =
+        List.rev_map
+          (fun (slot, delta) ->
+            if t.work_per_update > 0.0 then
+              S.Sim_clock.advance t.clock t.work_per_update;
+            let old_value = R.Kv_store.get ~txn t.kv slot in
+            let new_value = old_value + delta in
+            let lsn = fresh_lsn t in
+            R.Kv_store.apply_update ~txn t.kv ~lsn ~slot ~value:new_value;
+            R.Log_record.Update { txn; lsn; slot; old_value; new_value })
+          updates
+      in
+      (match deadline with
+      | Some d when expired d ->
+        (* Deadline blew mid-transaction: compensate in memory (newest
+           first, mirroring [transact_abort]), log the rollback, release
+           the locks, and shed typed — recovery replays the rollback, so
+           a later committed write to the same slot is never clobbered. *)
+        let rev_compensation =
+          List.rev_map
+            (fun r ->
+              match r with
+              | R.Log_record.Update { slot; old_value; new_value; _ } ->
+                let lsn = fresh_lsn t in
+                R.Kv_store.apply_update ~txn t.kv ~lsn ~slot ~value:old_value;
+                R.Log_record.Update
+                  {
+                    txn;
+                    lsn;
+                    slot;
+                    old_value = new_value;
+                    new_value = old_value;
+                  }
+              | R.Log_record.Begin _ | R.Log_record.Commit _
+              | R.Log_record.Abort _ | R.Log_record.Command _
+              | R.Log_record.Ckpt_begin _ | R.Log_record.Ckpt_end _ ->
+                assert false)
+            rev_body
+        in
+        ignore (R.Lock_manager.release_abort t.locks ~txn);
+        let records =
+          R.Log_record.Begin { txn; lsn = begin_lsn }
+          :: List.rev_append rev_body
+               (List.rev
+                  (R.Log_record.Abort { txn; lsn = fresh_lsn t }
+                  :: rev_compensation))
+        in
+        ignore (R.Wal.commit_txn t.wal ~at:(now t) ~txn ~deps:[] records);
+        shed_expired t ~txn ~code:"OVLD006" ~site:"txn.commit" d
+      | Some _ | None -> ());
+      let commit_at = now t in
+      let records =
+        R.Log_record.Begin { txn; lsn = begin_lsn }
+        :: List.rev
+             (R.Log_record.Commit { txn; lsn = fresh_lsn t } :: rev_body)
+      in
+      ignore (R.Lock_manager.precommit t.locks ~txn);
+      let ticket = R.Wal.commit_txn t.wal ~at:commit_at ~txn ~deps records in
+      Hashtbl.replace t.tickets txn ticket;
+      t.open_tickets <- ticket :: t.open_tickets;
+      retire t ~at:commit_at;
+      {
+        txn_id = txn;
+        submitted_at = at;
+        durable_at = R.Wal.ticket_completion ticket;
+      })
 
 let transact_abort t updates =
   check_alive t;
@@ -210,6 +363,12 @@ let crash t =
   R.Kv_store.crash t.kv;
   t.crashed <- true;
   t.open_tickets <- [];
+  (* Degrade rather than refuse: with an admission controller attached,
+     the service keeps answering stale snapshot reads ([balance_stale])
+     and sheds writes typed (OVLD009) until [recover] runs. *)
+  (match t.admission with
+  | Some a -> O.Admission.set_mode a O.Admission.Read_only
+  | None -> ());
   (* The lock table is volatile state: a crash loses holders, waiters and
      pre-committed sets alike (their transactions are decided by the
      durable log, not by lock-manager residue). *)
@@ -220,6 +379,9 @@ let recover t =
   let log = R.Wal.durable_records t.wal ~at:(now t) in
   let stats = R.Kv_store.recover t.kv ~log in
   t.crashed <- false;
+  (match t.admission with
+  | Some a -> O.Admission.set_mode a O.Admission.Normal
+  | None -> ());
   stats
 
 let committed_txns t =

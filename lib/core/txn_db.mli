@@ -8,18 +8,38 @@ type t
 
 val create : ?strategy:Mmdb_recovery.Wal.strategy -> ?nrecords:int ->
   ?records_per_page:int -> ?stable_bytes:int -> ?record_schedule:bool ->
-  unit -> t
+  ?admission:Mmdb_overload.Overload.Admission.t -> ?work_per_update:float ->
+  ?faults:Mmdb_fault.Fault_plan.t -> ?breaker:Mmdb_overload.Overload.Breaker.t ->
+  ?retry_budget:int -> unit -> t
 (** Defaults: group commit, 1000 accounts, 20 per page, 1 MiB stable
     memory, schedule recording off.  With [record_schedule:true] every
     lock-manager and transaction event is captured as a
     {!Mmdb_recovery.Schedule.event} (see {!schedule}) so
-    {!Mmdb_verify.Txn_check} can audit the run. *)
+    {!Mmdb_verify.Txn_check} can audit the run.
+
+    Overload extensions: [admission] gates {!transact} (token bucket,
+    backlog, priority classes — {!Mmdb_overload.Overload.Admission});
+    [work_per_update] (default 0, preserving historical timing) advances
+    the simulated clock per applied update so deadlines can expire
+    mid-transaction; [faults] arms the WAL's log devices with an
+    injection plan; [breaker] attaches a circuit breaker to those
+    devices (and registers it with [admission], enabling the
+    shed-analytics degraded mode); [retry_budget] caps transient I/O
+    retries {e per transaction} across all devices sharing the plan.
+    @raise Invalid_argument if [work_per_update] or [retry_budget] is
+    negative. *)
 
 val nrecords : t -> int
 
 val balance : t -> int -> int
 (** Current in-memory balance.
     @raise Invalid_argument after a crash (recover first). *)
+
+val balance_stale : t -> int -> int
+(** Degraded read-only service: the slot's value in the last checkpoint
+    image.  Unlike {!balance} this stays answerable while crashed
+    (the snapshot survives on the simulated disk) — stale as of the last
+    completed checkpoint sweep.  @raise Invalid_argument on bad slot. *)
 
 val now : t -> float
 (** Current simulated time. *)
@@ -28,6 +48,23 @@ val advance : t -> float -> unit
 (** Move simulated time forward (models think time between
     transactions). *)
 
+val overload_tally : t -> Mmdb_overload.Overload.tally
+(** Shed/timeout/breaker tallies for this service (shared with the
+    admission controller's tally when one was supplied). *)
+
+val admission : t -> Mmdb_overload.Overload.Admission.t option
+(** The admission controller supplied at {!create}, if any. *)
+
+val log_lag : t -> float
+(** Seconds of log-device backlog at the current instant (how far
+    [Wal.quiesce_time] is ahead of now) — the congestion signal fed to
+    admission control. *)
+
+val completion : t -> txn:int -> float option
+(** Durability time of [txn]'s commit, once its group-commit ticket
+    resolved ([None] while still buffered or for unknown ids) — the
+    latency oracle for the overload bench. *)
+
 type commit_outcome = {
   txn_id : int;
   submitted_at : float;
@@ -35,12 +72,26 @@ type commit_outcome = {
       (** [None] while the commit record waits in a group-commit buffer *)
 }
 
-val transact : t -> (int * int) list -> commit_outcome
+val transact :
+  ?priority:Mmdb_overload.Overload.priority ->
+  ?deadline:Mmdb_overload.Overload.Deadline.t ->
+  t -> (int * int) list -> commit_outcome
 (** [transact db updates] runs one transaction applying [(slot, delta)]
-    pairs at the current simulated time: locks, in-memory update, log
-    append, pre-commit.  @raise Invalid_argument on bad slots, an empty
-    update list, or a slot appearing twice in one update list (the
-    re-acquire path would muddy pre-commit dependency accounting).
+    pairs at the current simulated time: admission check (when a
+    controller is attached), locks, in-memory update, log append,
+    pre-commit.  [priority] (default [Oltp]) selects the admission
+    class; [deadline] bounds the transaction's time budget — checked
+    before each lock acquisition (OVLD004) and at the commit point after
+    the updates ran (OVLD006: rolled back in memory with compensation
+    records, locks released, nothing committed).
+    @raise Invalid_argument on bad slots, an empty update list, or a
+    slot appearing twice in one update list (the re-acquire path would
+    muddy pre-commit dependency accounting).
+    @raise Mmdb_overload.Overload.Shed with the OVLD code naming the
+    rejection: admission (OVLD001/002/003/007), deadline expiry
+    (OVLD004/006), per-transaction retry-budget exhaustion (OVLD008),
+    or a write during degraded read-only mode after {!crash} (OVLD009).
+    Every shed leaves no locks held and no balances changed.
     @raise Mmdb_fault.Fault.Io_error from the log device when a fault
     plan is armed. *)
 
@@ -61,7 +112,10 @@ val checkpoint : t -> Mmdb_recovery.Kv_store.checkpoint_stats
 val crash : t -> unit
 (** Lose volatile state at the current instant (pending group-commit
     buffers and the lock table are lost; completed and scheduled log
-    writes survive, as does stable memory). *)
+    writes survive, as does stable memory).  With an admission controller
+    attached the service enters degraded read-only mode: {!balance_stale}
+    keeps answering from the checkpoint image and {!transact} sheds
+    OVLD009 until {!recover} restores normal service. *)
 
 val recover : t -> Mmdb_recovery.Kv_store.recover_stats
 (** Rebuild memory from the snapshot and the durable log.

@@ -1,10 +1,12 @@
 module U = Mmdb_util
+module Overload = Mmdb_overload.Overload
 
 type trigger =
   | Always
   | Prob of float
   | On_op of int
   | Every of int
+  | Between of { lo : int; hi : int; every : int }
 
 type rule = { site : Fault.site; kind : Fault.kind; trigger : trigger }
 
@@ -15,6 +17,9 @@ type t = {
   ops : (Fault.site, int) Hashtbl.t;
   mutable event_log : Fault.error list; (* reversed *)
   mutable event_count : int;
+  mutable plan_budget : Overload.Retry.budget option;
+      (* per-transaction retry allowance, shared by every device riding
+         transients through this plan *)
 }
 
 let max_events = 10_000
@@ -29,7 +34,9 @@ let create ?(seed = 1) ?tally rules =
         invalid_arg "Fault_plan.create: On_op must be positive"
       | Every n when n <= 0 ->
         invalid_arg "Fault_plan.create: Every must be positive"
-      | Always | Prob _ | On_op _ | Every _ -> ())
+      | Between { lo; hi; every } when lo <= 0 || hi < lo || every <= 0 ->
+        invalid_arg "Fault_plan.create: Between needs 1 <= lo <= hi, every > 0"
+      | Always | Prob _ | On_op _ | Every _ | Between _ -> ())
     rules;
   {
     plan_rules = rules;
@@ -39,6 +46,7 @@ let create ?(seed = 1) ?tally rules =
     ops = Hashtbl.create 8;
     event_log = [];
     event_count = 0;
+    plan_budget = None;
   }
 
 let none () = create []
@@ -53,6 +61,7 @@ let fires t trigger ~op =
   | Prob p -> U.Xorshift.float t.rng 1.0 < p
   | On_op n -> op = n
   | Every n -> op mod n = 0
+  | Between { lo; hi; every } -> op >= lo && op <= hi && (op - lo) mod every = 0
 
 let draw t site =
   if t.plan_rules = [] then None
@@ -72,7 +81,7 @@ let peek t site =
         match r.trigger with
         | Always | On_op 1 | Every 1 -> true
         | Prob p -> U.Xorshift.float t.rng 1.0 < p
-        | On_op _ | Every _ -> false
+        | On_op _ | Every _ | Between _ -> false
       in
       if r.site = site && hit then Some r.kind else None)
     t.plan_rules
@@ -118,11 +127,37 @@ let event_counts t =
   Hashtbl.fold (fun code n acc -> (code, n) :: acc) tbl []
   |> List.sort compare
 
-let max_io_retries = 3
+(* The device retry curve now lives in {!Overload.Retry}: one policy
+   shared by every backoff loop.  [Retry.device] reproduces the legacy
+   linear curve (attempt * 1 ms, 3 attempts) exactly, so torture and
+   bench expectations keyed to those waits are unchanged. *)
+let retry_policy = Overload.Retry.device
+let max_io_retries = Overload.Retry.max_attempts retry_policy
 
 let retry_backoff ~attempt =
   if attempt <= 0 then invalid_arg "Fault_plan.retry_backoff: attempt <= 0";
-  float_of_int attempt *. 1e-3
+  Overload.Retry.backoff retry_policy ~attempt
+
+let retry_budget t = t.plan_budget
+let set_retry_budget t b = t.plan_budget <- b
+
+(* The one transient-riding loop, shared by the simulated disk and the
+   log devices: note the injection, then ride [failures] attempts —
+   each one charges/waits through [attempt] — or raise the typed
+   FAULT004 error when the per-attempt cap is exceeded.  A per-
+   transaction budget installed with {!set_retry_budget} is drained one
+   unit per retry across every device sharing this plan. *)
+let ride_transient t ~site ~failures ~attempt =
+  note_injected t ~code:"FAULT003" ~site
+    (Printf.sprintf "%d transient failure(s)" failures);
+  Overload.Retry.ride retry_policy ?budget:t.plan_budget ~site ~failures
+    ~attempt:(fun ~attempt:i ~backoff ->
+      attempt ~attempt:i ~backoff;
+      note_retried t ~backoff)
+    ~exhausted:(fun ~retries ->
+      Fault.io_error ~code:"FAULT004" ~site
+        (Printf.sprintf "still failing after %d retries" retries))
+    ()
 
 (* CLI fault-mix atoms.  The mixes are chosen so the acceptance sweep
    ("torn-tail,bitflip") is detectable *and* lossless: torn writes only
@@ -141,6 +176,9 @@ let spec_names =
      "one checkpoint snapshot page corrupts at rest; rebuilt from the log");
     ("media",
      "permanent bit flip in a stored log page (typically unrecoverable)");
+    ("storm",
+     "burst of transient log-device faults over a write window (trips \
+      the circuit breaker)");
     ("none", "empty plan");
   ]
 
@@ -165,6 +203,15 @@ let rules_of_atom = function
   | "media" ->
     Ok [ { site = Fault.Log_write; kind = Fault.Bit_flip_rest;
            trigger = On_op 2 } ]
+  | "storm" ->
+    (* A dense fault burst over a window of log-page writes: every write
+       in the window rides two transient failures, enough consecutive
+       device errors to trip an armed circuit breaker and exercise its
+       half-open probe once the window passes. *)
+    Ok
+      [ { site = Fault.Log_write;
+          kind = Fault.Io_transient { failures = 2 };
+          trigger = Between { lo = 10; hi = 60; every = 1 } } ]
   | "none" -> Ok []
   | atom -> Error (Printf.sprintf "unknown fault spec %S" atom)
 

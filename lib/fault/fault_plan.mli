@@ -19,6 +19,9 @@ type trigger =
   | Prob of float  (** fire with this per-operation probability *)
   | On_op of int  (** fire exactly on the [n]th operation (1-based) *)
   | Every of int  (** fire on every [n]th operation *)
+  | Between of { lo : int; hi : int; every : int }
+      (** fire on every [every]th operation inside the window
+          [lo..hi] (1-based, inclusive) — a fault {e storm} *)
 
 type rule = { site : Fault.site; kind : Fault.kind; trigger : trigger }
 
@@ -67,18 +70,48 @@ val events : t -> Fault.error list
 val event_counts : t -> (string * int) list
 (** Events grouped by FAULT code, ascending code order. *)
 
+val retry_policy : Mmdb_overload.Overload.Retry.policy
+(** The device retry policy ({!Mmdb_overload.Overload.Retry.device}):
+    linear [attempt * 1 ms], three attempts — the single source of the
+    values below. *)
+
 val max_io_retries : int
-(** Bounded retry budget shared by all instrumented sites. *)
+(** Per-fault attempt cap shared by all instrumented sites
+    ([Retry.max_attempts retry_policy]). *)
 
 val retry_backoff : attempt:int -> float
 (** Simulated-clock backoff before retry [attempt] (1-based): linear,
-    [attempt * 1 ms]. *)
+    [attempt * 1 ms] ([Retry.backoff retry_policy]).
+    @raise Invalid_argument if [attempt <= 0]. *)
+
+val retry_budget : t -> Mmdb_overload.Overload.Retry.budget option
+val set_retry_budget : t -> Mmdb_overload.Overload.Retry.budget option -> unit
+(** Install (or clear) a per-transaction retry budget.  Every device
+    riding transients through this plan drains the same budget, so a
+    transaction's retries are bounded across devices — previously each
+    device counted alone. *)
+
+val ride_transient :
+  t ->
+  site:string ->
+  failures:int ->
+  attempt:(attempt:int -> backoff:float -> unit) ->
+  unit
+(** Ride out an injected transient fault that fails [failures]
+    consecutive attempts: notes the FAULT003 injection, then calls
+    [attempt] once per failed try with its backoff (the caller charges
+    the device and waits on its own clock) while noting each retry.
+    @raise Fault.Io_error FAULT004 when [failures] exceeds
+    {!max_io_retries}.
+    @raise Mmdb_overload.Overload.Shed OVLD008 when the installed
+    per-transaction retry budget runs dry mid-ride. *)
 
 val of_spec : string -> (rule list, string) result
 (** Parse a comma-separated fault list as accepted by
     [mmdb_cli torture --faults] / [mmdb_cli stats --faults]:
     ["torn-tail"], ["bitflip"], ["io-error"], ["battery-droop"],
-    ["snapshot-rot"], ["media"], or ["none"].  See {!spec_names}. *)
+    ["snapshot-rot"], ["media"], ["storm"], or ["none"].
+    See {!spec_names}. *)
 
 val spec_names : (string * string) list
 (** Accepted spec atoms with one-line descriptions (CLI help text). *)

@@ -1,0 +1,285 @@
+(** Overload-resilient service layer: typed load shedding, one retry
+    policy for every backoff loop, per-device circuit breakers, deadline
+    propagation, and token-bucket admission control.
+
+    Everything here runs on the simulated clock: callers pass [~now]
+    explicitly, so the module depends only on {!Mmdb_util} and stays
+    deterministic under seeded workloads.  Rejections are typed — a
+    {!Shed} carries an OVLD code from {!code_catalogue} — so harnesses
+    can assert exactly why a transaction was turned away, and the
+    DESIGN.md catalogue-drift gate keeps the codes documented. *)
+
+type reason = { code : string; site : string; detail : string }
+(** Why a request was turned away: an OVLD code from {!code_catalogue},
+    the site that shed it, and a human-readable detail. *)
+
+exception Shed of reason
+(** The one rejection exception of the service layer: admission sheds,
+    deadline expiries, breaker-open sheds, and retry-budget exhaustion
+    all raise it (distinguished by [reason.code]). *)
+
+val shed : code:string -> site:string -> string -> 'a
+(** [shed ~code ~site detail] raises {!Shed}.
+    @raise Shed always. *)
+
+type priority = Oltp | Analytic
+(** Admission classes: OLTP keeps priority over analytics — under token
+    pressure or an open breaker the analytic class sheds first. *)
+
+val priority_name : priority -> string
+
+(** {1 Shared tally}
+
+    One mutable record accumulates the run's overload story, mirroring
+    {!Mmdb_fault.Fault.tally}: embed it in
+    {!Mmdb_storage.Counters} so shed/timeout counts land next to the
+    workload's other operation counters. *)
+
+type tally = {
+  mutable admitted : int;
+  mutable shed_bucket : int;  (** OVLD001 *)
+  mutable shed_backlog : int;  (** OVLD002 *)
+  mutable shed_analytic : int;  (** OVLD003 *)
+  mutable lock_timeouts : int;  (** OVLD004 *)
+  mutable op_timeouts : int;  (** OVLD005 *)
+  mutable commit_timeouts : int;  (** OVLD006 *)
+  mutable shed_breaker : int;  (** OVLD007 *)
+  mutable budget_exhausted : int;  (** OVLD008 *)
+  mutable shed_readonly : int;  (** OVLD009 *)
+  mutable breaker_trips : int;
+  mutable breaker_reopens : int;  (** OVLD010 *)
+}
+
+val tally_create : unit -> tally
+val tally_reset : tally -> unit
+val tally_copy : tally -> tally
+val tally_diff : after:tally -> before:tally -> tally
+
+val sheds : tally -> int
+(** Requests turned away before doing work (OVLD001/2/3/7/9). *)
+
+val timeouts : tally -> int
+(** Deadline expiries (OVLD004/5/6). *)
+
+val tally_total : tally -> int
+val note_code : tally -> string -> unit
+(** Bump the tally row for an OVLD code (unknown codes are ignored). *)
+
+val pp_tally : Format.formatter -> tally -> unit
+
+(** {1 Retry} *)
+
+module Retry : sig
+  (** The unified backoff policy.  The two hand-rolled loops in
+      [Disk] and [Log_device] both ride transient faults through
+      {!ride} now, so a per-transaction {!budget} can be shared across
+      devices — previously each device counted retries alone. *)
+
+  type policy =
+    | Linear of { step : float; max_attempts : int }
+        (** wait [attempt * step] before retry [attempt] *)
+    | Jittered of {
+        base : float;
+        factor : float;
+        cap : float;
+        jitter : float;
+        max_attempts : int;
+      }
+        (** seeded jittered exponential: raw wait
+            [min cap (base * factor^(attempt-1))], then +/- [jitter]
+            fraction drawn from the caller's generator *)
+
+  val device : policy
+  (** The legacy device curve (linear 1 ms per attempt, 3 attempts) —
+      exactly {!Mmdb_fault.Fault_plan.retry_backoff}'s values, which
+      deterministic torture expectations depend on. *)
+
+  val service :
+    ?base:float ->
+    ?factor:float ->
+    ?cap:float ->
+    ?jitter:float ->
+    ?max_attempts:int ->
+    unit ->
+    policy
+  (** Jittered exponential for service-level (whole-transaction)
+      retries.  Defaults: 2 ms base, doubling, 64 ms cap, 50% jitter,
+      4 attempts. *)
+
+  val max_attempts : policy -> int
+
+  val backoff : ?rng:Mmdb_util.Xorshift.t -> policy -> attempt:int -> float
+  (** Wait before retry [attempt] (1-based).  [rng] feeds the jitter
+      draw; without it jittered policies return the raw curve.
+      @raise Invalid_argument if [attempt <= 0]. *)
+
+  type budget
+  (** A per-transaction retry allowance, drained one unit per retry by
+      every device sharing it. *)
+
+  val budget : int -> budget
+  val take : budget -> bool
+  (** Consume one retry; [false] when the budget is dry. *)
+
+  val remaining : budget -> int
+  val size : budget -> int
+
+  val ride :
+    policy ->
+    ?budget:budget ->
+    ?rng:Mmdb_util.Xorshift.t ->
+    site:string ->
+    failures:int ->
+    attempt:(attempt:int -> backoff:float -> unit) ->
+    exhausted:(retries:int -> unit) ->
+    unit ->
+    unit
+  (** Ride out a transient fault that fails [failures] consecutive
+      attempts: calls [attempt] once per failed try with its backoff
+      (the caller charges the device, notes the retry, and waits on its
+      own clock).  When [failures] exceeds the policy's attempts,
+      [exhausted] is called instead and must raise the caller's typed
+      error.
+      @raise Shed OVLD008 when the shared [budget] runs dry mid-ride. *)
+end
+
+(** {1 Circuit breaker} *)
+
+module Breaker : sig
+  (** Per-device circuit breaker: trips open after [threshold]
+      consecutive device errors, cools down on the simulated clock,
+      then admits a single half-open probe whose outcome closes or
+      reopens it. *)
+
+  type state = Closed | Open | Half_open
+
+  val state_name : state -> string
+
+  type t
+
+  val create :
+    ?threshold:int -> ?cooldown:float -> ?tally:tally -> name:string ->
+    unit -> t
+  (** Defaults: 5 consecutive failures, 50 ms cooldown.  [tally] shares
+      trip/reopen counts with an external record.
+      @raise Invalid_argument on a non-positive threshold or cooldown. *)
+
+  val state : t -> now:float -> state
+  (** Current state at [now] (resolves the open-to-half-open cooldown
+      transition lazily, so every observer agrees). *)
+
+  val record_failure : t -> now:float -> unit
+  (** A device error at [now]: counts toward the trip threshold; in
+      half-open state it reopens the breaker (OVLD010). *)
+
+  val record_success : t -> now:float -> unit
+  (** A clean device operation at [now]: resets the failure streak; a
+      successful half-open probe closes the breaker. *)
+
+  val allow : t -> now:float -> bool
+  (** Admission-side gate: closed admits, open sheds, half-open admits
+      one probe at a time. *)
+
+  val check : t -> now:float -> site:string -> unit
+  (** @raise Shed OVLD007 when {!allow} answers [false]. *)
+
+  val name : t -> string
+  val threshold : t -> int
+  val cooldown : t -> float
+  val consecutive_failures : t -> int
+  val trips : t -> int
+  val probes : t -> int
+  val reopens : t -> int
+end
+
+(** {1 Deadlines} *)
+
+module Deadline : sig
+  (** A per-transaction time budget on the simulated clock, checked at
+      lock acquisition, operator batch boundaries, and commit. *)
+
+  type t
+
+  val make : now:float -> budget:float -> t
+  (** @raise Invalid_argument if [budget <= 0]. *)
+
+  val at : float -> t
+  (** A deadline at an absolute instant. *)
+
+  val arrival : t -> float
+  val expires : t -> float
+  val remaining : t -> now:float -> float
+  val expired : t -> now:float -> bool
+
+  val check : t -> now:float -> code:string -> site:string -> unit
+  (** @raise Shed [code] when expired at [now] (callers pick the stage
+      code: OVLD004 locks, OVLD005 operators, OVLD006 commit). *)
+end
+
+(** {1 Admission control} *)
+
+module Admission : sig
+  (** Token-bucket admission with a backlog/in-flight limiter, priority
+      classes, breaker awareness, and a degraded-mode governor.  All
+      sheds are typed and land in the shared {!tally}. *)
+
+  type mode =
+    | Normal
+    | Read_only
+        (** during recovery replay: reads served stale, writes shed
+            (OVLD009) *)
+
+  type t
+
+  val create :
+    ?rate:float ->
+    ?burst:float ->
+    ?max_lag:float ->
+    ?max_inflight:int ->
+    ?analytic_floor:float ->
+    ?tally:tally ->
+    unit ->
+    t
+  (** [rate] tokens/s refill up to [burst]; arrivals shed when the
+      bucket is empty (OVLD001), when the device backlog exceeds
+      [max_lag] seconds or [max_inflight] commits are unresolved
+      (OVLD002), and — for the analytic class — when fewer than
+      [analytic_floor * burst] tokens remain (OVLD003).
+      @raise Invalid_argument on non-positive limits. *)
+
+  val tally : t -> tally
+  val register_breaker : t -> Breaker.t -> unit
+  (** While any registered breaker is not closed, the analytic class is
+      shed (OVLD007) — the shed-analytics degraded mode. *)
+
+  val mode : t -> mode
+  val set_mode : t -> mode -> unit
+  val tokens : t -> now:float -> float
+
+  val admit :
+    ?write:bool ->
+    ?lag:float ->
+    ?inflight:int ->
+    t ->
+    now:float ->
+    priority:priority ->
+    unit
+  (** Admit one arrival at [now] or shed it.  [lag] is the caller's
+      measure of device backlog (seconds of unflushed work); [inflight]
+      its count of unresolved commits; [write] defaults to [true].
+      @raise Shed with the OVLD code of the first limit hit. *)
+
+  val try_admit :
+    ?write:bool ->
+    ?lag:float ->
+    ?inflight:int ->
+    t ->
+    now:float ->
+    priority:priority ->
+    (unit, reason) result
+end
+
+val code_catalogue : (string * string) list
+(** OVLD code catalogue, mirrored in DESIGN.md's "Overload & degraded
+    service" table (the [@perflint] drift gate checks both
+    directions). *)

@@ -1,5 +1,19 @@
 module S = Mmdb_storage
 module E = Mmdb_exec
+module O = Mmdb_overload.Overload
+
+(* Deadline check at an operator boundary: raised between nodes, when no
+   intermediate result is mid-construction and nothing is pinned, so an
+   expired query aborts with the pool clean by construction. *)
+let check_deadline env d =
+  let now = S.Sim_clock.now env.S.Env.clock in
+  if O.Deadline.expired d ~now then begin
+    O.note_code env.S.Env.counters.S.Counters.ovld "OVLD005";
+    O.shed ~code:"OVLD005" ~site:"exec.node"
+      (Printf.sprintf "query deadline exceeded by %.6f s at an operator \
+                       boundary"
+         (now -. O.Deadline.expires d))
+  end
 
 (* race_check: planner-local temp-name tick, single-domain; a duplicate
    temp name would be cosmetic, not a safety issue *)
@@ -141,7 +155,18 @@ let run_node ~recurse catalog cfg plan =
       out
     end
 
-let rec run catalog cfg plan = run_node ~recurse:run catalog cfg plan
+let rec run_plain catalog cfg plan = run_node ~recurse:run_plain catalog cfg plan
+
+let run ?deadline catalog cfg plan =
+  match deadline with
+  | None -> run_plain catalog cfg plan
+  | Some d ->
+    let env = S.Relation.env (base_relation catalog plan) in
+    let rec go catalog cfg plan =
+      check_deadline env d;
+      run_node ~recurse:go catalog cfg plan
+    in
+    go catalog cfg plan
 
 type node_obs = {
   path : string;
@@ -170,10 +195,11 @@ let kind_of = function
     | Algebra.Intersect -> "intersect"
     | Algebra.Except -> "except")
 
-let run_traced catalog cfg plan =
+let run_traced ?deadline catalog cfg plan =
   let env = S.Relation.env (base_relation catalog plan) in
   let acc = ref [] in
   let rec go path plan =
+    (match deadline with Some d -> check_deadline env d | None -> ());
     let before = S.Counters.snapshot env.S.Env.counters in
     let t0 = S.Env.elapsed env in
     let child_diffs = ref [] in
@@ -216,12 +242,13 @@ let run_traced catalog cfg plan =
   let result = go "$" plan in
   (result, List.rev !acc)
 
-let query catalog cfg expr = run catalog cfg (Optimizer.plan catalog cfg expr)
+let query ?deadline catalog cfg expr =
+  run ?deadline catalog cfg (Optimizer.plan catalog cfg expr)
 
-let query_checked catalog cfg expr =
+let query_checked ?deadline catalog cfg expr =
   match Plan_check.check_schema catalog expr with
   | Error diags -> Error diags
-  | Ok _ -> Ok (query catalog cfg expr)
+  | Ok _ -> Ok (query ?deadline catalog cfg expr)
 
 let rows rel =
   let schema = S.Relation.schema rel in

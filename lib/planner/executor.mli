@@ -6,10 +6,16 @@
     join key; join outputs concatenate left-then-right regardless of which
     side the optimizer chose to build on. *)
 
-val run : Catalog.t -> Optimizer.config -> Optimizer.plan ->
-  Mmdb_storage.Relation.t
+val run : ?deadline:Mmdb_overload.Overload.Deadline.t -> Catalog.t ->
+  Optimizer.config -> Optimizer.plan -> Mmdb_storage.Relation.t
 (** Execute a plan, returning the (sealed) result relation.  Its schema
-    matches {!Optimizer.output_schema} of the planned expression.
+    matches {!Optimizer.output_schema} of the planned expression.  When
+    [deadline] is given it is checked at every operator boundary (before
+    each node runs): an expired query aborts between operators — when no
+    intermediate result is mid-construction and nothing is pinned — so
+    the buffer pool audits clean.
+    @raise Mmdb_overload.Overload.Shed (OVLD005) when [deadline] expires
+    at an operator boundary.
     @raise Mmdb_fault.Fault.Io_error and
     @raise Mmdb_fault.Fault.Unrecoverable from the storage layer when a
     fault plan is armed (execution reads and spills pages). *)
@@ -27,18 +33,24 @@ type node_obs = {
 }
 (** Per-node observation from an instrumented execution. *)
 
-val run_traced : Catalog.t -> Optimizer.config -> Optimizer.plan ->
+val run_traced : ?deadline:Mmdb_overload.Overload.Deadline.t -> Catalog.t ->
+  Optimizer.config -> Optimizer.plan ->
   Mmdb_storage.Relation.t * node_obs list
 (** Like {!run}, but records each plan node's observed operation counters
     and simulated seconds, in post-order.  The [self] fields isolate one
     operator's charges so they can be checked against the cost model's
-    prediction for that node ([Mmdb_verify.Model_check]). *)
+    prediction for that node ([Mmdb_verify.Model_check]).
+    @raise Mmdb_overload.Overload.Shed (OVLD005) when [deadline] expires
+    at an operator boundary. *)
 
-val query : Catalog.t -> Optimizer.config -> Algebra.expr ->
-  Mmdb_storage.Relation.t
-(** [query catalog cfg expr] = plan + run. *)
+val query : ?deadline:Mmdb_overload.Overload.Deadline.t -> Catalog.t ->
+  Optimizer.config -> Algebra.expr -> Mmdb_storage.Relation.t
+(** [query catalog cfg expr] = plan + run.
+    @raise Mmdb_overload.Overload.Shed (OVLD005) when [deadline] expires
+    at an operator boundary. *)
 
-val query_checked : Catalog.t -> Optimizer.config -> Algebra.expr ->
+val query_checked : ?deadline:Mmdb_overload.Overload.Deadline.t ->
+  Catalog.t -> Optimizer.config -> Algebra.expr ->
   (Mmdb_storage.Relation.t, Mmdb_util.Diag.t list) result
 (** Like {!query}, but the expression is first validated with
     {!Plan_check}: ill-formed plans come back as [Error diags] without

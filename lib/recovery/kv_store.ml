@@ -80,6 +80,16 @@ let get ?txn ?(domain = 0) t slot =
   | None -> ());
   t.mem.(slot)
 
+(* Degraded read-only service: read the last checkpoint image directly.
+   The snapshot lives on the simulated disk and survives a crash, so
+   these reads stay available while recovery replay is in flight —
+   values are stale as of the last completed checkpoint sweep. *)
+let snapshot_read t slot =
+  check_slot t slot;
+  t.snapshot.(slot)
+
+let snapshot_balances t = Array.copy t.snapshot
+
 let page_of t slot = slot / t.records_per_page
 
 let apply_update ?txn ?(domain = 0) t ~lsn ~slot ~value =

@@ -32,6 +32,16 @@ val get : ?txn:int -> ?domain:int -> t -> int -> int
     armed) the access is witnessed as a [Read] event stamped with
     [domain] (default 0).  @raise Invalid_argument on bad slot. *)
 
+val snapshot_read : t -> int -> int
+(** Degraded read-only service: the slot's value in the last checkpoint
+    image.  The snapshot lives on the simulated disk and survives a
+    crash, so this stays answerable while recovery replay is in flight —
+    stale as of the last completed checkpoint sweep.
+    @raise Invalid_argument on bad slot. *)
+
+val snapshot_balances : t -> int array
+(** A copy of the whole checkpoint image (stale-read oracle). *)
+
 val apply_update :
   ?txn:int -> ?domain:int -> t -> lsn:int -> slot:int -> value:int -> unit
 (** In-memory write; marks the slot's page dirty, recording [lsn] in the

@@ -7,6 +7,9 @@ type lock = {
 type txn_state = {
   mutable held : int list; (* keys *)
   mutable waiting_for : int option;
+  mutable wait_deadline : float option;
+      (* absolute expiry for the current wait: unbounded waits turn
+         convoy deadlocks into typed timeouts (OVLD004) *)
   mutable phase : [ `Active | `Precommitted | `Done ];
 }
 
@@ -43,7 +46,9 @@ let get_txn t txn =
   match Hashtbl.find_opt t.txns txn with
   | Some s -> s
   | None ->
-    let s = { held = []; waiting_for = None; phase = `Active } in
+    let s =
+      { held = []; waiting_for = None; wait_deadline = None; phase = `Active }
+    in
     Hashtbl.replace t.txns txn s;
     s
 
@@ -52,9 +57,10 @@ let grant_to t lock key txn =
   lock.lock_holder <- Some txn;
   st.held <- key :: st.held;
   st.waiting_for <- None;
+  st.wait_deadline <- None;
   { granted_txn = txn; dependencies = lock.lock_precommitted }
 
-let acquire t ~txn ~key =
+let acquire ?deadline t ~txn ~key =
   let st = get_txn t txn in
   (* The paper's §5.2 invariant: a pre-committed transaction has released
      every lock and only awaits durability — it never grows its lock set
@@ -88,6 +94,8 @@ let acquire t ~txn ~key =
   | Some holder ->
     Queue.push txn lock.lock_waiters;
     st.waiting_for <- Some key;
+    st.wait_deadline <-
+      Option.map Mmdb_overload.Overload.Deadline.expires deadline;
     emit t ~key ~txn (Schedule.Wait { holder });
     None
   | None ->
@@ -141,7 +149,8 @@ let release_abort t ~txn =
     Queue.iter (fun w -> if w <> txn then Queue.push w remaining) lock.lock_waiters;
     Queue.clear lock.lock_waiters;
     Queue.transfer remaining lock.lock_waiters;
-    st.waiting_for <- None
+    st.waiting_for <- None;
+    st.wait_deadline <- None
   | None -> ());
   let grants =
     List.concat_map
@@ -171,6 +180,35 @@ let finalize t ~txn =
     st.held;
   st.held <- [];
   st.phase <- `Done
+
+(* Sweep every waiter whose deadline passed: remove its queue
+   registration and return the transaction ids (ascending, for
+   determinism).  The caller decides the fate of each — typically
+   {!release_abort} plus a typed OVLD004 rejection — so the abort flows
+   through the same audited path as any other abort. *)
+let expire_waiters t ~now =
+  let expired =
+    Hashtbl.fold
+      (fun txn st acc ->
+        match (st.waiting_for, st.wait_deadline) with
+        | Some key, Some d when now > d -> (txn, key, st) :: acc
+        | (Some _ | None), _ -> acc)
+      t.txns []
+    |> List.sort compare
+  in
+  List.map
+    (fun (txn, key, st) ->
+      let lock = get_lock t key in
+      let remaining = Queue.create () in
+      Queue.iter
+        (fun w -> if w <> txn then Queue.push w remaining)
+        lock.lock_waiters;
+      Queue.clear lock.lock_waiters;
+      Queue.transfer remaining lock.lock_waiters;
+      st.waiting_for <- None;
+      st.wait_deadline <- None;
+      txn)
+    expired
 
 let holder t ~key =
   match Hashtbl.find_opt t.locks key with

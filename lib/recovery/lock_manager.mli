@@ -30,15 +30,27 @@ val create :
     [domain_of txn] supplies the domain stamp for each event (default:
     everything on domain 0 — the historical single-domain behaviour). *)
 
-val acquire : t -> txn:int -> key:int -> grant option
+val acquire :
+  ?deadline:Mmdb_overload.Overload.Deadline.t -> t -> txn:int -> key:int ->
+  grant option
 (** [acquire lm ~txn ~key] tries to take the exclusive lock on [key].
     [Some grant] if granted now (with its dependency list); [None] if the
     transaction must wait (it is queued).  Re-acquiring a held lock
-    returns an empty grant.  @raise Invalid_argument if [txn] already
-    waits for some lock (no multi-wait in this model), or if [txn] has
-    already pre-committed or finished — the paper's §5.2 invariant:
-    pre-commit releases every lock for good, so the lock set never grows
-    again. *)
+    returns an empty grant.  When [deadline] is given, the wait is
+    bounded: {!expire_waiters} sweeps the registration once the deadline
+    passes, so convoy deadlocks surface as typed OVLD004 timeouts
+    instead of unbounded waits.  @raise Invalid_argument if [txn]
+    already waits for some lock (no multi-wait in this model), or if
+    [txn] has already pre-committed or finished — the paper's §5.2
+    invariant: pre-commit releases every lock for good, so the lock set
+    never grows again. *)
+
+val expire_waiters : t -> now:float -> int list
+(** Remove every waiter whose wait deadline passed by [now] from its
+    queue and return their transaction ids (ascending).  The caller
+    aborts each via {!release_abort} (and typically raises
+    {!Mmdb_overload.Overload.Shed} OVLD004), so the timeout flows
+    through the same audited abort path as any other abort. *)
 
 val precommit : t -> txn:int -> grant list
 (** Move [txn] from holder to pre-committed on every lock it holds,

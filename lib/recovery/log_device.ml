@@ -1,5 +1,6 @@
 module Fault = Mmdb_fault.Fault
 module Fault_plan = Mmdb_fault.Fault_plan
+module Overload = Mmdb_overload.Overload
 
 type page = {
   start : float; (* when the device began writing this page *)
@@ -14,13 +15,15 @@ type t = {
   page_size : int;
   clock : Mmdb_storage.Sim_clock.t;
   faults : Fault_plan.t;
+  breaker : Overload.Breaker.t option;
   mutable busy : float;
   mutable pages : page list; (* reversed *)
   mutable npages : int;
   mutable nbytes : int;
 }
 
-let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ?faults ~clock () =
+let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ?faults ?breaker
+    ~clock () =
   if page_write_time <= 0.0 then invalid_arg "Log_device: write time <= 0";
   if page_bytes <= 0 then invalid_arg "Log_device: page_bytes <= 0";
   {
@@ -28,11 +31,23 @@ let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ?faults ~clock () =
     page_size = page_bytes;
     clock;
     faults = (match faults with Some f -> f | None -> Fault_plan.none ());
+    breaker;
     busy = 0.0;
     pages = [];
     npages = 0;
     nbytes = 0;
   }
+
+(* Device-health reporting for an attached circuit breaker: an injected
+   transient counts as a device error, a clean faulted-path write as a
+   success.  The breaker never blocks the device — WAL ordering must
+   hold regardless — it only informs service-layer shedding. *)
+let breaker_note t ~at ~ok =
+  match t.breaker with
+  | None -> ()
+  | Some b ->
+    if ok then Overload.Breaker.record_success b ~now:at
+    else Overload.Breaker.record_failure b ~now:at
 
 let page_bytes t = t.page_size
 
@@ -62,31 +77,25 @@ let write_page t ?(protected = false) ?(compressed = false) ~at records ~bytes
          bytes t.page_size);
   let armed = Fault_plan.is_active t.faults in
   (* Transient device errors delay the write: each failed attempt waits
-     out a backoff before the controller retries. *)
+     out a backoff before the controller retries.  The riding loop lives
+     in {!Fault_plan.ride_transient} (one policy, one per-transaction
+     budget, shared with the simulated disk). *)
   let delay =
     if not armed then 0.0
     else
       match Fault_plan.draw t.faults Fault.Log_write with
       | Some (Fault.Io_transient { failures }) ->
-        Fault_plan.note_injected t.faults ~code:"FAULT003" ~site:"log.write"
-          (Printf.sprintf "%d transient failure(s)" failures);
-        if failures > Fault_plan.max_io_retries then
-          Fault.io_error ~code:"FAULT004" ~site:"log.write"
-            (Printf.sprintf "still failing after %d retries"
-               Fault_plan.max_io_retries)
-        else begin
-          let d = ref 0.0 in
-          for attempt = 1 to failures do
-            let wait = Fault_plan.retry_backoff ~attempt in
-            Fault_plan.note_retried t.faults ~backoff:wait;
-            d := !d +. wait
-          done;
-          !d
-        end
+        breaker_note t ~at ~ok:false;
+        let d = ref 0.0 in
+        Fault_plan.ride_transient t.faults ~site:"log.write" ~failures
+          ~attempt:(fun ~attempt:_ ~backoff -> d := !d +. backoff);
+        !d
       | Some Fault.Bit_flip_rest -> -1.0 (* sentinel: damage image below *)
       | Some
           (Fault.Torn_write | Fault.Bit_flip_read | Fault.Battery_droop _)
-      | None -> 0.0
+      | None ->
+        breaker_note t ~at ~ok:true;
+        0.0
   in
   let rot_at_rest = delay < 0.0 in
   let delay = Float.max delay 0.0 in

@@ -9,11 +9,15 @@
 type t
 
 val create : ?page_write_time:float -> ?page_bytes:int ->
-  ?faults:Mmdb_fault.Fault_plan.t -> clock:Mmdb_storage.Sim_clock.t ->
-  unit -> t
+  ?faults:Mmdb_fault.Fault_plan.t ->
+  ?breaker:Mmdb_overload.Overload.Breaker.t ->
+  clock:Mmdb_storage.Sim_clock.t -> unit -> t
 (** Defaults: 10 ms, 4096 bytes, no faults.  With [faults] armed, every
     page also stores a physical image (checksummed per record, see
-    {!Log_record.encode}) and write/read faults fire at the device. *)
+    {!Log_record.encode}) and write/read faults fire at the device.
+    An attached [breaker] is fed device health (injected transients are
+    failures, clean faulted-path writes successes) but never blocks the
+    device itself — shedding is the service layer's decision. *)
 
 val page_bytes : t -> int
 
@@ -27,7 +31,9 @@ val write_page : t -> ?protected:bool -> ?compressed:bool -> at:float ->
     documented in DESIGN.md); [compressed] selects the record encoding
     used for the page image.
     @raise Mmdb_fault.Fault.Io_error (FAULT004) when an injected
-    transient error outlives the retry budget. *)
+    transient error outlives the retry budget.
+    @raise Mmdb_overload.Overload.Shed (OVLD008) when a per-transaction
+    retry budget installed on the armed plan runs dry mid-ride. *)
 
 val busy_until : t -> float
 (** Completion time of the last scheduled write (0 if idle since start). *)

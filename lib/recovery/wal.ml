@@ -57,7 +57,7 @@ type t = {
 let fresh_page () =
   { op_records = []; op_bytes = 0; op_tickets = []; op_page_dep = 0.0 }
 
-let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ?faults
+let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ?faults ?breaker
     ?(strict_page_order = false) ~clock strat =
   let faults =
     match faults with Some f -> f | None -> Fault_plan.none ()
@@ -78,7 +78,8 @@ let create ?(page_write_time = 10e-3) ?(page_bytes = 4096) ?faults
     clock;
     devices =
       Array.init ndev (fun _ ->
-          Log_device.create ~page_write_time ~page_bytes ~faults ~clock ());
+          Log_device.create ~page_write_time ~page_bytes ~faults ?breaker
+            ~clock ());
     next_device = 0;
     page = fresh_page ();
     stable;

@@ -37,13 +37,17 @@ exception Unresolved_ticket of { sim : string; txn : int }
     harness can classify it. *)
 
 val create : ?page_write_time:float -> ?page_bytes:int ->
-  ?faults:Mmdb_fault.Fault_plan.t -> ?strict_page_order:bool ->
+  ?faults:Mmdb_fault.Fault_plan.t ->
+  ?breaker:Mmdb_overload.Overload.Breaker.t -> ?strict_page_order:bool ->
   clock:Mmdb_storage.Sim_clock.t -> strategy -> t
 (** [faults] arms a fault-injection plan shared by every log device:
     pages then carry checksummed physical images, and
     {!surviving_records} models torn writes, read/rest bit flips, and
     stable-memory battery droop at crash time.  Without it, behaviour is
-    identical to the unfaulted seed.
+    identical to the unfaulted seed.  [breaker] attaches a circuit
+    breaker fed by every device (injected transients are failures,
+    clean faulted-path writes successes); it never blocks the log
+    itself — see {!Log_device.create}.
 
     [strict_page_order] (default [false]) chains a page that continues a
     straddling transaction behind the completion of the page holding its
@@ -65,7 +69,9 @@ val commit_txn : t -> at:float -> txn:int -> deps:int list ->
     manager grants); their commit groups must be durable first.
     Transactions must be submitted in nondecreasing [at] order.
     @raise Mmdb_fault.Fault.Io_error from the log device when a fault
-    plan is armed and a page write exhausts the retry budget. *)
+    plan is armed and a page write exhausts the retry budget.
+    @raise Mmdb_overload.Overload.Shed (OVLD008) when a per-transaction
+    retry budget installed on the armed plan runs dry mid-ride. *)
 
 val log_control : t -> at:float -> Log_record.t list -> unit
 (** Append non-transactional records (checkpoint brackets) to the log

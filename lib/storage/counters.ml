@@ -1,4 +1,5 @@
 module F = Mmdb_fault.Fault
+module O = Mmdb_overload.Overload
 
 type t = {
   mutable comparisons : int;
@@ -12,6 +13,7 @@ type t = {
   mutable faults : int;
   mutable pool_hits : int;
   fault : F.tally;
+  ovld : O.tally;
 }
 
 let create () =
@@ -27,6 +29,7 @@ let create () =
     faults = 0;
     pool_hits = 0;
     fault = F.tally_create ();
+    ovld = O.tally_create ();
   }
 
 let reset t =
@@ -40,7 +43,8 @@ let reset t =
   t.rand_writes <- 0;
   t.faults <- 0;
   t.pool_hits <- 0;
-  F.tally_reset t.fault
+  F.tally_reset t.fault;
+  O.tally_reset t.ovld
 
 let snapshot t =
   {
@@ -55,6 +59,7 @@ let snapshot t =
     faults = t.faults;
     pool_hits = t.pool_hits;
     fault = F.tally_copy t.fault;
+    ovld = O.tally_copy t.ovld;
   }
 
 let diff ~after ~before =
@@ -70,6 +75,7 @@ let diff ~after ~before =
     faults = after.faults - before.faults;
     pool_hits = after.pool_hits - before.pool_hits;
     fault = F.tally_diff ~after:after.fault ~before:before.fault;
+    ovld = O.tally_diff ~after:after.ovld ~before:before.ovld;
   }
 
 let total_io t = t.seq_reads + t.seq_writes + t.rand_reads + t.rand_writes
@@ -81,7 +87,12 @@ let pp ppf t =
     t.comparisons t.hashes t.moves t.swaps t.seq_reads t.seq_writes
     t.rand_reads t.rand_writes t.faults t.pool_hits;
   if F.tally_total t.fault > 0 then
-    Format.fprintf ppf " media[%a]" F.pp_tally t.fault
+    Format.fprintf ppf " media[%a]" F.pp_tally t.fault;
+  if O.tally_total t.ovld + t.ovld.O.admitted > 0 then
+    Format.fprintf ppf " ovld[%a]" O.pp_tally t.ovld
 
 let io_retries t = t.fault.F.retried
 let io_retry_backoff t = t.fault.F.retry_backoff
+let sheds t = O.sheds t.ovld
+let deadline_timeouts t = O.timeouts t.ovld
+let breaker_trips t = t.ovld.O.breaker_trips

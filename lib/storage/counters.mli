@@ -22,6 +22,11 @@ type t = {
           unrecoverable.  The field is immutable but the tally record it
           holds is mutable; share it with a {!Mmdb_fault.Fault_plan} via
           [Fault_plan.create ~tally] so injection sites count here. *)
+  ovld : Mmdb_overload.Overload.tally;
+      (** overload tally: admissions, typed sheds, deadline timeouts,
+          retry-budget exhaustions, breaker trips.  Share it with an
+          {!Mmdb_overload.Overload.Admission} (and breakers) via their
+          [~tally] argument so service-layer sheds count here. *)
 }
 
 val create : unit -> t
@@ -47,3 +52,13 @@ val io_retries : t -> int
 val io_retry_backoff : t -> float
 (** Simulated seconds spent waiting out retry backoff before those
     retries succeeded. *)
+
+val sheds : t -> int
+(** Arrivals turned away by admission control (overload tally's
+    OVLD001/2/3/7/9 rows). *)
+
+val deadline_timeouts : t -> int
+(** Transactions whose deadline expired mid-flight (OVLD004/5/6). *)
+
+val breaker_trips : t -> int
+(** Circuit-breaker closed-to-open transitions. *)

@@ -1,5 +1,6 @@
 module Fault = Mmdb_fault.Fault
 module Fault_plan = Mmdb_fault.Fault_plan
+module Overload = Mmdb_overload.Overload
 
 type io_mode = Seq | Rand
 
@@ -12,6 +13,7 @@ type t = {
          analogue of a controller writing sector CRCs alongside data.  A
          torn or at-rest-corrupted page disagrees with its recorded sum. *)
   mutable faults : Fault_plan.t;
+  mutable breaker : Overload.Breaker.t option;
   mutable next_id : int;
 }
 
@@ -24,6 +26,7 @@ let create ~env ~page_size =
     pages = Hashtbl.create 1024;
     sums = Hashtbl.create 1024;
     faults = Fault_plan.none ();
+    breaker = None;
     next_id = 0;
   }
 
@@ -32,6 +35,20 @@ let page_size t = t.page_size
 let page_count t = Hashtbl.length t.pages
 let faults t = t.faults
 let arm t plan = t.faults <- plan
+let breaker t = t.breaker
+let set_breaker t b = t.breaker <- Some b
+
+(* Device-health reporting for an attached circuit breaker: every
+   injected transient counts as a device error, every clean faulted-path
+   access as a success (the unfaulted fast path skips the report — a
+   breaker is only meaningful alongside an armed plan). *)
+let breaker_note t ~ok =
+  match t.breaker with
+  | None -> ()
+  | Some b ->
+    let now = Sim_clock.now t.env.Env.clock in
+    if ok then Overload.Breaker.record_success b ~now
+    else Overload.Breaker.record_failure b ~now
 
 let alloc t =
   let id = t.next_id in
@@ -71,18 +88,15 @@ let backoff t ~attempt =
 
 (* A transient fault fails [failures] consecutive attempts; each failed
    attempt still occupies the device (charged) and waits out a backoff
-   on the simulated clock before the next try. *)
+   on the simulated clock before the next try.  The loop itself lives in
+   {!Fault_plan.ride_transient} (one policy, one per-transaction budget,
+   shared with the log devices). *)
 let ride_transient t ~site ~charge ~failures =
-  Fault_plan.note_injected t.faults ~code:"FAULT003" ~site
-    (Printf.sprintf "%d transient failure(s)" failures);
-  if failures > Fault_plan.max_io_retries then
-    Fault.io_error ~code:"FAULT004" ~site
-      (Printf.sprintf "still failing after %d retries" Fault_plan.max_io_retries)
-  else
-    for attempt = 1 to failures do
+  breaker_note t ~ok:false;
+  Fault_plan.ride_transient t.faults ~site ~failures
+    ~attempt:(fun ~attempt:_ ~backoff ->
       charge ();
-      backoff t ~attempt
-    done
+      Sim_clock.advance t.env.Env.clock backoff)
 
 let flip_bit data bit =
   let i = bit / 8 in
@@ -121,6 +135,7 @@ let write t ~mode pid page =
     charge_write t mode;
     store t pid page
   | Some (Fault.Bit_flip_read | Fault.Battery_droop _) | None ->
+    breaker_note t ~ok:true;
     charge_write t mode;
     store t pid page
 

@@ -48,6 +48,16 @@ val faults : t -> Mmdb_fault.Fault_plan.t
     shared with the buffer pool so frame-level faults use the same
     seeded stream and tally. *)
 
+val set_breaker : t -> Mmdb_overload.Overload.Breaker.t -> unit
+(** Attach a circuit breaker: every injected transient I/O error is
+    reported as a device failure, every clean (non-transient) faulted
+    write as a success, so consecutive transients trip the breaker.
+    The unfaulted fast path reports nothing — a breaker is only
+    meaningful alongside an armed plan.  The breaker never blocks disk
+    operations itself; shedding is the service layer's decision. *)
+
+val breaker : t -> Mmdb_overload.Overload.Breaker.t option
+
 val page_count : t -> int
 (** Number of currently allocated pages. *)
 
@@ -61,14 +71,18 @@ val read : t -> mode:io_mode -> int -> bytes
     @raise Mmdb_fault.Fault.Io_error (FAULT005) if [pid] was never
     allocated or was freed.
     @raise Mmdb_fault.Fault.Unrecoverable (FAULT011) if the stored page
-    is corrupt beyond the retry budget. *)
+    is corrupt beyond the retry budget.
+    @raise Mmdb_overload.Overload.Shed (OVLD008) when a per-transaction
+    retry budget installed on the armed plan runs dry mid-ride. *)
 
 val write : t -> mode:io_mode -> int -> bytes -> unit
 (** [write d ~mode pid page] charges one I/O and stores a copy, recording
     its out-of-band checksum.
     @raise Mmdb_fault.Fault.Io_error on unknown page (FAULT005), size
     mismatch (FAULT006), or exhausted transient-error retries
-    (FAULT004). *)
+    (FAULT004).
+    @raise Mmdb_overload.Overload.Shed (OVLD008) when a per-transaction
+    retry budget installed on the armed plan runs dry mid-ride. *)
 
 val free : t -> int -> unit
 (** Release a page (e.g. temporary partition files after a join). *)

@@ -29,3 +29,4 @@ let code_catalogue =
   @ Audit.code_catalogue @ Model_check.code_catalogue
   @ Race_check.code_catalogue @ Domain_lint.code_catalogue
   @ Perf_lint.code_catalogue @ Exn_flow.code_catalogue
+  @ Mmdb_overload.Overload.code_catalogue

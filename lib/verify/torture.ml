@@ -59,6 +59,7 @@ let default_replay =
     logging = R.Recovery_manager.Adaptive_logging;
     crash_steps = None;
     record_replay = false;
+    serve_stale = false;
   }
 
 (* Small, contended workload: every run is milliseconds, so the sweep can

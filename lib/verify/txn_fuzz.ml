@@ -1,6 +1,7 @@
 module R = Mmdb_recovery
 module S = Mmdb_storage
 module X = Mmdb_util.Xorshift
+module O = Mmdb_overload.Overload
 
 type inject = [ `Ww | `Rw | `Unguarded | `Release_no_acquire | `Snapshot ]
 
@@ -15,6 +16,7 @@ type outcome = {
   waits : int;
   deadlocks : int;
   crashed : bool;
+  ovld_codes : (string * int) list;
 }
 
 type txn_state = Running | Waiting of int  (** the key it queued on *)
@@ -26,10 +28,19 @@ type txn = {
   mutable deps : int list;  (** pre-committed txns from grants *)
   mutable state : txn_state;
   will_abort : bool;
+  deadline : O.Deadline.t option;
 }
 
+(* Spike-mode knobs: a starved token bucket (arrivals come every
+   simulated tick, tokens refill far slower) plus a lock-wait deadline
+   a couple of dozen ticks long, so both admission sheds (OVLD001) and
+   expired waiters (OVLD004) occur in ordinary seeded runs. *)
+let spike_rate = 2000.0
+let spike_burst = 2.0
+let spike_budget = 5e-4
+
 let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
-    ?(scramble = false) ?(crash = false) ?(domains = 1)
+    ?(scramble = false) ?(crash = false) ?(domains = 1) ?(spike = false)
     ?(inject : inject list = []) ~seed () =
   if txns < 1 then invalid_arg "Txn_fuzz.run: txns < 1";
   if accounts < 4 then invalid_arg "Txn_fuzz.run: accounts < 4";
@@ -45,6 +56,15 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
      must come from lock edges, which is exactly what Race_check audits. *)
   let domain_of id = id mod domains in
   let lm = R.Lock_manager.create ~recorder ~domain_of () in
+  let admission =
+    if spike then Some (O.Admission.create ~rate:spike_rate ~burst:spike_burst ())
+    else None
+  in
+  let ovld = Hashtbl.create 8 in
+  let note_ovld c =
+    Hashtbl.replace ovld c
+      (1 + Option.value ~default:0 (Hashtbl.find_opt ovld c))
+  in
   let wal = R.Wal.create ~clock R.Wal.Group_commit in
   let balances = Array.make accounts 1000 in
   let next_lsn = ref 0 in
@@ -190,7 +210,7 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
     | (key, delta) :: rest -> (
       (* exn_flow: staged acquisition across fuzzer steps; releases
          happen in the abort/commit steps ([abort_txn], [kill_victim]). *)
-      match R.Lock_manager.acquire lm ~txn:t.id ~key with
+      match R.Lock_manager.acquire ?deadline:t.deadline lm ~txn:t.id ~key with
       | Some g ->
         t.to_acquire <- rest;
         t.acquired <- (key, delta) :: t.acquired;
@@ -215,23 +235,55 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
          raise Exit
        end;
        tick ();
-       (* Admit new work. *)
+       (* Spike mode: sweep waiters whose lock-wait deadline passed and
+          abort each through the same audited Begin/Abort path as a
+          deadlock victim — a typed OVLD004 timeout, never an unbounded
+          wait. *)
+       (match admission with
+       | None -> ()
+       | Some _ ->
+         List.iter
+           (fun id ->
+             match List.find_opt (fun u -> u.id = id) !live with
+             | Some t ->
+               note_ovld "OVLD004";
+               kill_victim t
+             | None -> ())
+           (R.Lock_manager.expire_waiters lm ~now:(now ())));
+       (* Admit new work (through the token bucket in spike mode: a shed
+          arrival consumes its plan — the client was turned away). *)
        if List.compare_length_with !live inflight < 0 && !next_plan < txns
        then begin
          let plan, will_abort = plans.(!next_plan) in
          incr next_plan;
-         let id = !next_id in
-         incr next_id;
-         live :=
-           {
-             id;
-             to_acquire = plan;
-             acquired = [];
-             deps = [];
-             state = Running;
-             will_abort;
-           }
-           :: !live
+         let admitted =
+           match admission with
+           | None -> true
+           | Some a -> (
+             match O.Admission.admit a ~now:(now ()) ~priority:O.Oltp with
+             | () -> true
+             | exception O.Shed r ->
+               note_ovld r.O.code;
+               false)
+         in
+         if admitted then begin
+           let id = !next_id in
+           incr next_id;
+           live :=
+             {
+               id;
+               to_acquire = plan;
+               acquired = [];
+               deps = [];
+               state = Running;
+               will_abort;
+               deadline =
+                 (if spike then
+                    Some (O.Deadline.make ~now:(now ()) ~budget:spike_budget)
+                  else None);
+             }
+             :: !live
+         end
        end;
        match running () with
        | [] ->
@@ -325,4 +377,6 @@ let run ?(txns = 40) ?(accounts = 16) ?(inflight = 4) ?(abort_pct = 15)
     waits = !waits;
     deadlocks = !deadlocks;
     crashed = !crashed;
+    ovld_codes =
+      List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) ovld []);
   }

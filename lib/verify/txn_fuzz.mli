@@ -43,6 +43,10 @@ type outcome = {
           (may exceed distinct TXN006 cycles: a kill outside the cycle
           forces another round) *)
   crashed : bool;  (** the run stopped mid-schedule without a flush *)
+  ovld_codes : (string * int) list;
+      (** OVLD shed/timeout histogram from spike mode ([[]] without
+          [~spike]): OVLD001 arrivals shed by the starved token bucket,
+          OVLD004 waiters aborted when their lock-wait deadline passed *)
 }
 
 val run :
@@ -53,6 +57,7 @@ val run :
   ?scramble:bool ->
   ?crash:bool ->
   ?domains:int ->
+  ?spike:bool ->
   ?inject:inject list ->
   seed:int ->
   unit ->
@@ -66,6 +71,15 @@ val run :
     roughly two-thirds through without flushing the log: the trace is
     truncated (in-flight transactions never finish) and the analyzers
     must still accept it.
+
+    [spike] (default false) models an overload spike: arrivals pass a
+    deliberately starved token bucket (sheds land in [ovld_codes] as
+    OVLD001) and every admitted transaction carries a short lock-wait
+    deadline — {!Mmdb_recovery.Lock_manager.expire_waiters} sweeps
+    expired waiters each tick and the driver aborts them through the
+    audited Begin/Abort path (OVLD004).  A clean run must still produce
+    zero error diagnostics: shed arrivals never touch the lock manager,
+    and timed-out waiters leave no locks and no balance changes.
 
     [domains] (default 1) assigns transaction [id] to simulated domain
     [id mod domains]; with [domains > 1] the trace is a genuine

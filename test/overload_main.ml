@@ -1,0 +1,166 @@
+(* Overload-resilience gate, wired to `dune build @overload` (and the CI
+   overload step): two seeded open-loop spike runs through the full
+   service layer — one calm-weather spike, one spike plus transient
+   fault storm with the circuit breaker armed — plus a randomized
+   state-machine check of the breaker against a reference model and a
+   spike-mode fuzz audit.  Exits non-zero if goodput vanishes, money is
+   not conserved, a shed leaves a dirty audit trail, or the breaker
+   diverges from its model. *)
+
+module U = Mmdb_util
+module V = Mmdb_verify
+module O = Mmdb_overload.Overload
+module OS = Mmdb.Overload_sim
+
+let failures = ref 0
+
+let part name ok =
+  Format.printf "%-32s %s@." name (if ok then "ok" else "FAIL");
+  if not ok then incr failures
+
+let describe (o : OS.outcome) =
+  Format.printf
+    "  %s: %d arrivals, %d goodput (%.0f tps), %d shed, %d timed out, p99 \
+     %.1f ms@."
+    o.OS.label o.OS.arrivals o.OS.goodput_txns o.OS.goodput_tps o.OS.shed
+    o.OS.timed_out
+    (o.OS.p99_latency *. 1e3)
+
+let spike_run ~seed ~storm =
+  let o =
+    OS.run
+      {
+        OS.default_config with
+        OS.seed;
+        OS.duration = 2.0;
+        OS.storm = storm;
+        OS.record_schedule = true;
+      }
+  in
+  describe o;
+  let name =
+    Printf.sprintf "spike%s (seed %d)" (if storm then "+storm" else "") seed
+  in
+  part name
+    (o.OS.goodput_txns > 0 && o.OS.money_conserved && o.OS.audit_errors = 0
+    && o.OS.shed + o.OS.timed_out > 0);
+  if storm then
+    (* The storm must have exercised the breaker, and every
+       breaker-open shed must be typed. *)
+    part "breaker exercised by storm"
+      (o.OS.breaker_trips >= 1 && List.mem_assoc "OVLD007" o.OS.shed_codes)
+
+(* Reference model for the breaker (mirrors the documented semantics:
+   trip after [threshold] consecutive closed-state failures, cool down
+   on the clock, admit one half-open probe, close on probe success,
+   reopen on probe failure). *)
+type model = {
+  mutable st : O.Breaker.state;
+  mutable consec : int;
+  mutable opened : float;
+  mutable probe : bool;
+  mutable trips : int;
+  mutable probes : int;
+  mutable reopens : int;
+}
+
+let breaker_model_check ~seed ~ops =
+  let threshold = 3 and cooldown = 10e-3 in
+  let b = O.Breaker.create ~threshold ~cooldown ~name:"model" () in
+  let m =
+    {
+      st = O.Breaker.Closed;
+      consec = 0;
+      opened = 0.0;
+      probe = false;
+      trips = 0;
+      probes = 0;
+      reopens = 0;
+    }
+  in
+  let tick ~now =
+    match m.st with
+    | O.Breaker.Open when now >= m.opened +. cooldown ->
+      m.st <- O.Breaker.Half_open;
+      m.probe <- false
+    | O.Breaker.Open | O.Breaker.Closed | O.Breaker.Half_open -> ()
+  in
+  let trip ~now ~reopen =
+    m.st <- O.Breaker.Open;
+    m.opened <- now;
+    m.consec <- 0;
+    m.probe <- false;
+    if reopen then m.reopens <- m.reopens + 1 else m.trips <- m.trips + 1
+  in
+  let rng = U.Xorshift.create seed in
+  let now = ref 0.0 in
+  let agree = ref true in
+  for _ = 1 to ops do
+    (match U.Xorshift.int rng 10 with
+    | 0 | 1 | 2 ->
+      tick ~now:!now;
+      (match m.st with
+      | O.Breaker.Closed ->
+        m.consec <- m.consec + 1;
+        if m.consec >= threshold then trip ~now:!now ~reopen:false
+      | O.Breaker.Half_open -> trip ~now:!now ~reopen:true
+      | O.Breaker.Open -> ());
+      O.Breaker.record_failure b ~now:!now
+    | 3 | 4 ->
+      tick ~now:!now;
+      (match m.st with
+      | O.Breaker.Closed -> m.consec <- 0
+      | O.Breaker.Half_open ->
+        m.st <- O.Breaker.Closed;
+        m.consec <- 0;
+        m.probe <- false
+      | O.Breaker.Open -> ());
+      O.Breaker.record_success b ~now:!now
+    | 5 | 6 ->
+      tick ~now:!now;
+      (match m.st with
+      | O.Breaker.Half_open when not m.probe ->
+        m.probe <- true;
+        m.probes <- m.probes + 1
+      | O.Breaker.Half_open | O.Breaker.Closed | O.Breaker.Open -> ());
+      ignore (O.Breaker.allow b ~now:!now)
+    | 7 -> now := !now +. 1e-3
+    | 8 -> now := !now +. 6e-3
+    | _ -> now := !now +. 12e-3);
+    tick ~now:!now;
+    if
+      O.Breaker.state b ~now:!now <> m.st
+      || O.Breaker.trips b <> m.trips
+      || O.Breaker.reopens b <> m.reopens
+      || O.Breaker.probes b <> m.probes
+    then agree := false
+  done;
+  Format.printf "  breaker model: %d ops, %d trips, %d reopens, %d probes@."
+    ops m.trips m.reopens m.probes;
+  (* A vacuous agreement (state machine never left Closed) would be a
+     broken generator, not a passing property. *)
+  part "breaker matches model" (!agree && m.trips > 0 && m.reopens > 0)
+
+let () =
+  spike_run ~seed:7 ~storm:false;
+  spike_run ~seed:20260808 ~storm:true;
+  breaker_model_check ~seed:42 ~ops:20_000;
+  (* Spike-mode fuzz: the starved token bucket and lock-wait deadlines
+     must shed typed (OVLD001/OVLD004) while the audited transaction
+     trail stays clean. *)
+  let o = V.Txn_fuzz.run ~spike:true ~txns:120 ~seed:11 () in
+  Format.printf "  spike fuzz: %d committed, codes [%s]@."
+    o.V.Txn_fuzz.committed
+    (String.concat "; "
+       (List.map
+          (fun (c, n) -> Printf.sprintf "%s:%d" c n)
+          o.V.Txn_fuzz.ovld_codes));
+  part "spike fuzz audit clean"
+    ((not (V.Diag.has_errors o.V.Txn_fuzz.diags))
+    && List.mem_assoc "OVLD001" o.V.Txn_fuzz.ovld_codes
+    && List.mem_assoc "OVLD004" o.V.Txn_fuzz.ovld_codes);
+  Format.printf "overload: %s@."
+    (if !failures = 0 then "all clean"
+     else Printf.sprintf "%d gate%s failed" !failures
+         (if !failures = 1 then "" else "s"));
+  exit (if !failures = 0 then 0 else 1)

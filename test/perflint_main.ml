@@ -77,7 +77,9 @@ let () =
       in
       (* The reverse direction holds for the families whose single
          source of truth is a programmatic catalogue. *)
-      let tracked = [ "TXN"; "FAULT"; "MODEL"; "RACE"; "PERF"; "EXN"; "RES" ] in
+      let tracked =
+        [ "TXN"; "FAULT"; "MODEL"; "RACE"; "PERF"; "EXN"; "RES"; "OVLD" ]
+      in
       let prefix_of c =
         let rec len i =
           if i < String.length c && c.[i] >= 'A' && c.[i] <= 'Z' then

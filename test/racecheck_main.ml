@@ -84,6 +84,7 @@ let () =
             logging = RM.Adaptive_logging;
             crash_steps = None;
             record_replay = true;
+            serve_stale = false;
           };
       }
   in
